@@ -1,0 +1,23 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark regenerates one paper table/figure at the ``smoke`` scale
+(single round — these are minutes-long experiments, not microbenchmarks)
+and asserts the headline *shape* of the result. The trained-model
+context is shared across benchmarks through the experiment harness's
+in-process cache, so predictor training cost is paid once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """Experiment scale used by the benchmark suite."""
+    return "smoke"
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single round (experiments are heavy)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,103 @@
+"""Ablations of Yala's two design choices (DESIGN.md §5).
+
+1. **Traffic awareness**: the same GBR memory model trained with and
+   without the traffic attribute vector, evaluated under memory
+   contention with dynamic traffic. Removing the attributes must cost
+   accuracy — this isolates §5.1's contribution from the rest of Yala.
+2. **Execution-pattern composition**: predictions composed with the
+   detected pattern's rule vs. the *wrong* rule, over identical
+   per-resource models. Using Eq. 2 on a run-to-completion NF (or Eq. 3
+   on a pipeline) must cost accuracy — isolating §4.2's contribution.
+"""
+
+import numpy as np
+
+from repro.core.composition import pipeline_throughput, run_to_completion_throughput
+from repro.core.memory_model import MemoryContentionModel
+from repro.core.predictor import YalaPredictor
+from repro.nf.catalog import make_nf
+from repro.nf.synthetic import nf1
+from repro.nic.nic import SmartNic
+from repro.nic.spec import bluefield2_spec
+from repro.nic.workload import ExecutionPattern
+from repro.profiling.adaptive import AdaptiveProfiler
+from repro.profiling.collector import ProfilingCollector
+from repro.profiling.contention import ContentionLevel
+from repro.traffic.profile import TrafficProfile
+
+from conftest import run_once
+
+
+def _traffic_awareness_ablation():
+    nic = SmartNic(bluefield2_spec(), seed=404)
+    collector = ProfilingCollector(nic)
+    nf = make_nf("flowstats")
+    report = AdaptiveProfiler(collector, quota=200, seed=404).profile(nf)
+    aware = MemoryContentionModel("flowstats", traffic_aware=True, seed=1)
+    aware.fit(report.dataset)
+    agnostic = MemoryContentionModel("flowstats", traffic_aware=False, seed=1)
+    agnostic.fit(report.dataset)
+
+    rng = np.random.default_rng(404)
+    errors = {"aware": [], "agnostic": []}
+    for _ in range(15):
+        traffic = TrafficProfile(int(rng.uniform(1_000, 500_000)), 1500, 600.0)
+        level = ContentionLevel(mem_car=float(rng.uniform(30.0, 250.0)))
+        truth = collector.profile_one(nf, level, traffic).throughput_mpps
+        counters = collector.bench_counters(level)
+        for label, model in (("aware", aware), ("agnostic", agnostic)):
+            prediction = model.predict(counters, traffic, level.actor_count)
+            errors[label].append(abs(prediction - truth) / truth * 100.0)
+    return {label: float(np.mean(values)) for label, values in errors.items()}
+
+
+def _composition_ablation():
+    nic = SmartNic(bluefield2_spec(), seed=405)
+    collector = ProfilingCollector(nic)
+    nf = nf1(ExecutionPattern.RUN_TO_COMPLETION)
+    predictor = YalaPredictor(nf, collector, seed=405).train(
+        quota=150, detect_pattern=False
+    )
+    traffic = TrafficProfile()
+    solo = collector.solo(nf, traffic).throughput_mpps
+
+    rng = np.random.default_rng(405)
+    errors = {"correct_rule": [], "wrong_rule": []}
+    for _ in range(10):
+        level = ContentionLevel(
+            mem_car=float(rng.uniform(60.0, 250.0)),
+            regex_rate=float(rng.uniform(0.4, 1.6)),
+            regex_mtbr=float(rng.uniform(300.0, 1000.0)),
+        )
+        truth = collector.profile_one(nf, level, traffic).throughput_mpps
+        counters = collector.bench_counters(level)
+        per_resource = [
+            predictor.memory_model.predict(counters, traffic, level.actor_count)
+        ]
+        share = predictor._bench_share("regex", level)
+        per_resource.append(
+            predictor._accelerator_throughput(
+                "regex", traffic, [share] if share else [], solo
+            )
+        )
+        correct = run_to_completion_throughput(solo, per_resource)
+        wrong = pipeline_throughput(solo, per_resource)
+        errors["correct_rule"].append(abs(correct - truth) / truth * 100.0)
+        errors["wrong_rule"].append(abs(wrong - truth) / truth * 100.0)
+    return {label: float(np.mean(values)) for label, values in errors.items()}
+
+
+def test_ablation_traffic_awareness(benchmark):
+    result = run_once(benchmark, _traffic_awareness_ablation)
+    # Dropping traffic attributes from the features must hurt.
+    assert result["aware"] < result["agnostic"]
+    print(f"\ntraffic-aware MAPE {result['aware']:.1f}% "
+          f"vs traffic-agnostic {result['agnostic']:.1f}%")
+
+
+def test_ablation_pattern_composition(benchmark):
+    result = run_once(benchmark, _composition_ablation)
+    # Composing with the wrong execution pattern's rule must hurt.
+    assert result["correct_rule"] < result["wrong_rule"]
+    print(f"\ncorrect composition MAPE {result['correct_rule']:.1f}% "
+          f"vs wrong rule {result['wrong_rule']:.1f}%")

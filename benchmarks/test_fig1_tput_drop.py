@@ -1,0 +1,18 @@
+"""Figure 1: throughput drop under random co-location."""
+
+from repro.experiments import fig1_contention_drop
+
+from conftest import run_once
+
+
+def test_fig1_tput_drop(benchmark, scale):
+    result = run_once(benchmark, fig1_contention_drop.run, scale=scale)
+    assert len(result.drops) == 9
+    # The paper reports 4.2-62.2% drops at the 95th percentile and
+    # 1.9-10.6% at the median across NFs; our tails must overlap that.
+    p95_values = [result.percentiles(n)[1] for n in result.drops]
+    assert max(p95_values) > 15.0
+    medians = [result.percentiles(n)[0] for n in result.drops]
+    assert max(medians) < 35.0
+    print()
+    print(result.render())

@@ -1,0 +1,18 @@
+"""Figure 2: single-resource models under multi-resource contention."""
+
+from repro.experiments import fig2_single_resource
+
+from conftest import run_once
+
+
+def test_fig2_single_resource(benchmark, scale):
+    result = run_once(benchmark, fig2_single_resource.run, scale=scale)
+    # Single-resource models show large worst-case errors (paper: ~60%).
+    assert result.box("memory")["max"] > 15.0
+    # Pattern-mismatched composition hurts (paper Fig 2b).
+    assert (
+        result.composition_mape[("NF2", "min")]
+        < result.composition_mape[("NF2", "sum")]
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,19 @@
+"""Figure 3: traffic attributes reshape contention behaviour."""
+
+import numpy as np
+
+from repro.experiments import fig3_traffic_motivation
+
+from conftest import run_once
+
+
+def test_fig3_traffic(benchmark, scale):
+    result = run_once(benchmark, fig3_traffic_motivation.run, scale=scale)
+    for series in result.series.values():
+        assert series[0] >= series[-1]
+    for name in result.default_errors:
+        assert np.median(result.other_errors[name]) > np.median(
+            result.default_errors[name]
+        )
+    print()
+    print(result.render())

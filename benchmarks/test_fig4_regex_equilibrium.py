@@ -1,0 +1,21 @@
+"""Figure 4: round-robin equilibrium on the regex accelerator."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4_regex_equilibrium
+
+from conftest import run_once
+
+
+def test_fig4_regex_equilibrium(benchmark, scale):
+    result = run_once(benchmark, fig4_regex_equilibrium.run, scale=scale)
+    for mtbr, series in result.nf_series.items():
+        assert (np.diff(series) <= 1e-6).all()  # linear decline, then flat
+        assert result.bench_series[mtbr][-1] == pytest.approx(
+            series[-1], rel=0.02
+        )  # equilibrium equality
+    equilibria = [result.equilibrium(m) for m in sorted(result.nf_series)]
+    assert equilibria == sorted(equilibria, reverse=True)  # MTBR-dependent
+    print()
+    print(result.render())

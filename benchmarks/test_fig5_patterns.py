@@ -1,0 +1,18 @@
+"""Figure 5: pipeline vs run-to-completion contention response."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig5_execution_patterns
+
+from conftest import run_once
+
+
+def test_fig5_patterns(benchmark, scale):
+    result = run_once(benchmark, fig5_execution_patterns.run, scale=scale)
+    heavy = result.pipeline[2600.0]
+    assert heavy[0] == pytest.approx(heavy[1], rel=0.03)  # flat vs CAR (O1)
+    for series in result.run_to_completion.values():
+        assert (np.diff(series) <= 1e-6).all()  # monotone (O2)
+    print()
+    print(result.render())

@@ -1,0 +1,17 @@
+"""Figure 6: FlowStats throughput vs traffic attributes."""
+
+import numpy as np
+
+from repro.experiments import fig6_traffic_attributes
+
+from conftest import run_once
+
+
+def test_fig6_flowstats(benchmark, scale):
+    result = run_once(benchmark, fig6_traffic_attributes.run, scale=scale)
+    heavy = result.by_wss[10.0]
+    assert heavy[0] > heavy[-1]
+    rows = np.array(list(result.by_packet_size.values()))
+    assert np.allclose(rows, rows[0], rtol=0.05)  # packet-size insensitive
+    print()
+    print(result.render())

@@ -1,0 +1,18 @@
+"""Table 1: the NF catalog inventory (instantiation cost + consistency)."""
+
+from repro.nf.catalog import NF_CATALOG, make_nf
+from repro.traffic.profile import TrafficProfile
+
+from conftest import run_once
+
+
+def _build_all():
+    return [make_nf(name) for name in NF_CATALOG]
+
+
+def test_table1_catalog(benchmark):
+    nfs = run_once(benchmark, _build_all)
+    assert len(nfs) == 12
+    traffic = TrafficProfile()
+    for nf, descriptor in zip(nfs, NF_CATALOG.values()):
+        assert tuple(nf.uses_accelerators(traffic)) == descriptor.accelerators

@@ -1,0 +1,13 @@
+"""Table 2: overall accuracy, Yala vs SLOMO."""
+
+from repro.experiments import table2_overall_accuracy
+
+from conftest import run_once
+
+
+def test_table2_overall(benchmark, scale):
+    result = run_once(benchmark, table2_overall_accuracy.run, scale=scale)
+    assert len(result.rows) == 9
+    assert result.mean_yala_mape < result.mean_slomo_mape
+    print()
+    print(result.render())

@@ -1,0 +1,18 @@
+"""Table 3 + Figure 7(a): multi-resource deep dive."""
+
+import numpy as np
+
+from repro.experiments import table3_multi_resource
+
+from conftest import run_once
+
+
+def test_table3_multiresource(benchmark, scale):
+    result = run_once(benchmark, table3_multi_resource.run, scale=scale)
+    for row in result.rows:
+        assert row.yala_mape < row.slomo_mape
+    assert np.median(result.fig7a_high["yala"]) < np.median(
+        result.fig7a_high["slomo"]
+    )
+    print()
+    print(result.render())

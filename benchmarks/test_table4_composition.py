@@ -1,0 +1,14 @@
+"""Table 4: composition approaches across execution patterns."""
+
+from repro.experiments import table4_composition
+
+from conftest import run_once
+
+
+def test_table4_composition(benchmark, scale):
+    result = run_once(benchmark, table4_composition.run, scale=scale)
+    assert len(result.rows) == 4
+    for row in result.rows:
+        assert row.yala_mape <= min(row.sum_mape, row.min_mape) + 1e-9
+    print()
+    print(result.render())

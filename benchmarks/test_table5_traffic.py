@@ -1,0 +1,16 @@
+"""Table 5 + Figure 7(b): traffic-awareness deep dive."""
+
+import numpy as np
+
+from repro.experiments import table5_traffic
+
+from conftest import run_once
+
+
+def test_table5_traffic(benchmark, scale):
+    result = run_once(benchmark, table5_traffic.run, scale=scale)
+    yala = np.mean([r.yala_mape for r in result.rows])
+    slomo = np.mean([r.slomo_mape for r in result.rows])
+    assert yala < slomo
+    print()
+    print(result.render())

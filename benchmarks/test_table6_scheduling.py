@@ -1,0 +1,20 @@
+"""Table 6: contention-aware scheduling."""
+
+from repro.experiments import table6_scheduling
+
+from conftest import run_once
+
+
+def test_table6_scheduling(benchmark, scale):
+    result = run_once(benchmark, table6_scheduling.run, scale=scale)
+    results = result.results
+    assert results["monopolization"].mean_violation_pct == 0.0
+    assert (
+        results["monopolization"].mean_wastage_pct
+        > results["yala"].mean_wastage_pct
+    )
+    assert (
+        results["yala"].mean_violation_pct <= results["slomo"].mean_violation_pct
+    )
+    print()
+    print(result.render())

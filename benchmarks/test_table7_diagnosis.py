@@ -1,0 +1,15 @@
+"""Table 7: bottleneck diagnosis correctness."""
+
+from repro.experiments import table7_diagnosis
+
+from conftest import run_once
+
+
+def test_table7_diagnosis(benchmark, scale):
+    result = run_once(benchmark, table7_diagnosis.run, scale=scale)
+    outcomes = result.outcomes
+    assert outcomes["flowstats"].slomo_pct == 100.0
+    for name in ("flowmonitor", "ipcomp"):
+        assert outcomes[name].yala_pct >= outcomes[name].slomo_pct
+    print()
+    print(result.render())

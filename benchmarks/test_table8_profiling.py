@@ -1,0 +1,13 @@
+"""Table 8 + Figure 8: profiling cost vs accuracy."""
+
+from repro.experiments import table8_profiling
+
+from conftest import run_once
+
+
+def test_table8_profiling(benchmark, scale):
+    result = run_once(benchmark, table8_profiling.run, scale=scale)
+    for row in result.rows:
+        assert row.full_cost > result.quota
+    print()
+    print(result.render())

@@ -1,0 +1,12 @@
+"""Table 9: generalisation to the Pensando NIC."""
+
+from repro.experiments import table9_pensando
+
+from conftest import run_once
+
+
+def test_table9_pensando(benchmark, scale):
+    result = run_once(benchmark, table9_pensando.run, scale=scale)
+    assert result.yala_mape < result.slomo_mape
+    print()
+    print(result.render())

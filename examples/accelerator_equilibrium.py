@@ -1,0 +1,39 @@
+"""Scenario: visualising round-robin accelerator sharing (paper Fig. 4).
+
+Co-runs the synthetic regex-NF with regex-bench at increasing bench
+request rates and prints ASCII curves of both throughputs: regex-NF
+declines linearly, then both settle at the same equilibrium — the
+behaviour Yala's white-box queueing model (Eq. 1) is built on.
+
+Run with ``python examples/accelerator_equilibrium.py``.
+"""
+
+import numpy as np
+
+from repro.nf.synthetic import regex_bench, regex_nf
+from repro.nic.nic import SmartNic
+from repro.nic.spec import bluefield2_spec
+from repro.traffic.profile import TrafficProfile
+
+SMALL_PACKETS = TrafficProfile(flow_count=1_000, packet_size=86, mtbr=194.0)
+
+
+def main() -> None:
+    nic = SmartNic(bluefield2_spec(), seed=17, noise_std=0.0)
+    for mtbr in (194.0, 628.0):
+        nf = regex_nf(mtbr=mtbr, payload_bytes=32.0)
+        print(f"\nregex-NF at MTBR {mtbr:.0f} matches/MB:")
+        print(f"{'bench rate':>11s} {'regex-NF':>9s} {'bench':>9s}")
+        for rate in np.linspace(0.001, 36.0, 10):
+            bench = regex_bench(float(rate), mtbr=417.0, payload_bytes=32.0)
+            result = nic.run([nf.demand(SMALL_PACKETS), bench])
+            nf_rate = result.throughput_of("regex-nf")
+            bench_rate = result.throughput_of("regex-bench")
+            bar = "*" * int(nf_rate) + "." * int(bench_rate)
+            print(f"{rate:11.1f} {nf_rate:9.2f} {bench_rate:9.2f}  {bar}")
+        eq = result.throughput_of("regex-nf")
+        print(f"  -> equilibrium at ~{eq:.1f} Mpps (both clients equal)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Scenario: contention-aware NF placement on a SmartNIC cluster.
+
+The paper's first use case (§7.5.1): NFs arrive one by one with SLAs and
+the operator must pack them onto as few SmartNICs as possible without
+violating any SLA. Compares the monopolization / greedy / SLOMO / Yala
+strategies on one arrival sequence.
+
+Run with ``python examples/nf_placement.py``.
+"""
+
+from repro.core.predictor import YalaSystem
+from repro.core.slomo import SlomoPredictor
+from repro.nf.catalog import make_nf
+from repro.nic.nic import SmartNic
+from repro.nic.spec import bluefield2_spec
+from repro.usecases.scheduling import Scheduler, random_arrivals
+
+NF_POOL = ("flowmonitor", "nids", "flowstats", "nat", "acl")
+
+
+def main() -> None:
+    nic = SmartNic(bluefield2_spec(), seed=21)
+    print("Training predictors for the NF pool...")
+    system = YalaSystem(nic, seed=21, quota=250)
+    system.train(list(NF_POOL))
+    slomo = {}
+    for name in NF_POOL:
+        predictor = SlomoPredictor(name, seed=21)
+        predictor.train(system.collector, make_nf(name), n_samples=250)
+        slomo[name] = predictor
+
+    scheduler = Scheduler(system, slomo_predictors=slomo)
+    arrivals = random_arrivals(16, seed=5, nf_names=NF_POOL)
+    print(f"Placing {len(arrivals)} arriving NFs (SLA: 5-20% allowed drop)...")
+    oracle = scheduler.oracle_nics(arrivals)
+    print(f"Oracle packing needs {oracle} NICs.\n")
+
+    print(f"{'strategy':16s} {'NICs':>5s} {'wastage %':>10s} {'violations %':>13s}")
+    for strategy in ("monopolization", "greedy", "slomo", "yala"):
+        outcome = scheduler.place(arrivals, strategy)
+        print(
+            f"{strategy:16s} {outcome.nics_used:5d} "
+            f"{outcome.wastage_pct(oracle):10.1f} "
+            f"{outcome.violation_rate_pct:13.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: train a Yala predictor and predict co-location throughput.
+
+Run with ``python examples/quickstart.py``. Trains Yala for FlowMonitor
+on a simulated BlueField-2, then answers the operator question the paper
+opens with: *how fast will FlowMonitor run if I co-locate it with NIDS
+and FlowStats?* — and checks the answer against ground truth.
+"""
+
+from repro.core.predictor import CompetitorSpec, YalaSystem
+from repro.nf.catalog import make_nf
+from repro.nic.nic import SmartNic
+from repro.nic.spec import bluefield2_spec
+from repro.traffic.profile import TrafficProfile
+
+
+def main() -> None:
+    nic = SmartNic(bluefield2_spec(), seed=7)
+    print("Training Yala predictors (offline profiling on the simulated NIC)...")
+    system = YalaSystem(nic, seed=7, quota=300)
+    system.train(["flowmonitor", "nids", "flowstats"])
+
+    predictor = system.predictor_of("flowmonitor")
+    print(f"  detected execution pattern: {predictor.pattern.value}")
+    print(
+        "  pruned traffic attributes: "
+        f"{predictor.profiling_report.pruned_attributes}"
+    )
+
+    traffic = TrafficProfile(flow_count=16_000, packet_size=1500, mtbr=600.0)
+    competitors = [
+        CompetitorSpec.nf("nids", traffic),
+        CompetitorSpec.nf("flowstats", traffic),
+    ]
+
+    predicted = system.predict("flowmonitor", traffic, competitors)
+    solo = system.collector.solo(make_nf("flowmonitor"), traffic).throughput_mpps
+    truth = system.collector.co_run_with(
+        make_nf("flowmonitor"),
+        traffic,
+        [(make_nf("nids"), traffic), (make_nf("flowstats"), traffic)],
+    ).throughput_mpps
+
+    print()
+    print(f"FlowMonitor solo:                      {solo:6.3f} Mpps")
+    print(f"Predicted with NIDS + FlowStats:       {predicted:6.3f} Mpps")
+    print(f"Measured  with NIDS + FlowStats:       {truth:6.3f} Mpps")
+    print(f"Prediction error:                      {abs(predicted - truth) / truth * 100:5.1f} %")
+
+
+if __name__ == "__main__":
+    main()

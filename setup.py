@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no network access and no ``wheel`` package, so
+PEP 517 editable installs cannot build; keeping a ``setup.py`` (and no
+``[build-system]`` table) lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""Yala reproduction: contention- and traffic-aware performance
+prediction for on-NIC network functions (ASPLOS 2025).
+
+Layering (bottom-up):
+
+- :mod:`repro.ml` — from-scratch ML substrate (trees, boosting, linear),
+- :mod:`repro.nic` — mechanistic SoC SmartNIC simulator,
+- :mod:`repro.traffic` — traffic profiles / flows / payloads,
+- :mod:`repro.nf` — NF framework, Table-1 catalog, synthetic benches,
+- :mod:`repro.profiling` — offline profiling incl. adaptive profiling,
+- :mod:`repro.core` — **Yala** itself (per-resource models, composition,
+  the predictor) plus the SLOMO baseline,
+- :mod:`repro.usecases` — contention-aware scheduling and diagnosis,
+- :mod:`repro.experiments` — regenerates every paper table and figure.
+
+Quickstart::
+
+    from repro import quick_predictor
+    from repro.traffic import TrafficProfile
+
+    predictor, nic = quick_predictor("flowmonitor")
+    prediction = predictor.predict(
+        traffic=TrafficProfile(16_000, 1500, 600.0),
+        competitors=["nids", "flowstats"],
+    )
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    ModelNotFittedError,
+    PlacementError,
+    ProfilingError,
+    ReproError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "ConvergenceError",
+    "ModelNotFittedError",
+    "PlacementError",
+    "ProfilingError",
+    "ReproError",
+    "SimulationError",
+    "__version__",
+    "quick_predictor",
+]
+
+
+def quick_predictor(nf_name: str, seed: int = 7):
+    """Train a Yala predictor for ``nf_name`` with default profiling.
+
+    Convenience wrapper used by the examples; returns
+    ``(YalaPredictor, SmartNic)``. Imported lazily to keep package
+    import light.
+    """
+    from repro.core.predictor import YalaPredictor
+    from repro.nic import SmartNic, bluefield2_spec
+
+    nic = SmartNic(bluefield2_spec(), seed=seed)
+    predictor = YalaPredictor.train_for(nf_name, nic, seed=seed)
+    return predictor, nic

@@ -1,0 +1,49 @@
+"""Yala core: per-resource contention models, composition, prediction.
+
+This package is the paper's primary contribution:
+
+- :mod:`~repro.core.accel_model` — white-box round-robin queueing model
+  of accelerator contention (Eq. 1), made traffic-aware by expressing
+  the request time as a linear function of traffic attributes (Eq. 4);
+- :mod:`~repro.core.memory_model` — black-box gradient-boosting model of
+  memory-subsystem contention over hardware counters, made traffic-aware
+  by appending the traffic attribute vector to the features (§5.1.2);
+- :mod:`~repro.core.composition` — execution-pattern-based composition
+  of per-resource predictions (Eq. 2 for pipelines, Eq. 3 for
+  run-to-completion) plus measurement-based pattern detection (§4.2);
+- :mod:`~repro.core.predictor` — :class:`~repro.core.predictor.
+  YalaPredictor` (one NF) and :class:`~repro.core.predictor.YalaSystem`
+  (a fleet of NFs with joint co-location prediction);
+- :mod:`~repro.core.slomo` — the SLOMO baseline (memory-only GBR with
+  sensitivity extrapolation);
+- :mod:`~repro.core.baselines` — sum / min composition baselines
+  (§2.2.1).
+"""
+
+from repro.core.accel_model import AcceleratorShare, QueueingAcceleratorModel
+from repro.core.baselines import compose_min, compose_sum
+from repro.core.composition import (
+    PatternDetectionResult,
+    detect_execution_pattern,
+    pipeline_throughput,
+    run_to_completion_throughput,
+)
+from repro.core.memory_model import MemoryContentionModel
+from repro.core.predictor import CompetitorSpec, YalaPredictor, YalaSystem
+from repro.core.slomo import SlomoPredictor
+
+__all__ = [
+    "AcceleratorShare",
+    "CompetitorSpec",
+    "MemoryContentionModel",
+    "PatternDetectionResult",
+    "QueueingAcceleratorModel",
+    "SlomoPredictor",
+    "YalaPredictor",
+    "YalaSystem",
+    "compose_min",
+    "compose_sum",
+    "detect_execution_pattern",
+    "pipeline_throughput",
+    "run_to_completion_throughput",
+]

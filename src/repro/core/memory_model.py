@@ -1,0 +1,108 @@
+"""Black-box memory-subsystem contention model (paper §4.1.2, §5.1.2).
+
+Follows SLOMO's state-of-the-art approach: gradient boosting regression
+over the competitors' hardware counter vector (Table 11). Yala's twist
+is traffic awareness — the traffic attribute vector ``(flow_count,
+packet_size, mtbr)`` is appended to the input features so one model
+covers the whole traffic space instead of a single profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelNotFittedError, ProfilingError
+from repro.ml.gbr import GradientBoostingRegressor
+from repro.ml.preprocessing import StandardScaler
+from repro.nic.counters import PerfCounters
+from repro.profiling.dataset import ProfileDataset
+from repro.rng import SeedLike
+from repro.traffic.profile import TrafficProfile
+
+
+class MemoryContentionModel:
+    """GBR predictor of throughput under memory-subsystem contention."""
+
+    def __init__(
+        self,
+        nf_name: str,
+        traffic_aware: bool = True,
+        n_estimators: int = 300,
+        learning_rate: float = 0.08,
+        max_depth: int = 3,
+        subsample: float = 0.9,
+        seed: SeedLike = None,
+    ) -> None:
+        self.nf_name = nf_name
+        self.traffic_aware = traffic_aware
+        self._scaler = StandardScaler()
+        self._model = GradientBoostingRegressor(
+            n_estimators=n_estimators,
+            learning_rate=learning_rate,
+            max_depth=max_depth,
+            subsample=subsample,
+            min_samples_leaf=2,
+            seed=seed,
+        )
+        self._fitted = False
+        self._train_size = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: ProfileDataset) -> "MemoryContentionModel":
+        """Train on profiled samples of this NF."""
+        if dataset.nf_name != self.nf_name:
+            raise ProfilingError(
+                f"dataset for {dataset.nf_name!r} given to model of {self.nf_name!r}"
+            )
+        if len(dataset) < 4:
+            raise ProfilingError("need at least 4 samples to train")
+        features = dataset.features(include_traffic=self.traffic_aware)
+        targets = dataset.targets()
+        self._model.fit(self._scaler.fit_transform(features), targets)
+        self._fitted = True
+        self._train_size = len(dataset)
+        return self
+
+    # ------------------------------------------------------------------
+    def _features(
+        self,
+        counters: PerfCounters,
+        traffic: TrafficProfile,
+        n_competitors: int,
+    ) -> np.ndarray:
+        row = np.concatenate([counters.as_vector(), [float(n_competitors)]])
+        if self.traffic_aware:
+            row = np.concatenate([row, traffic.as_vector()])
+        return row.reshape(1, -1)
+
+    def predict(
+        self,
+        competitor_counters: PerfCounters,
+        traffic: TrafficProfile,
+        n_competitors: int = 1,
+    ) -> float:
+        """Predicted throughput (Mpps) under the given contention."""
+        if not self._fitted:
+            raise ModelNotFittedError(f"memory model for {self.nf_name!r} not fitted")
+        features = self._scaler.transform(
+            self._features(competitor_counters, traffic, n_competitors)
+        )
+        return float(max(self._model.predict(features)[0], 1e-6))
+
+    def predict_solo(self, traffic: TrafficProfile) -> float:
+        """Predicted solo throughput (zero contention features)."""
+        return self.predict(PerfCounters.zero(), traffic, n_competitors=0)
+
+    # ------------------------------------------------------------------
+    @property
+    def train_size(self) -> int:
+        """Number of samples the model was trained on."""
+        return self._train_size
+
+    def feature_importances(self) -> dict[str, float]:
+        """Split-based importances keyed by feature name."""
+        if not self._fitted:
+            raise ModelNotFittedError("model not fitted")
+        names = ProfileDataset.feature_names(include_traffic=self.traffic_aware)
+        importances = self._model.feature_importances(len(names))
+        return dict(zip(names, importances.tolist()))

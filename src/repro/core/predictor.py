@@ -1,0 +1,411 @@
+"""The Yala predictor (§3): per-NF models plus system-level prediction.
+
+:class:`YalaPredictor` bundles everything Yala learns about one NF
+offline: its detected execution pattern, the traffic-aware memory model
+and the white-box accelerator models. :class:`YalaSystem` manages a
+fleet of trained predictors and answers the question operators actually
+ask: *"if I put these NFs together on one NIC, what throughput will each
+get?"* — resolved as a small fixed point over the per-NF predictions,
+because each NF's accelerator pressure depends on its own predicted
+rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.accel_model import AcceleratorShare, QueueingAcceleratorModel
+from repro.core.composition import (
+    PatternDetectionResult,
+    compose,
+    detect_execution_pattern,
+)
+from repro.core.memory_model import MemoryContentionModel
+from repro.errors import ConfigurationError, ModelNotFittedError, ProfilingError
+from repro.nf.catalog import make_nf
+from repro.nf.framework import NetworkFunction
+from repro.nic.counters import PerfCounters
+from repro.nic.nic import SmartNic
+from repro.nic.spec import COMPRESSION, REGEX
+from repro.nic.workload import ExecutionPattern
+from repro.profiling.adaptive import AdaptiveProfiler, AdaptiveProfilingReport
+from repro.profiling.collector import ProfilingCollector
+from repro.profiling.contention import ContentionLevel
+from repro.rng import SeedLike, derive_seed, make_rng
+from repro.traffic.profile import TrafficProfile
+
+#: Iterations of the system-level prediction fixed point.
+_JOINT_ITERATIONS = 10
+
+
+@dataclass(frozen=True)
+class CompetitorSpec:
+    """A co-located competitor as the predictor sees it.
+
+    Either a catalogued NF at some traffic profile, or a synthetic bench
+    at a contention level (used in microbenchmark experiments).
+    """
+
+    kind: str  # "nf" | "bench"
+    nf_name: str = ""
+    traffic: TrafficProfile = TrafficProfile()
+    contention: Optional[ContentionLevel] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("nf", "bench"):
+            raise ConfigurationError(f"unknown competitor kind {self.kind!r}")
+        if self.kind == "nf" and not self.nf_name:
+            raise ConfigurationError("nf competitor needs a name")
+        if self.kind == "bench" and self.contention is None:
+            raise ConfigurationError("bench competitor needs a contention level")
+
+    @staticmethod
+    def nf(name: str, traffic: TrafficProfile | None = None) -> "CompetitorSpec":
+        return CompetitorSpec(
+            kind="nf", nf_name=name, traffic=traffic or TrafficProfile()
+        )
+
+    @staticmethod
+    def bench(contention: ContentionLevel) -> "CompetitorSpec":
+        return CompetitorSpec(kind="bench", contention=contention)
+
+
+class YalaPredictor:
+    """Everything Yala knows about one NF after offline profiling."""
+
+    def __init__(
+        self,
+        nf: NetworkFunction,
+        collector: ProfilingCollector,
+        seed: SeedLike = None,
+    ) -> None:
+        self.nf = nf
+        self.nf_name = nf.name
+        self._collector = collector
+        self._seed = seed if isinstance(seed, int) else derive_seed(0x1A1A, nf.name)
+        self.pattern: Optional[ExecutionPattern] = None
+        self.pattern_detection: Optional[PatternDetectionResult] = None
+        self.memory_model: Optional[MemoryContentionModel] = None
+        self.accel_models: dict[str, QueueingAcceleratorModel] = {}
+        self.profiling_report: Optional[AdaptiveProfilingReport] = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        quota: int = 400,
+        traffic_aware: bool = True,
+        base_traffic: TrafficProfile = TrafficProfile(),
+        detect_pattern: bool = True,
+    ) -> "YalaPredictor":
+        """Run the full offline pipeline: pattern, accel models, memory."""
+        if detect_pattern:
+            self.pattern_detection = detect_execution_pattern(
+                self._collector, self.nf, base_traffic
+            )
+            self.pattern = self.pattern_detection.pattern
+        else:
+            self.pattern = self.nf.pattern
+
+        for accelerator in self.nf.uses_accelerators(base_traffic):
+            model = QueueingAcceleratorModel(self.nf_name, accelerator)
+            model.fit(self._collector, self.nf, base_traffic=base_traffic)
+            self.accel_models[accelerator] = model
+
+        profiler = AdaptiveProfiler(
+            self._collector,
+            quota=quota,
+            seed=make_rng(derive_seed(self._seed, "adaptive")),
+        )
+        self.profiling_report = profiler.profile(self.nf, base_traffic=base_traffic)
+        self.memory_model = MemoryContentionModel(
+            self.nf_name,
+            traffic_aware=traffic_aware,
+            seed=make_rng(derive_seed(self._seed, "gbr")),
+        )
+        self.memory_model.fit(self.profiling_report.dataset)
+        return self
+
+    @classmethod
+    def train_for(
+        cls,
+        nf_name: str,
+        nic: SmartNic,
+        seed: SeedLike = None,
+        quota: int = 400,
+        traffic_aware: bool = True,
+    ) -> "YalaPredictor":
+        """Convenience constructor: build NF, collector, and train."""
+        collector = ProfilingCollector(nic)
+        seed_int = seed if isinstance(seed, int) else derive_seed(0x1A1A, nf_name)
+        predictor = cls(make_nf(nf_name), collector, seed=seed_int)
+        return predictor.train(quota=quota, traffic_aware=traffic_aware)
+
+    # ------------------------------------------------------------------
+    # Per-resource predictions
+    # ------------------------------------------------------------------
+    def predict_solo(self, traffic: TrafficProfile) -> float:
+        """Predicted solo throughput at ``traffic``."""
+        if self.memory_model is None:
+            raise ModelNotFittedError(f"{self.nf_name}: train() first")
+        return self.memory_model.predict_solo(traffic)
+
+    def _memory_throughput(
+        self, counters: PerfCounters, traffic: TrafficProfile, n_competitors: int
+    ) -> float:
+        if self.memory_model is None:
+            raise ModelNotFittedError(f"{self.nf_name}: train() first")
+        return self.memory_model.predict(counters, traffic, n_competitors)
+
+    def _accelerator_throughput(
+        self,
+        accelerator: str,
+        traffic: TrafficProfile,
+        competitor_shares: list[AcceleratorShare],
+        solo: float,
+    ) -> float:
+        """End-to-end throughput if only ``accelerator`` were contended.
+
+        The queueing model yields resource-level rates; the conversion
+        to end-to-end depends on the execution pattern:
+
+        - pipeline: the stage capacity bounds throughput directly;
+        - run-to-completion: the per-packet accelerator time grows from
+          ``1/R_solo`` to ``1/R_cont`` inside the additive time budget.
+        """
+        model = self.accel_models[accelerator]
+        rate_solo = model.solo_rate(traffic)
+        rate_contended = model.contended_rate(traffic, competitor_shares)
+        if self.pattern is ExecutionPattern.PIPELINE:
+            return min(solo, rate_contended)
+        inverse = 1.0 / solo + max(0.0, 1.0 / rate_contended - 1.0 / rate_solo)
+        return min(solo, 1.0 / inverse)
+
+    # ------------------------------------------------------------------
+    # Competitor feature assembly
+    # ------------------------------------------------------------------
+    def _bench_share(
+        self, accelerator: str, contention: ContentionLevel
+    ) -> Optional[AcceleratorShare]:
+        """A bench competitor's demand on ``accelerator``, if any."""
+        if accelerator == REGEX and contention.regex_rate > 0:
+            time_us = (
+                0.010
+                + contention.regex_payload_bytes / 2000.0
+                + contention.regex_payload_bytes * contention.regex_mtbr / 1e6 * 0.250
+            )
+            return AcceleratorShare(
+                name="regex-bench",
+                n_queues=1,
+                request_time_us=time_us,
+                offered_rate=contention.regex_rate,
+            )
+        if accelerator == COMPRESSION and contention.compression_rate > 0:
+            time_us = 0.040 + contention.compression_payload_bytes / 1500.0
+            return AcceleratorShare(
+                name="compression-bench",
+                n_queues=1,
+                request_time_us=time_us,
+                offered_rate=contention.compression_rate,
+            )
+        return None
+
+    def competitor_counters(self, competitors: list[CompetitorSpec]) -> PerfCounters:
+        """Aggregate solo counter vector of ``competitors``."""
+        samples = []
+        for spec in competitors:
+            if spec.kind == "bench":
+                samples.append(self._collector.bench_counters(spec.contention))
+            else:
+                competitor_nf = make_nf(spec.nf_name)
+                samples.append(
+                    self._collector.solo(competitor_nf, spec.traffic).counters
+                )
+        return PerfCounters.aggregate(samples)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        traffic: TrafficProfile,
+        competitors: list[CompetitorSpec] | None = None,
+        system: Optional["YalaSystem"] = None,
+        competitor_rates: Optional[dict[int, float]] = None,
+    ) -> float:
+        """Predict this NF's throughput when co-located with ``competitors``.
+
+        NF competitors' accelerator parameters come from their own
+        trained models via ``system``; ``competitor_rates`` (index ->
+        requests/us) optionally bounds their offered accelerator load
+        (used by the system-level fixed point). Without rates, NF
+        competitors are assumed to saturate their queues (Eq. 1).
+        """
+        competitors = list(competitors or [])
+        if self.memory_model is None or self.pattern is None:
+            raise ModelNotFittedError(f"{self.nf_name}: train() first")
+
+        solo = self.predict_solo(traffic)
+        per_resource = []
+
+        counters = self.competitor_counters(competitors)
+        n_competitors = sum(
+            spec.contention.actor_count if spec.kind == "bench" else 1
+            for spec in competitors
+        )
+        per_resource.append(
+            self._memory_throughput(counters, traffic, n_competitors)
+        )
+
+        for accelerator, model in self.accel_models.items():
+            shares = []
+            for index, spec in enumerate(competitors):
+                share = self._competitor_share(
+                    accelerator, index, spec, system, competitor_rates
+                )
+                if share is not None:
+                    shares.append(share)
+            per_resource.append(
+                self._accelerator_throughput(accelerator, traffic, shares, solo)
+            )
+        return compose(self.pattern, solo, per_resource)
+
+    def _competitor_share(
+        self,
+        accelerator: str,
+        index: int,
+        spec: CompetitorSpec,
+        system: Optional["YalaSystem"],
+        competitor_rates: Optional[dict[int, float]],
+    ) -> Optional[AcceleratorShare]:
+        if spec.kind == "bench":
+            return self._bench_share(accelerator, spec.contention)
+        if system is None:
+            return None
+        peer = system.predictor_of(spec.nf_name)
+        model = peer.accel_models.get(accelerator)
+        if model is None:
+            return None
+        offered = None
+        if competitor_rates is not None and index in competitor_rates:
+            offered = competitor_rates[index]
+        share = model.share(spec.traffic, offered_rate=offered)
+        # Disambiguate duplicate NFs in one co-location.
+        return AcceleratorShare(
+            name=f"{share.name}#{index}",
+            n_queues=share.n_queues,
+            request_time_us=share.request_time_us,
+            offered_rate=share.offered_rate,
+        )
+
+
+class YalaSystem:
+    """A fleet of trained Yala predictors with joint prediction."""
+
+    def __init__(
+        self,
+        nic: SmartNic,
+        seed: SeedLike = None,
+        quota: int = 400,
+        traffic_aware: bool = True,
+    ) -> None:
+        self._nic = nic
+        self._collector = ProfilingCollector(nic)
+        self._seed = seed if isinstance(seed, int) else 0x1A1A
+        self._quota = quota
+        self._traffic_aware = traffic_aware
+        self._predictors: dict[str, YalaPredictor] = {}
+
+    @property
+    def collector(self) -> ProfilingCollector:
+        return self._collector
+
+    @property
+    def nic(self) -> SmartNic:
+        return self._nic
+
+    # ------------------------------------------------------------------
+    def train(self, nf_names: list[str]) -> "YalaSystem":
+        """Train predictors for every NF in ``nf_names``."""
+        for name in nf_names:
+            if name in self._predictors:
+                continue
+            predictor = YalaPredictor(
+                make_nf(name), self._collector, seed=derive_seed(self._seed, name)
+            )
+            predictor.train(quota=self._quota, traffic_aware=self._traffic_aware)
+            self._predictors[name] = predictor
+        return self
+
+    def predictor_of(self, nf_name: str) -> YalaPredictor:
+        try:
+            return self._predictors[nf_name]
+        except KeyError:
+            raise ProfilingError(
+                f"no trained predictor for {nf_name!r}; trained: "
+                f"{sorted(self._predictors)}"
+            ) from None
+
+    @property
+    def trained_names(self) -> list[str]:
+        return sorted(self._predictors)
+
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        target_name: str,
+        traffic: TrafficProfile,
+        competitors: list[CompetitorSpec] | None = None,
+    ) -> float:
+        """Predict one NF's throughput in a co-location."""
+        placements = [(target_name, traffic)] + [
+            (c.nf_name, c.traffic) for c in (competitors or []) if c.kind == "nf"
+        ]
+        benches = [c for c in (competitors or []) if c.kind == "bench"]
+        joint = self.predict_colocation(placements, benches)
+        return joint[0]
+
+    def predict_colocation(
+        self,
+        placements: list[tuple[str, TrafficProfile]],
+        benches: list[CompetitorSpec] | None = None,
+    ) -> list[float]:
+        """Predict throughput of every NF in a joint placement.
+
+        Runs a short fixed point: each NF's prediction feeds back as its
+        offered accelerator rate in the others' predictions, because an
+        NF that is bottlenecked elsewhere does not saturate its
+        accelerator queues.
+        """
+        benches = list(benches or [])
+        rates = [self.predictor_of(n).predict_solo(t) for n, t in placements]
+        for _ in range(_JOINT_ITERATIONS):
+            updated = []
+            for i, (name, traffic) in enumerate(placements):
+                competitors = []
+                rate_map: dict[int, float] = {}
+                for j, (peer_name, peer_traffic) in enumerate(placements):
+                    if j == i:
+                        continue
+                    competitors.append(CompetitorSpec.nf(peer_name, peer_traffic))
+                    rate_map[len(competitors) - 1] = rates[j]
+                competitors.extend(benches)
+                updated.append(
+                    self.predictor_of(name).predict(
+                        traffic,
+                        competitors,
+                        system=self,
+                        competitor_rates=rate_map,
+                    )
+                )
+            if max(
+                abs(u - r) / max(u, 1e-9) for u, r in zip(updated, rates)
+            ) < 1e-6:
+                rates = updated
+                break
+            rates = updated
+        return rates

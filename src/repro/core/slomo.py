@@ -1,0 +1,108 @@
+"""SLOMO baseline (Manousis et al., SIGCOMM 2020), as used in the paper.
+
+SLOMO predicts throughput under memory-subsystem contention with
+gradient boosting over competitor hardware counters, trained at a fixed
+traffic profile. It is the state of the art the paper compares against,
+with two structural limitations Yala addresses:
+
+- it models only the memory subsystem, so accelerator contention is
+  invisible to it (§2.2.1);
+- it handles traffic change only through *sensitivity extrapolation* —
+  scaling the fixed-profile prediction by the ratio of solo throughputs
+  — which works for small deviations (~20% in flow count) and degrades
+  beyond (§2.2.2, Fig. 7b).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.memory_model import MemoryContentionModel
+from repro.errors import ModelNotFittedError, ProfilingError
+from repro.nf.framework import NetworkFunction
+from repro.nic.counters import PerfCounters
+from repro.profiling.collector import ProfilingCollector
+from repro.profiling.contention import ContentionLevel, random_contention
+from repro.profiling.dataset import ProfileDataset
+from repro.rng import SeedLike, make_rng
+from repro.traffic.profile import TrafficProfile
+
+
+class SlomoPredictor:
+    """Memory-only, fixed-traffic GBR predictor with extrapolation."""
+
+    def __init__(self, nf_name: str, seed: SeedLike = None) -> None:
+        self.nf_name = nf_name
+        self._model = MemoryContentionModel(
+            nf_name, traffic_aware=False, seed=make_rng(seed)
+        )
+        self._rng = make_rng(seed)
+        self._collector: Optional[ProfilingCollector] = None
+        self._nf: Optional[NetworkFunction] = None
+        self._train_traffic: Optional[TrafficProfile] = None
+        self._train_solo: float = 0.0
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        collector: ProfilingCollector,
+        nf: NetworkFunction,
+        train_traffic: TrafficProfile = TrafficProfile(),
+        n_samples: int = 400,
+    ) -> "SlomoPredictor":
+        """Train at one traffic profile with mem-bench contention sweeps.
+
+        SLOMO gets the same number of training samples as Yala, all
+        concentrated on ``train_traffic`` (the paper's setup).
+        """
+        if nf.name != self.nf_name:
+            raise ProfilingError(f"NF {nf.name!r} given to SLOMO of {self.nf_name!r}")
+        dataset = ProfileDataset(nf.name)
+        n_solo = max(2, n_samples // 10)
+        for index in range(n_samples):
+            if index < n_solo:
+                contention = ContentionLevel()
+            else:
+                contention = random_contention(seed=self._rng, memory=True)
+            dataset.add(collector.profile_one(nf, contention, train_traffic))
+        self._model.fit(dataset)
+        self._collector = collector
+        self._nf = nf
+        self._train_traffic = train_traffic
+        self._train_solo = collector.solo(nf, train_traffic).throughput_mpps
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        competitor_counters: PerfCounters,
+        traffic: TrafficProfile | None = None,
+        extrapolate: bool = True,
+        n_competitors: int = 1,
+    ) -> float:
+        """Predict throughput; extrapolates when traffic differs.
+
+        Sensitivity extrapolation (SLOMO §6): the fixed-profile
+        prediction is scaled by the ratio of the NF's solo throughput at
+        the test traffic to that at the training traffic. This assumes
+        the sensitivity *shape* transfers across traffic profiles —
+        approximately true for small deviations only.
+        """
+        if self._train_traffic is None or self._collector is None:
+            raise ModelNotFittedError(f"SLOMO for {self.nf_name!r} not trained")
+        base = self._model.predict(
+            competitor_counters, self._train_traffic, n_competitors
+        )
+        if traffic is None or traffic == self._train_traffic or not extrapolate:
+            return base
+        solo_at_test = self._collector.solo(self._nf, traffic).throughput_mpps
+        ratio = solo_at_test / self._train_solo if self._train_solo > 0 else 1.0
+        return float(max(base * ratio, 1e-6))
+
+    @property
+    def train_traffic(self) -> TrafficProfile:
+        if self._train_traffic is None:
+            raise ModelNotFittedError("SLOMO not trained")
+        return self._train_traffic

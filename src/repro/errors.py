@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subclasses mark the subsystem that raised the error.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The SmartNIC simulator could not complete a run."""
+
+
+class PlacementError(ReproError):
+    """An NF could not be placed on a NIC (insufficient resources)."""
+
+
+class ModelNotFittedError(ReproError):
+    """A prediction model was used before it was fitted."""
+
+
+class ProfilingError(ReproError):
+    """Offline profiling failed or was given an inconsistent request."""
+
+
+class ConvergenceError(SimulationError):
+    """The contention fixed-point solver failed to converge."""

@@ -1,0 +1,25 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+One module per experiment (``fig1`` ... ``fig8``, ``table2`` ...
+``table9``), each exposing a ``run(scale=...)`` function returning a
+structured result with a ``render()`` method that prints the same rows
+or series the paper reports. ``python -m repro.experiments`` runs them
+all and writes the measured numbers used in EXPERIMENTS.md.
+
+Scales: ``smoke`` (seconds, used by unit tests), ``default`` (used by
+the benchmark suite), ``full`` (used for EXPERIMENTS.md).
+"""
+
+from repro.experiments.common import (
+    ExperimentScale,
+    SCALES,
+    evaluation_traffic_profiles,
+    render_table,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SCALES",
+    "evaluation_traffic_profiles",
+    "render_table",
+]

@@ -1,0 +1,135 @@
+"""Shared experiment configuration and rendering helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.profile import TrafficProfile
+
+#: Seed used by the whole experiment harness.
+EXPERIMENT_SEED = 2025
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade experiment fidelity for runtime."""
+
+    name: str
+    quota: int  # Yala adaptive-profiling quota per NF
+    slomo_samples: int  # SLOMO training samples per NF
+    traffic_profiles: int  # distinct traffic profiles per NF
+    combos_per_nf: int  # sampled competitor combinations per target NF
+    random_profiles: int  # random traffic profiles in traffic deep dives
+    sweep_points: int  # points per 1-D sweep
+    sequences: int  # scheduling sequences
+    arrivals: int  # NFs per scheduling sequence
+
+
+SCALES: dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        quota=120,
+        slomo_samples=120,
+        traffic_profiles=2,
+        combos_per_nf=3,
+        random_profiles=8,
+        sweep_points=4,
+        sequences=1,
+        arrivals=10,
+    ),
+    "default": ExperimentScale(
+        name="default",
+        quota=400,
+        slomo_samples=400,
+        traffic_profiles=3,
+        combos_per_nf=6,
+        random_profiles=20,
+        sweep_points=6,
+        sequences=2,
+        arrivals=24,
+    ),
+    "full": ExperimentScale(
+        name="full",
+        quota=400,
+        slomo_samples=400,
+        traffic_profiles=9,
+        combos_per_nf=15,
+        random_profiles=60,
+        sweep_points=9,
+        sequences=5,
+        arrivals=60,
+    ),
+}
+
+
+def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    """Resolve a scale name or pass an explicit scale through."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; known: {sorted(SCALES)}"
+        ) from None
+
+
+def evaluation_traffic_profiles(count: int, seed: int = 17) -> list[TrafficProfile]:
+    """The "9 distinct traffic profiles" of §7.2 (deterministic).
+
+    The default profile first, then spread over flow count, packet size
+    and MTBR.
+    """
+    if count < 1:
+        raise ConfigurationError("count must be >= 1")
+    presets = [
+        TrafficProfile(16_000, 1500, 600.0),
+        TrafficProfile(64_000, 1500, 600.0),
+        TrafficProfile(4_000, 1500, 600.0),
+        TrafficProfile(16_000, 512, 600.0),
+        TrafficProfile(16_000, 1500, 150.0),
+        TrafficProfile(200_000, 1024, 400.0),
+        TrafficProfile(16_000, 1500, 1000.0),
+        TrafficProfile(100_000, 256, 800.0),
+        TrafficProfile(350_000, 1500, 300.0),
+    ]
+    if count <= len(presets):
+        return presets[:count]
+    rng = np.random.default_rng(seed)
+    extra = [
+        TrafficProfile(
+            int(rng.uniform(1_000, 500_000)),
+            int(rng.uniform(64, 1500)),
+            float(rng.uniform(0.0, 1100.0)),
+        )
+        for _ in range(count - len(presets))
+    ]
+    return presets + extra
+
+
+def render_table(
+    headers: list[str], rows: list[list[object]], title: str = ""
+) -> str:
+    """Render an ASCII table like the paper's result tables."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(rule)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt(value: float, digits: int = 1) -> str:
+    """Format a number for table rendering."""
+    return f"{value:.{digits}f}"

@@ -1,0 +1,66 @@
+"""Shared trained-model context for the experiment harness.
+
+Training a Yala predictor plus a SLOMO baseline for all nine evaluation
+NFs costs tens of thousands of simulated co-runs; the experiments share
+one trained context per (scale, seed) so the harness does not retrain
+per table. Contexts are cached in-process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.predictor import YalaSystem
+from repro.core.slomo import SlomoPredictor
+from repro.experiments.common import EXPERIMENT_SEED, ExperimentScale, get_scale
+from repro.nf.catalog import EVALUATION_NF_NAMES, make_nf
+from repro.nic.nic import SmartNic
+from repro.nic.spec import bluefield2_spec
+from repro.rng import derive_seed
+
+
+@dataclass
+class ExperimentContext:
+    """Trained predictors shared across experiments."""
+
+    scale: ExperimentScale
+    nic: SmartNic
+    yala: YalaSystem
+    slomo: dict[str, SlomoPredictor] = field(default_factory=dict)
+
+    def slomo_for(self, nf_name: str) -> SlomoPredictor:
+        """Train-on-demand SLOMO baseline for one NF."""
+        if nf_name not in self.slomo:
+            predictor = SlomoPredictor(
+                nf_name, seed=derive_seed(EXPERIMENT_SEED, "slomo", nf_name)
+            )
+            predictor.train(
+                self.yala.collector,
+                make_nf(nf_name),
+                n_samples=self.scale.slomo_samples,
+            )
+            self.slomo[nf_name] = predictor
+        return self.slomo[nf_name]
+
+
+_CONTEXTS: dict[tuple[str, tuple[str, ...]], ExperimentContext] = {}
+
+
+def get_context(
+    scale: str | ExperimentScale = "default",
+    nf_names: tuple[str, ...] = EVALUATION_NF_NAMES,
+) -> ExperimentContext:
+    """Return (building if needed) the shared trained context."""
+    resolved = get_scale(scale)
+    key = (resolved.name, tuple(sorted(nf_names)))
+    if key not in _CONTEXTS:
+        nic = SmartNic(bluefield2_spec(), seed=EXPERIMENT_SEED)
+        yala = YalaSystem(nic, seed=EXPERIMENT_SEED, quota=resolved.quota)
+        yala.train(list(nf_names))
+        _CONTEXTS[key] = ExperimentContext(scale=resolved, nic=nic, yala=yala)
+    return _CONTEXTS[key]
+
+
+def clear_contexts() -> None:
+    """Drop cached contexts (tests use this to control memory)."""
+    _CONTEXTS.clear()

@@ -1,0 +1,85 @@
+"""Figure 1: throughput drop of the evaluation NFs under co-location.
+
+Each target NF is co-located with up to three other NFs drawn randomly
+from the catalog; we report the median / 95th / 99th percentile drop
+ratios against the solo baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
+from repro.nf.catalog import EVALUATION_NF_NAMES, make_nf
+from repro.nic.nic import SmartNic
+from repro.nic.spec import bluefield2_spec
+from repro.rng import make_rng
+from repro.traffic.profile import TrafficProfile
+
+
+@dataclass
+class Fig1Result:
+    """Per-NF drop percentiles (percent)."""
+
+    drops: dict[str, list[float]]
+
+    def percentiles(self, nf_name: str) -> tuple[float, float, float]:
+        values = self.drops[nf_name]
+        return (
+            float(np.percentile(values, 50)),
+            float(np.percentile(values, 95)),
+            float(np.percentile(values, 99)),
+        )
+
+    def render(self) -> str:
+        rows = []
+        for name in self.drops:
+            median, p95, p99 = self.percentiles(name)
+            rows.append([name, fmt(median), fmt(p95), fmt(p99)])
+        return render_table(
+            ["NF", "median drop %", "95%ile drop %", "99%ile drop %"],
+            rows,
+            title="Figure 1 — throughput drop under random co-location",
+        )
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Fig1Result:
+    """Regenerate Figure 1."""
+    resolved = get_scale(scale)
+    nic = SmartNic(bluefield2_spec(), seed=seed)
+    rng = make_rng(seed)
+    traffic = TrafficProfile()
+    combos = max(resolved.combos_per_nf * 3, 8)
+
+    drops: dict[str, list[float]] = {}
+    solo_cache: dict[str, float] = {}
+    for target_name in EVALUATION_NF_NAMES:
+        target = make_nf(target_name)
+        if target_name not in solo_cache:
+            solo_cache[target_name] = nic.run_solo(
+                target.demand(traffic)
+            ).throughput_mpps
+        samples = []
+        for _ in range(combos):
+            n_competitors = int(rng.integers(1, 4))
+            competitor_names = [
+                str(rng.choice(EVALUATION_NF_NAMES)) for _ in range(n_competitors)
+            ]
+            demands = [target.demand(traffic)]
+            for index, name in enumerate(competitor_names):
+                demands.append(
+                    make_nf(name).demand(traffic, instance=f"{name}#{index}")
+                )
+            try:
+                result = nic.run(demands)
+            except SimulationError:
+                continue
+            achieved = result.throughput_of(target_name)
+            samples.append(
+                100.0 * max(0.0, 1.0 - achieved / solo_cache[target_name])
+            )
+        drops[target_name] = samples
+    return Fig1Result(drops=drops)

@@ -1,0 +1,149 @@
+"""Figure 2: single-resource models fail under multi-resource contention.
+
+(a) Apply a memory-only model (SLOMO) and a regex-only model (Yala's
+queueing model used alone) to FlowMonitor under combined memory + regex
+contention; report the error distributions.
+
+(b) Compose the two single-resource models with naive sum / min
+composition for a run-to-completion NF (NF1) and a pipeline NF (NF2)
+and report the MAPE of each composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baselines import compose_min, compose_sum
+from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
+from repro.experiments.context import get_context
+from repro.ml.metrics import error_box_stats
+from repro.nf.catalog import make_nf
+from repro.nf.synthetic import nf1, nf2
+from repro.nic.workload import ExecutionPattern
+from repro.profiling.contention import ContentionLevel
+from repro.traffic.profile import TrafficProfile
+from repro.core.predictor import YalaPredictor
+from repro.rng import derive_seed
+
+
+@dataclass
+class Fig2Result:
+    """Error distributions (a) and composition MAPEs (b)."""
+
+    memory_only_errors: list[float]
+    regex_only_errors: list[float]
+    composition_mape: dict[tuple[str, str], float]  # (nf, approach) -> MAPE
+
+    def box(self, which: str) -> dict[str, float]:
+        errors = (
+            self.memory_only_errors if which == "memory" else self.regex_only_errors
+        )
+        return error_box_stats(np.array(errors))
+
+    def render(self) -> str:
+        mem_box = self.box("memory")
+        regex_box = self.box("regex")
+        part_a = render_table(
+            ["model", "median err %", "p95 err %", "max err %"],
+            [
+                ["memory-only (SLOMO)", fmt(mem_box["median"]), fmt(mem_box["p95"]), fmt(mem_box["max"])],
+                ["regex-only", fmt(regex_box["median"]), fmt(regex_box["p95"]), fmt(regex_box["max"])],
+            ],
+            title="Figure 2(a) — single-resource models under multi-resource contention",
+        )
+        rows = [
+            [nf, approach, fmt(mape)]
+            for (nf, approach), mape in sorted(self.composition_mape.items())
+        ]
+        part_b = render_table(
+            ["NF", "composition", "MAPE %"],
+            rows,
+            title="Figure 2(b) — naive composition of single-resource models",
+        )
+        return part_a + "\n\n" + part_b
+
+
+def _contention_grid(points: int) -> list[ContentionLevel]:
+    cars = np.linspace(60.0, 250.0, points)
+    rates = np.linspace(0.4, 1.8, points)
+    return [
+        ContentionLevel(mem_car=float(c), regex_rate=float(r), regex_mtbr=800.0)
+        for c in cars
+        for r in rates
+    ]
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Fig2Result:
+    """Regenerate Figure 2."""
+    resolved = get_scale(scale)
+    context = get_context(resolved)
+    collector = context.yala.collector
+    traffic = TrafficProfile()
+
+    # ------------------------------------------------------------- (a)
+    target = make_nf("flowmonitor")
+    slomo = context.slomo_for("flowmonitor")
+    yala_fm = context.yala.predictor_of("flowmonitor")
+    memory_errors, regex_errors = [], []
+    for contention in _contention_grid(resolved.sweep_points):
+        truth = collector.profile_one(target, contention, traffic).throughput_mpps
+        counters = collector.bench_counters(contention)
+        mem_pred = slomo.predict(
+            counters, traffic, n_competitors=contention.actor_count
+        )
+        solo = collector.solo(target, traffic).throughput_mpps
+        share = yala_fm._bench_share("regex", contention)
+        regex_pred = yala_fm._accelerator_throughput(
+            "regex", traffic, [share] if share else [], solo
+        )
+        memory_errors.append(100.0 * abs(mem_pred - truth) / truth)
+        regex_errors.append(100.0 * abs(regex_pred - truth) / truth)
+
+    # ------------------------------------------------------------- (b)
+    composition_mape: dict[tuple[str, str], float] = {}
+    for label, builder, pattern in (
+        ("NF1", nf1, ExecutionPattern.RUN_TO_COMPLETION),
+        ("NF2", nf2, ExecutionPattern.PIPELINE),
+    ):
+        nf = builder(pattern)
+        predictor = YalaPredictor(
+            nf, collector, seed=derive_seed(seed, "fig2", label)
+        )
+        predictor.train(
+            quota=max(resolved.quota // 2, 100), detect_pattern=False
+        )
+        sums, mins = [], []
+        grid = _contention_grid(max(resolved.sweep_points - 2, 2))
+        for contention in grid:
+            if nf.uses_accelerators() and "compression" in nf.uses_accelerators():
+                contention = contention.with_compression(1.0)
+            truth = collector.profile_one(nf, contention, traffic).throughput_mpps
+            solo = collector.solo(nf, traffic).throughput_mpps
+            counters = collector.bench_counters(contention)
+            per_resource = [
+                predictor.memory_model.predict(
+                    counters, traffic, contention.actor_count
+                )
+            ]
+            for accelerator in predictor.accel_models:
+                share = predictor._bench_share(accelerator, contention)
+                per_resource.append(
+                    predictor._accelerator_throughput(
+                        accelerator, traffic, [share] if share else [], solo
+                    )
+                )
+            sums.append(
+                100.0 * abs(compose_sum(solo, per_resource) - truth) / truth
+            )
+            mins.append(
+                100.0 * abs(compose_min(solo, per_resource) - truth) / truth
+            )
+        composition_mape[(label, "sum")] = float(np.mean(sums))
+        composition_mape[(label, "min")] = float(np.mean(mins))
+    return Fig2Result(
+        memory_only_errors=memory_errors,
+        regex_only_errors=regex_errors,
+        composition_mape=composition_mape,
+    )

@@ -1,0 +1,122 @@
+"""Figure 3: traffic attributes change contention behaviour.
+
+(a) FlowStats throughput vs mem-bench cache access rate for three
+traffic profiles (4K / 8K / 16K flows).
+
+(b) Prediction error of a fixed-profile model (SLOMO) on the default
+profile vs. on randomly drawn other profiles, for FlowStats,
+FlowClassifier and FlowTracker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
+from repro.experiments.context import get_context
+from repro.nf.catalog import make_nf
+from repro.nf.synthetic import mem_bench
+from repro.profiling.contention import ContentionLevel
+from repro.rng import make_rng
+from repro.traffic.profile import TrafficProfile
+
+_PART_B_NFS = ("flowstats", "flowclassifier", "flowtracker")
+
+
+@dataclass
+class Fig3Result:
+    """Throughput series (a) and error distributions (b)."""
+
+    cars: list[float]
+    series: dict[int, list[float]]  # flow count -> throughput per CAR
+    default_errors: dict[str, list[float]]
+    other_errors: dict[str, list[float]]
+
+    def render(self) -> str:
+        rows = [
+            [f"{flows // 1000}K flows"] + [fmt(v, 3) for v in values]
+            for flows, values in self.series.items()
+        ]
+        part_a = render_table(
+            ["profile"] + [fmt(c, 0) for c in self.cars],
+            rows,
+            title="Figure 3(a) — FlowStats tput (Mpps) vs competing CAR (Mref/s)",
+        )
+        rows_b = []
+        for name in self.default_errors:
+            rows_b.append(
+                [
+                    name,
+                    fmt(float(np.median(self.default_errors[name]))),
+                    fmt(float(np.median(self.other_errors[name]))),
+                ]
+            )
+        part_b = render_table(
+            ["NF", "median err % (default)", "median err % (other profiles)"],
+            rows_b,
+            title="Figure 3(b) — fixed-profile model under traffic change",
+        )
+        return part_a + "\n\n" + part_b
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Fig3Result:
+    """Regenerate Figure 3."""
+    resolved = get_scale(scale)
+    context = get_context(resolved)
+    collector = context.yala.collector
+    nic = context.nic
+
+    # ------------------------------------------------------------- (a)
+    cars = list(np.linspace(25.0, 250.0, resolved.sweep_points))
+    series: dict[int, list[float]] = {}
+    flowstats = make_nf("flowstats")
+    for flows in (4_000, 8_000, 16_000):
+        traffic = TrafficProfile(flows, 1500, 600.0)
+        series[flows] = [
+            nic.run(
+                [flowstats.demand(traffic), mem_bench(float(car), wss_mb=10.0)]
+            ).throughput_of("flowstats")
+            for car in cars
+        ]
+
+    # ------------------------------------------------------------- (b)
+    rng = make_rng(seed)
+    default_errors: dict[str, list[float]] = {}
+    other_errors: dict[str, list[float]] = {}
+    for name in _PART_B_NFS:
+        nf = make_nf(name)
+        slomo = context.slomo_for(name)
+        default_errors[name] = []
+        other_errors[name] = []
+        for index in range(resolved.random_profiles):
+            contention = ContentionLevel(
+                mem_car=float(rng.uniform(30, 250)),
+                mem_wss_mb=float(rng.uniform(2, 12)),
+            )
+            counters = collector.bench_counters(contention)
+            # Half the evaluations on the default profile, half on
+            # random profiles with up to 500K flows (§2.2.2).
+            if index % 2 == 0:
+                traffic = TrafficProfile()
+                bucket = default_errors[name]
+            else:
+                traffic = TrafficProfile(
+                    int(rng.uniform(1_000, 500_000)), 1500, 600.0
+                )
+                bucket = other_errors[name]
+            truth = collector.profile_one(nf, contention, traffic).throughput_mpps
+            # Figure 3(b) shows the *fixed-profile* model without
+            # extrapolation — the motivation for traffic awareness.
+            predicted = slomo.predict(
+                counters, traffic, extrapolate=False,
+                n_competitors=contention.actor_count,
+            )
+            bucket.append(100.0 * abs(predicted - truth) / truth)
+    return Fig3Result(
+        cars=cars,
+        series=series,
+        default_errors=default_errors,
+        other_errors=other_errors,
+    )

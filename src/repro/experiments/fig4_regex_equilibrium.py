@@ -1,0 +1,82 @@
+"""Figure 4: round-robin equilibrium on the regex accelerator.
+
+Co-run the closed-loop synthetic regex-NF with regex-bench while the
+bench's request arrival rate sweeps upward. The paper's two signature
+observations must appear: a linear throughput decline for regex-NF, and
+an equilibrium where both workloads settle at the same rate, with the
+equilibrium level depending on regex-NF's MTBR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
+from repro.nf.synthetic import regex_bench, regex_nf
+from repro.nic.nic import SmartNic
+from repro.nic.spec import bluefield2_spec
+from repro.traffic.profile import TrafficProfile
+
+#: MTBR settings of regex-NF, as in the paper's legend (matches/MB).
+MTBR_SETTINGS: tuple[float, ...] = (194.0, 220.0, 417.0, 628.0)
+
+#: Small-packet profile so the NIC line rate never caps request rates.
+_SMALL_PACKETS = TrafficProfile(flow_count=1_000, packet_size=86, mtbr=194.0)
+
+
+@dataclass
+class Fig4Result:
+    """Throughput curves per MTBR setting."""
+
+    arrival_rates: list[float]
+    nf_series: dict[float, list[float]]  # mtbr -> regex-NF tput per rate
+    bench_series: dict[float, list[float]]
+
+    def equilibrium(self, mtbr: float) -> float:
+        """Equilibrium throughput (tail of the curve)."""
+        return self.nf_series[mtbr][-1]
+
+    def render(self) -> str:
+        rows = []
+        for mtbr in self.nf_series:
+            rows.append(
+                [f"regex-NF @{mtbr:.0f}"]
+                + [fmt(v, 2) for v in self.nf_series[mtbr]]
+            )
+            rows.append(
+                [f"bench (vs @{mtbr:.0f})"]
+                + [fmt(v, 2) for v in self.bench_series[mtbr]]
+            )
+        return render_table(
+            ["series"] + [fmt(r, 1) for r in self.arrival_rates],
+            rows,
+            title="Figure 4 — throughput (Mpps) vs regex-bench arrival rate (Mpps)",
+        )
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Fig4Result:
+    """Regenerate Figure 4."""
+    resolved = get_scale(scale)
+    nic = SmartNic(bluefield2_spec(), seed=seed, noise_std=0.0)
+    points = max(resolved.sweep_points * 2, 8)
+    arrival_rates = list(np.linspace(0.001, 40.0, points))
+
+    nf_series: dict[float, list[float]] = {}
+    bench_series: dict[float, list[float]] = {}
+    for mtbr in MTBR_SETTINGS:
+        nf = regex_nf(mtbr=mtbr, payload_bytes=32.0)
+        nf_values, bench_values = [], []
+        for rate in arrival_rates:
+            bench = regex_bench(float(rate), mtbr=417.0, payload_bytes=32.0)
+            result = nic.run([nf.demand(_SMALL_PACKETS), bench])
+            nf_values.append(result.throughput_of("regex-nf"))
+            bench_values.append(result.throughput_of("regex-bench"))
+        nf_series[mtbr] = nf_values
+        bench_series[mtbr] = bench_values
+    return Fig4Result(
+        arrival_rates=arrival_rates,
+        nf_series=nf_series,
+        bench_series=bench_series,
+    )

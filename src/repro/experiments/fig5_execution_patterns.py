@@ -1,0 +1,94 @@
+"""Figure 5: execution pattern decides how contention composes.
+
+Throughput of a synthetic pipeline NF (top) and run-to-completion NF
+(bottom) as a function of competing cache access rate (memory) and
+competing match rate (regex accelerator). The pipeline NF must stay flat
+against memory contention while the regex stage is its slowest stage
+(O1); the run-to-completion NF must decrease monotonically in both
+dimensions (O2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
+from repro.nf.synthetic import mem_bench, pipeline_probe_nf, regex_bench, rtc_probe_nf
+from repro.nic.nic import SmartNic
+from repro.nic.spec import bluefield2_spec
+from repro.traffic.profile import TrafficProfile
+
+#: Competing regex match rates, Kmatches/s (paper's legend).
+MATCH_RATES: tuple[float, ...] = (0.0, 520.0, 2340.0, 2600.0)
+#: regex-bench request rate used to reach the match rates (Mpps).
+_BENCH_RATE = 2.0
+_BENCH_PAYLOAD = 1024.0
+
+
+@dataclass
+class Fig5Result:
+    """Throughput grids (Kpps) indexed [match_rate][car_index]."""
+
+    cars: list[float]
+    pipeline: dict[float, list[float]]
+    run_to_completion: dict[float, list[float]]
+
+    def render(self) -> str:
+        def table(series: dict[float, list[float]], label: str) -> str:
+            rows = [
+                [f"{int(match)} Kmatch/s"] + [fmt(v, 0) for v in values]
+                for match, values in series.items()
+            ]
+            return render_table(
+                ["competing match rate"] + [fmt(c, 0) for c in self.cars],
+                rows,
+                title=f"Figure 5 ({label}) — tput (Kpps) vs competing CAR (Mref/s)",
+            )
+
+        return (
+            table(self.pipeline, "top: pipeline NF")
+            + "\n\n"
+            + table(self.run_to_completion, "bottom: run-to-completion NF")
+        )
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Fig5Result:
+    """Regenerate Figure 5."""
+    resolved = get_scale(scale)
+    nic = SmartNic(bluefield2_spec(), seed=seed, noise_std=0.0)
+    traffic = TrafficProfile()
+    cars = list(np.linspace(30.0, 246.0, resolved.sweep_points))
+
+    grids: dict[str, dict[float, list[float]]] = {}
+    for builder in (pipeline_probe_nf, rtc_probe_nf):
+        nf = builder()
+        series: dict[float, list[float]] = {}
+        for match_rate in MATCH_RATES:
+            matches_per_request = (match_rate / 1000.0) / _BENCH_RATE
+            mtbr = matches_per_request * 1e6 / _BENCH_PAYLOAD
+            values = []
+            for car in cars:
+                workloads = [
+                    nf.demand(traffic),
+                    mem_bench(float(car), wss_mb=8.0, cores=3),
+                ]
+                if match_rate > 0:
+                    workloads.append(
+                        regex_bench(
+                            _BENCH_RATE,
+                            mtbr=mtbr,
+                            payload_bytes=_BENCH_PAYLOAD,
+                            cores=1,
+                        )
+                    )
+                result = nic.run(workloads)
+                values.append(1000.0 * result.throughput_of(nf.name))
+            series[match_rate] = values
+        grids[nf.name] = series
+    return Fig5Result(
+        cars=cars,
+        pipeline=grids["p-nf"],
+        run_to_completion=grids["r-nf"],
+    )

@@ -1,0 +1,97 @@
+"""Figure 6: FlowStats throughput as a function of traffic attributes.
+
+(a) Throughput vs flow count against mem-bench working sets of 0.5, 5
+and 10 MB: piece-wise decline that flattens once the LLC share is
+saturated.
+
+(b) Normalised throughput vs competing working set at five packet
+sizes: FlowStats processes only headers, so the curves must collapse
+onto each other (packet-size insensitivity — the basis for attribute
+pruning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
+from repro.nf.catalog import make_nf
+from repro.nf.synthetic import mem_bench
+from repro.nic.nic import SmartNic
+from repro.nic.spec import bluefield2_spec
+from repro.traffic.profile import TrafficProfile
+
+WSS_SETTINGS_MB: tuple[float, ...] = (0.5, 5.0, 10.0)
+PACKET_SIZES: tuple[int, ...] = (64, 128, 256, 512, 1024)
+_CAR = 100.0
+
+
+@dataclass
+class Fig6Result:
+    """Flow-count series (a) and normalised packet-size series (b)."""
+
+    flow_counts: list[int]
+    by_wss: dict[float, list[float]]  # wss MB -> tput per flow count
+    by_packet_size: dict[int, list[float]]  # pkt -> normalised tput per wss
+
+    def render(self) -> str:
+        rows_a = [
+            [f"WSS {wss} MB"] + [fmt(v, 3) for v in values]
+            for wss, values in self.by_wss.items()
+        ]
+        part_a = render_table(
+            ["series"] + [f"{f // 1000}K" for f in self.flow_counts],
+            rows_a,
+            title="Figure 6(a) — FlowStats tput (Mpps) vs flow count",
+        )
+        rows_b = [
+            [f"{pkt} B"] + [fmt(v, 3) for v in values]
+            for pkt, values in self.by_packet_size.items()
+        ]
+        part_b = render_table(
+            ["packet size"] + [f"WSS {w} MB" for w in WSS_SETTINGS_MB],
+            rows_b,
+            title="Figure 6(b) — normalised FlowStats tput vs competing WSS",
+        )
+        return part_a + "\n\n" + part_b
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Fig6Result:
+    """Regenerate Figure 6."""
+    resolved = get_scale(scale)
+    nic = SmartNic(bluefield2_spec(), seed=seed, noise_std=0.0)
+    flowstats = make_nf("flowstats")
+
+    flow_counts = [
+        int(f)
+        for f in np.linspace(1_000, 70_000, max(resolved.sweep_points, 5))
+    ]
+    by_wss: dict[float, list[float]] = {}
+    for wss in WSS_SETTINGS_MB:
+        values = []
+        for flows in flow_counts:
+            traffic = TrafficProfile(flows, 1500, 600.0)
+            result = nic.run(
+                [flowstats.demand(traffic), mem_bench(_CAR, wss_mb=wss)]
+            )
+            values.append(result.throughput_of("flowstats"))
+        by_wss[wss] = values
+
+    by_packet_size: dict[int, list[float]] = {}
+    for packet_size in PACKET_SIZES:
+        traffic = TrafficProfile(16_000, packet_size, 600.0)
+        solo = nic.run_solo(flowstats.demand(traffic)).throughput_mpps
+        values = []
+        for wss in WSS_SETTINGS_MB:
+            result = nic.run(
+                [flowstats.demand(traffic), mem_bench(_CAR, wss_mb=wss)]
+            )
+            values.append(result.throughput_of("flowstats") / solo)
+        by_packet_size[packet_size] = values
+    return Fig6Result(
+        flow_counts=flow_counts,
+        by_wss=by_wss,
+        by_packet_size=by_packet_size,
+    )

@@ -1,0 +1,29 @@
+"""Figure 7 / Figure 8 convenience aliases.
+
+Figure 7(a) is produced by :mod:`repro.experiments.table3_multi_resource`
+(its contention-level error split), Figure 7(b) by
+:mod:`repro.experiments.table5_traffic` (its deviation-range error
+split), and Figure 8 by :mod:`repro.experiments.table8_profiling` (its
+quota sweep). These thin wrappers exist so every figure number has a
+direct ``run()`` entry point.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table3_multi_resource, table5_traffic, table8_profiling
+from repro.experiments.common import EXPERIMENT_SEED
+
+
+def run_fig7a(scale: str = "default", seed: int = EXPERIMENT_SEED):
+    """Figure 7(a): error distribution vs regex contention level."""
+    return table3_multi_resource.run(scale=scale, seed=seed)
+
+
+def run_fig7b(scale: str = "default", seed: int = EXPERIMENT_SEED):
+    """Figure 7(b): error distribution vs traffic deviation."""
+    return table5_traffic.run(scale=scale, seed=seed)
+
+
+def run_fig8(scale: str = "default", seed: int = EXPERIMENT_SEED):
+    """Figure 8: prediction error vs profiling quota."""
+    return table8_profiling.run(scale=scale, seed=seed)

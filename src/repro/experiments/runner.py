@@ -1,0 +1,92 @@
+"""Run all (or selected) experiments and print their rendered tables.
+
+``python -m repro.experiments --scale default`` regenerates every table
+and figure; ``--only table2,fig4`` restricts the set. Output of the
+``full`` scale is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    fig1_contention_drop,
+    fig2_single_resource,
+    fig3_traffic_motivation,
+    fig4_regex_equilibrium,
+    fig5_execution_patterns,
+    fig6_traffic_attributes,
+    table2_overall_accuracy,
+    table3_multi_resource,
+    table4_composition,
+    table5_traffic,
+    table6_scheduling,
+    table7_diagnosis,
+    table8_profiling,
+    table9_pensando,
+)
+
+#: Experiment registry: id -> run() callable. Figure 7 is produced by
+#: the table3 (7a) and table5 (7b) modules; Figure 8 by table8.
+EXPERIMENTS: dict[str, Callable] = {
+    "fig1": fig1_contention_drop.run,
+    "fig2": fig2_single_resource.run,
+    "fig3": fig3_traffic_motivation.run,
+    "fig4": fig4_regex_equilibrium.run,
+    "fig5": fig5_execution_patterns.run,
+    "fig6": fig6_traffic_attributes.run,
+    "table2": table2_overall_accuracy.run,
+    "table3+fig7a": table3_multi_resource.run,
+    "table4": table4_composition.run,
+    "table5+fig7b": table5_traffic.run,
+    "table6": table6_scheduling.run,
+    "table7": table7_diagnosis.run,
+    "table8+fig8": table8_profiling.run,
+    "table9": table9_pensando.run,
+}
+
+
+def run_experiments(
+    names: list[str] | None = None, scale: str = "default"
+) -> dict[str, object]:
+    """Run the selected experiments and return their result objects."""
+    selected = names or list(EXPERIMENTS)
+    results = {}
+    for name in selected:
+        matches = [key for key in EXPERIMENTS if name in key.split("+") or key == name]
+        if not matches:
+            raise KeyError(f"unknown experiment {name!r}; known: {list(EXPERIMENTS)}")
+        for key in matches:
+            if key in results:
+                continue
+            start = time.time()
+            results[key] = EXPERIMENTS[key](scale=scale)
+            print(f"# {key} finished in {time.time() - start:.1f}s", file=sys.stderr)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", default="default", choices=("smoke", "default", "full")
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated experiment ids (e.g. table2,fig4)",
+    )
+    args = parser.parse_args(argv)
+    names = args.only.split(",") if args.only else None
+    results = run_experiments(names, scale=args.scale)
+    for key, result in results.items():
+        print()
+        print(f"=== {key} ===")
+        print(result.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

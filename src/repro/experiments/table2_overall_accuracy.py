@@ -1,0 +1,155 @@
+"""Table 2: overall prediction accuracy under multi-resource contention
+and varying traffic attributes.
+
+Every evaluation NF is co-located with up to three other NFs (sampled
+combinations) under several distinct traffic profiles; Yala and SLOMO
+predict the target's throughput, scored by MAPE / ±5% Acc. / ±10% Acc.
+against the simulator ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.predictor import CompetitorSpec
+from repro.errors import SimulationError
+from repro.experiments.common import (
+    EXPERIMENT_SEED,
+    evaluation_traffic_profiles,
+    fmt,
+    get_scale,
+    render_table,
+)
+from repro.experiments.context import get_context
+from repro.ml.metrics import mape, within_tolerance_accuracy
+from repro.nf.catalog import EVALUATION_NF_NAMES, make_nf
+from repro.nic.counters import PerfCounters
+from repro.rng import make_rng
+
+
+@dataclass
+class AccuracyRow:
+    """One NF's accuracy numbers for both predictors."""
+
+    nf_name: str
+    slomo_mape: float
+    slomo_acc5: float
+    slomo_acc10: float
+    yala_mape: float
+    yala_acc5: float
+    yala_acc10: float
+
+
+@dataclass
+class Table2Result:
+    """All rows plus aggregate means."""
+
+    rows: list[AccuracyRow]
+
+    @property
+    def mean_yala_mape(self) -> float:
+        return float(np.mean([r.yala_mape for r in self.rows]))
+
+    @property
+    def mean_slomo_mape(self) -> float:
+        return float(np.mean([r.slomo_mape for r in self.rows]))
+
+    @property
+    def improvement_pct(self) -> float:
+        """Relative MAPE reduction of Yala vs SLOMO, percent."""
+        if self.mean_slomo_mape == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.mean_yala_mape / self.mean_slomo_mape)
+
+    def render(self) -> str:
+        rows = [
+            [
+                r.nf_name,
+                fmt(r.slomo_mape), fmt(r.slomo_acc5), fmt(r.slomo_acc10),
+                fmt(r.yala_mape), fmt(r.yala_acc5), fmt(r.yala_acc10),
+            ]
+            for r in sorted(self.rows, key=lambda r: r.yala_mape)
+        ]
+        rows.append(
+            [
+                "MEAN",
+                fmt(self.mean_slomo_mape), "", "",
+                fmt(self.mean_yala_mape), "", "",
+            ]
+        )
+        return render_table(
+            [
+                "NF",
+                "SLOMO MAPE%", "SLOMO ±5%", "SLOMO ±10%",
+                "Yala MAPE%", "Yala ±5%", "Yala ±10%",
+            ],
+            rows,
+            title=(
+                "Table 2 — overall accuracy "
+                f"(Yala improves MAPE by {fmt(self.improvement_pct)}%)"
+            ),
+        )
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table2Result:
+    """Regenerate Table 2."""
+    resolved = get_scale(scale)
+    context = get_context(resolved)
+    yala = context.yala
+    collector = yala.collector
+    rng = make_rng(seed)
+    profiles = evaluation_traffic_profiles(resolved.traffic_profiles)
+
+    rows = []
+    for target_name in EVALUATION_NF_NAMES:
+        target = make_nf(target_name)
+        slomo = context.slomo_for(target_name)
+        truths, yala_preds, slomo_preds = [], [], []
+        for traffic in profiles:
+            for _ in range(resolved.combos_per_nf):
+                n_competitors = int(rng.integers(1, 4))
+                competitor_names = [
+                    str(rng.choice(EVALUATION_NF_NAMES))
+                    for _ in range(n_competitors)
+                ]
+                try:
+                    truth = collector.co_run_with(
+                        target,
+                        traffic,
+                        [(make_nf(c), traffic) for c in competitor_names],
+                    ).throughput_mpps
+                except SimulationError:
+                    continue
+                specs = [
+                    CompetitorSpec.nf(c, traffic) for c in competitor_names
+                ]
+                yala_pred = yala.predict(target_name, traffic, specs)
+                counters = PerfCounters.aggregate(
+                    [
+                        collector.solo(make_nf(c), traffic).counters
+                        for c in competitor_names
+                    ]
+                )
+                slomo_pred = slomo.predict(
+                    counters, traffic, n_competitors=len(competitor_names)
+                )
+                truths.append(truth)
+                yala_preds.append(yala_pred)
+                slomo_preds.append(slomo_pred)
+        truths_arr = np.array(truths)
+        yala_arr = np.array(yala_preds)
+        slomo_arr = np.array(slomo_preds)
+        rows.append(
+            AccuracyRow(
+                nf_name=target_name,
+                slomo_mape=mape(truths_arr, slomo_arr),
+                slomo_acc5=within_tolerance_accuracy(truths_arr, slomo_arr, 5.0),
+                slomo_acc10=within_tolerance_accuracy(truths_arr, slomo_arr, 10.0),
+                yala_mape=mape(truths_arr, yala_arr),
+                yala_acc5=within_tolerance_accuracy(truths_arr, yala_arr, 5.0),
+                yala_acc10=within_tolerance_accuracy(truths_arr, yala_arr, 10.0),
+            )
+        )
+    return Table2Result(rows=rows)

@@ -1,0 +1,142 @@
+"""Table 3 + Figure 7(a): multi-resource contention deep dive.
+
+NIDS and FlowMonitor (both regex users) co-run with mem-bench and
+regex-bench at varying contention levels under the *default* traffic
+profile, isolating the multi-resource modeling from traffic awareness.
+Figure 7(a) splits FlowMonitor's errors by regex contention level
+(low: bench MTBR <= 600, high: > 600).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.predictor import CompetitorSpec
+from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
+from repro.experiments.context import get_context
+from repro.ml.metrics import mape, within_tolerance_accuracy
+from repro.nf.catalog import make_nf
+from repro.profiling.contention import ContentionLevel
+from repro.rng import make_rng
+from repro.traffic.profile import TrafficProfile
+
+_TARGETS = ("nids", "flowmonitor")
+
+
+@dataclass
+class Table3Row:
+    nf_name: str
+    slomo_mape: float
+    slomo_acc5: float
+    slomo_acc10: float
+    yala_mape: float
+    yala_acc5: float
+    yala_acc10: float
+
+
+@dataclass
+class Table3Result:
+    rows: list[Table3Row]
+    fig7a_low: dict[str, list[float]]  # predictor -> errors, low contention
+    fig7a_high: dict[str, list[float]]
+
+    def render(self) -> str:
+        table_rows = [
+            [
+                r.nf_name,
+                fmt(r.slomo_mape), fmt(r.slomo_acc5), fmt(r.slomo_acc10),
+                fmt(r.yala_mape), fmt(r.yala_acc5), fmt(r.yala_acc10),
+            ]
+            for r in self.rows
+        ]
+        part_a = render_table(
+            [
+                "NF",
+                "SLOMO MAPE%", "SLOMO ±5%", "SLOMO ±10%",
+                "Yala MAPE%", "Yala ±5%", "Yala ±10%",
+            ],
+            table_rows,
+            title="Table 3 — multi-resource contention, fixed default traffic",
+        )
+        rows_b = []
+        for predictor in ("yala", "slomo"):
+            rows_b.append(
+                [
+                    predictor,
+                    fmt(float(np.median(self.fig7a_low[predictor]))),
+                    fmt(float(np.median(self.fig7a_high[predictor]))),
+                ]
+            )
+        part_b = render_table(
+            ["predictor", "median err % (low regex)", "median err % (high regex)"],
+            rows_b,
+            title="Figure 7(a) — FlowMonitor error vs regex contention level",
+        )
+        return part_a + "\n\n" + part_b
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table3Result:
+    """Regenerate Table 3 and Figure 7(a)."""
+    resolved = get_scale(scale)
+    context = get_context(resolved)
+    yala = context.yala
+    collector = yala.collector
+    rng = make_rng(seed)
+    traffic = TrafficProfile()
+
+    rows = []
+    fig7a_low: dict[str, list[float]] = {"yala": [], "slomo": []}
+    fig7a_high: dict[str, list[float]] = {"yala": [], "slomo": []}
+    n_points = max(resolved.combos_per_nf * 3, 9)
+    for target_name in _TARGETS:
+        target = make_nf(target_name)
+        slomo = context.slomo_for(target_name)
+        truths, yala_preds, slomo_preds, bench_mtbrs = [], [], [], []
+        for _ in range(n_points):
+            bench_mtbr = float(rng.uniform(100.0, 1100.0))
+            contention = ContentionLevel(
+                mem_car=float(rng.uniform(30.0, 250.0)),
+                mem_wss_mb=float(rng.uniform(2.0, 12.0)),
+                regex_rate=float(rng.uniform(0.2, 1.8)),
+                regex_mtbr=bench_mtbr,
+            )
+            truth = collector.profile_one(target, contention, traffic).throughput_mpps
+            yala_pred = yala.predict(
+                target_name, traffic, [CompetitorSpec.bench(contention)]
+            )
+            slomo_pred = slomo.predict(
+                collector.bench_counters(contention),
+                traffic,
+                n_competitors=contention.actor_count,
+            )
+            truths.append(truth)
+            yala_preds.append(yala_pred)
+            slomo_preds.append(slomo_pred)
+            bench_mtbrs.append(bench_mtbr)
+            if target_name == "flowmonitor":
+                bucket_y = fig7a_low if bench_mtbr <= 600.0 else fig7a_high
+                bucket_y["yala"].append(100.0 * abs(yala_pred - truth) / truth)
+                bucket_y["slomo"].append(100.0 * abs(slomo_pred - truth) / truth)
+        truths_arr = np.array(truths)
+        rows.append(
+            Table3Row(
+                nf_name=target_name,
+                slomo_mape=mape(truths_arr, np.array(slomo_preds)),
+                slomo_acc5=within_tolerance_accuracy(
+                    truths_arr, np.array(slomo_preds), 5.0
+                ),
+                slomo_acc10=within_tolerance_accuracy(
+                    truths_arr, np.array(slomo_preds), 10.0
+                ),
+                yala_mape=mape(truths_arr, np.array(yala_preds)),
+                yala_acc5=within_tolerance_accuracy(
+                    truths_arr, np.array(yala_preds), 5.0
+                ),
+                yala_acc10=within_tolerance_accuracy(
+                    truths_arr, np.array(yala_preds), 10.0
+                ),
+            )
+        )
+    return Table3Result(rows=rows, fig7a_low=fig7a_low, fig7a_high=fig7a_high)

@@ -1,0 +1,121 @@
+"""Table 4: composition approaches vs execution patterns.
+
+The synthetic NFs NF1 (memory + regex) and NF2 (memory + regex +
+compression), each in a pipeline and a run-to-completion variant, are
+predicted under multi-resource bench contention with three composition
+rules over identical per-resource models: naive sum, naive min, and
+Yala's execution-pattern-based choice (Eq. 2 / Eq. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baselines import compose_min, compose_sum
+from repro.core.composition import compose
+from repro.core.predictor import YalaPredictor
+from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
+from repro.experiments.context import get_context
+from repro.nf.synthetic import nf1, nf2
+from repro.nic.workload import ExecutionPattern
+from repro.profiling.contention import ContentionLevel
+from repro.rng import derive_seed, make_rng
+from repro.traffic.profile import TrafficProfile
+
+
+@dataclass
+class Table4Row:
+    nf_label: str
+    pattern: str
+    sum_mape: float
+    min_mape: float
+    yala_mape: float
+
+
+@dataclass
+class Table4Result:
+    rows: list[Table4Row]
+
+    def render(self) -> str:
+        table_rows = [
+            [r.nf_label, r.pattern, fmt(r.sum_mape), fmt(r.min_mape), fmt(r.yala_mape)]
+            for r in self.rows
+        ]
+        return render_table(
+            ["NF", "pattern", "sum MAPE%", "min MAPE%", "Yala MAPE%"],
+            table_rows,
+            title="Table 4 — composition approaches across execution patterns",
+        )
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table4Result:
+    """Regenerate Table 4."""
+    resolved = get_scale(scale)
+    context = get_context(resolved)
+    collector = context.yala.collector
+    rng = make_rng(seed)
+    traffic = TrafficProfile()
+    n_points = max(resolved.combos_per_nf * 2, 6)
+
+    rows = []
+    for label, builder in (("NF1", nf1), ("NF2", nf2)):
+        for pattern in (ExecutionPattern.PIPELINE, ExecutionPattern.RUN_TO_COMPLETION):
+            nf = builder(pattern)
+            predictor = YalaPredictor(
+                nf, collector, seed=derive_seed(seed, "table4", label, pattern.value)
+            )
+            predictor.train(
+                quota=max(resolved.quota // 2, 100), detect_pattern=True
+            )
+            solo = collector.solo(nf, traffic).throughput_mpps
+            sums, mins, yalas = [], [], []
+            for _ in range(n_points):
+                contention = ContentionLevel(
+                    mem_car=float(rng.uniform(40.0, 250.0)),
+                    mem_wss_mb=float(rng.uniform(2.0, 12.0)),
+                    regex_rate=float(rng.uniform(0.2, 1.6)),
+                    regex_mtbr=float(rng.uniform(200.0, 1000.0)),
+                    compression_rate=(
+                        float(rng.uniform(0.2, 1.2)) if label == "NF2" else 0.0
+                    ),
+                )
+                truth = collector.profile_one(nf, contention, traffic).throughput_mpps
+                counters = collector.bench_counters(contention)
+                per_resource = [
+                    predictor.memory_model.predict(
+                        counters, traffic, contention.actor_count
+                    )
+                ]
+                for accelerator in predictor.accel_models:
+                    share = predictor._bench_share(accelerator, contention)
+                    per_resource.append(
+                        predictor._accelerator_throughput(
+                            accelerator,
+                            traffic,
+                            [share] if share else [],
+                            solo,
+                        )
+                    )
+                sums.append(
+                    100.0 * abs(compose_sum(solo, per_resource) - truth) / truth
+                )
+                mins.append(
+                    100.0 * abs(compose_min(solo, per_resource) - truth) / truth
+                )
+                yalas.append(
+                    100.0
+                    * abs(compose(predictor.pattern, solo, per_resource) - truth)
+                    / truth
+                )
+            rows.append(
+                Table4Row(
+                    nf_label=label,
+                    pattern=pattern.value,
+                    sum_mape=float(np.mean(sums)),
+                    min_mape=float(np.mean(mins)),
+                    yala_mape=float(np.mean(yalas)),
+                )
+            )
+    return Table4Result(rows=rows)

@@ -1,0 +1,170 @@
+"""Table 5 + Figure 7(b): traffic-awareness deep dive.
+
+Traffic-sensitive NFs co-run with mem-bench only (memory contention,
+the setting SLOMO was built for) while traffic profiles are drawn
+randomly; Yala's traffic-aware models are compared against SLOMO with
+sensitivity extrapolation. Figure 7(b) splits errors on the flow-count
+deviation between training and testing: low (<= 20%) vs high (> 20%),
+and additionally reports SLOMO without extrapolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.predictor import CompetitorSpec
+from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
+from repro.experiments.context import get_context
+from repro.ml.metrics import mape, within_tolerance_accuracy
+from repro.nf.catalog import make_nf
+from repro.profiling.contention import ContentionLevel
+from repro.rng import make_rng
+from repro.traffic.profile import TrafficProfile
+
+#: The traffic-sensitive NFs of Table 5.
+TABLE5_NFS: tuple[str, ...] = (
+    "nids",
+    "flowclassifier",
+    "nat",
+    "flowtracker",
+    "flowstats",
+    "flowmonitor",
+    "iptunnel",
+)
+
+
+@dataclass
+class Table5Row:
+    nf_name: str
+    slomo_mape: float
+    slomo_acc5: float
+    slomo_acc10: float
+    yala_mape: float
+    yala_acc5: float
+    yala_acc10: float
+
+
+@dataclass
+class Table5Result:
+    rows: list[Table5Row]
+    fig7b: dict[tuple[str, str], list[float]]  # (predictor, range) -> errors
+
+    def render(self) -> str:
+        table_rows = [
+            [
+                r.nf_name,
+                fmt(r.slomo_mape), fmt(r.slomo_acc5), fmt(r.slomo_acc10),
+                fmt(r.yala_mape), fmt(r.yala_acc5), fmt(r.yala_acc10),
+            ]
+            for r in sorted(self.rows, key=lambda r: r.yala_mape)
+        ]
+        part_a = render_table(
+            [
+                "NF",
+                "SLOMO MAPE%", "SLOMO ±5%", "SLOMO ±10%",
+                "Yala MAPE%", "Yala ±5%", "Yala ±10%",
+            ],
+            table_rows,
+            title="Table 5 — memory-only contention, dynamic traffic profiles",
+        )
+        rows_b = []
+        for predictor in ("yala", "slomo", "slomo-no-extrapolation"):
+            low = self.fig7b.get((predictor, "low"), [])
+            high = self.fig7b.get((predictor, "high"), [])
+            rows_b.append(
+                [
+                    predictor,
+                    fmt(float(np.median(low))) if low else "-",
+                    fmt(float(np.median(high))) if high else "-",
+                ]
+            )
+        part_b = render_table(
+            ["predictor", "median err % (low dev.)", "median err % (high dev.)"],
+            rows_b,
+            title="Figure 7(b) — error vs flow-count deviation from training",
+        )
+        return part_a + "\n\n" + part_b
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table5Result:
+    """Regenerate Table 5 and Figure 7(b)."""
+    resolved = get_scale(scale)
+    context = get_context(resolved)
+    yala = context.yala
+    collector = yala.collector
+    rng = make_rng(seed)
+
+    rows = []
+    fig7b: dict[tuple[str, str], list[float]] = {}
+    for target_name in TABLE5_NFS:
+        target = make_nf(target_name)
+        slomo = context.slomo_for(target_name)
+        train_flows = slomo.train_traffic.flow_count
+        truths, yala_preds, slomo_preds = [], [], []
+        for index in range(resolved.random_profiles):
+            # A third of the profiles stay within ±20% of the training
+            # flow count (Fig. 7b's "low deviation" range); the rest
+            # roam the full space up to 500K flows.
+            if index % 3 == 0:
+                flows = int(train_flows * rng.uniform(0.8, 1.2))
+            else:
+                flows = int(rng.uniform(1_000, 500_000))
+            traffic = TrafficProfile(
+                flows,
+                int(rng.uniform(64, 1500)),
+                float(rng.uniform(0.0, 1100.0)),
+            )
+            contention = ContentionLevel(
+                mem_car=float(rng.uniform(30.0, 250.0)),
+                mem_wss_mb=float(rng.uniform(2.0, 12.0)),
+            )
+            truth = collector.profile_one(target, contention, traffic).throughput_mpps
+            counters = collector.bench_counters(contention)
+            yala_pred = yala.predict(
+                target_name, traffic, [CompetitorSpec.bench(contention)]
+            )
+            slomo_pred = slomo.predict(
+                counters, traffic, n_competitors=contention.actor_count
+            )
+            truths.append(truth)
+            yala_preds.append(yala_pred)
+            slomo_preds.append(slomo_pred)
+
+            deviation = abs(traffic.flow_count - train_flows) / train_flows
+            bucket = "low" if deviation <= 0.2 else "high"
+            fig7b.setdefault(("yala", bucket), []).append(
+                100.0 * abs(yala_pred - truth) / truth
+            )
+            fig7b.setdefault(("slomo", bucket), []).append(
+                100.0 * abs(slomo_pred - truth) / truth
+            )
+            raw = slomo.predict(
+                counters, traffic, extrapolate=False,
+                n_competitors=contention.actor_count,
+            )
+            fig7b.setdefault(("slomo-no-extrapolation", bucket), []).append(
+                100.0 * abs(raw - truth) / truth
+            )
+        truths_arr = np.array(truths)
+        rows.append(
+            Table5Row(
+                nf_name=target_name,
+                slomo_mape=mape(truths_arr, np.array(slomo_preds)),
+                slomo_acc5=within_tolerance_accuracy(
+                    truths_arr, np.array(slomo_preds), 5.0
+                ),
+                slomo_acc10=within_tolerance_accuracy(
+                    truths_arr, np.array(slomo_preds), 10.0
+                ),
+                yala_mape=mape(truths_arr, np.array(yala_preds)),
+                yala_acc5=within_tolerance_accuracy(
+                    truths_arr, np.array(yala_preds), 5.0
+                ),
+                yala_acc10=within_tolerance_accuracy(
+                    truths_arr, np.array(yala_preds), 10.0
+                ),
+            )
+        )
+    return Table5Result(rows=rows, fig7b=fig7b)

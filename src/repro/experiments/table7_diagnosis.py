@@ -1,0 +1,73 @@
+"""Table 7: bottleneck diagnosis use case.
+
+FlowStats, FlowMonitor and IPComp Gateway co-run with mem-bench and
+regex-bench while the traffic MTBR sweeps from 0 to 1100 matches/MB
+(memory contention fixed). Ground truth comes from the simulator's
+hotspot report; Yala answers with the resource whose per-resource
+predicted throughput is lowest, SLOMO can only ever answer "memory".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.predictor import YalaPredictor
+from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
+from repro.experiments.context import get_context
+from repro.nf.catalog import make_nf
+from repro.profiling.contention import ContentionLevel
+from repro.rng import derive_seed
+from repro.usecases.diagnosis import BottleneckDiagnoser, DiagnosisOutcome
+
+#: NFs diagnosed in Table 7.
+TABLE7_NFS: tuple[str, ...] = ("flowstats", "flowmonitor", "ipcomp")
+
+#: Fixed memory contention during the MTBR sweep, and the regex-bench
+#: rate — chosen so the true bottleneck shifts across the sweep
+#: (memory/compression at low MTBR, regex at high MTBR).
+_MEMORY = ContentionLevel(mem_car=240.0, mem_wss_mb=10.0)
+_REGEX_RATE = 0.8
+
+
+@dataclass
+class Table7Result:
+    outcomes: dict[str, DiagnosisOutcome]
+
+    def render(self) -> str:
+        rows = [
+            [name, fmt(outcome.slomo_pct), fmt(outcome.yala_pct)]
+            for name, outcome in self.outcomes.items()
+        ]
+        return render_table(
+            ["NF", "SLOMO correct %", "Yala correct %"],
+            rows,
+            title="Table 7 — bottleneck identification correctness",
+        )
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table7Result:
+    """Regenerate Table 7."""
+    resolved = get_scale(scale)
+    context = get_context(resolved)
+    collector = context.yala.collector
+    mtbr_values = list(np.linspace(0.0, 1100.0, max(resolved.sweep_points, 5)))
+
+    outcomes: dict[str, DiagnosisOutcome] = {}
+    for nf_name in TABLE7_NFS:
+        nf = make_nf(nf_name)
+        if nf_name in context.yala.trained_names:
+            predictor = context.yala.predictor_of(nf_name)
+        else:
+            # IPComp Gateway is not in the Table 2 training set; train a
+            # standalone predictor for it.
+            predictor = YalaPredictor(
+                nf, collector, seed=derive_seed(seed, "table7", nf_name)
+            )
+            predictor.train(quota=resolved.quota)
+        diagnoser = BottleneckDiagnoser(collector, predictor)
+        outcomes[nf_name] = diagnoser.sweep(
+            nf, mtbr_values, memory_contention=_MEMORY, regex_rate=_REGEX_RATE
+        )
+    return Table7Result(outcomes=outcomes)

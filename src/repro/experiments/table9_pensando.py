@@ -1,0 +1,101 @@
+"""Table 9: generalisation to a second SoC SmartNIC (Pensando).
+
+A Firewall NF (hardware flow-table walk) runs on the Pensando NIC
+profile under memory contention and dynamic traffic; Yala and SLOMO are
+trained and evaluated exactly as on BlueField-2. The same model family
+must transfer because the architectural style (shared memory subsystem,
+RR-queue accelerators) is the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.slomo import SlomoPredictor
+from repro.core.predictor import YalaPredictor
+from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
+from repro.ml.metrics import mape, within_tolerance_accuracy
+from repro.nf.catalog import make_nf
+from repro.nic.nic import SmartNic
+from repro.nic.spec import pensando_spec
+from repro.profiling.collector import ProfilingCollector
+from repro.profiling.contention import ContentionLevel
+from repro.rng import derive_seed, make_rng
+from repro.traffic.profile import TrafficProfile
+
+
+@dataclass
+class Table9Result:
+    slomo_mape: float
+    slomo_acc5: float
+    slomo_acc10: float
+    yala_mape: float
+    yala_acc5: float
+    yala_acc10: float
+
+    def render(self) -> str:
+        return render_table(
+            [
+                "NF",
+                "SLOMO MAPE%", "SLOMO ±5%", "SLOMO ±10%",
+                "Yala MAPE%", "Yala ±5%", "Yala ±10%",
+            ],
+            [
+                [
+                    "firewall (Pensando)",
+                    fmt(self.slomo_mape), fmt(self.slomo_acc5), fmt(self.slomo_acc10),
+                    fmt(self.yala_mape), fmt(self.yala_acc5), fmt(self.yala_acc10),
+                ]
+            ],
+            title="Table 9 — generalisation to the Pensando SmartNIC",
+        )
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table9Result:
+    """Regenerate Table 9."""
+    resolved = get_scale(scale)
+    nic = SmartNic(pensando_spec(), seed=derive_seed(seed, "pensando"))
+    collector = ProfilingCollector(nic)
+    firewall = make_nf("firewall")
+    rng = make_rng(seed)
+
+    yala = YalaPredictor(firewall, collector, seed=derive_seed(seed, "t9-yala"))
+    yala.train(quota=resolved.quota)
+    slomo = SlomoPredictor("firewall", seed=derive_seed(seed, "t9-slomo"))
+    slomo.train(collector, firewall, n_samples=resolved.slomo_samples)
+
+    truths, yala_preds, slomo_preds = [], [], []
+    for _ in range(resolved.random_profiles):
+        traffic = TrafficProfile(
+            int(rng.uniform(1_000, 500_000)), int(rng.uniform(64, 1500)), 600.0
+        )
+        contention = ContentionLevel(
+            mem_car=float(rng.uniform(30.0, 250.0)),
+            mem_wss_mb=float(rng.uniform(2.0, 12.0)),
+        )
+        truth = collector.profile_one(firewall, contention, traffic).throughput_mpps
+        counters = collector.bench_counters(contention)
+        truths.append(truth)
+        yala_preds.append(
+            yala.predict(traffic, [__bench_spec(contention)])
+        )
+        slomo_preds.append(
+            slomo.predict(counters, traffic, n_competitors=contention.actor_count)
+        )
+    truths_arr = np.array(truths)
+    return Table9Result(
+        slomo_mape=mape(truths_arr, np.array(slomo_preds)),
+        slomo_acc5=within_tolerance_accuracy(truths_arr, np.array(slomo_preds), 5.0),
+        slomo_acc10=within_tolerance_accuracy(truths_arr, np.array(slomo_preds), 10.0),
+        yala_mape=mape(truths_arr, np.array(yala_preds)),
+        yala_acc5=within_tolerance_accuracy(truths_arr, np.array(yala_preds), 5.0),
+        yala_acc10=within_tolerance_accuracy(truths_arr, np.array(yala_preds), 10.0),
+    )
+
+
+def __bench_spec(contention: ContentionLevel):
+    from repro.core.predictor import CompetitorSpec
+
+    return CompetitorSpec.bench(contention)

@@ -1,0 +1,49 @@
+"""From-scratch machine-learning substrate.
+
+The paper trains its models with scikit-learn (gradient boosting
+regression for the memory subsystem, linear regression for the
+accelerator parameters). scikit-learn is not available in this
+environment, so this subpackage provides numpy-only implementations with
+a compatible ``fit``/``predict`` surface:
+
+- :class:`~repro.ml.tree.DecisionTreeRegressor` — CART with variance
+  reduction splits,
+- :class:`~repro.ml.gbr.GradientBoostingRegressor` — least-squares
+  gradient boosting over the CART trees,
+- :class:`~repro.ml.linear.LinearRegression` /
+  :class:`~repro.ml.linear.RidgeRegression` — closed-form least squares,
+- metrics (:func:`~repro.ml.metrics.mape`,
+  :func:`~repro.ml.metrics.within_tolerance_accuracy`, ...),
+- :func:`~repro.ml.model_selection.train_test_split` and K-fold CV,
+- :class:`~repro.ml.preprocessing.StandardScaler`.
+"""
+
+from repro.ml.gbr import GradientBoostingRegressor
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.metrics import (
+    mae,
+    mape,
+    mean_absolute_percentage_error,
+    r2_score,
+    rmse,
+    within_tolerance_accuracy,
+)
+from repro.ml.model_selection import KFold, train_test_split
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "GradientBoostingRegressor",
+    "KFold",
+    "LinearRegression",
+    "RidgeRegression",
+    "StandardScaler",
+    "mae",
+    "mape",
+    "mean_absolute_percentage_error",
+    "r2_score",
+    "rmse",
+    "train_test_split",
+    "within_tolerance_accuracy",
+]

@@ -1,0 +1,198 @@
+"""Least-squares gradient boosting over CART regression trees.
+
+This mirrors the configuration SLOMO and Yala use from scikit-learn's
+``GradientBoostingRegressor``: shallow trees fitted to residuals with a
+shrinkage factor, optional row subsampling (stochastic gradient
+boosting), and optional early stopping on a validation fraction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ModelNotFittedError
+from repro.ml.tree import DecisionTreeRegressor
+from repro.rng import SeedLike, make_rng
+
+
+class GradientBoostingRegressor:
+    """Gradient-boosted regression trees with squared-error loss.
+
+    Parameters
+    ----------
+    n_estimators:
+        Maximum number of boosting stages.
+    learning_rate:
+        Shrinkage applied to each stage's contribution.
+    max_depth:
+        Depth of the individual regression trees.
+    subsample:
+        Fraction of rows sampled (without replacement) per stage; 1.0
+        disables stochastic boosting.
+    min_samples_leaf:
+        Minimum samples per tree leaf.
+    n_iter_no_change / validation_fraction / tol:
+        If ``n_iter_no_change`` is set, a validation split of
+        ``validation_fraction`` rows is held out and boosting stops when
+        the validation loss fails to improve by ``tol`` for that many
+        consecutive stages.
+    seed:
+        Seed for subsampling and the validation split.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 200,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        subsample: float = 1.0,
+        min_samples_leaf: int = 1,
+        n_iter_no_change: Optional[int] = None,
+        validation_fraction: float = 0.1,
+        tol: float = 1e-4,
+        seed: SeedLike = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ConfigurationError(f"n_estimators must be >= 1, got {n_estimators}")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ConfigurationError(
+                f"learning_rate must be in (0, 1], got {learning_rate}"
+            )
+        if not 0.0 < subsample <= 1.0:
+            raise ConfigurationError(f"subsample must be in (0, 1], got {subsample}")
+        if not 0.0 < validation_fraction < 1.0:
+            raise ConfigurationError(
+                f"validation_fraction must be in (0, 1), got {validation_fraction}"
+            )
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.subsample = subsample
+        self.min_samples_leaf = min_samples_leaf
+        self.n_iter_no_change = n_iter_no_change
+        self.validation_fraction = validation_fraction
+        self.tol = tol
+        self._rng = make_rng(seed)
+        self._base_prediction = 0.0
+        self._trees: list[DecisionTreeRegressor] = []
+        self._train_losses: list[float] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(
+        self, features: np.ndarray, targets: np.ndarray
+    ) -> "GradientBoostingRegressor":
+        """Fit the ensemble on ``features`` (n, d), ``targets`` (n,)."""
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2:
+            raise ConfigurationError("features must be 2-D")
+        if targets.shape != (features.shape[0],):
+            raise ConfigurationError("targets shape must match features rows")
+        n = features.shape[0]
+        if n < 2:
+            raise ConfigurationError("need at least 2 samples to boost")
+
+        # Optional validation split for early stopping.
+        if self.n_iter_no_change is not None and n >= 10:
+            permutation = self._rng.permutation(n)
+            n_val = max(1, int(round(self.validation_fraction * n)))
+            val_idx, train_idx = permutation[:n_val], permutation[n_val:]
+        else:
+            train_idx = np.arange(n)
+            val_idx = np.empty(0, dtype=int)
+
+        x_train, y_train = features[train_idx], targets[train_idx]
+        x_val, y_val = features[val_idx], targets[val_idx]
+
+        self._base_prediction = float(y_train.mean())
+        self._trees = []
+        self._train_losses = []
+        current = np.full(x_train.shape[0], self._base_prediction)
+        current_val = np.full(x_val.shape[0], self._base_prediction)
+
+        best_val_loss = np.inf
+        stall = 0
+        n_rows = x_train.shape[0]
+        sample_size = max(2, int(round(self.subsample * n_rows)))
+
+        for _ in range(self.n_estimators):
+            residual = y_train - current
+            if self.subsample < 1.0:
+                rows = self._rng.choice(n_rows, size=sample_size, replace=False)
+            else:
+                rows = np.arange(n_rows)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                seed=self._rng,
+            )
+            tree.fit(x_train[rows], residual[rows])
+            self._trees.append(tree)
+            current = current + self.learning_rate * tree.predict(x_train)
+            self._train_losses.append(float(np.mean((y_train - current) ** 2)))
+
+            if self.n_iter_no_change is not None and val_idx.size:
+                current_val = current_val + self.learning_rate * tree.predict(x_val)
+                val_loss = float(np.mean((y_val - current_val) ** 2))
+                if val_loss < best_val_loss - self.tol:
+                    best_val_loss = val_loss
+                    stall = 0
+                else:
+                    stall += 1
+                    if stall >= self.n_iter_no_change:
+                        break
+
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for ``features`` (n, d) -> (n,)."""
+        if not self._fitted:
+            raise ModelNotFittedError("GradientBoostingRegressor.predict before fit")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        prediction = np.full(features.shape[0], self._base_prediction)
+        for tree in self._trees:
+            prediction += self.learning_rate * tree.predict(features)
+        return prediction
+
+    @property
+    def n_stages(self) -> int:
+        """Number of boosting stages actually fitted."""
+        return len(self._trees)
+
+    @property
+    def train_losses(self) -> list[float]:
+        """Training MSE after each boosting stage."""
+        return list(self._train_losses)
+
+    def staged_predict(self, features: np.ndarray, every: int = 1) -> np.ndarray:
+        """Predictions after every ``every`` stages, shape (s, n).
+
+        Useful for inspecting convergence of the boosting process.
+        """
+        if not self._fitted:
+            raise ModelNotFittedError("staged_predict before fit")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        prediction = np.full(features.shape[0], self._base_prediction)
+        stages = []
+        for i, tree in enumerate(self._trees):
+            prediction = prediction + self.learning_rate * tree.predict(features)
+            if (i + 1) % every == 0:
+                stages.append(prediction.copy())
+        if not stages:
+            stages.append(prediction.copy())
+        return np.array(stages)
+
+    def feature_importances(self, n_features: int) -> np.ndarray:
+        """Average split-count importances across all trees."""
+        if not self._trees:
+            return np.zeros(n_features)
+        total = np.zeros(n_features)
+        for tree in self._trees:
+            total += tree.feature_importances(n_features)
+        norm = total.sum()
+        return total / norm if norm > 0 else total

@@ -1,0 +1,77 @@
+"""Closed-form linear models.
+
+Yala fits the accelerator request-time law ``t(m) = t0 + a * m`` (paper
+Eq. 4 parameters) by ordinary least squares; ridge regression is provided
+for numerically difficult fits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ModelNotFittedError
+
+
+class LinearRegression:
+    """Ordinary least-squares regression with optional intercept."""
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearRegression":
+        """Fit on ``features`` (n, d) and ``targets`` (n,)."""
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        targets = np.asarray(targets, dtype=float)
+        if features.shape[0] != targets.shape[0]:
+            raise ConfigurationError("features and targets row counts differ")
+        design = self._design(features)
+        solution, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        self._unpack(solution)
+        return self
+
+    def _design(self, features: np.ndarray) -> np.ndarray:
+        if self.fit_intercept:
+            ones = np.ones((features.shape[0], 1))
+            return np.hstack([ones, features])
+        return features
+
+    def _unpack(self, solution: np.ndarray) -> None:
+        if self.fit_intercept:
+            self.intercept_ = float(solution[0])
+            self.coef_ = solution[1:]
+        else:
+            self.intercept_ = 0.0
+            self.coef_ = solution
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for ``features`` (n, d) -> (n,)."""
+        if self.coef_ is None:
+            raise ModelNotFittedError("LinearRegression.predict before fit")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return features @ self.coef_ + self.intercept_
+
+
+class RidgeRegression(LinearRegression):
+    """L2-regularised least squares (does not penalise the intercept)."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        if alpha < 0:
+            raise ConfigurationError(f"alpha must be >= 0, got {alpha}")
+        super().__init__(fit_intercept=fit_intercept)
+        self.alpha = alpha
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeRegression":
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        targets = np.asarray(targets, dtype=float)
+        if features.shape[0] != targets.shape[0]:
+            raise ConfigurationError("features and targets row counts differ")
+        design = self._design(features)
+        penalty = self.alpha * np.eye(design.shape[1])
+        if self.fit_intercept:
+            penalty[0, 0] = 0.0
+        gram = design.T @ design + penalty
+        solution = np.linalg.solve(gram, design.T @ targets)
+        self._unpack(solution)
+        return self

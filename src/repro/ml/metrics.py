@@ -1,0 +1,97 @@
+"""Regression metrics used throughout the evaluation.
+
+The paper reports mean absolute percentage error (MAPE) as the headline
+accuracy metric, plus the fraction of predictions landing within +/-5%
+and +/-10% of the truth ("±5% Acc." / "±10% Acc." in Tables 2-9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ConfigurationError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ConfigurationError("metrics need at least one sample")
+    return y_true, y_pred
+
+
+def absolute_percentage_errors(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """Per-sample absolute percentage errors, in percent."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if np.any(y_true == 0):
+        raise ConfigurationError("percentage error undefined for zero truth")
+    return 100.0 * np.abs((y_pred - y_true) / y_true)
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute percentage error, in percent."""
+    return float(absolute_percentage_errors(y_true, y_pred).mean())
+
+
+#: Long-form alias matching the scikit-learn name.
+mean_absolute_percentage_error = mape
+
+
+def within_tolerance_accuracy(
+    y_true: np.ndarray, y_pred: np.ndarray, tolerance_pct: float
+) -> float:
+    """Percentage of predictions within ``tolerance_pct``% of the truth.
+
+    ``within_tolerance_accuracy(t, p, 5.0)`` is the paper's "±5% Acc.".
+    """
+    if tolerance_pct <= 0:
+        raise ConfigurationError("tolerance_pct must be positive")
+    errors = absolute_percentage_errors(y_true, y_pred)
+    return float(100.0 * np.mean(errors <= tolerance_pct))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination; 1.0 is perfect, 0.0 is mean-only."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def error_box_stats(errors: np.ndarray) -> dict[str, float]:
+    """Box-plot summary (median, quartiles, whiskers, max) of errors.
+
+    Used to report the box-and-whisker style numbers from Figures 2, 3
+    and 7 of the paper.
+    """
+    errors = np.asarray(errors, dtype=float).ravel()
+    if errors.size == 0:
+        raise ConfigurationError("error_box_stats needs at least one sample")
+    q1, median, q3 = np.percentile(errors, [25, 50, 75])
+    return {
+        "min": float(errors.min()),
+        "q1": float(q1),
+        "median": float(median),
+        "q3": float(q3),
+        "p95": float(np.percentile(errors, 95)),
+        "max": float(errors.max()),
+        "mean": float(errors.mean()),
+    }

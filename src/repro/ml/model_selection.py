@@ -1,0 +1,66 @@
+"""Dataset splitting utilities (train/test split and K-fold CV)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+
+
+def train_test_split(
+    features: np.ndarray,
+    targets: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: SeedLike = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into (x_train, x_test, y_train, y_test).
+
+    Mirrors the paper's 80/20 split for full-profiling evaluation
+    (Table 8 uses 80% of profiled data for training, 20% for testing).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigurationError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    features = np.asarray(features, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if features.shape[0] != targets.shape[0]:
+        raise ConfigurationError("features and targets row counts differ")
+    n = features.shape[0]
+    if n < 2:
+        raise ConfigurationError("need at least 2 samples to split")
+    rng = make_rng(seed)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(test_fraction * n)))
+    n_test = min(n_test, n - 1)
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return features[train_idx], features[test_idx], targets[train_idx], targets[test_idx]
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, seed: SeedLike = None):
+        if n_splits < 2:
+            raise ConfigurationError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self._rng = make_rng(seed)
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_index, test_index) pairs over ``n_samples`` rows."""
+        if n_samples < self.n_splits:
+            raise ConfigurationError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        index = np.arange(n_samples)
+        if self.shuffle:
+            index = self._rng.permutation(n_samples)
+        folds = np.array_split(index, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train_idx, test_idx

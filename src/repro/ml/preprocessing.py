@@ -1,0 +1,44 @@
+"""Feature preprocessing helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ModelNotFittedError
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance feature scaling.
+
+    Constant columns are left unscaled (divisor forced to 1) so that
+    degenerate profiling datasets do not produce NaNs.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        if features.shape[0] == 0:
+            raise ConfigurationError("cannot fit scaler on zero samples")
+        self.mean_ = features.mean(axis=0)
+        std = features.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise ModelNotFittedError("StandardScaler.transform before fit")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return (features - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise ModelNotFittedError("StandardScaler.inverse_transform before fit")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return features * self.scale_ + self.mean_

@@ -1,0 +1,270 @@
+"""CART regression trees.
+
+A minimal but correct implementation of the classification-and-regression
+tree algorithm restricted to regression: splits minimise the weighted sum
+of child variances (equivalently maximise variance reduction), leaves
+predict the mean of their training targets.
+
+The tree is stored in flat parallel arrays rather than node objects,
+which keeps prediction vectorisable and the memory footprint small even
+for the hundreds of trees a boosting ensemble builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ModelNotFittedError
+from repro.rng import SeedLike, make_rng
+
+_NO_CHILD = -1
+
+
+@dataclass
+class _Split:
+    """Best split found for one node during tree growth."""
+
+    feature: int
+    threshold: float
+    gain: float
+    left_index: np.ndarray
+    right_index: np.ndarray
+
+
+class DecisionTreeRegressor:
+    """Regression tree grown greedily by variance reduction.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; the root is depth 0. ``None`` grows until
+        leaves are pure or smaller than ``min_samples_split``.
+    min_samples_split:
+        Minimum number of samples a node needs to be considered for a
+        split.
+    min_samples_leaf:
+        Minimum number of samples each child must retain.
+    max_features:
+        Number of features examined per split. ``None`` uses all
+        features; a float in (0, 1] uses that fraction; an int uses that
+        count. Sub-sampling features decorrelates trees in ensembles.
+    seed:
+        Seed for feature sub-sampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[float | int] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if max_depth is not None and max_depth < 0:
+            raise ConfigurationError(f"max_depth must be >= 0, got {max_depth}")
+        if min_samples_split < 2:
+            raise ConfigurationError(
+                f"min_samples_split must be >= 2, got {min_samples_split}"
+            )
+        if min_samples_leaf < 1:
+            raise ConfigurationError(
+                f"min_samples_leaf must be >= 1, got {min_samples_leaf}"
+            )
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = make_rng(seed)
+        # Flat tree arrays, filled by fit().
+        self._feature: list[int] = []
+        self._threshold: list[float] = []
+        self._left: list[int] = []
+        self._right: list[int] = []
+        self._value: list[float] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        """Grow the tree on ``features`` (n, d) and ``targets`` (n,)."""
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2:
+            raise ConfigurationError("features must be a 2-D array")
+        if targets.ndim != 1 or targets.shape[0] != features.shape[0]:
+            raise ConfigurationError("targets must be 1-D and match features rows")
+        if features.shape[0] == 0:
+            raise ConfigurationError("cannot fit a tree on zero samples")
+
+        self._feature, self._threshold = [], []
+        self._left, self._right, self._value = [], [], []
+        index = np.arange(features.shape[0])
+        self._grow(features, targets, index, depth=0)
+        self._fitted = True
+        return self
+
+    def _grow(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        index: np.ndarray,
+        depth: int,
+    ) -> int:
+        """Recursively grow a node over ``index``; return its node id."""
+        node = len(self._value)
+        self._feature.append(_NO_CHILD)
+        self._threshold.append(0.0)
+        self._left.append(_NO_CHILD)
+        self._right.append(_NO_CHILD)
+        self._value.append(float(targets[index].mean()))
+
+        if self.max_depth is not None and depth >= self.max_depth:
+            return node
+        if index.size < self.min_samples_split:
+            return node
+        split = self._best_split(features, targets, index)
+        if split is None:
+            return node
+
+        self._feature[node] = split.feature
+        self._threshold[node] = split.threshold
+        self._left[node] = self._grow(features, targets, split.left_index, depth + 1)
+        self._right[node] = self._grow(features, targets, split.right_index, depth + 1)
+        return node
+
+    def _candidate_features(self, n_features: int) -> np.ndarray:
+        """Choose the feature subset examined for one split."""
+        if self.max_features is None:
+            return np.arange(n_features)
+        if isinstance(self.max_features, float):
+            count = max(1, int(round(self.max_features * n_features)))
+        else:
+            count = max(1, min(int(self.max_features), n_features))
+        return self._rng.choice(n_features, size=count, replace=False)
+
+    def _best_split(
+        self, features: np.ndarray, targets: np.ndarray, index: np.ndarray
+    ) -> Optional[_Split]:
+        """Find the variance-minimising split over ``index`` or ``None``."""
+        node_targets = targets[index]
+        if np.allclose(node_targets, node_targets[0]):
+            return None
+        parent_sse = _sse(node_targets)
+        best: Optional[_Split] = None
+        min_leaf = self.min_samples_leaf
+
+        for feature in self._candidate_features(features.shape[1]):
+            column = features[index, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_vals = column[order]
+            sorted_targets = node_targets[order]
+
+            # Prefix sums let us evaluate every split position in O(n).
+            csum = np.cumsum(sorted_targets)
+            csum_sq = np.cumsum(sorted_targets**2)
+            total, total_sq = csum[-1], csum_sq[-1]
+            n = index.size
+
+            counts = np.arange(1, n)
+            left_sse = csum_sq[:-1] - csum[:-1] ** 2 / counts
+            right_counts = n - counts
+            right_sum = total - csum[:-1]
+            right_sse = (total_sq - csum_sq[:-1]) - right_sum**2 / right_counts
+
+            valid = (
+                (sorted_vals[1:] > sorted_vals[:-1])
+                & (counts >= min_leaf)
+                & (right_counts >= min_leaf)
+            )
+            if not valid.any():
+                continue
+            sse = np.where(valid, left_sse + right_sse, np.inf)
+            pos = int(np.argmin(sse))
+            gain = parent_sse - float(sse[pos])
+            if gain <= 1e-12:
+                continue
+            if best is None or gain > best.gain:
+                threshold = 0.5 * (sorted_vals[pos] + sorted_vals[pos + 1])
+                mask = column <= threshold
+                if not mask.any() or mask.all():
+                    # Adjacent floats can make the midpoint collapse onto
+                    # one side; such a split would create an empty child.
+                    continue
+                best = _Split(
+                    feature=int(feature),
+                    threshold=float(threshold),
+                    gain=gain,
+                    left_index=index[mask],
+                    right_index=index[~mask],
+                )
+        return best
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for ``features`` (n, d) -> (n,)."""
+        if not self._fitted:
+            raise ModelNotFittedError("DecisionTreeRegressor.predict before fit")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        out = np.empty(features.shape[0], dtype=float)
+        feature = np.asarray(self._feature)
+        threshold = np.asarray(self._threshold)
+        left = np.asarray(self._left)
+        right = np.asarray(self._right)
+        value = np.asarray(self._value)
+
+        # Vectorised level-order descent: advance every row one level per
+        # iteration until all rows rest at leaves.
+        nodes = np.zeros(features.shape[0], dtype=int)
+        active = feature[nodes] != _NO_CHILD
+        while active.any():
+            rows = np.flatnonzero(active)
+            node_ids = nodes[rows]
+            go_left = (
+                features[rows, feature[node_ids]] <= threshold[node_ids]
+            )
+            nodes[rows] = np.where(go_left, left[node_ids], right[node_ids])
+            active[rows] = feature[nodes[rows]] != _NO_CHILD
+        out[:] = value[nodes]
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the grown tree."""
+        return len(self._value)
+
+    @property
+    def depth(self) -> int:
+        """Depth of the grown tree (root = 0)."""
+        if not self._fitted:
+            raise ModelNotFittedError("tree not fitted")
+        return self._depth_of(0)
+
+    def _depth_of(self, node: int) -> int:
+        if self._feature[node] == _NO_CHILD:
+            return 0
+        return 1 + max(
+            self._depth_of(self._left[node]), self._depth_of(self._right[node])
+        )
+
+    def feature_importances(self, n_features: int) -> np.ndarray:
+        """Split-count importances normalised to sum to 1 (or zeros)."""
+        counts = np.zeros(n_features, dtype=float)
+        for feat in self._feature:
+            if feat != _NO_CHILD:
+                counts[feat] += 1.0
+        total = counts.sum()
+        return counts / total if total > 0 else counts
+
+
+def _sse(values: np.ndarray) -> float:
+    """Sum of squared errors of ``values`` around their mean."""
+    return float(((values - values.mean()) ** 2).sum())

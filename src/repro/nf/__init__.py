@@ -1,0 +1,67 @@
+"""Network function framework and catalog.
+
+Replaces the paper's Click / DPDK / DOCA NF implementations. An NF is a
+chain of :mod:`elements <repro.nf.elements>` (parse, table lookup, regex
+scan, ...) with an execution pattern; binding it to a
+:class:`~repro.traffic.profile.TrafficProfile` compiles it into the
+:class:`~repro.nic.workload.WorkloadDemand` the simulator consumes.
+
+:mod:`repro.nf.catalog` provides the NFs of the paper's Table 1 plus the
+Pensando Firewall; :mod:`repro.nf.synthetic` provides mem-bench,
+regex-bench, compression-bench and the synthetic NFs used for design
+exploration (regex-NF, NF1, NF2, the Figure 5 pipeline/RTC pair).
+"""
+
+from repro.nf.catalog import (
+    NF_CATALOG,
+    NfDescriptor,
+    all_nf_names,
+    make_nf,
+    traffic_sensitive_nf_names,
+)
+from repro.nf.elements import (
+    CompressStage,
+    Element,
+    FixedTable,
+    HashTable,
+    HeaderParse,
+    PacketCopy,
+    PacketIo,
+    RegexScan,
+)
+from repro.nf.framework import NetworkFunction
+from repro.nf.synthetic import (
+    compression_bench,
+    mem_bench,
+    nf1,
+    nf2,
+    pipeline_probe_nf,
+    regex_bench,
+    regex_nf,
+    rtc_probe_nf,
+)
+
+__all__ = [
+    "CompressStage",
+    "Element",
+    "FixedTable",
+    "HashTable",
+    "HeaderParse",
+    "NF_CATALOG",
+    "NetworkFunction",
+    "NfDescriptor",
+    "PacketCopy",
+    "PacketIo",
+    "RegexScan",
+    "all_nf_names",
+    "compression_bench",
+    "make_nf",
+    "mem_bench",
+    "nf1",
+    "nf2",
+    "pipeline_probe_nf",
+    "regex_bench",
+    "regex_nf",
+    "rtc_probe_nf",
+    "traffic_sensitive_nf_names",
+]

@@ -1,0 +1,257 @@
+"""Click-style packet-processing elements.
+
+Each element contributes one resource demand per packet as a function of
+the traffic profile. Elements are the vocabulary NFs are assembled from;
+the mapping of traffic attributes to demands encodes *why* NFs are
+sensitive to particular attributes (e.g. a hash table's working set
+grows with the flow count — the mechanism behind the paper's Fig. 6a).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.nic.spec import COMPRESSION, REGEX
+from repro.nic.workload import Resource, StageDemand
+from repro.traffic.profile import TrafficProfile
+
+#: Instructions retired per CPU cycle for straight-line NF code.
+_INSTRUCTIONS_PER_CYCLE = 1.4
+
+
+class Element(abc.ABC):
+    """One processing block using a single resource type."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ConfigurationError("element name must be non-empty")
+        self.name = name
+
+    @abc.abstractmethod
+    def demand(self, profile: TrafficProfile) -> StageDemand:
+        """Per-packet resource demand under ``profile``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+@dataclass(frozen=True)
+class _CyclesSpec:
+    base: float = 0.0
+    per_byte: float = 0.0
+
+    def at(self, packet_size: int) -> float:
+        return self.base + self.per_byte * packet_size
+
+
+class PacketIo(Element):
+    """RX/TX ring handling and packet descriptor management (CPU)."""
+
+    def __init__(self, cycles: float = 900.0, name: str = "packet-io") -> None:
+        super().__init__(name)
+        if cycles <= 0:
+            raise ConfigurationError("PacketIo cycles must be positive")
+        self._cycles = cycles
+
+    def demand(self, profile: TrafficProfile) -> StageDemand:
+        return StageDemand(
+            name=self.name,
+            resource=Resource.CPU,
+            cycles_pp=self._cycles,
+            instructions_pp=self._cycles * _INSTRUCTIONS_PER_CYCLE,
+        )
+
+
+class HeaderParse(Element):
+    """L2-L4 header parsing and classification arithmetic (CPU)."""
+
+    def __init__(
+        self,
+        cycles: float = 500.0,
+        cycles_per_byte: float = 0.0,
+        name: str = "parse",
+    ) -> None:
+        super().__init__(name)
+        if cycles < 0 or cycles_per_byte < 0:
+            raise ConfigurationError("HeaderParse cycles must be >= 0")
+        self._cycles = _CyclesSpec(cycles, cycles_per_byte)
+
+    def demand(self, profile: TrafficProfile) -> StageDemand:
+        cycles = self._cycles.at(profile.packet_size)
+        return StageDemand(
+            name=self.name,
+            resource=Resource.CPU,
+            cycles_pp=cycles,
+            instructions_pp=cycles * _INSTRUCTIONS_PER_CYCLE,
+        )
+
+
+class HashTable(Element):
+    """Per-flow state table (MEMORY): working set grows with flows.
+
+    ``entry_bytes * flow_count + base_bytes`` resident bytes,
+    ``reads_pp``/``writes_pp`` references per packet (bucket probe plus
+    entry update), modest MLP because lookups are pointer-chasing.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        entry_bytes: float,
+        reads_pp: float,
+        writes_pp: float,
+        base_bytes: float = 128 * 1024,
+        cycles: float = 300.0,
+        mlp: float = 3.0,
+    ) -> None:
+        super().__init__(name)
+        if entry_bytes <= 0:
+            raise ConfigurationError("entry_bytes must be positive")
+        if reads_pp < 0 or writes_pp < 0 or base_bytes < 0 or cycles < 0:
+            raise ConfigurationError("HashTable demands must be >= 0")
+        self._entry_bytes = entry_bytes
+        self._reads_pp = reads_pp
+        self._writes_pp = writes_pp
+        self._base_bytes = base_bytes
+        self._cycles = cycles
+        self._mlp = mlp
+
+    def demand(self, profile: TrafficProfile) -> StageDemand:
+        return StageDemand(
+            name=self.name,
+            resource=Resource.MEMORY,
+            cycles_pp=self._cycles,
+            instructions_pp=self._cycles * _INSTRUCTIONS_PER_CYCLE,
+            reads_pp=self._reads_pp,
+            writes_pp=self._writes_pp,
+            wss_bytes=self._entry_bytes * profile.flow_count + self._base_bytes,
+            mlp=self._mlp,
+        )
+
+
+class FixedTable(Element):
+    """Fixed-size lookup structure (MEMORY): LPM trie, ACL ruleset."""
+
+    def __init__(
+        self,
+        name: str,
+        wss_bytes: float,
+        reads_pp: float,
+        writes_pp: float = 0.0,
+        cycles: float = 250.0,
+        mlp: float = 2.5,
+    ) -> None:
+        super().__init__(name)
+        if wss_bytes < 0 or reads_pp < 0 or writes_pp < 0 or cycles < 0:
+            raise ConfigurationError("FixedTable demands must be >= 0")
+        self._wss_bytes = wss_bytes
+        self._reads_pp = reads_pp
+        self._writes_pp = writes_pp
+        self._cycles = cycles
+        self._mlp = mlp
+
+    def demand(self, profile: TrafficProfile) -> StageDemand:
+        return StageDemand(
+            name=self.name,
+            resource=Resource.MEMORY,
+            cycles_pp=self._cycles,
+            instructions_pp=self._cycles * _INSTRUCTIONS_PER_CYCLE,
+            reads_pp=self._reads_pp,
+            writes_pp=self._writes_pp,
+            wss_bytes=self._wss_bytes,
+            mlp=self._mlp,
+        )
+
+
+class PacketCopy(Element):
+    """Payload move/rewrite (MEMORY): references scale with packet size.
+
+    Used by encapsulation (IPTunnel) and buffering (IPComp) stages —
+    the mechanism that makes those NFs packet-size sensitive. Copies are
+    streaming accesses, so MLP is high.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        bytes_fraction: float = 1.0,
+        wss_bytes: float = 256 * 1024,
+        cycles: float = 150.0,
+        mlp: float = 8.0,
+    ) -> None:
+        super().__init__(name)
+        if not 0.0 < bytes_fraction <= 2.0:
+            raise ConfigurationError("bytes_fraction must be in (0, 2]")
+        self._bytes_fraction = bytes_fraction
+        self._wss_bytes = wss_bytes
+        self._cycles = cycles
+        self._mlp = mlp
+
+    def demand(self, profile: TrafficProfile) -> StageDemand:
+        lines = self._bytes_fraction * profile.packet_size / 64.0
+        return StageDemand(
+            name=self.name,
+            resource=Resource.MEMORY,
+            cycles_pp=self._cycles,
+            instructions_pp=self._cycles * _INSTRUCTIONS_PER_CYCLE,
+            reads_pp=lines,
+            writes_pp=lines,
+            wss_bytes=self._wss_bytes,
+            mlp=self._mlp,
+        )
+
+
+class RegexScan(Element):
+    """Payload scan on the regex accelerator.
+
+    One request per packet covering ``payload_fraction`` of the payload;
+    matches follow the profile's MTBR.
+    """
+
+    def __init__(
+        self,
+        name: str = "regex-scan",
+        payload_fraction: float = 1.0,
+        complexity: float = 1.0,
+    ) -> None:
+        super().__init__(name)
+        if not 0.0 < payload_fraction <= 1.0:
+            raise ConfigurationError("payload_fraction must be in (0, 1]")
+        if complexity <= 0:
+            raise ConfigurationError("complexity must be positive")
+        self._payload_fraction = payload_fraction
+        self._complexity = complexity
+
+    def demand(self, profile: TrafficProfile) -> StageDemand:
+        scanned = self._payload_fraction * profile.payload_bytes
+        matches = scanned * profile.mtbr / 1e6 * self._complexity
+        return StageDemand(
+            name=self.name,
+            resource=Resource.ACCELERATOR,
+            accelerator=REGEX,
+            requests_pp=1.0,
+            bytes_per_request=scanned,
+            matches_per_request=matches,
+        )
+
+
+class CompressStage(Element):
+    """Payload (de)compression on the compression accelerator."""
+
+    def __init__(self, name: str = "compress", payload_fraction: float = 1.0) -> None:
+        super().__init__(name)
+        if not 0.0 < payload_fraction <= 1.0:
+            raise ConfigurationError("payload_fraction must be in (0, 1]")
+        self._payload_fraction = payload_fraction
+
+    def demand(self, profile: TrafficProfile) -> StageDemand:
+        return StageDemand(
+            name=self.name,
+            resource=Resource.ACCELERATOR,
+            accelerator=COMPRESSION,
+            requests_pp=1.0,
+            bytes_per_request=self._payload_fraction * profile.payload_bytes,
+            matches_per_request=0.0,
+        )

@@ -1,0 +1,298 @@
+"""Synthetic benchmark NFs (the paper's mem-bench / regex-bench family).
+
+The paper builds three synthetic contender NFs (~8300 LoC of C/DPDK) to
+(1) generate training data at controllable contention levels, (2)
+explore contention behaviour, and (3) microbenchmark. This module
+provides them for the simulator, plus the synthetic *target* NFs used in
+design exploration: regex-NF (Fig. 4), the pipeline/run-to-completion
+probe pair (Fig. 5), and NF1/NF2 (Table 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.nf.elements import (
+    CompressStage,
+    FixedTable,
+    HashTable,
+    HeaderParse,
+    PacketIo,
+    RegexScan,
+)
+from repro.nf.framework import NetworkFunction
+from repro.nic.spec import COMPRESSION, REGEX
+from repro.nic.workload import (
+    ExecutionPattern,
+    Resource,
+    StageDemand,
+    WorkloadDemand,
+)
+
+_RTC = ExecutionPattern.RUN_TO_COMPLETION
+_PIPELINE = ExecutionPattern.PIPELINE
+
+#: References issued per "packet" (batch) of mem-bench.
+_MEM_BENCH_REFS_PP = 64.0
+
+
+def mem_bench(
+    car_mrefs: float,
+    wss_mb: float = 10.0,
+    cores: int = 4,
+    hot_fraction: float = 0.0,
+    instance: Optional[str] = None,
+) -> WorkloadDemand:
+    """Open-loop memory contender sustaining ``car_mrefs`` Mref/s.
+
+    Accesses a ``wss_mb`` MB working set with high memory-level
+    parallelism. ``hot_fraction`` selects the access pattern: 0 streams
+    uniformly (maximum DRAM pressure per cache access), larger values
+    concentrate accesses on a hot subset the way stateful NFs do —
+    profiling sweeps vary it so models learn that miss traffic, not raw
+    access rate, is what hurts neighbours.
+    """
+    if car_mrefs < 0:
+        raise ConfigurationError("car_mrefs must be >= 0")
+    if wss_mb <= 0:
+        raise ConfigurationError("wss_mb must be positive")
+    if not 0.0 <= hot_fraction < 1.0:
+        raise ConfigurationError("hot_fraction must be in [0, 1)")
+    car_mrefs = max(car_mrefs, 1e-3)  # zero contention = vanishing rate
+    stage = StageDemand(
+        name="mem-stream",
+        resource=Resource.MEMORY,
+        cycles_pp=100.0,
+        instructions_pp=200.0,
+        reads_pp=_MEM_BENCH_REFS_PP / 2,
+        writes_pp=_MEM_BENCH_REFS_PP / 2,
+        wss_bytes=wss_mb * 1024 * 1024,
+        mlp=16.0,
+    )
+    return WorkloadDemand(
+        name=instance or "mem-bench",
+        cores=cores,
+        pattern=_RTC,
+        stages=(stage,),
+        arrival_rate_mpps=car_mrefs / _MEM_BENCH_REFS_PP,
+        packet_size_bytes=64.0,
+        hot_access_fraction=hot_fraction,
+        hot_wss_fraction=0.15 if hot_fraction > 0 else 0.01,
+    )
+
+
+def regex_bench(
+    rate_mpps: Optional[float],
+    mtbr: float = 600.0,
+    payload_bytes: float = 1024.0,
+    queues: int = 1,
+    cores: int = 1,
+    instance: Optional[str] = None,
+) -> WorkloadDemand:
+    """Regex-accelerator contender issuing ``rate_mpps`` requests/us.
+
+    ``rate_mpps=None`` makes it closed-loop (saturates the engine) —
+    the configuration Yala's model-fitting procedure uses (§4.1.1).
+    Memory usage is negligible by construction, mirroring the paper's
+    purpose-built regex-bench.
+    """
+    if rate_mpps is not None and rate_mpps < 0:
+        raise ConfigurationError("rate_mpps must be >= 0 or None")
+    if payload_bytes <= 0:
+        raise ConfigurationError("payload_bytes must be positive")
+    if mtbr < 0:
+        raise ConfigurationError("mtbr must be >= 0")
+    matches = payload_bytes * mtbr / 1e6
+    stages = (
+        StageDemand(
+            name="dispatch",
+            resource=Resource.CPU,
+            cycles_pp=60.0,
+            instructions_pp=90.0,
+        ),
+        StageDemand(
+            name="regex-load",
+            resource=Resource.ACCELERATOR,
+            accelerator=REGEX,
+            requests_pp=1.0,
+            bytes_per_request=payload_bytes,
+            matches_per_request=matches,
+        ),
+    )
+    if rate_mpps is not None and rate_mpps == 0:
+        rate_mpps = 1e-6
+    return WorkloadDemand(
+        name=instance or "regex-bench",
+        cores=cores,
+        pattern=_PIPELINE,
+        stages=stages,
+        arrival_rate_mpps=rate_mpps,
+        queues_per_accelerator={REGEX: queues},
+        packet_size_bytes=min(payload_bytes + 54.0, 9000.0),
+    )
+
+
+def compression_bench(
+    rate_mpps: Optional[float],
+    payload_bytes: float = 1024.0,
+    queues: int = 1,
+    cores: int = 1,
+    instance: Optional[str] = None,
+) -> WorkloadDemand:
+    """Compression-accelerator contender (paper's compression-bench)."""
+    if rate_mpps is not None and rate_mpps < 0:
+        raise ConfigurationError("rate_mpps must be >= 0 or None")
+    if payload_bytes <= 0:
+        raise ConfigurationError("payload_bytes must be positive")
+    stages = (
+        StageDemand(
+            name="dispatch",
+            resource=Resource.CPU,
+            cycles_pp=60.0,
+            instructions_pp=90.0,
+        ),
+        StageDemand(
+            name="compress-load",
+            resource=Resource.ACCELERATOR,
+            accelerator=COMPRESSION,
+            requests_pp=1.0,
+            bytes_per_request=payload_bytes,
+        ),
+    )
+    if rate_mpps is not None and rate_mpps == 0:
+        rate_mpps = 1e-6
+    return WorkloadDemand(
+        name=instance or "compression-bench",
+        cores=cores,
+        pattern=_PIPELINE,
+        stages=stages,
+        arrival_rate_mpps=rate_mpps,
+        queues_per_accelerator={COMPRESSION: queues},
+        packet_size_bytes=min(payload_bytes + 54.0, 9000.0),
+    )
+
+
+def regex_nf(
+    mtbr: float = 194.0,
+    payload_bytes: float = 32.0,
+    queues: int = 1,
+    cores: int = 1,
+) -> NetworkFunction:
+    """The Fig. 4 synthetic pattern-matching NF (closed-loop).
+
+    Tiny requests at high rates, so engine sharing effects dominate —
+    used to expose the round-robin linear-decline / equilibrium shape.
+    Bind it to a small-packet traffic profile (e.g. ``TrafficProfile(
+    1000, 86, mtbr)``) so the NIC line rate does not cap the request
+    rate; the scan itself always uses ``payload_bytes``-sized requests.
+    """
+
+    class _TinyScan(RegexScan):
+        def demand(self, profile):  # noqa: D102 - fixed-size synthetic scan
+            return StageDemand(
+                name=self.name,
+                resource=Resource.ACCELERATOR,
+                accelerator=REGEX,
+                requests_pp=1.0,
+                bytes_per_request=payload_bytes,
+                matches_per_request=payload_bytes * mtbr / 1e6,
+            )
+
+    return NetworkFunction(
+        name="regex-nf",
+        framework="synthetic",
+        pattern=_PIPELINE,
+        elements=(PacketIo(cycles=40.0, name="dispatch"), _TinyScan("tiny-scan")),
+        cores=cores,
+        queues_per_accelerator={REGEX: queues},
+    )
+
+
+def nf1(pattern: ExecutionPattern = _RTC) -> NetworkFunction:
+    """Synthetic NF1 (Table 4): memory + regex, selectable pattern."""
+    return NetworkFunction(
+        name=f"nf1-{pattern.value}",
+        framework="synthetic",
+        pattern=pattern,
+        elements=(
+            PacketIo(cycles=700.0),
+            HashTable(
+                "nf1-state",
+                entry_bytes=64.0,
+                reads_pp=20.0,
+                writes_pp=8.0,
+                base_bytes=512 * 1024,
+                cycles=400.0,
+                mlp=2.5,
+            ),
+            RegexScan("nf1-scan", payload_fraction=0.8),
+        ),
+    )
+
+
+def nf2(pattern: ExecutionPattern = _RTC) -> NetworkFunction:
+    """Synthetic NF2 (Table 4): memory + regex + compression."""
+    return NetworkFunction(
+        name=f"nf2-{pattern.value}",
+        framework="synthetic",
+        pattern=pattern,
+        elements=(
+            PacketIo(cycles=700.0),
+            HashTable(
+                "nf2-state",
+                entry_bytes=64.0,
+                reads_pp=16.0,
+                writes_pp=6.0,
+                base_bytes=512 * 1024,
+                cycles=350.0,
+                mlp=2.5,
+            ),
+            RegexScan("nf2-scan", payload_fraction=0.6),
+            CompressStage("nf2-compress", payload_fraction=0.8),
+        ),
+    )
+
+
+def pipeline_probe_nf() -> NetworkFunction:
+    """The Fig. 5 (top) synthetic pipeline NF: heavy memory + regex."""
+    return NetworkFunction(
+        name="p-nf",
+        framework="synthetic",
+        pattern=_PIPELINE,
+        elements=(
+            PacketIo(cycles=1800.0),
+            HashTable(
+                "p-nf-state",
+                entry_bytes=128.0,
+                reads_pp=40.0,
+                writes_pp=14.0,
+                base_bytes=1024 * 1024,
+                cycles=900.0,
+                mlp=2.0,
+            ),
+            RegexScan("p-nf-scan", payload_fraction=1.0, complexity=1.6),
+        ),
+    )
+
+
+def rtc_probe_nf() -> NetworkFunction:
+    """The Fig. 5 (bottom) synthetic run-to-completion NF."""
+    return NetworkFunction(
+        name="r-nf",
+        framework="synthetic",
+        pattern=_RTC,
+        elements=(
+            PacketIo(cycles=1800.0),
+            HashTable(
+                "r-nf-state",
+                entry_bytes=128.0,
+                reads_pp=40.0,
+                writes_pp=14.0,
+                base_bytes=1024 * 1024,
+                cycles=900.0,
+                mlp=2.0,
+            ),
+            RegexScan("r-nf-scan", payload_fraction=1.0, complexity=1.6),
+        ),
+    )

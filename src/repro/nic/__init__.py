@@ -1,0 +1,57 @@
+"""Mechanistic SoC SmartNIC simulator.
+
+This subpackage stands in for the NVIDIA BlueField-2 / AMD Pensando
+hardware used by the paper. It models the three resources whose
+contention the paper studies:
+
+- the **memory subsystem** (shared last-level cache + DRAM) via an
+  occupancy-proportional cache partition, miss-ratio curves and
+  M/M/1-style DRAM bandwidth queueing (:mod:`repro.nic.memory`);
+- **hardware accelerators** (regex, compression) via per-client request
+  queues served round-robin by a fluid scheduler
+  (:mod:`repro.nic.accelerator`);
+- **CPU cores**, which are isolated per NF (core-level isolation, as the
+  paper assumes), so they scale throughput but never contend.
+
+:class:`repro.nic.nic.SmartNic` co-locates workloads and solves a damped
+fixed point over their mutually dependent throughputs, then synthesises
+the BlueField-2 performance counters of Table 11
+(:mod:`repro.nic.counters`).
+"""
+
+from repro.nic.accelerator import AcceleratorClient, AcceleratorEngine
+from repro.nic.counters import COUNTER_NAMES, PerfCounters
+from repro.nic.memory import MemoryActor, MemorySubsystem
+from repro.nic.nic import RunResult, SmartNic, WorkloadResult
+from repro.nic.spec import (
+    AcceleratorSpec,
+    NicSpecification,
+    bluefield2_spec,
+    pensando_spec,
+)
+from repro.nic.workload import (
+    ExecutionPattern,
+    Resource,
+    StageDemand,
+    WorkloadDemand,
+)
+
+__all__ = [
+    "AcceleratorClient",
+    "AcceleratorEngine",
+    "AcceleratorSpec",
+    "COUNTER_NAMES",
+    "ExecutionPattern",
+    "MemoryActor",
+    "MemorySubsystem",
+    "NicSpecification",
+    "PerfCounters",
+    "Resource",
+    "RunResult",
+    "SmartNic",
+    "StageDemand",
+    "WorkloadDemand",
+    "WorkloadResult",
+    "bluefield2_spec",
+    "pensando_spec",
+]

@@ -1,0 +1,176 @@
+"""Hardware specifications for the simulated SmartNICs.
+
+Two concrete profiles are provided: a BlueField-2-like SoC NIC (the
+paper's main testbed) and a Pensando-like NIC (the generalisation target
+of Table 9). Constants are calibrated so that solo NF throughputs land in
+the ranges the paper reports (hundreds of Kpps to a few Mpps for real
+NFs; tens of Mpps for tiny synthetic regex requests), not to be
+cycle-accurate.
+
+Unit conventions used across the simulator:
+
+- time: microseconds (us),
+- throughput / rates: Mpps and Mref/s, i.e. events per microsecond,
+- bandwidth: bytes per microsecond (1 GB/s == 1000 B/us),
+- sizes: bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+
+#: Bytes per cache line; all miss traffic is counted in lines.
+CACHE_LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """Static description of one on-NIC hardware accelerator engine.
+
+    A request costs ``base_time_us + bytes * per_byte_us +
+    matches * per_match_us`` of engine time, plus
+    ``queue_switch_us`` whenever the round-robin scheduler moves to the
+    queue (a second-order cost the paper's white-box model ignores, which
+    keeps its error realistic).
+    """
+
+    name: str
+    base_time_us: float
+    per_byte_us: float
+    per_match_us: float
+    queue_switch_us: float = 0.0
+    #: Cache-line-equivalent memory references generated per DMA'd
+    #: kilobyte of request payload (cross-resource coupling).
+    dma_refs_per_kb: float = 0.5
+
+    def request_time_us(self, bytes_per_request: float, matches: float) -> float:
+        """Engine service time of one request, excluding switch cost."""
+        if bytes_per_request < 0 or matches < 0:
+            raise ConfigurationError("request size and matches must be >= 0")
+        return (
+            self.base_time_us
+            + bytes_per_request * self.per_byte_us
+            + matches * self.per_match_us
+        )
+
+
+@dataclass(frozen=True)
+class NicSpecification:
+    """Static description of a SoC SmartNIC."""
+
+    name: str
+    num_cores: int
+    core_freq_mhz: float  # cycles per microsecond
+    llc_bytes: float
+    dram_bandwidth_bpus: float  # bytes per microsecond
+    dram_latency_us: float
+    llc_hit_time_us: float
+    line_rate_gbps: float
+    accelerators: Mapping[str, AcceleratorSpec] = field(default_factory=dict)
+    #: Miss ratio floor even when a working set fully fits in cache.
+    base_miss_ratio: float = 0.02
+    #: Fraction of dirty lines written back per miss.
+    writeback_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ConfigurationError("num_cores must be >= 1")
+        if self.llc_bytes <= 0 or self.dram_bandwidth_bpus <= 0:
+            raise ConfigurationError("cache size and DRAM bandwidth must be > 0")
+        if not 0.0 <= self.base_miss_ratio < 1.0:
+            raise ConfigurationError("base_miss_ratio must be in [0, 1)")
+        object.__setattr__(
+            self, "accelerators", MappingProxyType(dict(self.accelerators))
+        )
+
+    def accelerator(self, name: str) -> AcceleratorSpec:
+        """Return the accelerator spec called ``name``."""
+        try:
+            return self.accelerators[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"NIC {self.name!r} has no accelerator {name!r}; "
+                f"available: {sorted(self.accelerators)}"
+            ) from None
+
+    def line_rate_mpps(self, packet_size_bytes: float) -> float:
+        """Maximum packet rate at ``packet_size_bytes`` (with framing)."""
+        if packet_size_bytes <= 0:
+            raise ConfigurationError("packet size must be positive")
+        # 20B Ethernet preamble + IFG per packet on the wire.
+        wire_bytes = packet_size_bytes + 20.0
+        bytes_per_us = self.line_rate_gbps * 1e9 / 8.0 / 1e6
+        return bytes_per_us / wire_bytes
+
+
+#: Accelerator names used across the library.
+REGEX = "regex"
+COMPRESSION = "compression"
+
+
+def bluefield2_spec() -> NicSpecification:
+    """The BlueField-2-like NIC used for the main evaluation.
+
+    8x ARMv8 A72 @ 2.5 GHz, 6 MB LLC, 16 GB DDR4 (~17 GB/s), dual
+    100 GbE, RXP regex engine and a (de)compression engine.
+    """
+    return NicSpecification(
+        name="bluefield2",
+        num_cores=8,
+        core_freq_mhz=2500.0,
+        llc_bytes=6 * 1024 * 1024,
+        dram_bandwidth_bpus=20_000.0,  # ~20 GB/s effective DDR4
+        dram_latency_us=0.110,
+        llc_hit_time_us=0.012,
+        line_rate_gbps=100.0,
+        accelerators={
+            REGEX: AcceleratorSpec(
+                name=REGEX,
+                base_time_us=0.010,
+                per_byte_us=1.0 / 2000.0,  # ~2 GB/s scan rate
+                per_match_us=0.250,
+                queue_switch_us=0.0008,
+                dma_refs_per_kb=0.6,
+            ),
+            COMPRESSION: AcceleratorSpec(
+                name=COMPRESSION,
+                base_time_us=0.040,
+                per_byte_us=1.0 / 1500.0,  # ~1.5 GB/s
+                per_match_us=0.0,
+                queue_switch_us=0.0010,
+                dma_refs_per_kb=0.8,
+            ),
+        },
+    )
+
+
+def pensando_spec() -> NicSpecification:
+    """The AMD Pensando-like NIC used for the Table 9 generalisation.
+
+    Different core count, cache size, memory system and a flow-table
+    walker offload engine, but the same architectural style (SoC cores +
+    shared memory subsystem + RR-queue accelerators).
+    """
+    return NicSpecification(
+        name="pensando",
+        num_cores=16,
+        core_freq_mhz=2800.0,
+        llc_bytes=8 * 1024 * 1024,
+        dram_bandwidth_bpus=24_000.0,  # 24 GB/s
+        dram_latency_us=0.095,
+        llc_hit_time_us=0.010,
+        line_rate_gbps=100.0,
+        accelerators={
+            REGEX: AcceleratorSpec(
+                name=REGEX,
+                base_time_us=0.012,
+                per_byte_us=1.0 / 2600.0,
+                per_match_us=0.220,
+                queue_switch_us=0.0009,
+            ),
+        },
+    )

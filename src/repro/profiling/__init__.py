@@ -1,0 +1,33 @@
+"""Offline profiling substrate (paper §5.2, §6).
+
+Profiles NFs on the simulated NIC under synthetic contention from the
+bench NFs and configurable traffic, producing the datasets the
+prediction models train on:
+
+- :class:`~repro.profiling.collector.ProfilingCollector` — the
+  ``profile_one`` primitive plus solo-run and bench-counter caching,
+- :class:`~repro.profiling.contention.ContentionLevel` — a point in the
+  synthetic contention space (mem-bench / regex-bench / compression-
+  bench settings),
+- :mod:`~repro.profiling.sampling` — full-grid and random profiling,
+- :mod:`~repro.profiling.adaptive` — the paper's Algorithm 1 (attribute
+  pruning + recursive range profiling).
+"""
+
+from repro.profiling.adaptive import AdaptiveProfiler, AdaptiveProfilingReport
+from repro.profiling.collector import ProfilingCollector
+from repro.profiling.contention import ContentionLevel, random_contention
+from repro.profiling.dataset import ProfileDataset, ProfileSample
+from repro.profiling.sampling import full_profile, random_profile
+
+__all__ = [
+    "AdaptiveProfiler",
+    "AdaptiveProfilingReport",
+    "ContentionLevel",
+    "ProfileDataset",
+    "ProfileSample",
+    "ProfilingCollector",
+    "full_profile",
+    "random_profile",
+    "random_contention",
+]

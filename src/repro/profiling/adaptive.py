@@ -1,0 +1,301 @@
+"""Adaptive profiling — the paper's Algorithm 1 (§5.2).
+
+Two phases:
+
+1. **Attribute pruning**: for each traffic attribute, profile the NF solo
+   at the attribute's extremes (others at defaults). If the throughput
+   difference is below ``epsilon_prune``, the attribute does not affect
+   this NF and is dropped from the profiling space (e.g. packet size for
+   FlowStats).
+2. **Range profiling**: recursive binary search over the surviving
+   attribute hypercube. Whenever the throughput difference across a
+   region's corners exceeds ``epsilon_split``, collect
+   ``samples_per_region`` co-run samples (random contention) at the
+   region's midpoint and recurse into the region's sub-boxes — splitting
+   *every* kept attribute so coverage is a quadtree over the attribute
+   space, not just its diagonal. Repeated configurations are served from
+   the collector's cache and charged no quota, exactly as the paper's
+   ``profile_one`` specifies.
+
+Adaptation vs. the paper: corner probes run under a fixed *reference
+contention* level rather than solo. The paper probes solo (``C = 0``),
+but an NF that is CPU-bound when alone can hide all of its memory-range
+sensitivity from solo probes; probing under contention reveals exactly
+the ranges where the contended model needs data (and the probes
+themselves become useful training samples). Attribute pruning keeps an
+attribute if either the solo or the reference-contention extremes
+differ.
+
+Thresholds are *relative* to the NF's default-traffic solo throughput so
+one configuration works across NFs with different absolute rates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import ProfilingError
+from repro.nf.framework import NetworkFunction
+from repro.profiling.collector import ProfilingCollector
+from repro.profiling.contention import ContentionLevel
+from repro.profiling.dataset import ProfileDataset
+from repro.profiling.sampling import ContentionSampler, _default_contention_sampler
+from repro.rng import SeedLike, make_rng
+from repro.traffic.profile import (
+    DEFAULT_RANGES,
+    AttributeRange,
+    TrafficProfile,
+)
+
+#: Recursion floor: stop splitting regions thinner than this fraction of
+#: the original attribute range.
+_MIN_REGION_FRACTION = 1.0 / 64.0
+
+
+@dataclass
+class AdaptiveProfilingReport:
+    """Outcome of one adaptive profiling run."""
+
+    dataset: ProfileDataset
+    kept_attributes: list[str]
+    pruned_attributes: list[str]
+    quota: int
+    samples_used: int
+    regions_split: int = 0
+
+    @property
+    def profiling_cost(self) -> int:
+        """Number of profiled samples (the paper's cost unit)."""
+        return self.samples_used
+
+
+class AdaptiveProfiler:
+    """Algorithm 1: prune attributes, then adaptively sample ranges."""
+
+    def __init__(
+        self,
+        collector: ProfilingCollector,
+        quota: int = 120,
+        epsilon_prune: float = 0.05,
+        epsilon_split: float = 0.04,
+        samples_per_region: int = 3,
+        contention_sampler: ContentionSampler = _default_contention_sampler,
+        reference_contention: ContentionLevel = ContentionLevel(
+            mem_car=180.0, mem_wss_mb=10.0
+        ),
+        seed: SeedLike = None,
+    ) -> None:
+        if quota < 1:
+            raise ProfilingError("quota must be >= 1")
+        if epsilon_prune <= 0 or epsilon_split <= 0:
+            raise ProfilingError("epsilon thresholds must be positive")
+        if samples_per_region < 1:
+            raise ProfilingError("samples_per_region must be >= 1")
+        self._collector = collector
+        self._quota = quota
+        self._epsilon_prune = epsilon_prune
+        self._epsilon_split = epsilon_split
+        self._samples_per_region = samples_per_region
+        self._contention_sampler = contention_sampler
+        self._reference_contention = reference_contention
+        self._rng = make_rng(seed)
+
+    # ------------------------------------------------------------------
+    def profile(
+        self,
+        nf: NetworkFunction,
+        attributes: list[str] | None = None,
+        base_traffic: TrafficProfile = TrafficProfile(),
+        ranges: dict[str, AttributeRange] | None = None,
+    ) -> AdaptiveProfilingReport:
+        """Run Algorithm 1 for ``nf`` and return the collected dataset."""
+        ranges = dict(DEFAULT_RANGES if ranges is None else ranges)
+        attributes = list(ranges) if attributes is None else list(attributes)
+
+        dataset = ProfileDataset(nf.name)
+        report = AdaptiveProfilingReport(
+            dataset=dataset,
+            kept_attributes=[],
+            pruned_attributes=[],
+            quota=self._quota,
+            samples_used=0,
+        )
+        self._seen: set[tuple] = set()
+        reference = self._collector.solo(nf, base_traffic).throughput_mpps
+
+        # Phase 1: prune insensitive attributes (lines 7-11 of Alg. 1).
+        # An attribute is kept when its extremes change throughput in any
+        # screening context: solo or under the reference contention, with
+        # the *other* attributes at their defaults or at their maxima
+        # (the second context catches interactions such as packet size
+        # mattering only at high MTBR).
+        maxed_traffic = base_traffic
+        for name in attributes:
+            maxed_traffic = maxed_traffic.with_attribute(name, ranges[name].maximum)
+        for name in attributes:
+            span = ranges[name]
+            diffs = []
+            for context in (base_traffic, maxed_traffic):
+                low_traffic = context.with_attribute(name, span.minimum)
+                high_traffic = context.with_attribute(name, span.maximum)
+                for contention in (ContentionLevel(), self._reference_contention):
+                    diffs.append(
+                        abs(
+                            self._sample(nf, contention, high_traffic, dataset, report)
+                            - self._sample(nf, contention, low_traffic, dataset, report)
+                        )
+                    )
+            if max(diffs) < self._epsilon_prune * reference:
+                report.pruned_attributes.append(name)
+            else:
+                report.kept_attributes.append(name)
+
+        if not report.kept_attributes:
+            # Traffic-insensitive NF: spend the remaining quota on
+            # contention-only samples at the default traffic.
+            while report.samples_used < self._quota:
+                self._contended_sample(nf, base_traffic, dataset, report)
+            return report
+
+        # Phase 2: recursive range profiling (lines 14-26 of Alg. 1).
+        kept = report.kept_attributes
+        lows = {n: ranges[n].minimum for n in kept}
+        highs = {n: ranges[n].maximum for n in kept}
+        spans = {n: ranges[n].maximum - ranges[n].minimum for n in kept}
+        self._range_profile(
+            nf, base_traffic, lows, highs, spans, reference, dataset, report
+        )
+
+        # Spend any residual quota on random points of the explored
+        # space so it is never wasted.
+        guard = 0
+        while report.samples_used < self._quota and guard < 20 * self._quota:
+            guard += 1
+            traffic = base_traffic
+            for name in kept:
+                span = ranges[name]
+                traffic = traffic.with_attribute(
+                    name, float(self._rng.uniform(span.minimum, span.maximum))
+                )
+            self._contended_sample(nf, traffic, dataset, report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _sample(
+        self,
+        nf: NetworkFunction,
+        contention: ContentionLevel,
+        traffic: TrafficProfile,
+        dataset: ProfileDataset,
+        report: AdaptiveProfilingReport,
+    ) -> float:
+        """profile_one with config-level dedup; returns the throughput."""
+        key = (contention, traffic)
+        sample = self._collector.profile_one(nf, contention, traffic)
+        if key not in self._seen:
+            self._seen.add(key)
+            dataset.add(sample)
+            report.samples_used += 1
+        return sample.throughput_mpps
+
+    def _contended_sample(
+        self,
+        nf: NetworkFunction,
+        traffic: TrafficProfile,
+        dataset: ProfileDataset,
+        report: AdaptiveProfilingReport,
+    ) -> None:
+        contention = self._contention_sampler(self._rng)
+        self._sample(nf, contention, traffic, dataset, report)
+
+    def _apply(self, base: TrafficProfile, values: dict[str, float]) -> TrafficProfile:
+        traffic = base
+        for name, value in values.items():
+            traffic = traffic.with_attribute(name, value)
+        return traffic
+
+    def _range_profile(
+        self,
+        nf: NetworkFunction,
+        base_traffic: TrafficProfile,
+        lows: dict[str, float],
+        highs: dict[str, float],
+        spans: dict[str, float],
+        reference: float,
+        dataset: ProfileDataset,
+        report: AdaptiveProfilingReport,
+    ) -> None:
+        """Sensitivity-prioritised breadth-first box refinement.
+
+        Boxes live in a max-heap keyed by their parent's corner
+        difference, so large sensitive regions everywhere in the space
+        are refined before any one region is refined deeply — a
+        depth-first walk would starve far-away regions once the quota
+        runs out. Each split collects ``samples_per_region`` contended
+        samples plus one solo anchor at the box midpoint.
+        """
+        import heapq
+
+        counter = itertools.count()
+        heap: list[tuple[float, int, dict, dict]] = [
+            (-float("inf"), next(counter), lows, highs)
+        ]
+        epsilon = self._epsilon_split * reference
+        while heap and report.samples_used < self._quota:
+            _, __, box_lows, box_highs = heapq.heappop(heap)
+            low_traffic = self._apply(base_traffic, box_lows)
+            high_traffic = self._apply(base_traffic, box_highs)
+            t_low = self._sample(
+                nf, self._reference_contention, low_traffic, dataset, report
+            )
+            if report.samples_used >= self._quota:
+                return
+            t_high = self._sample(
+                nf, self._reference_contention, high_traffic, dataset, report
+            )
+            if report.samples_used >= self._quota:
+                return
+            solo_low = self._sample(nf, ContentionLevel(), low_traffic, dataset, report)
+            solo_high = self._sample(
+                nf, ContentionLevel(), high_traffic, dataset, report
+            )
+            if report.samples_used >= self._quota:
+                return
+            # Traffic sensitivity: corners differ under contention.
+            diff = abs(t_high - t_low)
+            # Contention sensitivity: corners sit far below their solo
+            # values, i.e. the contention response curve is steep here
+            # and needs samples across contention levels even if the
+            # traffic direction looks flat.
+            deviation = max(solo_low - t_low, solo_high - t_high, 0.0)
+            if diff < epsilon and deviation < 3.0 * epsilon:
+                continue
+            if all(
+                (box_highs[n] - box_lows[n]) < _MIN_REGION_FRACTION * spans[n]
+                for n in box_lows
+            ):
+                continue
+            report.regions_split += 1
+            mids = {n: 0.5 * (box_lows[n] + box_highs[n]) for n in box_lows}
+            mid_traffic = self._apply(base_traffic, mids)
+            self._sample(nf, ContentionLevel(), mid_traffic, dataset, report)
+            for _ in range(self._samples_per_region):
+                if report.samples_used >= self._quota:
+                    return
+                self._contended_sample(nf, mid_traffic, dataset, report)
+            priority = diff + 0.3 * deviation
+            names = list(box_lows)
+            for corner in itertools.product((0, 1), repeat=len(names)):
+                child_lows = {}
+                child_highs = {}
+                for bit, name in zip(corner, names):
+                    if bit == 0:
+                        child_lows[name] = box_lows[name]
+                        child_highs[name] = mids[name]
+                    else:
+                        child_lows[name] = mids[name]
+                        child_highs[name] = box_highs[name]
+                heapq.heappush(
+                    heap, (-priority, next(counter), child_lows, child_highs)
+                )

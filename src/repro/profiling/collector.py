@@ -1,0 +1,141 @@
+"""The profiling collector: measured runs on the simulated NIC.
+
+Implements the paper's ``profile_one`` primitive: run the target NF
+co-located with bench NFs at a given contention level and traffic
+profile, and record the target's throughput together with the
+competitors' aggregate counters. Solo runs and bench counter
+measurements are cached — profiling cost in the experiments is counted
+in *target* samples, exactly as the paper counts its profiling quota.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ProfilingError
+from repro.nf.framework import NetworkFunction
+from repro.nic.counters import PerfCounters
+from repro.nic.nic import SmartNic, WorkloadResult
+from repro.profiling.contention import ContentionLevel
+from repro.profiling.dataset import ProfileSample
+from repro.traffic.profile import TrafficProfile
+
+
+class ProfilingCollector:
+    """Runs profiling experiments for target NFs on one NIC."""
+
+    def __init__(self, nic: SmartNic) -> None:
+        self._nic = nic
+        self._solo_cache: dict[tuple, WorkloadResult] = {}
+        self._bench_counter_cache: dict[ContentionLevel, PerfCounters] = {}
+        self._sample_cache: dict[tuple, ProfileSample] = {}
+        self._profile_count = 0
+
+    @property
+    def nic(self) -> SmartNic:
+        return self._nic
+
+    @property
+    def profile_count(self) -> int:
+        """Number of distinct target co-runs measured so far."""
+        return self._profile_count
+
+    # ------------------------------------------------------------------
+    def solo(self, nf: NetworkFunction, traffic: TrafficProfile) -> WorkloadResult:
+        """Measured solo behaviour of ``nf`` under ``traffic`` (cached)."""
+        key = (nf.name, nf.pattern.value, traffic)
+        if key not in self._solo_cache:
+            self._solo_cache[key] = self._nic.run_solo(nf.demand(traffic))
+        return self._solo_cache[key]
+
+    def bench_counters(self, contention: ContentionLevel) -> PerfCounters:
+        """Aggregate solo counters of the benches at ``contention``.
+
+        These are the "contention level" features handed to the models;
+        the bench set is measured running together (without the target),
+        mirroring how SLOMO characterises a competitor mix's
+        contentiousness.
+        """
+        if contention.is_idle:
+            return PerfCounters.zero()
+        if contention not in self._bench_counter_cache:
+            benches = contention.benches(self._nic.spec.num_cores - 2)
+            if not benches:
+                self._bench_counter_cache[contention] = PerfCounters.zero()
+            else:
+                result = self._nic.run(benches)
+                self._bench_counter_cache[contention] = PerfCounters.aggregate(
+                    [result[w.name].counters for w in benches]
+                )
+        return self._bench_counter_cache[contention]
+
+    # ------------------------------------------------------------------
+    def profile_one(
+        self,
+        nf: NetworkFunction,
+        contention: ContentionLevel,
+        traffic: TrafficProfile,
+    ) -> ProfileSample:
+        """One measured co-run of ``nf`` against the benches.
+
+        The paper's Algorithm 1 calls this ``profile_one(nf, C, F, n)``
+        and "increments the total number of collected samples by one if
+        the configuration has not been profiled" — so repeated
+        configurations are served from cache and charged no quota. The
+        sample counter is exposed as :attr:`profile_count`.
+        """
+        key = (nf.name, nf.pattern.value, contention, traffic)
+        if key in self._sample_cache:
+            return self._sample_cache[key]
+        solo = self.solo(nf, traffic)
+        target = nf.demand(traffic)
+        benches = contention.benches(self._nic.spec.num_cores - target.cores)
+        if benches:
+            result = self._nic.run([target] + benches)
+            throughput = result[target.name].throughput_mpps
+        else:
+            throughput = solo.throughput_mpps
+        self._profile_count += 1
+        sample = ProfileSample(
+            nf_name=nf.name,
+            traffic=traffic,
+            contention=contention,
+            competitor_counters=self.bench_counters(contention),
+            throughput_mpps=throughput,
+            solo_throughput_mpps=solo.throughput_mpps,
+            n_competitors=len(benches),
+        )
+        self._sample_cache[key] = sample
+        return sample
+
+    # ------------------------------------------------------------------
+    def co_run_with(
+        self,
+        nf: NetworkFunction,
+        traffic: TrafficProfile,
+        competitors: list[tuple[NetworkFunction, TrafficProfile]],
+    ) -> WorkloadResult:
+        """Ground-truth co-run of ``nf`` against real competitor NFs.
+
+        Used by the evaluation to obtain the truth that predictions are
+        scored against. Competitor instances are renamed to avoid
+        workload-name collisions when an NF co-runs with itself.
+        """
+        target = nf.demand(traffic)
+        demands = [target]
+        for index, (competitor, competitor_traffic) in enumerate(competitors):
+            demands.append(
+                competitor.demand(
+                    competitor_traffic, instance=f"{competitor.name}#{index}"
+                )
+            )
+        total = sum(d.cores for d in demands)
+        if total > self._nic.spec.num_cores:
+            raise ProfilingError(
+                f"co-run needs {total} cores, NIC has {self._nic.spec.num_cores}"
+            )
+        return self._nic.run(demands)[target.name]
+
+    def reset_counters(self) -> None:
+        """Reset the profiling-cost counter (caches are kept)."""
+        self._profile_count = 0

@@ -1,0 +1,203 @@
+"""Synthetic contention levels.
+
+A :class:`ContentionLevel` is one point in the contention space the
+bench NFs can impose: memory pressure (mem-bench cache access rate and
+working set), regex-engine load (regex-bench request rate, MTBR, request
+size) and compression-engine load. ``ContentionLevel()`` is the
+no-contention point used for solo profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.nf.synthetic import compression_bench, mem_bench, regex_bench
+from repro.nic.workload import WorkloadDemand
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class ContentionLevel:
+    """Bench NF settings that realise one synthetic contention point."""
+
+    mem_car: float = 0.0  # mem-bench target CAR, Mref/s (total)
+    mem_wss_mb: float = 10.0  # total working set across actors
+    mem_hot_fraction: float = 0.0  # mem-bench reuse locality
+    mem_actors: int = 1  # number of concurrent mem-bench instances
+    regex_rate: float = 0.0  # regex-bench request rate, Mreq/s
+    regex_mtbr: float = 600.0
+    regex_payload_bytes: float = 1024.0
+    compression_rate: float = 0.0  # compression-bench rate, Mreq/s
+    compression_payload_bytes: float = 1024.0
+
+    def __post_init__(self) -> None:
+        if min(self.mem_car, self.regex_rate, self.compression_rate) < 0:
+            raise ConfigurationError("contention rates must be >= 0")
+        if self.mem_wss_mb <= 0:
+            raise ConfigurationError("mem_wss_mb must be positive")
+        if self.regex_payload_bytes <= 0 or self.compression_payload_bytes <= 0:
+            raise ConfigurationError("bench payload sizes must be positive")
+        if not 0.0 <= self.mem_hot_fraction < 1.0:
+            raise ConfigurationError("mem_hot_fraction must be in [0, 1)")
+        if not 1 <= self.mem_actors <= 3:
+            raise ConfigurationError("mem_actors must be in [1, 3]")
+        if self.regex_mtbr < 0:
+            raise ConfigurationError("regex_mtbr must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_idle(self) -> bool:
+        """True when no bench applies any pressure (solo profiling)."""
+        return (
+            self.mem_car == 0.0
+            and self.regex_rate == 0.0
+            and self.compression_rate == 0.0
+        )
+
+    @property
+    def actor_count(self) -> int:
+        """Number of contending workloads this level materialises."""
+        count = 0
+        if self.mem_car > 0.0:
+            count += self.mem_actors
+        if self.regex_rate > 0.0:
+            count += 1
+        if self.compression_rate > 0.0:
+            count += 1
+        return count
+
+    @property
+    def regex_match_rate(self) -> float:
+        """Offered regex match rate, Kmatches/ms == Mmatches/s."""
+        return self.regex_rate * self.regex_payload_bytes * self.regex_mtbr / 1e6
+
+    def benches(self, available_cores: int) -> list[WorkloadDemand]:
+        """Materialise the bench workloads for this contention point.
+
+        ``available_cores`` bounds how many cores mem-bench may take
+        (it is the greediest bench; the accelerator benches need one
+        core each).
+        """
+        workloads: list[WorkloadDemand] = []
+        budget = available_cores
+        if self.regex_rate > 0.0:
+            workloads.append(
+                regex_bench(
+                    self.regex_rate,
+                    mtbr=self.regex_mtbr,
+                    payload_bytes=self.regex_payload_bytes,
+                    cores=1,
+                )
+            )
+            budget -= 1
+        if self.compression_rate > 0.0:
+            workloads.append(
+                compression_bench(
+                    self.compression_rate,
+                    payload_bytes=self.compression_payload_bytes,
+                    cores=1,
+                )
+            )
+            budget -= 1
+        if self.mem_car > 0.0:
+            # Several smaller concurrent instances press the shared
+            # cache much more gently than one streaming instance with
+            # the same total rate — matching how groups of real NFs
+            # contend. Aggregate counters stay comparable either way.
+            actors = self.mem_actors
+            cores_each = max(1, min(4, budget) // actors)
+            for index in range(actors):
+                workloads.append(
+                    mem_bench(
+                        self.mem_car / actors,
+                        wss_mb=self.mem_wss_mb / actors,
+                        cores=cores_each,
+                        hot_fraction=self.mem_hot_fraction,
+                        instance=f"mem-bench#{index}" if actors > 1 else None,
+                    )
+                )
+        return workloads
+
+    # ------------------------------------------------------------------
+    def with_memory(
+        self,
+        car: float,
+        wss_mb: float | None = None,
+        hot_fraction: float | None = None,
+        actors: int | None = None,
+    ) -> "ContentionLevel":
+        """Copy with different memory pressure."""
+        return replace(
+            self,
+            mem_car=car,
+            mem_wss_mb=wss_mb if wss_mb is not None else self.mem_wss_mb,
+            mem_hot_fraction=(
+                hot_fraction if hot_fraction is not None else self.mem_hot_fraction
+            ),
+            mem_actors=actors if actors is not None else self.mem_actors,
+        )
+
+    def with_regex(
+        self, rate: float, mtbr: float | None = None
+    ) -> "ContentionLevel":
+        """Copy with different regex-engine pressure."""
+        return replace(
+            self,
+            regex_rate=rate,
+            regex_mtbr=mtbr if mtbr is not None else self.regex_mtbr,
+        )
+
+    def with_compression(self, rate: float) -> "ContentionLevel":
+        """Copy with different compression-engine pressure."""
+        return replace(self, compression_rate=rate)
+
+
+#: Default sweep grids used when generating training data.
+MEM_CAR_GRID: tuple[float, ...] = (0.0, 30.0, 60.0, 100.0, 140.0, 180.0, 220.0, 260.0)
+REGEX_RATE_GRID: tuple[float, ...] = (0.0, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0)
+
+
+def random_contention(
+    seed: SeedLike = None,
+    memory: bool = True,
+    regex: bool = False,
+    compression: bool = False,
+    max_car: float = 260.0,
+    max_regex_rate: float = 3.0,
+    max_compression_rate: float = 2.0,
+) -> ContentionLevel:
+    """Draw a random contention level over the enabled resources."""
+    rng = make_rng(seed)
+    level = ContentionLevel()
+    if memory:
+        if rng.random() < 0.35:
+            # "NF-like" contenders: several light actors with strong
+            # reuse locality and per-actor working sets of a few MB —
+            # the pressure pattern groups of real NFs exert. Without
+            # explicit coverage here the model extrapolates badly when
+            # predicting co-location with real NFs.
+            actors = int(rng.integers(2, 4))
+            level = level.with_memory(
+                float(rng.uniform(20.0, 170.0)),
+                wss_mb=float(rng.uniform(0.5, 3.0)) * actors,
+                hot_fraction=float(rng.uniform(0.4, 0.75)),
+                actors=actors,
+            )
+        else:
+            # Bench-like contenders: anywhere in the pressure space,
+            # biased towards low rates so light contention is covered.
+            level = level.with_memory(
+                float(max_car * rng.random() ** 1.3),
+                wss_mb=float(rng.uniform(1.0, 12.0)),
+                hot_fraction=float(rng.uniform(0.0, 0.7)),
+                actors=int(rng.integers(1, 4)),
+            )
+    if regex:
+        level = level.with_regex(
+            float(rng.uniform(0.0, max_regex_rate)),
+            mtbr=float(rng.uniform(100.0, 1100.0)),
+        )
+    if compression:
+        level = level.with_compression(float(rng.uniform(0.0, max_compression_rate)))
+    return level

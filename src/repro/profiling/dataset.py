@@ -1,0 +1,117 @@
+"""Profiled samples and feature-matrix assembly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ProfilingError
+from repro.nic.counters import COUNTER_NAMES, PerfCounters
+from repro.profiling.contention import ContentionLevel
+from repro.traffic.profile import TRAFFIC_ATTRIBUTES, TrafficProfile
+
+
+@dataclass(frozen=True)
+class ProfileSample:
+    """One profiled operating point of a target NF.
+
+    ``competitor_counters`` is the aggregate of the co-runners' solo
+    counter vectors — the "contention level" feature SLOMO and Yala
+    consume. ``throughput_mpps`` is the measured target throughput at
+    this point.
+    """
+
+    nf_name: str
+    traffic: TrafficProfile
+    contention: ContentionLevel
+    competitor_counters: PerfCounters
+    throughput_mpps: float
+    solo_throughput_mpps: float
+    n_competitors: int = 1
+
+    @property
+    def drop_ratio(self) -> float:
+        """Fractional throughput drop vs. the solo baseline."""
+        if self.solo_throughput_mpps <= 0:
+            raise ProfilingError("solo throughput must be positive")
+        return 1.0 - self.throughput_mpps / self.solo_throughput_mpps
+
+
+@dataclass
+class ProfileDataset:
+    """A set of profiled samples for one NF, convertible to matrices."""
+
+    nf_name: str
+    samples: list[ProfileSample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def add(self, sample: ProfileSample) -> None:
+        if sample.nf_name != self.nf_name:
+            raise ProfilingError(
+                f"sample for {sample.nf_name!r} added to dataset of {self.nf_name!r}"
+            )
+        self.samples.append(sample)
+
+    def extend(self, samples: list[ProfileSample]) -> None:
+        for sample in samples:
+            self.add(sample)
+
+    # ------------------------------------------------------------------
+    def features(self, include_traffic: bool = True) -> np.ndarray:
+        """Feature matrix: 7 counters + competitor count [+ traffic].
+
+        Column order is :data:`~repro.nic.counters.COUNTER_NAMES`, then
+        the number of co-located competitors (several light contenders
+        press a shared cache differently than one heavy contender with
+        identical aggregate counters), then optionally
+        :data:`~repro.traffic.profile.TRAFFIC_ATTRIBUTES`.
+        """
+        if not self.samples:
+            raise ProfilingError("dataset is empty")
+        rows = []
+        for sample in self.samples:
+            row = np.concatenate(
+                [
+                    sample.competitor_counters.as_vector(),
+                    [float(sample.n_competitors)],
+                ]
+            )
+            if include_traffic:
+                row = np.concatenate([row, sample.traffic.as_vector()])
+            rows.append(row)
+        return np.array(rows)
+
+    def targets(self) -> np.ndarray:
+        """Measured throughputs (Mpps)."""
+        if not self.samples:
+            raise ProfilingError("dataset is empty")
+        return np.array([s.throughput_mpps for s in self.samples])
+
+    @staticmethod
+    def feature_names(include_traffic: bool = True) -> tuple[str, ...]:
+        """Column names matching :meth:`features`."""
+        names = tuple(COUNTER_NAMES) + ("n_competitors",)
+        if include_traffic:
+            names = names + tuple(TRAFFIC_ATTRIBUTES)
+        return names
+
+    # ------------------------------------------------------------------
+    def split_by(self, predicate) -> tuple["ProfileDataset", "ProfileDataset"]:
+        """Split samples into (matching, rest) datasets."""
+        yes = ProfileDataset(self.nf_name)
+        no = ProfileDataset(self.nf_name)
+        for sample in self.samples:
+            (yes if predicate(sample) else no).add(sample)
+        return yes, no
+
+    def merged_with(self, other: "ProfileDataset") -> "ProfileDataset":
+        """New dataset containing samples of both."""
+        if other.nf_name != self.nf_name:
+            raise ProfilingError("cannot merge datasets of different NFs")
+        merged = ProfileDataset(self.nf_name)
+        merged.extend(self.samples)
+        merged.extend(other.samples)
+        return merged

@@ -1,0 +1,37 @@
+"""Traffic generation substrate.
+
+Replaces the paper's DPDK-Pktgen + exrex + L7-filter toolchain. The unit
+of configuration is a :class:`~repro.traffic.profile.TrafficProfile`
+(flow count, packet size, match-to-byte ratio) — the three traffic
+attributes Yala's models consume (§5.1). Flow tables, packet streams and
+regex-matched payloads can also be materialised for tests and examples.
+"""
+
+from repro.traffic.flows import Flow, FlowGenerator
+from repro.traffic.payload import PayloadGenerator, measure_mtbr
+from repro.traffic.pktgen import Packet, PacketGenerator
+from repro.traffic.profile import (
+    DEFAULT_TRAFFIC,
+    TRAFFIC_ATTRIBUTES,
+    AttributeRange,
+    TrafficProfile,
+    random_profiles,
+)
+from repro.traffic.rules import RegexRule, RuleSet, l7_filter_ruleset
+
+__all__ = [
+    "AttributeRange",
+    "DEFAULT_TRAFFIC",
+    "Flow",
+    "FlowGenerator",
+    "Packet",
+    "PacketGenerator",
+    "PayloadGenerator",
+    "RegexRule",
+    "RuleSet",
+    "TRAFFIC_ATTRIBUTES",
+    "TrafficProfile",
+    "l7_filter_ruleset",
+    "measure_mtbr",
+    "random_profiles",
+]

@@ -1,0 +1,83 @@
+"""Payload synthesis with a target match-to-byte ratio (exrex substitute).
+
+The paper generates payloads with ``exrex`` so that scanning them against
+the L7-filter ruleset yields a chosen match-to-byte ratio (MTBR,
+matches per MB of payload). We achieve the same property directly:
+payloads are filled with token-free random bytes and rule tokens are
+planted at the density required to hit the requested MTBR in
+expectation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+from repro.traffic.rules import RuleSet
+
+#: Byte alphabet guaranteed not to form any default ruleset token
+#: (lowercase letters only; tokens all contain uppercase/punctuation).
+_FILLER = np.frombuffer(b"abcdefghijklmnopqrstuvwxyz", dtype=np.uint8)
+
+
+class PayloadGenerator:
+    """Generates packet payloads hitting a target MTBR for a ruleset."""
+
+    def __init__(self, ruleset: RuleSet, seed: SeedLike = None) -> None:
+        self._ruleset = ruleset
+        self._rng = make_rng(seed)
+
+    @property
+    def ruleset(self) -> RuleSet:
+        return self._ruleset
+
+    def generate(self, payload_bytes: int, mtbr: float) -> bytes:
+        """One payload of ``payload_bytes`` with ~``mtbr`` matches/MB.
+
+        The expected number of matches is ``payload_bytes * mtbr / 1e6``;
+        the integer count is drawn by stochastic rounding so a stream of
+        payloads converges to the exact ratio.
+        """
+        if payload_bytes < 1:
+            raise ConfigurationError("payload_bytes must be >= 1")
+        if mtbr < 0:
+            raise ConfigurationError("mtbr must be >= 0")
+        rng = self._rng
+        body = _FILLER[rng.integers(0, len(_FILLER), size=payload_bytes)].tobytes()
+        expected = payload_bytes * mtbr / 1e6
+        count = int(expected) + (1 if rng.random() < (expected - int(expected)) else 0)
+        if count == 0:
+            return body
+
+        payload = bytearray(body)
+        rules = self._ruleset.rules
+        # Plant tokens at disjoint positions so every plant scans as one
+        # match (tokens never overlap and never straddle each other).
+        max_token = max(len(r.token) for r in rules)
+        if payload_bytes < max_token:
+            return bytes(payload)
+        slots = max(1, payload_bytes // max_token)
+        positions = rng.choice(slots, size=min(count, slots), replace=False)
+        for position in positions:
+            rule = rules[int(rng.integers(0, len(rules)))]
+            offset = int(position) * max_token
+            payload[offset : offset + len(rule.token)] = rule.token
+        return bytes(payload)
+
+    def stream(self, payload_bytes: int, mtbr: float, count: int) -> list[bytes]:
+        """A list of ``count`` payloads at the target MTBR."""
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        return [self.generate(payload_bytes, mtbr) for _ in range(count)]
+
+
+def measure_mtbr(payloads: list[bytes], ruleset: RuleSet) -> float:
+    """Empirical MTBR (matches/MB) of ``payloads`` against ``ruleset``."""
+    if not payloads:
+        raise ConfigurationError("measure_mtbr needs at least one payload")
+    total_bytes = sum(len(p) for p in payloads)
+    if total_bytes == 0:
+        raise ConfigurationError("payloads are empty")
+    total_matches = sum(ruleset.total_matches(p) for p in payloads)
+    return total_matches / total_bytes * 1e6

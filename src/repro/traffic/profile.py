@@ -1,0 +1,161 @@
+"""Traffic profiles: the attribute vector Yala's models consume.
+
+The paper denotes a traffic profile as a vector like ``(16000, 1500,
+600)`` — 16K flows, 1500-byte packets, 600 matches/MB of payload (§5.1).
+This module provides that vector as a typed value object plus helpers to
+enumerate and randomise profiles for evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+
+#: Canonical attribute ordering for model feature vectors.
+TRAFFIC_ATTRIBUTES: tuple[str, ...] = ("flow_count", "packet_size", "mtbr")
+
+#: Bytes of L2/L3/L4 headers preceding payload in a packet.
+HEADER_BYTES = 54
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """One traffic configuration.
+
+    Attributes
+    ----------
+    flow_count:
+        Number of concurrent flows.
+    packet_size:
+        Total packet size in bytes (headers + payload).
+    mtbr:
+        Match-to-byte ratio of the payload against the regex ruleset,
+        in matches per megabyte of payload.
+    """
+
+    flow_count: int = 16_000
+    packet_size: int = 1500
+    mtbr: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.flow_count < 1:
+            raise ConfigurationError(f"flow_count must be >= 1, got {self.flow_count}")
+        if not HEADER_BYTES < self.packet_size <= 9000:
+            raise ConfigurationError(
+                f"packet_size must be in ({HEADER_BYTES}, 9000], got {self.packet_size}"
+            )
+        if self.mtbr < 0:
+            raise ConfigurationError(f"mtbr must be >= 0, got {self.mtbr}")
+
+    # ------------------------------------------------------------------
+    @property
+    def payload_bytes(self) -> int:
+        """Payload carried per packet."""
+        return self.packet_size - HEADER_BYTES
+
+    @property
+    def matches_per_packet(self) -> float:
+        """Expected regex matches in one packet's payload."""
+        return self.payload_bytes * self.mtbr / 1e6
+
+    def as_vector(self) -> np.ndarray:
+        """Attribute vector in :data:`TRAFFIC_ATTRIBUTES` order."""
+        return np.array([float(self.flow_count), float(self.packet_size), self.mtbr])
+
+    def with_attribute(self, name: str, value: float) -> "TrafficProfile":
+        """Copy of this profile with one attribute replaced."""
+        if name not in TRAFFIC_ATTRIBUTES:
+            raise ConfigurationError(
+                f"unknown traffic attribute {name!r}; known: {TRAFFIC_ATTRIBUTES}"
+            )
+        if name == "flow_count":
+            return replace(self, flow_count=int(round(value)))
+        if name == "packet_size":
+            return replace(self, packet_size=int(round(value)))
+        return replace(self, mtbr=float(value))
+
+    def attribute(self, name: str) -> float:
+        """Value of one attribute by name."""
+        if name not in TRAFFIC_ATTRIBUTES:
+            raise ConfigurationError(f"unknown traffic attribute {name!r}")
+        return float(getattr(self, name))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.flow_count}, {self.packet_size}, {self.mtbr:g})"
+
+
+#: The paper's default profile: 16K flows, 1500 B packets, 600 matches/MB.
+DEFAULT_TRAFFIC = TrafficProfile()
+
+
+@dataclass(frozen=True)
+class AttributeRange:
+    """Admissible range of one traffic attribute for profiling sweeps."""
+
+    name: str
+    minimum: float
+    maximum: float
+
+    def __post_init__(self) -> None:
+        if self.name not in TRAFFIC_ATTRIBUTES:
+            raise ConfigurationError(f"unknown traffic attribute {self.name!r}")
+        if self.minimum >= self.maximum:
+            raise ConfigurationError(
+                f"range for {self.name!r} must satisfy min < max"
+            )
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.minimum + self.maximum)
+
+    def grid(self, points: int) -> np.ndarray:
+        """Evenly spaced values across the range."""
+        if points < 2:
+            raise ConfigurationError("grid needs at least 2 points")
+        return np.linspace(self.minimum, self.maximum, points)
+
+
+#: Evaluation ranges used across the paper's experiments (flows up to
+#: 500K as in §2.2.2; standard Ethernet packet sizes; MTBR 0..1100 as in
+#: the diagnosis study §7.5.2).
+DEFAULT_RANGES: dict[str, AttributeRange] = {
+    "flow_count": AttributeRange("flow_count", 1_000, 500_000),
+    "packet_size": AttributeRange("packet_size", 64, 1500),
+    "mtbr": AttributeRange("mtbr", 0.0, 1100.0),
+}
+
+
+def random_profiles(
+    count: int,
+    seed: SeedLike = None,
+    ranges: dict[str, AttributeRange] | None = None,
+    vary: Iterable[str] = TRAFFIC_ATTRIBUTES,
+    base: TrafficProfile = DEFAULT_TRAFFIC,
+) -> list[TrafficProfile]:
+    """Draw ``count`` random profiles, varying only ``vary`` attributes.
+
+    Used by the evaluation to generate the "100 distinct traffic
+    profiles with random number of flows up to 500K" (§2.2.2, §7.4).
+    """
+    if count < 1:
+        raise ConfigurationError("count must be >= 1")
+    rng = make_rng(seed)
+    ranges = dict(DEFAULT_RANGES if ranges is None else ranges)
+    vary = list(vary)
+    for name in vary:
+        if name not in TRAFFIC_ATTRIBUTES:
+            raise ConfigurationError(f"unknown traffic attribute {name!r}")
+    profiles = []
+    for _ in range(count):
+        profile = base
+        for name in vary:
+            span = ranges[name]
+            value = rng.uniform(span.minimum, span.maximum)
+            profile = profile.with_attribute(name, value)
+        profiles.append(profile)
+    return profiles

@@ -1,0 +1,28 @@
+"""Operational use cases built on the predictors (paper §7.5).
+
+- :mod:`repro.usecases.scheduling` — contention-aware NF placement onto
+  a cluster of SmartNICs (Table 6): Monopolization / utilisation-Greedy
+  / SLOMO-aware / Yala-aware, scored for resource wastage against an
+  oracle packing and for SLA violations against ground truth.
+- :mod:`repro.usecases.diagnosis` — performance-bottleneck
+  identification under shifting traffic (Table 7).
+"""
+
+from repro.usecases.diagnosis import BottleneckDiagnoser, DiagnosisOutcome
+from repro.usecases.scheduling import (
+    NfArrival,
+    PlacementOutcome,
+    Scheduler,
+    SchedulingResult,
+    random_arrivals,
+)
+
+__all__ = [
+    "BottleneckDiagnoser",
+    "DiagnosisOutcome",
+    "NfArrival",
+    "PlacementOutcome",
+    "Scheduler",
+    "SchedulingResult",
+    "random_arrivals",
+]

@@ -1,0 +1,152 @@
+"""Performance-bottleneck diagnosis under dynamic traffic (§7.5.2).
+
+The operator co-runs an NF with mem-bench and regex-bench, sweeps the
+traffic MTBR while keeping memory contention fixed, and asks *which
+resource limits the NF right now?* Ground truth comes from hotspot
+analysis (in this reproduction: the simulator's converged stage report);
+a predictor identifies the bottleneck as the resource whose
+per-resource predicted throughput is lowest.
+
+SLOMO models only the memory subsystem, so it always answers "memory" —
+correct exactly when memory really is the bottleneck (FlowStats), wrong
+whenever the bottleneck shifts to an accelerator (FlowMonitor, IPComp
+Gateway), reproducing Table 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.predictor import YalaPredictor
+from repro.errors import ConfigurationError
+from repro.nf.framework import NetworkFunction
+from repro.profiling.collector import ProfilingCollector
+from repro.profiling.contention import ContentionLevel
+from repro.traffic.profile import TrafficProfile
+
+
+@dataclass
+class DiagnosisOutcome:
+    """Per-NF diagnosis accuracy over one MTBR sweep."""
+
+    nf_name: str
+    total: int = 0
+    yala_correct: int = 0
+    slomo_correct: int = 0
+    truths: list[str] = field(default_factory=list)
+    yala_answers: list[str] = field(default_factory=list)
+
+    @property
+    def yala_pct(self) -> float:
+        return 100.0 * self.yala_correct / self.total if self.total else 0.0
+
+    @property
+    def slomo_pct(self) -> float:
+        return 100.0 * self.slomo_correct / self.total if self.total else 0.0
+
+
+class BottleneckDiagnoser:
+    """Runs the Table 7 diagnosis experiment for one NF."""
+
+    def __init__(
+        self,
+        collector: ProfilingCollector,
+        predictor: YalaPredictor,
+    ) -> None:
+        self._collector = collector
+        self._predictor = predictor
+
+    # ------------------------------------------------------------------
+    def ground_truth(
+        self,
+        nf: NetworkFunction,
+        contention: ContentionLevel,
+        traffic: TrafficProfile,
+    ) -> str:
+        """Hotspot-analysis stand-in: measured bottleneck resource."""
+        target = nf.demand(traffic)
+        benches = contention.benches(
+            self._collector.nic.spec.num_cores - target.cores
+        )
+        result = self._collector.nic.run([target] + benches)
+        return result[target.name].bottleneck
+
+    def yala_answer(
+        self, contention: ContentionLevel, traffic: TrafficProfile
+    ) -> str:
+        """Identify the bottleneck from per-resource predictions.
+
+        Two-step rule: (1) if some resource's contention visibly drags
+        the end-to-end prediction below solo, the largest such drop is
+        the bottleneck; (2) otherwise the NF is limited by its intrinsic
+        solo bottleneck — the accelerator whose solo stage capacity sits
+        at (or below) the solo throughput, or the memory subsystem if no
+        accelerator does.
+        """
+        predictor = self._predictor
+        solo = predictor.predict_solo(traffic)
+        counters = self._collector.bench_counters(contention)
+        drops = {
+            "memory": max(
+                0.0,
+                solo
+                - predictor.memory_model.predict(
+                    counters, traffic, contention.actor_count
+                ),
+            )
+        }
+        solo_stage_rates = {}
+        for accelerator in predictor.accel_models:
+            share = predictor._bench_share(accelerator, contention)
+            shares = [share] if share is not None else []
+            contended = predictor._accelerator_throughput(
+                accelerator, traffic, shares, solo
+            )
+            drops[accelerator] = max(0.0, solo - contended)
+            solo_stage_rates[accelerator] = predictor.accel_models[
+                accelerator
+            ].solo_rate(traffic)
+
+        threshold = 0.05 * solo
+        worst = max(drops, key=drops.get)
+        if drops[worst] >= threshold:
+            return worst
+        # No visible contention drop: the intrinsic solo bottleneck.
+        if solo_stage_rates:
+            slowest = min(solo_stage_rates, key=solo_stage_rates.get)
+            if solo_stage_rates[slowest] <= 1.15 * solo:
+                return slowest
+        return "memory"
+
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        nf: NetworkFunction,
+        mtbr_values: list[float],
+        memory_contention: ContentionLevel,
+        base_traffic: TrafficProfile = TrafficProfile(),
+        regex_rate: float = 1.2,
+    ) -> DiagnosisOutcome:
+        """Sweep MTBR with fixed memory contention and score answers.
+
+        Mirrors §7.5.2: MTBR from 0 to 1100 matches/MB, memory
+        contention unchanged, bottleneck may shift between memory and
+        the regex accelerator.
+        """
+        if not mtbr_values:
+            raise ConfigurationError("mtbr_values must be non-empty")
+        outcome = DiagnosisOutcome(nf_name=nf.name)
+        for mtbr in mtbr_values:
+            traffic = base_traffic.with_attribute("mtbr", mtbr)
+            contention = memory_contention.with_regex(regex_rate, mtbr=max(mtbr, 1.0))
+            truth = self.ground_truth(nf, contention, traffic)
+            yala = self.yala_answer(contention, traffic)
+            slomo = "memory"  # SLOMO sees only the memory subsystem.
+            outcome.total += 1
+            outcome.truths.append(truth)
+            outcome.yala_answers.append(yala)
+            if yala == truth:
+                outcome.yala_correct += 1
+            if slomo == truth:
+                outcome.slomo_correct += 1
+        return outcome

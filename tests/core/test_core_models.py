@@ -1,0 +1,232 @@
+"""Unit tests for Yala's per-resource models and composition."""
+
+import numpy as np
+import pytest
+
+from repro.core.accel_model import (
+    AcceleratorShare,
+    QueueingAcceleratorModel,
+    waterfill_rates,
+)
+from repro.core.baselines import compose_min, compose_sum
+from repro.core.composition import (
+    compose,
+    detect_execution_pattern,
+    pipeline_throughput,
+    run_to_completion_throughput,
+)
+from repro.core.memory_model import MemoryContentionModel
+from repro.errors import ConfigurationError, ModelNotFittedError, ProfilingError
+from repro.nf.catalog import make_nf
+from repro.nic.counters import PerfCounters
+from repro.nic.workload import ExecutionPattern
+from repro.profiling.adaptive import AdaptiveProfiler
+from repro.profiling.contention import ContentionLevel
+from repro.traffic.profile import TrafficProfile
+
+TRAFFIC = TrafficProfile()
+
+
+class TestWaterfillRates:
+    def test_two_saturated_clients_split_equally(self):
+        shares = [
+            AcceleratorShare("a", 1, 0.5),
+            AcceleratorShare("b", 1, 0.5),
+        ]
+        rates = waterfill_rates(shares)
+        assert rates["a"] == pytest.approx(rates["b"]) == pytest.approx(1.0)
+
+    def test_matches_eq1_form(self):
+        """T_i = n_i / sum_j n_j t_j for saturated clients."""
+        shares = [
+            AcceleratorShare("a", 2, 0.3),
+            AcceleratorShare("b", 1, 0.7),
+        ]
+        rates = waterfill_rates(shares)
+        denom = 2 * 0.3 + 1 * 0.7
+        assert rates["a"] == pytest.approx(2 / denom)
+        assert rates["b"] == pytest.approx(1 / denom)
+
+    def test_open_loop_client_served_at_offer(self):
+        shares = [
+            AcceleratorShare("a", 1, 0.5),
+            AcceleratorShare("b", 1, 0.5, offered_rate=0.4),
+        ]
+        rates = waterfill_rates(shares)
+        assert rates["b"] == pytest.approx(0.4)
+        assert rates["a"] == pytest.approx((1.0 - 0.2) / 0.5)
+
+    def test_empty(self):
+        assert waterfill_rates([]) == {}
+
+    def test_share_validation(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorShare("a", 0, 0.5)
+        with pytest.raises(ConfigurationError):
+            AcceleratorShare("a", 1, 0.0)
+
+
+class TestQueueingAcceleratorModel:
+    @pytest.fixture(scope="class")
+    def fitted(self, collector):
+        model = QueueingAcceleratorModel("flowmonitor", "regex")
+        model.fit(collector, make_nf("flowmonitor"))
+        return model
+
+    def test_queue_count_inferred_as_one(self, fitted):
+        assert fitted.n_queues_ == 1.0
+
+    def test_request_time_close_to_truth(self, fitted):
+        # FlowMonitor scans half the payload: true engine time at the
+        # default profile is ~0.48us.
+        true_time = 0.01 + 0.5 * 1446 / 2000 + 0.5 * 1446 * 600e-6 * 0.25
+        assert fitted.request_time(TRAFFIC) == pytest.approx(true_time, rel=0.1)
+
+    def test_request_time_grows_with_mtbr(self, fitted):
+        low = fitted.request_time(TrafficProfile(16_000, 1500, 100.0))
+        high = fitted.request_time(TrafficProfile(16_000, 1500, 1000.0))
+        assert high > low
+
+    def test_contended_rate_below_solo(self, fitted):
+        competitor = AcceleratorShare("bench", 1, 0.8, offered_rate=0.6)
+        assert fitted.contended_rate(TRAFFIC, [competitor]) < fitted.solo_rate(
+            TRAFFIC
+        )
+
+    def test_fit_error_small(self, fitted):
+        assert fitted.mean_fit_error < 0.10
+
+    def test_unfitted_raises(self):
+        model = QueueingAcceleratorModel("nids", "regex")
+        with pytest.raises(ModelNotFittedError):
+            model.request_time(TRAFFIC)
+
+    def test_unsupported_accelerator(self):
+        with pytest.raises(ConfigurationError):
+            QueueingAcceleratorModel("nids", "crypto")
+
+
+class TestMemoryContentionModel:
+    @pytest.fixture(scope="class")
+    def fitted(self, collector):
+        report = AdaptiveProfiler(collector, quota=150, seed=9).profile(
+            make_nf("flowstats")
+        )
+        return MemoryContentionModel("flowstats", seed=9).fit(report.dataset)
+
+    def test_solo_prediction_close(self, fitted, collector):
+        truth = collector.solo(make_nf("flowstats"), TRAFFIC).throughput_mpps
+        assert fitted.predict_solo(TRAFFIC) == pytest.approx(truth, rel=0.1)
+
+    def test_contended_prediction_below_solo(self, fitted, collector):
+        counters = collector.bench_counters(ContentionLevel(mem_car=240.0))
+        assert fitted.predict(counters, TRAFFIC) < fitted.predict_solo(TRAFFIC)
+
+    def test_accuracy_on_sweep(self, fitted, collector):
+        errors = []
+        nf = make_nf("flowstats")
+        for car in (60.0, 140.0, 220.0):
+            level = ContentionLevel(mem_car=car)
+            truth = collector.profile_one(nf, level, TRAFFIC).throughput_mpps
+            pred = fitted.predict(collector.bench_counters(level), TRAFFIC)
+            errors.append(abs(pred - truth) / truth)
+        assert np.mean(errors) < 0.12
+
+    def test_requires_min_samples(self):
+        from repro.profiling.dataset import ProfileDataset
+
+        with pytest.raises(ProfilingError):
+            MemoryContentionModel("acl").fit(ProfileDataset("acl"))
+
+    def test_wrong_dataset_rejected(self, collector):
+        report = AdaptiveProfiler(collector, quota=30, seed=9).profile(make_nf("acl"))
+        with pytest.raises(ProfilingError):
+            MemoryContentionModel("nat").fit(report.dataset)
+
+    def test_feature_importances_named(self, fitted):
+        importances = fitted.feature_importances()
+        assert "flow_count" in importances and "l2crd" in importances
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            MemoryContentionModel("acl").predict(PerfCounters.zero(), TRAFFIC)
+
+
+class TestComposition:
+    def test_pipeline_takes_worst_drop(self):
+        assert pipeline_throughput(2.0, [1.5, 1.8]) == pytest.approx(1.5)
+
+    def test_pipeline_no_drop_returns_solo(self):
+        assert pipeline_throughput(2.0, [2.5, 3.0]) == pytest.approx(2.0)
+
+    def test_rtc_compounds_drops(self):
+        # Eq. 3 with two drops must fall below either single drop.
+        combined = run_to_completion_throughput(2.0, [1.5, 1.6])
+        assert combined < 1.5
+
+    def test_rtc_matches_eq3_formula(self):
+        solo, t1, t2 = 2.0, 1.5, 1.6
+        inverse = 1 / t1 + 1 / t2 - 1 / solo
+        assert run_to_completion_throughput(solo, [t1, t2]) == pytest.approx(
+            1 / inverse
+        )
+
+    def test_rtc_single_resource_is_identity(self):
+        assert run_to_completion_throughput(2.0, [1.4]) == pytest.approx(1.4)
+
+    def test_pipeline_single_resource_is_identity(self):
+        assert pipeline_throughput(2.0, [1.4]) == pytest.approx(1.4)
+
+    def test_compose_dispatch(self):
+        per_resource = [1.5, 1.8]
+        assert compose(ExecutionPattern.PIPELINE, 2.0, per_resource) == pytest.approx(
+            pipeline_throughput(2.0, per_resource)
+        )
+        assert compose(
+            ExecutionPattern.RUN_TO_COMPLETION, 2.0, per_resource
+        ) == pytest.approx(run_to_completion_throughput(2.0, per_resource))
+
+    def test_sum_composition_subtracts_all(self):
+        assert compose_sum(2.0, [1.5, 1.8]) == pytest.approx(2.0 - 0.5 - 0.2)
+
+    def test_min_composition_equals_pipeline_rule(self):
+        assert compose_min(2.0, [1.5, 1.8]) == pytest.approx(
+            pipeline_throughput(2.0, [1.5, 1.8])
+        )
+
+    def test_sum_composition_floors_at_zero(self):
+        assert compose_sum(1.0, [0.2, 0.2]) > 0.0
+
+    def test_rejects_nonpositive_solo(self):
+        with pytest.raises(ConfigurationError):
+            pipeline_throughput(0.0, [1.0])
+        with pytest.raises(ConfigurationError):
+            compose_sum(0.0, [1.0])
+
+
+class TestPatternDetection:
+    def test_detects_pipeline_flowmonitor(self, collector):
+        result = detect_execution_pattern(collector, make_nf("flowmonitor"))
+        assert result.pattern is ExecutionPattern.PIPELINE
+        assert result.pipeline_error < result.rtc_error
+
+    def test_detects_rtc_nids(self, collector):
+        result = detect_execution_pattern(collector, make_nf("nids"))
+        assert result.pattern is ExecutionPattern.RUN_TO_COMPLETION
+
+    def test_memory_only_nf_reports_neutral(self, collector):
+        result = detect_execution_pattern(collector, make_nf("flowstats"))
+        assert result.pipeline_error == 0.0 and result.rtc_error == 0.0
+        assert not result.confident
+
+    def test_synthetic_pattern_pair_detected(self, collector):
+        from repro.nf.synthetic import nf1
+
+        pipe = detect_execution_pattern(
+            collector, nf1(ExecutionPattern.PIPELINE)
+        )
+        rtc = detect_execution_pattern(
+            collector, nf1(ExecutionPattern.RUN_TO_COMPLETION)
+        )
+        assert pipe.pattern is ExecutionPattern.PIPELINE
+        assert rtc.pattern is ExecutionPattern.RUN_TO_COMPLETION

@@ -1,0 +1,171 @@
+"""Tests for the Yala predictor/system and the SLOMO baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import CompetitorSpec, YalaPredictor, YalaSystem
+from repro.core.slomo import SlomoPredictor
+from repro.errors import ConfigurationError, ModelNotFittedError, ProfilingError
+from repro.nf.catalog import make_nf
+from repro.nic.counters import PerfCounters
+from repro.nic.workload import ExecutionPattern
+from repro.profiling.contention import ContentionLevel
+from repro.traffic.profile import TrafficProfile
+
+TRAFFIC = TrafficProfile()
+
+
+class TestCompetitorSpec:
+    def test_nf_constructor(self):
+        spec = CompetitorSpec.nf("nids")
+        assert spec.kind == "nf" and spec.nf_name == "nids"
+
+    def test_bench_constructor(self):
+        spec = CompetitorSpec.bench(ContentionLevel(mem_car=10.0))
+        assert spec.kind == "bench"
+
+    def test_nf_requires_name(self):
+        with pytest.raises(ConfigurationError):
+            CompetitorSpec(kind="nf")
+
+    def test_bench_requires_contention(self):
+        with pytest.raises(ConfigurationError):
+            CompetitorSpec(kind="bench")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            CompetitorSpec(kind="vm")
+
+
+class TestYalaPredictor:
+    def test_training_populates_models(self, trained_flowmonitor):
+        predictor = trained_flowmonitor
+        assert predictor.pattern is ExecutionPattern.PIPELINE
+        assert predictor.memory_model is not None
+        assert "regex" in predictor.accel_models
+        assert predictor.profiling_report is not None
+
+    def test_solo_prediction_accuracy(self, trained_flowmonitor, collector):
+        truth = collector.solo(make_nf("flowmonitor"), TRAFFIC).throughput_mpps
+        assert trained_flowmonitor.predict_solo(TRAFFIC) == pytest.approx(
+            truth, rel=0.08
+        )
+
+    def test_bench_contention_prediction(self, trained_flowmonitor, collector):
+        level = ContentionLevel(mem_car=150.0, regex_rate=1.0, regex_mtbr=800.0)
+        truth = collector.profile_one(
+            make_nf("flowmonitor"), level, TRAFFIC
+        ).throughput_mpps
+        pred = trained_flowmonitor.predict(
+            TRAFFIC, [CompetitorSpec.bench(level)]
+        )
+        assert pred == pytest.approx(truth, rel=0.15)
+
+    def test_prediction_decreases_with_contention(self, trained_flowmonitor):
+        light = trained_flowmonitor.predict(
+            TRAFFIC,
+            [CompetitorSpec.bench(ContentionLevel(mem_car=30.0, regex_rate=0.2))],
+        )
+        heavy = trained_flowmonitor.predict(
+            TRAFFIC,
+            [CompetitorSpec.bench(ContentionLevel(mem_car=240.0, regex_rate=1.6))],
+        )
+        assert heavy < light
+
+    def test_no_competitors_predicts_solo(self, trained_flowmonitor):
+        assert trained_flowmonitor.predict(TRAFFIC, []) == pytest.approx(
+            trained_flowmonitor.predict_solo(TRAFFIC), rel=0.02
+        )
+
+    def test_untrained_predictor_raises(self, collector):
+        predictor = YalaPredictor(make_nf("acl"), collector)
+        with pytest.raises(ModelNotFittedError):
+            predictor.predict(TRAFFIC, [])
+
+
+class TestYalaSystem:
+    def test_trained_names(self, small_system):
+        assert small_system.trained_names == ["flowmonitor", "flowstats", "nids"]
+
+    def test_unknown_predictor_raises(self, small_system):
+        with pytest.raises(ProfilingError):
+            small_system.predictor_of("acl")
+
+    def test_colocation_prediction_accuracy(self, small_system):
+        collector = small_system.collector
+        truth = collector.co_run_with(
+            make_nf("flowmonitor"), TRAFFIC, [(make_nf("nids"), TRAFFIC)]
+        ).throughput_mpps
+        pred = small_system.predict(
+            "flowmonitor", TRAFFIC, [CompetitorSpec.nf("nids", TRAFFIC)]
+        )
+        assert pred == pytest.approx(truth, rel=0.15)
+
+    def test_joint_prediction_returns_all(self, small_system):
+        rates = small_system.predict_colocation(
+            [("flowmonitor", TRAFFIC), ("nids", TRAFFIC), ("flowstats", TRAFFIC)]
+        )
+        assert len(rates) == 3
+        assert all(r > 0 for r in rates)
+
+    def test_joint_prediction_below_solo(self, small_system):
+        rates = small_system.predict_colocation(
+            [("flowmonitor", TRAFFIC), ("nids", TRAFFIC)]
+        )
+        solo_fm = small_system.predictor_of("flowmonitor").predict_solo(TRAFFIC)
+        assert rates[0] <= solo_fm * 1.05
+
+    def test_training_idempotent(self, small_system):
+        before = small_system.predictor_of("nids")
+        small_system.train(["nids"])
+        assert small_system.predictor_of("nids") is before
+
+
+class TestSlomo:
+    @pytest.fixture(scope="class")
+    def slomo(self, collector):
+        predictor = SlomoPredictor("flowstats", seed=3)
+        predictor.train(collector, make_nf("flowstats"), n_samples=150)
+        return predictor
+
+    def test_accurate_at_training_traffic(self, slomo, collector):
+        nf = make_nf("flowstats")
+        errors = []
+        for car in (60.0, 150.0, 240.0):
+            level = ContentionLevel(mem_car=car)
+            truth = collector.profile_one(nf, level, TRAFFIC).throughput_mpps
+            pred = slomo.predict(collector.bench_counters(level), TRAFFIC)
+            errors.append(abs(pred - truth) / truth)
+        assert np.mean(errors) < 0.12
+
+    def test_large_traffic_shift_degrades(self, slomo, collector):
+        """SLOMO's extrapolation fails off the training profile (Fig 7b)."""
+        nf = make_nf("flowstats")
+        shifted = TrafficProfile(400_000, 1500, 600.0)
+        level = ContentionLevel(mem_car=100.0)
+        truth = collector.profile_one(nf, level, shifted).throughput_mpps
+        pred = slomo.predict(collector.bench_counters(level), shifted)
+        default_truth = collector.profile_one(nf, level, TRAFFIC).throughput_mpps
+        default_pred = slomo.predict(collector.bench_counters(level), TRAFFIC)
+        err_shift = abs(pred - truth) / truth
+        err_default = abs(default_pred - default_truth) / default_truth
+        assert err_shift > err_default
+
+    def test_extrapolation_beats_raw_on_shifted_traffic(self, slomo, collector):
+        nf = make_nf("flowstats")
+        shifted = TrafficProfile(120_000, 1500, 600.0)
+        level = ContentionLevel(mem_car=60.0)
+        truth = collector.profile_one(nf, level, shifted).throughput_mpps
+        counters = collector.bench_counters(level)
+        with_extrapolation = slomo.predict(counters, shifted)
+        without = slomo.predict(counters, shifted, extrapolate=False)
+        assert abs(with_extrapolation - truth) <= abs(without - truth)
+
+    def test_wrong_nf_rejected(self, collector):
+        predictor = SlomoPredictor("nat", seed=3)
+        with pytest.raises(ProfilingError):
+            predictor.train(collector, make_nf("acl"))
+
+    def test_untrained_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            SlomoPredictor("acl").predict(PerfCounters.zero())

@@ -1,0 +1,45 @@
+"""Tests for the experiment runner and figure aliases."""
+
+import pytest
+
+from repro.experiments import fig7_fig8_aliases
+from repro.experiments.runner import EXPERIMENTS, run_experiments
+
+
+class TestRunnerRegistry:
+    def test_all_paper_artifacts_registered(self):
+        keys = set(EXPERIMENTS)
+        for artifact in (
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+            "table2", "table4", "table6", "table7", "table9",
+        ):
+            assert artifact in keys
+        assert "table3+fig7a" in keys
+        assert "table5+fig7b" in keys
+        assert "table8+fig8" in keys
+
+    def test_selection_by_partial_name(self):
+        results = run_experiments(["fig4"], scale="smoke")
+        assert "fig4" in results
+
+    def test_selection_resolves_combined_ids(self):
+        results = run_experiments(["fig7a"], scale="smoke")
+        assert "table3+fig7a" in results
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiments(["fig99"], scale="smoke")
+
+
+class TestAliases:
+    def test_fig7a_alias_matches_table3(self):
+        result = fig7_fig8_aliases.run_fig7a(scale="smoke")
+        assert result.fig7a_low and result.fig7a_high
+
+    def test_fig7b_alias_matches_table5(self):
+        result = fig7_fig8_aliases.run_fig7b(scale="smoke")
+        assert ("yala", "low") in result.fig7b
+
+    def test_fig8_alias_matches_table8(self):
+        result = fig7_fig8_aliases.run_fig8(scale="smoke")
+        assert set(result.fig8) == {"random", "adaptive"}

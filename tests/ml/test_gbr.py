@@ -1,0 +1,117 @@
+"""Unit tests for gradient boosting regression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ModelNotFittedError
+from repro.ml.gbr import GradientBoostingRegressor
+
+
+def _smooth_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, 4))
+    y = 2.0 * x[:, 0] + np.sin(4 * x[:, 1]) + 0.5 * x[:, 2] * x[:, 3]
+    return x, y
+
+
+class TestFitting:
+    def test_fits_nonlinear_function(self):
+        x, y = _smooth_data()
+        model = GradientBoostingRegressor(n_estimators=150, seed=0).fit(x, y)
+        rmse = np.sqrt(np.mean((model.predict(x) - y) ** 2))
+        assert rmse < 0.1 * y.std()
+
+    def test_training_loss_decreases(self):
+        x, y = _smooth_data()
+        model = GradientBoostingRegressor(n_estimators=60, seed=0).fit(x, y)
+        losses = model.train_losses
+        assert losses[-1] < losses[0]
+
+    def test_more_stages_reduce_training_error(self):
+        x, y = _smooth_data()
+        small = GradientBoostingRegressor(n_estimators=10, seed=0).fit(x, y)
+        large = GradientBoostingRegressor(n_estimators=200, seed=0).fit(x, y)
+        assert large.train_losses[-1] < small.train_losses[-1]
+
+    def test_generalises_to_held_out_data(self):
+        x, y = _smooth_data(600)
+        model = GradientBoostingRegressor(n_estimators=200, seed=0).fit(
+            x[:500], y[:500]
+        )
+        rmse = np.sqrt(np.mean((model.predict(x[500:]) - y[500:]) ** 2))
+        assert rmse < 0.25 * y.std()
+
+    def test_subsample_stochastic_boosting(self):
+        x, y = _smooth_data()
+        model = GradientBoostingRegressor(
+            n_estimators=50, subsample=0.6, seed=0
+        ).fit(x, y)
+        assert model.n_stages == 50
+
+    def test_early_stopping_halts(self):
+        x, y = _smooth_data(400)
+        model = GradientBoostingRegressor(
+            n_estimators=500, n_iter_no_change=5, seed=0
+        ).fit(x, y)
+        assert model.n_stages < 500
+
+    def test_deterministic_given_seed(self):
+        x, y = _smooth_data()
+        a = GradientBoostingRegressor(n_estimators=30, subsample=0.7, seed=5).fit(x, y)
+        b = GradientBoostingRegressor(n_estimators=30, subsample=0.7, seed=5).fit(x, y)
+        assert np.allclose(a.predict(x), b.predict(x))
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_estimators": 0},
+            {"learning_rate": 0.0},
+            {"learning_rate": 1.5},
+            {"subsample": 0.0},
+            {"subsample": 1.2},
+            {"validation_fraction": 1.0},
+        ],
+    )
+    def test_rejects_bad_hyperparameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            GradientBoostingRegressor(**kwargs)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ConfigurationError):
+            GradientBoostingRegressor().fit(np.ones((1, 2)), np.ones(1))
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ConfigurationError):
+            GradientBoostingRegressor().fit(np.ones((5, 2)), np.ones(6))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ModelNotFittedError):
+            GradientBoostingRegressor().predict(np.ones((1, 2)))
+
+    def test_staged_predict_before_fit(self):
+        with pytest.raises(ModelNotFittedError):
+            GradientBoostingRegressor().staged_predict(np.ones((1, 2)))
+
+
+class TestIntrospection:
+    def test_staged_predictions_shape(self):
+        x, y = _smooth_data(100)
+        model = GradientBoostingRegressor(n_estimators=20, seed=0).fit(x, y)
+        stages = model.staged_predict(x[:10], every=5)
+        assert stages.shape == (4, 10)
+
+    def test_staged_predictions_converge_to_final(self):
+        x, y = _smooth_data(100)
+        model = GradientBoostingRegressor(n_estimators=20, seed=0).fit(x, y)
+        stages = model.staged_predict(x[:10], every=1)
+        assert np.allclose(stages[-1], model.predict(x[:10]))
+
+    def test_feature_importances(self):
+        x, y = _smooth_data()
+        model = GradientBoostingRegressor(n_estimators=60, seed=0).fit(x, y)
+        importances = model.feature_importances(4)
+        assert importances.sum() == pytest.approx(1.0)
+        # The two main-effect features dominate the weak interaction pair.
+        assert importances[0] + importances[1] > importances[2] + importances[3]

@@ -1,0 +1,206 @@
+"""Unit tests for linear models, metrics, splitting and scaling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ModelNotFittedError
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.metrics import (
+    absolute_percentage_errors,
+    error_box_stats,
+    mae,
+    mape,
+    r2_score,
+    rmse,
+    within_tolerance_accuracy,
+)
+from repro.ml.model_selection import KFold, train_test_split
+from repro.ml.preprocessing import StandardScaler
+
+
+class TestLinearRegression:
+    def test_recovers_exact_coefficients(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 3))
+        y = 2.0 * x[:, 0] - 1.0 * x[:, 1] + 0.5 * x[:, 2] + 3.0
+        model = LinearRegression().fit(x, y)
+        assert np.allclose(model.coef_, [2.0, -1.0, 0.5])
+        assert model.intercept_ == pytest.approx(3.0)
+
+    def test_without_intercept(self):
+        x = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([2.0, 4.0, 6.0])
+        model = LinearRegression(fit_intercept=False).fit(x, y)
+        assert model.intercept_ == 0.0
+        assert model.coef_[0] == pytest.approx(2.0)
+
+    def test_predict_matches_formula(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]])
+        y = np.array([5.0, 11.0])
+        model = LinearRegression().fit(x, y)
+        assert np.allclose(model.predict(x), y)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ModelNotFittedError):
+            LinearRegression().predict(np.ones((1, 2)))
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(ConfigurationError):
+            LinearRegression().fit(np.ones((3, 1)), np.ones(4))
+
+    def test_1d_feature_input_accepted(self):
+        model = LinearRegression().fit(np.array([[1.0], [2.0]]), np.array([1.0, 2.0]))
+        out = model.predict(np.array([[3.0]]))
+        assert out[0] == pytest.approx(3.0)
+
+
+class TestRidge:
+    def test_shrinks_towards_zero(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(50, 2))
+        y = 5.0 * x[:, 0] + rng.normal(scale=0.1, size=50)
+        plain = LinearRegression().fit(x, y)
+        ridge = RidgeRegression(alpha=50.0).fit(x, y)
+        assert abs(ridge.coef_[0]) < abs(plain.coef_[0])
+
+    def test_alpha_zero_matches_ols(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(50, 2))
+        y = x[:, 0] - 2 * x[:, 1] + 1.0
+        ols = LinearRegression().fit(x, y)
+        ridge = RidgeRegression(alpha=0.0).fit(x, y)
+        assert np.allclose(ols.coef_, ridge.coef_, atol=1e-8)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ConfigurationError):
+            RidgeRegression(alpha=-1.0)
+
+
+class TestMetrics:
+    def test_mape_simple(self):
+        assert mape(np.array([100.0, 200.0]), np.array([110.0, 180.0])) == pytest.approx(10.0)
+
+    def test_mape_zero_truth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mape(np.array([0.0]), np.array([1.0]))
+
+    def test_ape_per_sample(self):
+        errors = absolute_percentage_errors(np.array([10.0]), np.array([12.0]))
+        assert errors[0] == pytest.approx(20.0)
+
+    def test_within_tolerance_accuracy(self):
+        truth = np.array([100.0, 100.0, 100.0, 100.0])
+        pred = np.array([104.0, 109.0, 89.0, 100.0])
+        assert within_tolerance_accuracy(truth, pred, 5.0) == pytest.approx(50.0)
+        assert within_tolerance_accuracy(truth, pred, 10.0) == pytest.approx(75.0)
+
+    def test_tolerance_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            within_tolerance_accuracy(np.ones(2), np.ones(2), 0.0)
+
+    def test_mae_rmse(self):
+        truth = np.array([1.0, 2.0])
+        pred = np.array([2.0, 4.0])
+        assert mae(truth, pred) == pytest.approx(1.5)
+        assert rmse(truth, pred) == pytest.approx(np.sqrt(2.5))
+
+    def test_r2_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_r2_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mape(np.ones(3), np.ones(2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mape(np.empty(0), np.empty(0))
+
+    def test_error_box_stats_keys(self):
+        stats = error_box_stats(np.arange(1.0, 101.0))
+        assert stats["median"] == pytest.approx(50.5)
+        assert stats["min"] == 1.0 and stats["max"] == 100.0
+        assert stats["q1"] < stats["median"] < stats["q3"] < stats["p95"]
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self):
+        x = np.arange(20.0).reshape(-1, 1)
+        y = np.arange(20.0)
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, test_fraction=0.25, seed=0)
+        assert len(x_te) == 5 and len(x_tr) == 15
+        assert len(y_te) == 5 and len(y_tr) == 15
+
+    def test_split_partition_preserves_pairs(self):
+        x = np.arange(10.0).reshape(-1, 1)
+        y = np.arange(10.0) * 2
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, seed=1)
+        assert np.allclose(x_tr[:, 0] * 2, y_tr)
+        assert np.allclose(x_te[:, 0] * 2, y_te)
+
+    def test_deterministic_given_seed(self):
+        x = np.arange(10.0).reshape(-1, 1)
+        y = np.arange(10.0)
+        a = train_test_split(x, y, seed=7)
+        b = train_test_split(x, y, seed=7)
+        assert np.allclose(a[1], b[1])
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            train_test_split(np.ones((4, 1)), np.ones(4), test_fraction=1.5)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ConfigurationError):
+            train_test_split(np.ones((1, 1)), np.ones(1))
+
+
+class TestKFold:
+    def test_folds_cover_everything_once(self):
+        kfold = KFold(n_splits=4, seed=0)
+        seen = []
+        for train_idx, test_idx in kfold.split(20):
+            seen.extend(test_idx.tolist())
+            assert set(train_idx).isdisjoint(set(test_idx))
+            assert len(train_idx) + len(test_idx) == 20
+        assert sorted(seen) == list(range(20))
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ConfigurationError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_rejects_bad_n_splits(self):
+        with pytest.raises(ConfigurationError):
+            KFold(n_splits=1)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(loc=5.0, scale=3.0, size=(200, 2))
+        scaled = StandardScaler().fit_transform(x)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_untouched(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(x)
+        assert np.allclose(scaled[:, 0], 0.0)
+        assert not np.isnan(scaled).any()
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(x)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(ModelNotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StandardScaler().fit(np.empty((0, 3)))

@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for the ML substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.linear import LinearRegression
+from repro.ml.metrics import mape, r2_score, within_tolerance_accuracy
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+
+_finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def regression_dataset(draw, min_rows=3, max_rows=40, cols=3):
+    n = draw(st.integers(min_rows, max_rows))
+    x = draw(
+        arrays(np.float64, (n, cols), elements=_finite)
+    )
+    y = draw(arrays(np.float64, (n,), elements=_finite))
+    return x, y
+
+
+class TestTreeProperties:
+    @given(regression_dataset())
+    @settings(max_examples=25, deadline=None)
+    def test_predictions_within_target_range(self, data):
+        """Leaf means can never leave the convex hull of the targets."""
+        x, y = data
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        predictions = tree.predict(x)
+        assert predictions.min() >= y.min() - 1e-9
+        assert predictions.max() <= y.max() + 1e-9
+
+    @given(regression_dataset())
+    @settings(max_examples=25, deadline=None)
+    def test_prediction_is_deterministic(self, data):
+        x, y = data
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        assert np.array_equal(tree.predict(x), tree.predict(x))
+
+    @given(regression_dataset(min_rows=5))
+    @settings(max_examples=25, deadline=None)
+    def test_unbounded_tree_interpolates_unique_rows(self, data):
+        """With all-distinct rows an unbounded tree memorises training."""
+        x, y = data
+        # Make rows unique by adding a distinct ramp column.
+        x = np.column_stack([x, np.arange(len(y), dtype=float)])
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert np.allclose(tree.predict(x), y, atol=1e-6)
+
+
+class TestScalerProperties:
+    @given(regression_dataset(min_rows=2))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip(self, data):
+        x, _ = data
+        scaler = StandardScaler().fit(x)
+        back = scaler.inverse_transform(scaler.transform(x))
+        assert np.allclose(back, x, rtol=1e-6, atol=1e-6)
+
+
+class TestMetricProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.integers(1, 30),
+            elements=st.floats(min_value=0.1, max_value=1e5),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_perfect_prediction_scores(self, y):
+        assert mape(y, y) == 0.0
+        assert within_tolerance_accuracy(y, y, 5.0) == 100.0
+        assert r2_score(y, y) == 1.0
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(2, 30),
+            elements=st.floats(min_value=0.1, max_value=1e5),
+        ),
+        st.floats(min_value=0.01, max_value=0.2),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tolerance_accuracy_monotone_in_tolerance(self, y, shift):
+        predictions = y * (1.0 + shift)
+        tight = within_tolerance_accuracy(y, predictions, 5.0)
+        loose = within_tolerance_accuracy(y, predictions, 10.0)
+        assert loose >= tight
+
+
+class TestLinearProperties:
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_any_line(self, slope, intercept):
+        x = np.linspace(0, 10, 20).reshape(-1, 1)
+        y = slope * x[:, 0] + intercept
+        model = LinearRegression().fit(x, y)
+        assert np.isclose(model.coef_[0], slope, atol=1e-6)
+        assert np.isclose(model.intercept_, intercept, atol=1e-5)

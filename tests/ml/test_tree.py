@@ -1,0 +1,141 @@
+"""Unit tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ModelNotFittedError
+from repro.ml.tree import DecisionTreeRegressor
+
+
+def _step_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, 2))
+    y = np.where(x[:, 0] > 0.5, 2.0, -1.0)
+    return x, y
+
+
+class TestFitBasics:
+    def test_fits_constant_target(self):
+        x = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.full(10, 3.0)
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert np.allclose(tree.predict(x), 3.0)
+
+    def test_fits_step_function_exactly(self):
+        x, y = _step_data()
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert np.allclose(tree.predict(x), y)
+
+    def test_single_sample(self):
+        tree = DecisionTreeRegressor().fit(np.array([[1.0]]), np.array([5.0]))
+        assert tree.predict(np.array([[42.0]]))[0] == 5.0
+
+    def test_depth_zero_predicts_mean(self):
+        x, y = _step_data()
+        tree = DecisionTreeRegressor(max_depth=0).fit(x, y)
+        assert np.allclose(tree.predict(x), y.mean())
+
+    def test_deeper_tree_lower_error(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 1, size=(300, 1))
+        y = np.sin(6 * x[:, 0])
+        shallow = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        deep = DecisionTreeRegressor(max_depth=8).fit(x, y)
+        err_shallow = np.mean((shallow.predict(x) - y) ** 2)
+        err_deep = np.mean((deep.predict(x) - y) ** 2)
+        assert err_deep < err_shallow
+
+    def test_returns_self(self):
+        x, y = _step_data(20)
+        tree = DecisionTreeRegressor()
+        assert tree.fit(x, y) is tree
+
+
+class TestConstraints:
+    def test_max_depth_respected(self):
+        x, y = _step_data(400, seed=3)
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf(self):
+        x, y = _step_data(50)
+        tree = DecisionTreeRegressor(min_samples_leaf=10).fit(x, y)
+        # With >=10 samples per leaf, at most 5 leaves exist.
+        leaves = sum(1 for f in tree._feature if f == -1)
+        assert leaves <= 5
+
+    def test_min_samples_split_blocks_splitting(self):
+        x, y = _step_data(10)
+        tree = DecisionTreeRegressor(min_samples_split=100).fit(x, y)
+        assert tree.node_count == 1
+
+    def test_max_features_subsampling_runs(self):
+        x, y = _step_data(100)
+        tree = DecisionTreeRegressor(max_features=1, seed=0).fit(x, y)
+        assert tree.node_count >= 1
+
+    def test_max_features_fraction(self):
+        x, y = _step_data(100)
+        tree = DecisionTreeRegressor(max_features=0.5, seed=0).fit(x, y)
+        assert tree.node_count >= 1
+
+
+class TestValidation:
+    def test_rejects_negative_depth(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTreeRegressor(max_depth=-1)
+
+    def test_rejects_bad_min_samples_split(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTreeRegressor(min_samples_split=1)
+
+    def test_rejects_bad_min_samples_leaf(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTreeRegressor().fit(np.arange(5.0), np.arange(5.0))
+
+    def test_rejects_mismatched_targets(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTreeRegressor().fit(np.ones((5, 2)), np.ones(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTreeRegressor().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            DecisionTreeRegressor().predict(np.ones((1, 2)))
+
+    def test_depth_before_fit_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            DecisionTreeRegressor().depth
+
+
+class TestIntrospection:
+    def test_feature_importances_sum_to_one(self):
+        x, y = _step_data(200)
+        tree = DecisionTreeRegressor().fit(x, y)
+        importances = tree.feature_importances(2)
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_importances_identify_informative_feature(self):
+        x, y = _step_data(300)
+        tree = DecisionTreeRegressor().fit(x, y)
+        importances = tree.feature_importances(2)
+        assert importances[0] > importances[1]
+
+    def test_importances_zero_for_stump(self):
+        x = np.ones((5, 2))
+        y = np.ones(5)
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert tree.feature_importances(2).sum() == 0.0
+
+    def test_prediction_accepts_single_row(self):
+        x, y = _step_data(100)
+        tree = DecisionTreeRegressor().fit(x, y)
+        single = tree.predict(np.array([0.9, 0.5]))
+        assert single.shape == (1,)
+        assert single[0] == pytest.approx(2.0)

@@ -1,0 +1,131 @@
+"""Unit tests for the round-robin accelerator engine model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nic.accelerator import AcceleratorClient, AcceleratorEngine
+from repro.nic.spec import bluefield2_spec
+
+
+@pytest.fixture()
+def engine() -> AcceleratorEngine:
+    return AcceleratorEngine(bluefield2_spec().accelerator("regex"))
+
+
+def _closed(name="a", n=1, t=0.5):
+    return AcceleratorClient(name=name, n_queues=n, request_time_us=t)
+
+
+def _open(name="b", n=1, t=0.5, rate=0.5):
+    return AcceleratorClient(
+        name=name, n_queues=n, request_time_us=t, offered_rate=rate
+    )
+
+
+class TestClientValidation:
+    def test_rejects_zero_queues(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorClient(name="x", n_queues=0, request_time_us=0.1)
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorClient(name="x", n_queues=1, request_time_us=0.0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorClient(
+                name="x", n_queues=1, request_time_us=0.1, offered_rate=-1.0
+            )
+
+
+class TestAllocation:
+    def test_solo_closed_loop_rate(self, engine):
+        client = _closed(t=0.5)
+        rate = engine.allocate([client]).rate_of("a")
+        effective = 0.5 + engine.spec.queue_switch_us
+        assert rate == pytest.approx(1.0 / effective)
+
+    def test_open_loop_below_capacity_served_exactly(self, engine):
+        allocation = engine.allocate([_open(rate=0.2, t=0.5)])
+        assert allocation.rate_of("b") == pytest.approx(0.2)
+
+    def test_two_saturated_equal_queues_share_equally(self, engine):
+        allocation = engine.allocate([_closed("a", t=0.5), _closed("b", t=0.5)])
+        assert allocation.rate_of("a") == pytest.approx(allocation.rate_of("b"))
+
+    def test_equilibrium_matches_rr_formula(self, engine):
+        t_a, t_b = 0.3, 0.7
+        allocation = engine.allocate([_closed("a", t=t_a), _closed("b", t=t_b)])
+        switch = engine.spec.queue_switch_us
+        expected = 1.0 / (t_a + t_b + 2 * switch)
+        assert allocation.rate_of("a") == pytest.approx(expected)
+        assert allocation.rate_of("b") == pytest.approx(expected)
+
+    def test_more_queues_get_proportionally_more(self, engine):
+        allocation = engine.allocate(
+            [_closed("a", n=2, t=0.5), _closed("b", n=1, t=0.5)]
+        )
+        assert allocation.rate_of("a") == pytest.approx(
+            2.0 * allocation.rate_of("b")
+        )
+
+    def test_linear_decline_with_open_competitor(self, engine):
+        """The target's rate declines linearly in the bench rate (Fig 4)."""
+        rates = []
+        for bench_rate in (0.1, 0.3, 0.5):
+            allocation = engine.allocate(
+                [_closed("nf", t=0.4), _open("bench", t=0.8, rate=bench_rate)]
+            )
+            rates.append(allocation.rate_of("nf"))
+        drop1 = rates[0] - rates[1]
+        drop2 = rates[1] - rates[2]
+        assert drop1 == pytest.approx(drop2, rel=0.05)
+
+    def test_overload_open_loop_capped(self, engine):
+        allocation = engine.allocate([_open("b", t=1.0, rate=100.0)])
+        effective = 1.0 + engine.spec.queue_switch_us
+        assert allocation.rate_of("b") == pytest.approx(1.0 / effective)
+
+    def test_busy_fraction_bounded(self, engine):
+        allocation = engine.allocate([_closed("a"), _open("b", rate=50.0)])
+        assert 0.0 < allocation.busy_fraction <= 1.0
+
+    def test_empty_allocation(self, engine):
+        allocation = engine.allocate([])
+        assert allocation.rates == {}
+
+    def test_duplicate_names_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.allocate([_closed("a"), _closed("a")])
+
+
+class TestCapacity:
+    def test_capacity_below_solo_under_contention(self, engine):
+        target = _open("nf", t=0.4, rate=0.1)
+        solo = engine.solo_rate(target)
+        contended = engine.capacity_for(target, [_open("bench", t=0.8, rate=0.6)])
+        assert contended < solo
+
+    def test_capacity_equals_solo_without_competitors(self, engine):
+        target = _open("nf", t=0.4, rate=0.1)
+        assert engine.capacity_for(target, []) == pytest.approx(
+            engine.solo_rate(target)
+        )
+
+    def test_capacity_decreases_with_competitor_rate(self, engine):
+        target = _closed("nf", t=0.4)
+        low = engine.capacity_for(target, [_open("bench", t=0.8, rate=0.2)])
+        high = engine.capacity_for(target, [_open("bench", t=0.8, rate=0.8)])
+        assert high < low
+
+    def test_switch_overhead_reduces_throughput(self):
+        from repro.nic.spec import AcceleratorSpec
+
+        no_switch = AcceleratorEngine(
+            AcceleratorSpec("regex", 0.01, 0.0, 0.0, queue_switch_us=0.0)
+        )
+        with_switch = AcceleratorEngine(
+            AcceleratorSpec("regex", 0.01, 0.0, 0.0, queue_switch_us=0.01)
+        )
+        client = _closed(t=0.1)
+        assert with_switch.solo_rate(client) < no_switch.solo_rate(client)

@@ -1,0 +1,124 @@
+"""Unit tests for the shared memory-subsystem model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nic.memory import MemoryActor, MemorySubsystem
+from repro.nic.spec import bluefield2_spec
+
+MB = 1024 * 1024
+
+
+@pytest.fixture()
+def memory() -> MemorySubsystem:
+    return MemorySubsystem(bluefield2_spec())
+
+
+def _actor(name="a", read=50.0, write=10.0, wss=2 * MB, hot=0.0):
+    return MemoryActor(
+        name=name, read_rate=read, write_rate=write, wss_bytes=wss,
+        hot_access_fraction=hot,
+    )
+
+
+class TestMemoryActor:
+    def test_car_is_read_plus_write(self):
+        assert _actor(read=30.0, write=20.0).access_rate == 50.0
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ConfigurationError):
+            MemoryActor(name="a", read_rate=-1.0, write_rate=0.0, wss_bytes=1.0)
+
+    def test_rejects_bad_hot_fraction(self):
+        with pytest.raises(ConfigurationError):
+            MemoryActor(
+                name="a", read_rate=1.0, write_rate=0.0, wss_bytes=1.0,
+                hot_access_fraction=1.5,
+            )
+
+
+class TestOccupancy:
+    def test_single_actor_gets_its_working_set(self, memory):
+        occupancy = memory.solve_occupancy([_actor(wss=1 * MB)])
+        assert occupancy["a"] == pytest.approx(1 * MB)
+
+    def test_single_actor_capped_by_llc(self, memory):
+        occupancy = memory.solve_occupancy([_actor(wss=20 * MB)])
+        assert occupancy["a"] <= bluefield2_spec().llc_bytes + 1.0
+
+    def test_total_occupancy_never_exceeds_llc(self, memory):
+        actors = [_actor(f"a{i}", wss=4 * MB) for i in range(4)]
+        occupancy = memory.solve_occupancy(actors)
+        assert sum(occupancy.values()) <= bluefield2_spec().llc_bytes * 1.0001
+
+    def test_idle_actor_gets_nothing(self, memory):
+        occupancy = memory.solve_occupancy(
+            [_actor("busy"), MemoryActor("idle", 0.0, 0.0, 1 * MB)]
+        )
+        assert occupancy["idle"] == 0.0
+
+    def test_small_set_fully_resident_next_to_modest_competitor(self, memory):
+        occupancy = memory.solve_occupancy(
+            [_actor("small", read=40.0, wss=int(0.5 * MB)), _actor("big", read=40.0, wss=4 * MB)]
+        )
+        assert occupancy["small"] == pytest.approx(0.5 * MB, rel=0.01)
+
+    def test_faster_actor_gets_more(self, memory):
+        occupancy = memory.solve_occupancy(
+            [
+                _actor("fast", read=200.0, wss=8 * MB),
+                _actor("slow", read=20.0, wss=8 * MB),
+            ]
+        )
+        assert occupancy["fast"] > occupancy["slow"]
+
+
+class TestMissRatio:
+    def test_resident_set_has_base_miss(self, memory):
+        base = bluefield2_spec().base_miss_ratio
+        assert memory.miss_ratio(1 * MB, 1 * MB) == pytest.approx(base)
+
+    def test_zero_occupancy_misses_everything(self, memory):
+        assert memory.miss_ratio(1 * MB, 0.0) == pytest.approx(1.0)
+
+    def test_monotone_in_occupancy(self, memory):
+        worse = memory.miss_ratio(4 * MB, 1 * MB)
+        better = memory.miss_ratio(4 * MB, 3 * MB)
+        assert better < worse
+
+    def test_hot_set_shielding_reduces_misses(self, memory):
+        uniform = memory.miss_ratio(4 * MB, 1 * MB, hot_access_fraction=0.0)
+        shielded = memory.miss_ratio(
+            4 * MB, 1 * MB, hot_access_fraction=0.6, hot_wss_fraction=0.15
+        )
+        assert shielded < uniform
+
+    def test_zero_wss_returns_base(self, memory):
+        assert memory.miss_ratio(0.0, 0.0) == bluefield2_spec().base_miss_ratio
+
+
+class TestSolve:
+    def test_access_time_grows_with_competition(self, memory):
+        solo = memory.solve([_actor("a", wss=4 * MB)])["a"].avg_access_time_us
+        contended = memory.solve(
+            [_actor("a", wss=4 * MB), _actor("b", read=250.0, wss=10 * MB)]
+        )["a"].avg_access_time_us
+        assert contended > solo
+
+    def test_dram_traffic_accounts_writebacks(self, memory):
+        shares = memory.solve([_actor("a", read=100.0, write=0.0, wss=10 * MB)])
+        share = shares["a"]
+        assert share.dram_write_rate > 0.0  # write-backs even for reads
+
+    def test_utilisation_bounded(self, memory):
+        actors = [_actor(f"a{i}", read=300.0, wss=12 * MB) for i in range(3)]
+        assert memory.dram_utilisation(actors) <= 0.97
+
+    def test_utilisation_zero_without_traffic(self, memory):
+        assert memory.dram_utilisation(
+            [MemoryActor("idle", 0.0, 0.0, 1 * MB)]
+        ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_access_time_at_least_hit_time(self, memory):
+        shares = memory.solve([_actor("a", wss=int(0.1 * MB))])
+        assert shares["a"].avg_access_time_us >= bluefield2_spec().llc_hit_time_us

@@ -1,0 +1,100 @@
+"""Property-based invariants of the SmartNIC simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nf.catalog import make_nf
+from repro.nf.synthetic import mem_bench, regex_bench
+from repro.nic.nic import SmartNic
+from repro.nic.spec import bluefield2_spec
+from repro.traffic.profile import TrafficProfile
+
+_nic = SmartNic(bluefield2_spec(), seed=3, noise_std=0.0)
+_solo_cache: dict = {}
+
+
+def _solo(name: str, traffic: TrafficProfile) -> float:
+    key = (name, traffic)
+    if key not in _solo_cache:
+        _solo_cache[key] = _nic.run_solo(
+            make_nf(name).demand(traffic)
+        ).throughput_mpps
+    return _solo_cache[key]
+
+
+class TestSimulatorInvariants:
+    @given(
+        car=st.floats(min_value=0.1, max_value=260.0),
+        wss=st.floats(min_value=1.0, max_value=12.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_contention_never_helps(self, car, wss):
+        """Co-location can only reduce (or keep) an NF's throughput."""
+        traffic = TrafficProfile()
+        result = _nic.run(
+            [make_nf("flowstats").demand(traffic), mem_bench(car, wss_mb=wss)]
+        )
+        assert (
+            result.throughput_of("flowstats")
+            <= _solo("flowstats", traffic) * 1.0001
+        )
+
+    @given(
+        flows=st.integers(min_value=1_000, max_value=500_000),
+        packet=st.integers(min_value=64, max_value=1500),
+        mtbr=st.floats(min_value=0.0, max_value=1100.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_throughput_positive_and_below_line_rate(self, flows, packet, mtbr):
+        traffic = TrafficProfile(flows, packet, mtbr)
+        result = _nic.run_solo(make_nf("flowmonitor").demand(traffic))
+        assert 0.0 < result.throughput_mpps
+        assert result.throughput_mpps <= _nic.spec.line_rate_mpps(packet) * 1.0001
+
+    @given(rate=st.floats(min_value=0.05, max_value=3.0))
+    @settings(max_examples=15, deadline=None)
+    def test_regex_contention_monotone(self, rate):
+        """More regex-bench load never increases NIDS throughput."""
+        traffic = TrafficProfile()
+        lighter = _nic.run(
+            [make_nf("nids").demand(traffic), regex_bench(rate * 0.5, mtbr=900.0)]
+        ).throughput_of("nids")
+        heavier = _nic.run(
+            [make_nf("nids").demand(traffic), regex_bench(rate, mtbr=900.0)]
+        ).throughput_of("nids")
+        assert heavier <= lighter * 1.001
+
+    @given(
+        flows=st.integers(min_value=1_000, max_value=400_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_more_flows_never_speed_up_flowstats(self, flows):
+        traffic_small = TrafficProfile(flows, 1500, 600.0)
+        traffic_big = TrafficProfile(min(flows * 2, 500_000), 1500, 600.0)
+        fast = _solo("flowstats", traffic_small)
+        slow = _solo("flowstats", traffic_big)
+        assert slow <= fast * 1.001
+
+    @given(mtbr=st.floats(min_value=0.0, max_value=900.0))
+    @settings(max_examples=15, deadline=None)
+    def test_higher_mtbr_never_speeds_up_nids(self, mtbr):
+        low = _solo("nids", TrafficProfile(16_000, 1500, mtbr))
+        high = _solo("nids", TrafficProfile(16_000, 1500, mtbr + 200.0))
+        assert high <= low * 1.001
+
+    @given(
+        car=st.floats(min_value=10.0, max_value=250.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_all_colocated_results_positive(self, car):
+        traffic = TrafficProfile()
+        result = _nic.run(
+            [
+                make_nf("flowmonitor").demand(traffic),
+                make_nf("nat").demand(traffic),
+                mem_bench(car),
+            ]
+        )
+        for workload in result.workloads.values():
+            assert workload.throughput_mpps > 0.0

@@ -1,0 +1,200 @@
+"""Unit tests for NIC specifications and workload demand types."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nic.spec import (
+    CACHE_LINE_BYTES,
+    AcceleratorSpec,
+    NicSpecification,
+    bluefield2_spec,
+    pensando_spec,
+)
+from repro.nic.workload import (
+    ExecutionPattern,
+    Resource,
+    StageDemand,
+    WorkloadDemand,
+)
+
+
+class TestAcceleratorSpec:
+    def test_request_time_components(self):
+        spec = AcceleratorSpec("regex", base_time_us=0.01, per_byte_us=0.001, per_match_us=0.1)
+        assert spec.request_time_us(100.0, 2.0) == pytest.approx(0.01 + 0.1 + 0.2)
+
+    def test_request_time_zero_payload(self):
+        spec = bluefield2_spec().accelerator("regex")
+        assert spec.request_time_us(0.0, 0.0) == pytest.approx(spec.base_time_us)
+
+    def test_request_time_rejects_negative(self):
+        spec = bluefield2_spec().accelerator("regex")
+        with pytest.raises(ConfigurationError):
+            spec.request_time_us(-1.0, 0.0)
+
+    def test_request_time_monotone_in_matches(self):
+        spec = bluefield2_spec().accelerator("regex")
+        assert spec.request_time_us(100.0, 3.0) > spec.request_time_us(100.0, 1.0)
+
+
+class TestNicSpecification:
+    def test_bluefield2_shape(self):
+        spec = bluefield2_spec()
+        assert spec.num_cores == 8
+        assert spec.llc_bytes == 6 * 1024 * 1024
+        assert set(spec.accelerators) == {"regex", "compression"}
+
+    def test_pensando_differs(self):
+        bf2, pen = bluefield2_spec(), pensando_spec()
+        assert pen.num_cores != bf2.num_cores
+        assert pen.llc_bytes != bf2.llc_bytes
+
+    def test_unknown_accelerator_raises(self):
+        with pytest.raises(ConfigurationError):
+            bluefield2_spec().accelerator("fpga")
+
+    def test_line_rate_small_packets_faster(self):
+        spec = bluefield2_spec()
+        assert spec.line_rate_mpps(64) > spec.line_rate_mpps(1500)
+
+    def test_line_rate_1500b_value(self):
+        # 100 GbE, 1500B + 20B framing -> ~8.2 Mpps.
+        assert bluefield2_spec().line_rate_mpps(1500) == pytest.approx(8.22, abs=0.05)
+
+    def test_line_rate_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            bluefield2_spec().line_rate_mpps(0)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            NicSpecification(
+                name="bad", num_cores=0, core_freq_mhz=1000, llc_bytes=1,
+                dram_bandwidth_bpus=1, dram_latency_us=0.1,
+                llc_hit_time_us=0.01, line_rate_gbps=10,
+            )
+
+    def test_cache_line_constant(self):
+        assert CACHE_LINE_BYTES == 64
+
+
+def _cpu_stage(cycles=100.0):
+    return StageDemand(name="cpu", resource=Resource.CPU, cycles_pp=cycles)
+
+
+def _mem_stage(reads=4.0, wss=1024.0):
+    return StageDemand(
+        name="mem", resource=Resource.MEMORY, reads_pp=reads, wss_bytes=wss
+    )
+
+
+def _accel_stage():
+    return StageDemand(
+        name="scan",
+        resource=Resource.ACCELERATOR,
+        accelerator="regex",
+        requests_pp=1.0,
+        bytes_per_request=100.0,
+    )
+
+
+class TestStageDemand:
+    def test_accelerator_stage_requires_name(self):
+        with pytest.raises(ConfigurationError):
+            StageDemand(name="x", resource=Resource.ACCELERATOR, requests_pp=1.0)
+
+    def test_accelerator_stage_requires_requests(self):
+        with pytest.raises(ConfigurationError):
+            StageDemand(
+                name="x", resource=Resource.ACCELERATOR, accelerator="regex"
+            )
+
+    def test_cpu_stage_rejects_accelerator_field(self):
+        with pytest.raises(ConfigurationError):
+            StageDemand(name="x", resource=Resource.CPU, accelerator="regex")
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StageDemand(name="x", resource=Resource.CPU, cycles_pp=-1.0)
+
+    def test_mlp_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StageDemand(name="x", resource=Resource.MEMORY, mlp=0.5)
+
+
+class TestWorkloadDemand:
+    def test_core_and_accel_stage_partition(self):
+        demand = WorkloadDemand(
+            name="w", cores=2, pattern=ExecutionPattern.PIPELINE,
+            stages=(_cpu_stage(), _mem_stage(), _accel_stage()),
+        )
+        assert len(demand.core_stages()) == 2
+        assert len(demand.accelerator_stages()) == 1
+
+    def test_total_wss(self):
+        demand = WorkloadDemand(
+            name="w", cores=1, pattern=ExecutionPattern.RUN_TO_COMPLETION,
+            stages=(_mem_stage(wss=1000.0), _mem_stage(wss=500.0)),
+        )
+        assert demand.total_wss_bytes() == 1500.0
+
+    def test_uses_accelerator(self):
+        demand = WorkloadDemand(
+            name="w", cores=1, pattern=ExecutionPattern.PIPELINE,
+            stages=(_cpu_stage(), _accel_stage()),
+        )
+        assert demand.uses_accelerator("regex")
+        assert not demand.uses_accelerator("compression")
+
+    def test_queue_default_is_one(self):
+        demand = WorkloadDemand(
+            name="w", cores=1, pattern=ExecutionPattern.PIPELINE,
+            stages=(_accel_stage(), _cpu_stage()),
+        )
+        assert demand.queues_for("regex") == 1
+
+    def test_closed_loop_flag(self):
+        open_loop = WorkloadDemand(
+            name="w", cores=1, pattern=ExecutionPattern.PIPELINE,
+            stages=(_cpu_stage(),), arrival_rate_mpps=1.0,
+        )
+        closed = WorkloadDemand(
+            name="w", cores=1, pattern=ExecutionPattern.PIPELINE,
+            stages=(_cpu_stage(),),
+        )
+        assert not open_loop.is_closed_loop
+        assert closed.is_closed_loop
+
+    def test_rejects_empty_stages(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadDemand(
+                name="w", cores=1, pattern=ExecutionPattern.PIPELINE, stages=()
+            )
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadDemand(
+                name="w", cores=0, pattern=ExecutionPattern.PIPELINE,
+                stages=(_cpu_stage(),),
+            )
+
+    def test_rejects_nonpositive_arrival(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadDemand(
+                name="w", cores=1, pattern=ExecutionPattern.PIPELINE,
+                stages=(_cpu_stage(),), arrival_rate_mpps=0.0,
+            )
+
+    def test_rejects_bad_hot_fraction(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadDemand(
+                name="w", cores=1, pattern=ExecutionPattern.PIPELINE,
+                stages=(_cpu_stage(),), hot_access_fraction=1.0,
+            )
+
+    def test_rejects_bad_queue_count(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadDemand(
+                name="w", cores=1, pattern=ExecutionPattern.PIPELINE,
+                stages=(_accel_stage(), _cpu_stage()),
+                queues_per_accelerator={"regex": 0},
+            )

@@ -1,0 +1,241 @@
+"""Unit tests for the profiling layer (contention, collector, datasets,
+sampling strategies, adaptive profiling)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ProfilingError
+from repro.nf.catalog import make_nf
+from repro.nic.counters import PerfCounters
+from repro.profiling.adaptive import AdaptiveProfiler
+from repro.profiling.collector import ProfilingCollector
+from repro.profiling.contention import (
+    ContentionLevel,
+    random_contention,
+)
+from repro.profiling.dataset import ProfileDataset, ProfileSample
+from repro.profiling.sampling import full_profile, random_profile
+from repro.traffic.profile import TrafficProfile
+
+TRAFFIC = TrafficProfile()
+
+
+class TestContentionLevel:
+    def test_idle_default(self):
+        assert ContentionLevel().is_idle
+        assert not ContentionLevel(mem_car=10.0).is_idle
+
+    def test_benches_materialise_requested_pressure(self):
+        level = ContentionLevel(mem_car=100.0, regex_rate=1.0)
+        benches = level.benches(6)
+        names = {b.name for b in benches}
+        assert names == {"mem-bench", "regex-bench"}
+
+    def test_idle_level_has_no_benches(self):
+        assert ContentionLevel().benches(6) == []
+
+    def test_core_budget_respected(self):
+        level = ContentionLevel(mem_car=100.0, regex_rate=1.0, compression_rate=1.0)
+        benches = level.benches(4)
+        assert sum(b.cores for b in benches) <= 4
+
+    def test_match_rate_property(self):
+        level = ContentionLevel(
+            regex_rate=2.0, regex_mtbr=500.0, regex_payload_bytes=1000.0
+        )
+        assert level.regex_match_rate == pytest.approx(1.0)
+
+    def test_with_helpers(self):
+        level = ContentionLevel().with_memory(50.0).with_regex(1.0, mtbr=700.0)
+        assert level.mem_car == 50.0
+        assert level.regex_mtbr == 700.0
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ConfigurationError):
+            ContentionLevel(mem_car=-1.0)
+
+    def test_random_contention_respects_flags(self):
+        level = random_contention(seed=0, memory=True, regex=False)
+        assert level.mem_car > 0.0 and level.regex_rate == 0.0
+        level = random_contention(seed=0, memory=False, regex=True)
+        assert level.mem_car == 0.0 and level.regex_rate >= 0.0
+
+    def test_contention_levels_hashable(self):
+        assert ContentionLevel(mem_car=1.0) == ContentionLevel(mem_car=1.0)
+        assert hash(ContentionLevel()) == hash(ContentionLevel())
+
+
+class TestCollector(object):
+    def test_profile_one_counts_new_configs(self, noisy_nic):
+        collector = ProfilingCollector(noisy_nic)
+        nf = make_nf("acl")
+        collector.profile_one(nf, ContentionLevel(mem_car=50.0), TRAFFIC)
+        assert collector.profile_count == 1
+
+    def test_repeat_config_served_from_cache(self, noisy_nic):
+        collector = ProfilingCollector(noisy_nic)
+        nf = make_nf("acl")
+        level = ContentionLevel(mem_car=50.0)
+        first = collector.profile_one(nf, level, TRAFFIC)
+        second = collector.profile_one(nf, level, TRAFFIC)
+        assert collector.profile_count == 1
+        assert first.throughput_mpps == second.throughput_mpps
+
+    def test_solo_sample_equals_solo_run(self, noisy_nic):
+        collector = ProfilingCollector(noisy_nic)
+        nf = make_nf("acl")
+        sample = collector.profile_one(nf, ContentionLevel(), TRAFFIC)
+        assert sample.throughput_mpps == pytest.approx(
+            collector.solo(nf, TRAFFIC).throughput_mpps
+        )
+
+    def test_bench_counters_idle_is_zero(self, noisy_nic):
+        collector = ProfilingCollector(noisy_nic)
+        assert collector.bench_counters(ContentionLevel()) == PerfCounters.zero()
+
+    def test_bench_counters_scale_with_car(self, noisy_nic):
+        collector = ProfilingCollector(noisy_nic)
+        low = collector.bench_counters(ContentionLevel(mem_car=50.0))
+        high = collector.bench_counters(ContentionLevel(mem_car=200.0))
+        assert high.cache_access_rate > low.cache_access_rate
+
+    def test_co_run_with_rejects_core_overflow(self, noisy_nic):
+        collector = ProfilingCollector(noisy_nic)
+        nf = make_nf("acl")
+        competitors = [(make_nf("nat"), TRAFFIC)] * 4
+        with pytest.raises(ProfilingError):
+            collector.co_run_with(nf, TRAFFIC, competitors)
+
+    def test_co_run_with_duplicate_competitors_allowed(self, noisy_nic):
+        collector = ProfilingCollector(noisy_nic)
+        result = collector.co_run_with(
+            make_nf("acl"), TRAFFIC, [(make_nf("nat"), TRAFFIC)] * 2
+        )
+        assert result.throughput_mpps > 0
+
+
+class TestDataset:
+    def _sample(self, throughput=1.0, flows=16_000):
+        return ProfileSample(
+            nf_name="acl",
+            traffic=TrafficProfile(flows, 1500, 600.0),
+            contention=ContentionLevel(mem_car=10.0),
+            competitor_counters=PerfCounters(l2crd=5.0),
+            throughput_mpps=throughput,
+            solo_throughput_mpps=2.0,
+        )
+
+    def test_features_with_traffic(self):
+        dataset = ProfileDataset("acl")
+        dataset.add(self._sample())
+        features = dataset.features(include_traffic=True)
+        assert features.shape == (1, 11)
+
+    def test_features_without_traffic(self):
+        dataset = ProfileDataset("acl")
+        dataset.add(self._sample())
+        assert dataset.features(include_traffic=False).shape == (1, 8)
+
+    def test_feature_names_match_width(self):
+        assert len(ProfileDataset.feature_names(True)) == 11
+        assert len(ProfileDataset.feature_names(False)) == 8
+
+    def test_targets(self):
+        dataset = ProfileDataset("acl")
+        dataset.add(self._sample(throughput=1.5))
+        assert dataset.targets()[0] == 1.5
+
+    def test_drop_ratio(self):
+        assert self._sample(throughput=1.0).drop_ratio == pytest.approx(0.5)
+
+    def test_wrong_nf_rejected(self):
+        dataset = ProfileDataset("nat")
+        with pytest.raises(ProfilingError):
+            dataset.add(self._sample())
+
+    def test_empty_features_rejected(self):
+        with pytest.raises(ProfilingError):
+            ProfileDataset("acl").features()
+
+    def test_split_by(self):
+        dataset = ProfileDataset("acl")
+        dataset.add(self._sample(flows=1_000))
+        dataset.add(self._sample(flows=100_000))
+        small, large = dataset.split_by(lambda s: s.traffic.flow_count < 50_000)
+        assert len(small) == 1 and len(large) == 1
+
+    def test_merged_with(self):
+        a, b = ProfileDataset("acl"), ProfileDataset("acl")
+        a.add(self._sample())
+        b.add(self._sample())
+        assert len(a.merged_with(b)) == 2
+
+
+class TestSamplingStrategies:
+    def test_random_profile_respects_quota(self, collector):
+        dataset = random_profile(collector, make_nf("acl"), quota=15, seed=0)
+        assert len(dataset) == 15
+
+    def test_random_profile_includes_solo_points(self, collector):
+        dataset = random_profile(collector, make_nf("acl"), quota=20, seed=0)
+        assert any(s.contention.is_idle for s in dataset.samples)
+
+    def test_full_profile_grid_size(self, collector):
+        dataset = full_profile(
+            collector,
+            make_nf("acl"),
+            attributes=["flow_count"],
+            grid_points={"flow_count": 3},
+            contention_levels_per_point=2,
+            seed=0,
+        )
+        # 3 grid points x (2 contended + 1 solo).
+        assert len(dataset) == 9
+
+    def test_random_profile_rejects_zero_quota(self, collector):
+        with pytest.raises(ProfilingError):
+            random_profile(collector, make_nf("acl"), quota=0)
+
+
+class TestAdaptiveProfiler:
+    def test_quota_respected(self, collector):
+        report = AdaptiveProfiler(collector, quota=60, seed=0).profile(
+            make_nf("flowstats")
+        )
+        assert report.samples_used <= 60
+        assert len(report.dataset) == report.samples_used
+
+    def test_prunes_packet_size_for_flowstats(self, collector):
+        report = AdaptiveProfiler(collector, quota=80, seed=0).profile(
+            make_nf("flowstats")
+        )
+        assert "packet_size" in report.pruned_attributes
+        assert "flow_count" in report.kept_attributes
+
+    def test_insensitive_nf_prunes_everything(self, collector):
+        report = AdaptiveProfiler(collector, quota=60, seed=0).profile(
+            make_nf("acl")
+        )
+        assert report.kept_attributes == []
+        assert report.samples_used == 60
+
+    def test_splits_recorded_for_sensitive_nf(self, collector):
+        report = AdaptiveProfiler(collector, quota=120, seed=0).profile(
+            make_nf("flowstats")
+        )
+        assert report.regions_split > 0
+
+    def test_rejects_bad_parameters(self, collector):
+        with pytest.raises(ProfilingError):
+            AdaptiveProfiler(collector, quota=0)
+        with pytest.raises(ProfilingError):
+            AdaptiveProfiler(collector, epsilon_prune=0.0)
+        with pytest.raises(ProfilingError):
+            AdaptiveProfiler(collector, samples_per_region=0)
+
+    def test_dataset_covers_contended_and_solo(self, collector):
+        report = AdaptiveProfiler(collector, quota=100, seed=1).profile(
+            make_nf("flowstats")
+        )
+        kinds = {s.contention.is_idle for s in report.dataset.samples}
+        assert kinds == {True, False}

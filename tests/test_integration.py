@@ -1,0 +1,139 @@
+"""Cross-layer integration tests: the paper's headline stories end to end.
+
+These use the session-scoped trained fixtures, so each test reads like
+one of the paper's claims executed against the simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import CompetitorSpec
+from repro.core.slomo import SlomoPredictor
+from repro.nf.catalog import make_nf
+from repro.nic.workload import ExecutionPattern
+from repro.profiling.contention import ContentionLevel
+from repro.traffic.profile import TrafficProfile
+
+TRAFFIC = TrafficProfile()
+
+
+class TestMultiResourceStory:
+    """§2.2.1: memory-only models fail once accelerators contend."""
+
+    def test_slomo_misses_regex_contention(self, small_system, collector):
+        slomo = SlomoPredictor("flowmonitor", seed=4)
+        slomo.train(collector, make_nf("flowmonitor"), n_samples=200)
+        level = ContentionLevel(
+            mem_car=120.0, regex_rate=1.5, regex_mtbr=1000.0
+        )
+        truth = collector.profile_one(
+            make_nf("flowmonitor"), level, TRAFFIC
+        ).throughput_mpps
+        slomo_pred = slomo.predict(
+            collector.bench_counters(level),
+            TRAFFIC,
+            n_competitors=level.actor_count,
+        )
+        yala_pred = small_system.predict(
+            "flowmonitor", TRAFFIC, [CompetitorSpec.bench(level)]
+        )
+        slomo_err = abs(slomo_pred - truth) / truth
+        yala_err = abs(yala_pred - truth) / truth
+        assert yala_err < slomo_err
+        assert slomo_err > 0.15  # SLOMO cannot see the regex engine
+
+    def test_yala_accurate_across_contention_grid(self, small_system, collector):
+        nf = make_nf("flowmonitor")
+        errors = []
+        for car in (80.0, 200.0):
+            for rate in (0.5, 1.4):
+                level = ContentionLevel(
+                    mem_car=car, regex_rate=rate, regex_mtbr=800.0
+                )
+                truth = collector.profile_one(nf, level, TRAFFIC).throughput_mpps
+                pred = small_system.predict(
+                    "flowmonitor", TRAFFIC, [CompetitorSpec.bench(level)]
+                )
+                errors.append(abs(pred - truth) / truth)
+        assert float(np.mean(errors)) < 0.10
+
+
+class TestTrafficStory:
+    """§2.2.2: fixed-profile models break when traffic shifts."""
+
+    def test_yala_handles_flow_count_shift(self, small_system, collector):
+        nf = make_nf("flowstats")
+        shifted = TrafficProfile(300_000, 1500, 600.0)
+        level = ContentionLevel(mem_car=120.0)
+        truth = collector.profile_one(nf, level, shifted).throughput_mpps
+        pred = small_system.predict(
+            "flowstats", shifted, [CompetitorSpec.bench(level)]
+        )
+        assert abs(pred - truth) / truth < 0.12
+
+    def test_attribute_pruning_matches_catalog_metadata(self, small_system):
+        report = small_system.predictor_of("flowstats").profiling_report
+        assert report.kept_attributes == ["flow_count"]
+
+
+class TestCompositionStory:
+    """§4.2: execution pattern decides how drops compose."""
+
+    def test_detected_patterns_match_implementations(self, small_system):
+        assert (
+            small_system.predictor_of("flowmonitor").pattern
+            is ExecutionPattern.PIPELINE
+        )
+        assert (
+            small_system.predictor_of("nids").pattern
+            is ExecutionPattern.RUN_TO_COMPLETION
+        )
+
+    def test_joint_prediction_conserves_engine_capacity(self, small_system):
+        """Two regex NFs can't jointly be predicted above engine rates."""
+        rates = small_system.predict_colocation(
+            [("flowmonitor", TRAFFIC), ("nids", TRAFFIC)]
+        )
+        fm = small_system.predictor_of("flowmonitor")
+        nd = small_system.predictor_of("nids")
+        busy = rates[0] * fm.accel_models["regex"].request_time(TRAFFIC) + rates[
+            1
+        ] * nd.accel_models["regex"].request_time(TRAFFIC)
+        assert busy <= 1.15  # the engine second is the hard budget
+
+
+class TestQueueModelStory:
+    """§4.1.1: the queueing model matches measured equilibria."""
+
+    def test_eq1_matches_measured_equilibrium(self, small_system, collector):
+        fm = small_system.predictor_of("flowmonitor")
+        model = fm.accel_models["regex"]
+        # Saturating bench with known parameters.
+        payload, mtbr = 2048.0, 2000.0
+        bench_time = 0.010 + payload / 2000.0 + payload * mtbr / 1e6 * 0.250
+        level = ContentionLevel(
+            regex_rate=50.0, regex_mtbr=mtbr, regex_payload_bytes=payload
+        )
+        truth = collector.profile_one(
+            make_nf("flowmonitor"), level, TRAFFIC
+        ).throughput_mpps
+        predicted_rate = 1.0 / (model.request_time(TRAFFIC) + bench_time)
+        assert predicted_rate == pytest.approx(truth, rel=0.08)
+
+
+class TestPensandoStory:
+    """§8 / Table 9: the model family transfers to another SoC NIC."""
+
+    def test_firewall_predictor_trains_on_pensando(self, pensando_nic):
+        from repro.core.predictor import YalaPredictor
+        from repro.profiling.collector import ProfilingCollector
+
+        collector = ProfilingCollector(pensando_nic)
+        predictor = YalaPredictor(make_nf("firewall"), collector, seed=5)
+        predictor.train(quota=150)
+        level = ContentionLevel(mem_car=150.0)
+        truth = collector.profile_one(
+            make_nf("firewall"), level, TRAFFIC
+        ).throughput_mpps
+        pred = predictor.predict(TRAFFIC, [CompetitorSpec.bench(level)])
+        assert abs(pred - truth) / truth < 0.12

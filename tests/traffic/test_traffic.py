@@ -1,0 +1,211 @@
+"""Unit tests for the traffic substrate (profiles, flows, payloads)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.flows import Flow, FlowGenerator
+from repro.traffic.payload import PayloadGenerator, measure_mtbr
+from repro.traffic.pktgen import PacketGenerator
+from repro.traffic.profile import (
+    DEFAULT_TRAFFIC,
+    TRAFFIC_ATTRIBUTES,
+    AttributeRange,
+    TrafficProfile,
+    random_profiles,
+)
+from repro.traffic.rules import RegexRule, RuleSet, l7_filter_ruleset
+
+
+class TestTrafficProfile:
+    def test_default_is_paper_vector(self):
+        assert DEFAULT_TRAFFIC.flow_count == 16_000
+        assert DEFAULT_TRAFFIC.packet_size == 1500
+        assert DEFAULT_TRAFFIC.mtbr == 600.0
+
+    def test_payload_excludes_headers(self):
+        assert TrafficProfile(100, 1500, 0.0).payload_bytes == 1446
+
+    def test_matches_per_packet(self):
+        profile = TrafficProfile(100, 1054, 1000.0)
+        assert profile.matches_per_packet == pytest.approx(1.0)
+
+    def test_vector_order_matches_attributes(self):
+        vector = DEFAULT_TRAFFIC.as_vector()
+        for i, name in enumerate(TRAFFIC_ATTRIBUTES):
+            assert vector[i] == DEFAULT_TRAFFIC.attribute(name)
+
+    def test_with_attribute_round_trip(self):
+        changed = DEFAULT_TRAFFIC.with_attribute("flow_count", 5_000)
+        assert changed.flow_count == 5_000
+        assert changed.packet_size == DEFAULT_TRAFFIC.packet_size
+
+    def test_with_unknown_attribute_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_TRAFFIC.with_attribute("jumbo", 1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"flow_count": 0},
+            {"packet_size": 54},
+            {"packet_size": 9500},
+            {"mtbr": -1.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TrafficProfile(**{"flow_count": 100, "packet_size": 100, "mtbr": 0.0, **kwargs})
+
+    def test_profiles_hashable_and_equal(self):
+        assert TrafficProfile(1_000, 100, 1.0) == TrafficProfile(1_000, 100, 1.0)
+        assert hash(DEFAULT_TRAFFIC) == hash(TrafficProfile())
+
+
+class TestAttributeRange:
+    def test_midpoint(self):
+        assert AttributeRange("mtbr", 0.0, 10.0).midpoint == 5.0
+
+    def test_grid(self):
+        grid = AttributeRange("mtbr", 0.0, 10.0).grid(3)
+        assert np.allclose(grid, [0.0, 5.0, 10.0])
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ConfigurationError):
+            AttributeRange("mtbr", 10.0, 0.0)
+
+    def test_rejects_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            AttributeRange("bandwidth", 0.0, 1.0)
+
+
+class TestRandomProfiles:
+    def test_count_and_determinism(self):
+        a = random_profiles(10, seed=3)
+        b = random_profiles(10, seed=3)
+        assert len(a) == 10 and a == b
+
+    def test_vary_restricts_dimensions(self):
+        profiles = random_profiles(10, seed=3, vary=["flow_count"])
+        assert all(p.packet_size == DEFAULT_TRAFFIC.packet_size for p in profiles)
+        assert len({p.flow_count for p in profiles}) > 1
+
+    def test_values_within_ranges(self):
+        for profile in random_profiles(30, seed=4):
+            assert 1_000 <= profile.flow_count <= 500_000
+            assert 64 <= profile.packet_size <= 1500
+            assert 0.0 <= profile.mtbr <= 1100.0
+
+
+class TestRuleSet:
+    def test_l7_ruleset_well_formed(self):
+        ruleset = l7_filter_ruleset()
+        assert len(ruleset) == 10
+        assert ruleset.average_complexity() > 0
+
+    def test_scan_counts_occurrences(self):
+        ruleset = RuleSet([RegexRule("r", b"ABC")])
+        assert ruleset.total_matches(b"xxABCyyABCzz") == 2
+
+    def test_scan_no_overlap_double_count(self):
+        ruleset = RuleSet([RegexRule("r", b"AA")])
+        assert ruleset.total_matches(b"AAAA") == 2  # non-overlapping find
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RuleSet([RegexRule("r", b"A"), RegexRule("r", b"B")])
+
+    def test_duplicate_tokens_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RuleSet([RegexRule("a", b"X"), RegexRule("b", b"X")])
+
+    def test_empty_ruleset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RuleSet([])
+
+
+class TestPayloadGenerator:
+    def test_payload_has_requested_size(self):
+        generator = PayloadGenerator(l7_filter_ruleset(), seed=0)
+        assert len(generator.generate(1446, 600.0)) == 1446
+
+    def test_zero_mtbr_payload_has_no_matches(self):
+        ruleset = l7_filter_ruleset()
+        generator = PayloadGenerator(ruleset, seed=0)
+        payload = generator.generate(1446, 0.0)
+        assert ruleset.total_matches(payload) == 0
+
+    def test_stream_converges_to_target_mtbr(self):
+        ruleset = l7_filter_ruleset()
+        generator = PayloadGenerator(ruleset, seed=1)
+        payloads = generator.stream(1446, 800.0, 300)
+        measured = measure_mtbr(payloads, ruleset)
+        assert measured == pytest.approx(800.0, rel=0.15)
+
+    def test_higher_mtbr_more_matches(self):
+        ruleset = l7_filter_ruleset()
+        generator = PayloadGenerator(ruleset, seed=2)
+        low = measure_mtbr(generator.stream(1446, 100.0, 100), ruleset)
+        high = measure_mtbr(generator.stream(1446, 1000.0, 100), ruleset)
+        assert high > low
+
+    def test_rejects_empty_payload_request(self):
+        generator = PayloadGenerator(l7_filter_ruleset(), seed=0)
+        with pytest.raises(ConfigurationError):
+            generator.generate(0, 100.0)
+
+    def test_measure_mtbr_requires_payloads(self):
+        with pytest.raises(ConfigurationError):
+            measure_mtbr([], l7_filter_ruleset())
+
+
+class TestFlowGenerator:
+    def test_generates_unique_flows(self):
+        flows = FlowGenerator(seed=0).generate(500)
+        assert len({f.key for f in flows}) == 500
+
+    def test_flow_sizes_within_bounds(self):
+        flows = FlowGenerator(min_packets=10, max_packets=20, seed=0).generate(100)
+        assert all(10 <= f.packets <= 20 for f in flows)
+
+    def test_ip_addresses_in_private_ranges(self):
+        flow = FlowGenerator(seed=0).generate(1)[0]
+        assert flow.src_ip_str().startswith("10.")
+        assert flow.dst_ip_str().startswith("192.168.")
+
+    def test_schedule_length_and_indices(self):
+        generator = FlowGenerator(seed=0)
+        flows = generator.generate(10)
+        schedule = generator.schedule(flows, 100)
+        assert len(schedule) == 100
+        assert schedule.min() >= 0 and schedule.max() < 10
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            FlowGenerator(min_packets=5, max_packets=2)
+
+
+class TestPacketGenerator:
+    def test_packets_conform_to_profile(self):
+        profile = TrafficProfile(50, 200, 600.0)
+        generator = PacketGenerator(profile, seed=0)
+        packets = generator.packets(20)
+        assert all(p.size_bytes == 200 for p in packets)
+        assert generator.distinct_flows_in(packets) <= 50
+
+    def test_flow_reuse_across_packets(self):
+        profile = TrafficProfile(5, 200, 0.0)
+        generator = PacketGenerator(profile, seed=0)
+        packets = generator.packets(100)
+        assert generator.distinct_flows_in(packets) == 5
+
+    def test_payloads_respect_mtbr(self):
+        profile = TrafficProfile(10, 1500, 900.0)
+        generator = PacketGenerator(profile, seed=1)
+        packets = generator.packets(200)
+        measured = measure_mtbr([p.payload for p in packets], generator.ruleset)
+        assert measured == pytest.approx(900.0, rel=0.2)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ConfigurationError):
+            PacketGenerator(DEFAULT_TRAFFIC, seed=0).packets(0)

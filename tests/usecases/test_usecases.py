@@ -1,0 +1,171 @@
+"""Tests for the scheduling and diagnosis use cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import YalaPredictor
+from repro.errors import ConfigurationError
+from repro.nf.catalog import make_nf
+from repro.profiling.contention import ContentionLevel
+from repro.traffic.profile import TrafficProfile
+from repro.usecases.diagnosis import BottleneckDiagnoser
+from repro.usecases.scheduling import (
+    NfArrival,
+    PlacementOutcome,
+    Scheduler,
+    random_arrivals,
+)
+
+TRAFFIC = TrafficProfile()
+
+
+class TestArrivals:
+    def test_random_arrivals_deterministic(self):
+        a = random_arrivals(10, seed=1)
+        b = random_arrivals(10, seed=1)
+        assert a == b
+
+    def test_sla_in_requested_range(self):
+        for arrival in random_arrivals(50, seed=2, sla_range=(0.05, 0.20)):
+            assert 0.05 <= arrival.sla_drop_fraction <= 0.20
+
+    def test_rejects_bad_sla(self):
+        with pytest.raises(ConfigurationError):
+            NfArrival(nf_name="acl", sla_drop_fraction=0.0)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ConfigurationError):
+            random_arrivals(0)
+
+
+class TestPlacementOutcome:
+    def test_violation_rate(self):
+        outcome = PlacementOutcome(
+            strategy="x", nics_used=5, violations=2, total_nfs=10
+        )
+        assert outcome.violation_rate_pct == 20.0
+
+    def test_wastage(self):
+        outcome = PlacementOutcome(
+            strategy="x", nics_used=6, violations=0, total_nfs=10
+        )
+        assert outcome.wastage_pct(5) == pytest.approx(20.0)
+
+    def test_negative_wastage_possible(self):
+        outcome = PlacementOutcome(
+            strategy="x", nics_used=4, violations=0, total_nfs=10
+        )
+        assert outcome.wastage_pct(5) < 0.0
+
+
+@pytest.fixture(scope="module")
+def scheduler(small_system):
+    from repro.core.slomo import SlomoPredictor
+
+    slomo = {}
+    for name in small_system.trained_names:
+        predictor = SlomoPredictor(name, seed=5)
+        predictor.train(small_system.collector, make_nf(name), n_samples=120)
+        slomo[name] = predictor
+    return Scheduler(small_system, slomo_predictors=slomo)
+
+
+def _arrivals(count=8, seed=3):
+    return random_arrivals(
+        count, seed=seed, nf_names=("flowmonitor", "flowstats", "nids")
+    )
+
+
+class TestScheduler:
+    def test_monopolization_one_nf_per_nic(self, scheduler):
+        arrivals = _arrivals(6)
+        outcome = scheduler.place(arrivals, "monopolization")
+        assert outcome.nics_used == 6
+        assert outcome.violations == 0
+
+    def test_yala_packs_tighter_than_monopolization(self, scheduler):
+        arrivals = _arrivals(8)
+        mono = scheduler.place(arrivals, "monopolization")
+        yala = scheduler.place(arrivals, "yala")
+        assert yala.nics_used < mono.nics_used
+
+    def test_yala_low_violations(self, scheduler):
+        arrivals = _arrivals(10)
+        outcome = scheduler.place(arrivals, "yala")
+        assert outcome.violation_rate_pct <= 20.0
+
+    def test_greedy_packs_to_capacity(self, scheduler):
+        arrivals = _arrivals(8)
+        outcome = scheduler.place(arrivals, "greedy")
+        assert outcome.nics_used <= 4  # 4 NFs per 8-core NIC max
+
+    def test_assignments_cover_all_arrivals(self, scheduler):
+        arrivals = _arrivals(7)
+        outcome = scheduler.place(arrivals, "yala")
+        placed = sorted(i for nic in outcome.assignments for i in nic)
+        assert placed == list(range(7))
+
+    def test_oracle_at_most_monopolization(self, scheduler):
+        arrivals = _arrivals(6)
+        assert scheduler.oracle_nics(arrivals) <= 6
+
+    def test_unknown_strategy_rejected(self, scheduler):
+        with pytest.raises(ConfigurationError):
+            scheduler.place(_arrivals(2), "random")
+
+    def test_evaluate_aggregates(self, scheduler):
+        sequences = [_arrivals(6, seed=1), _arrivals(6, seed=2)]
+        results = scheduler.evaluate(sequences, strategies=("monopolization", "yala"))
+        assert set(results) == {"monopolization", "yala"}
+        assert results["monopolization"].mean_violation_pct == 0.0
+        assert results["monopolization"].mean_wastage_pct >= results[
+            "yala"
+        ].mean_wastage_pct
+
+
+class TestDiagnosis:
+    @pytest.fixture(scope="class")
+    def diagnoser(self, small_system):
+        predictor = small_system.predictor_of("flowmonitor")
+        return BottleneckDiagnoser(small_system.collector, predictor)
+
+    def test_ground_truth_is_resource_label(self, diagnoser):
+        truth = diagnoser.ground_truth(
+            make_nf("flowmonitor"),
+            ContentionLevel(mem_car=240.0, regex_rate=0.8, regex_mtbr=600.0),
+            TRAFFIC,
+        )
+        assert truth in ("cpu", "memory", "regex", "compression")
+
+    def test_sweep_scores_bounded(self, diagnoser):
+        outcome = diagnoser.sweep(
+            make_nf("flowmonitor"),
+            mtbr_values=[0.0, 550.0, 1100.0],
+            memory_contention=ContentionLevel(mem_car=240.0, mem_wss_mb=10.0),
+            regex_rate=0.8,
+        )
+        assert outcome.total == 3
+        assert 0.0 <= outcome.yala_pct <= 100.0
+        assert 0.0 <= outcome.slomo_pct <= 100.0
+
+    def test_yala_finds_regex_at_extreme_mtbr(self, diagnoser):
+        answer = diagnoser.yala_answer(
+            ContentionLevel(mem_car=60.0, regex_rate=1.8, regex_mtbr=1100.0),
+            TrafficProfile(16_000, 1500, 1100.0),
+        )
+        assert answer == "regex"
+
+    def test_yala_finds_memory_under_pure_memory_pressure(self, diagnoser):
+        answer = diagnoser.yala_answer(
+            ContentionLevel(mem_car=250.0, mem_wss_mb=12.0),
+            TRAFFIC,
+        )
+        assert answer == "memory"
+
+    def test_empty_sweep_rejected(self, diagnoser):
+        with pytest.raises(ConfigurationError):
+            diagnoser.sweep(
+                make_nf("flowmonitor"),
+                mtbr_values=[],
+                memory_contention=ContentionLevel(mem_car=100.0),
+            )
