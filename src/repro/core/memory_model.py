@@ -5,6 +5,11 @@ over the competitors' hardware counter vector (Table 11). Yala's twist
 is traffic awareness — the traffic attribute vector ``(flow_count,
 packet_size, mtbr)`` is appended to the input features so one model
 covers the whole traffic space instead of a single profile.
+
+Prediction is available one scenario at a time (:meth:`predict`) or
+batched (:meth:`predict_batch`); the batch path shares one scaler pass
+and one packed-ensemble traversal across the whole request set and is
+bit-identical per row to the single-call path.
 """
 
 from __future__ import annotations
@@ -82,12 +87,39 @@ class MemoryContentionModel:
         n_competitors: int = 1,
     ) -> float:
         """Predicted throughput (Mpps) under the given contention."""
+        return float(
+            self.predict_batch([competitor_counters], [traffic], [n_competitors])[0]
+        )
+
+    def predict_batch(
+        self,
+        competitor_counters: list[PerfCounters],
+        traffics: list[TrafficProfile],
+        n_competitors: list[int],
+    ) -> np.ndarray:
+        """Predicted throughput for several scenarios at once -> (n,).
+
+        One scaler pass and one ensemble traversal cover the whole
+        batch; every row is bit-identical to a single-scenario
+        :meth:`predict` call (which delegates here), so experiment
+        sweeps can batch without changing results.
+        """
         if not self._fitted:
             raise ModelNotFittedError(f"memory model for {self.nf_name!r} not fitted")
-        features = self._scaler.transform(
-            self._features(competitor_counters, traffic, n_competitors)
+        if not (len(competitor_counters) == len(traffics) == len(n_competitors)):
+            raise ProfilingError("predict_batch inputs must have equal lengths")
+        if not traffics:
+            return np.empty(0)
+        rows = np.vstack(
+            [
+                self._features(counters, traffic, n)
+                for counters, traffic, n in zip(
+                    competitor_counters, traffics, n_competitors
+                )
+            ]
         )
-        return float(max(self._model.predict(features)[0], 1e-6))
+        predictions = self._model.predict(self._scaler.transform(rows))
+        return np.maximum(predictions, 1e-6)
 
     def predict_solo(self, traffic: TrafficProfile) -> float:
         """Predicted solo throughput (zero contention features)."""

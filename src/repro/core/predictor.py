@@ -8,14 +8,19 @@ ask: *"if I put these NFs together on one NIC, what throughput will each
 get?"* — resolved as a small fixed point over the per-NF predictions,
 because each NF's accelerator pressure depends on its own predicted
 rate.
+
+Hot-path notes: :meth:`YalaPredictor.predict_many` batches whole
+scenario sweeps through the memory model (bit-identical to looping
+:meth:`YalaPredictor.predict`), the colocation fixed point evaluates
+the memory model once per target instead of once per iteration, and
+:meth:`YalaSystem.train` accepts ``jobs`` for process-parallel per-NF
+training with deterministic (seed-derived) results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
-
-import numpy as np
 
 from repro.core.accel_model import AcceleratorShare, QueueingAcceleratorModel
 from repro.core.composition import (
@@ -34,7 +39,7 @@ from repro.nic.workload import ExecutionPattern
 from repro.profiling.adaptive import AdaptiveProfiler, AdaptiveProfilingReport
 from repro.profiling.collector import ProfilingCollector
 from repro.profiling.contention import ContentionLevel
-from repro.rng import SeedLike, derive_seed, make_rng
+from repro.rng import SeedLike, derive_seed, make_rng, normalize_seed
 from repro.traffic.profile import TrafficProfile
 
 #: Iterations of the system-level prediction fixed point.
@@ -85,7 +90,11 @@ class YalaPredictor:
         self.nf = nf
         self.nf_name = nf.name
         self._collector = collector
-        self._seed = seed if isinstance(seed, int) else derive_seed(0x1A1A, nf.name)
+        # Honour the full SeedLike contract (int, Generator, or None)
+        # instead of silently replacing non-int seeds with a name-derived
+        # constant.
+        base = normalize_seed(seed)
+        self._seed = base if base is not None else derive_seed(0x1A1A, nf.name)
         self.pattern: Optional[ExecutionPattern] = None
         self.pattern_detection: Optional[PatternDetectionResult] = None
         self.memory_model: Optional[MemoryContentionModel] = None
@@ -141,7 +150,9 @@ class YalaPredictor:
     ) -> "YalaPredictor":
         """Convenience constructor: build NF, collector, and train."""
         collector = ProfilingCollector(nic)
-        seed_int = seed if isinstance(seed, int) else derive_seed(0x1A1A, nf_name)
+        seed_int = normalize_seed(seed)
+        if seed_int is None:
+            seed_int = derive_seed(0x1A1A, nf_name)
         predictor = cls(make_nf(nf_name), collector, seed=seed_int)
         return predictor.train(quota=quota, traffic_aware=traffic_aware)
 
@@ -215,11 +226,20 @@ class YalaPredictor:
         return None
 
     def competitor_counters(self, competitors: list[CompetitorSpec]) -> PerfCounters:
-        """Aggregate solo counter vector of ``competitors``."""
+        """Aggregate solo counter vector of ``competitors``.
+
+        Bench competitors are sized with the same core budget the
+        profiling co-runs gave them (``num_cores`` minus this NF's
+        cores), keeping predict-time features consistent with the
+        training features in :class:`ProfilingCollector.profile_one`.
+        """
+        bench_budget = self._collector.nic.spec.num_cores - self.nf.cores
         samples = []
         for spec in competitors:
             if spec.kind == "bench":
-                samples.append(self._collector.bench_counters(spec.contention))
+                samples.append(
+                    self._collector.bench_counters(spec.contention, bench_budget)
+                )
             else:
                 competitor_nf = make_nf(spec.nf_name)
                 samples.append(
@@ -245,22 +265,86 @@ class YalaPredictor:
         (used by the system-level fixed point). Without rates, NF
         competitors are assumed to saturate their queues (Eq. 1).
         """
-        competitors = list(competitors or [])
+        return self.predict_many(
+            [(traffic, list(competitors or []))],
+            system=system,
+            competitor_rates=[competitor_rates],
+        )[0]
+
+    def predict_many(
+        self,
+        requests: list[tuple[TrafficProfile, list[CompetitorSpec]]],
+        system: Optional["YalaSystem"] = None,
+        competitor_rates: Optional[list[Optional[dict[int, float]]]] = None,
+    ) -> list[float]:
+        """Predict several ``(traffic, competitors)`` scenarios at once.
+
+        Matches a loop of :meth:`predict` calls bit-for-bit, but routes
+        all memory-model evaluations (two GBR passes per scenario)
+        through one batched call each, so experiment sweeps stop paying
+        the per-call scaler/ensemble dispatch overhead thousands of
+        times.
+        """
         if self.memory_model is None or self.pattern is None:
             raise ModelNotFittedError(f"{self.nf_name}: train() first")
+        rates_list = competitor_rates or [None] * len(requests)
+        if len(rates_list) != len(requests):
+            raise ConfigurationError(
+                "competitor_rates must align with requests when given"
+            )
+        if not requests:
+            return []
 
-        solo = self.predict_solo(traffic)
-        per_resource = []
-
-        counters = self.competitor_counters(competitors)
-        n_competitors = sum(
-            spec.contention.actor_count if spec.kind == "bench" else 1
-            for spec in competitors
+        traffics = [traffic for traffic, _ in requests]
+        counters_list = []
+        n_competitors_list = []
+        for _, competitors in requests:
+            counters_list.append(self.competitor_counters(competitors))
+            n_competitors_list.append(
+                sum(
+                    spec.contention.actor_count if spec.kind == "bench" else 1
+                    for spec in competitors
+                )
+            )
+        solos = self.memory_model.predict_batch(
+            [PerfCounters.zero()] * len(requests),
+            traffics,
+            [0] * len(requests),
         )
-        per_resource.append(
-            self._memory_throughput(counters, traffic, n_competitors)
+        memory = self.memory_model.predict_batch(
+            counters_list, traffics, n_competitors_list
         )
+        return [
+            self.predict_with_cached(
+                traffic,
+                competitors,
+                solo=float(solos[i]),
+                memory_throughput=float(memory[i]),
+                system=system,
+                competitor_rates=rates_list[i],
+            )
+            for i, (traffic, competitors) in enumerate(requests)
+        ]
 
+    def predict_with_cached(
+        self,
+        traffic: TrafficProfile,
+        competitors: list[CompetitorSpec],
+        solo: float,
+        memory_throughput: float,
+        system: Optional["YalaSystem"] = None,
+        competitor_rates: Optional[dict[int, float]] = None,
+    ) -> float:
+        """Compose a prediction from precomputed solo/memory throughputs.
+
+        The memory-model outputs do not depend on competitor *rates*, so
+        fixed-point loops (``YalaSystem.predict_colocation``) evaluate
+        them once per target and only re-run the accelerator models per
+        iteration.
+        """
+        if self.pattern is None:
+            raise ModelNotFittedError(f"{self.nf_name}: train() first")
+        per_resource = [memory_throughput]
         for accelerator, model in self.accel_models.items():
             shares = []
             for index, spec in enumerate(competitors):
@@ -303,6 +387,23 @@ class YalaPredictor:
         )
 
 
+def _train_predictor_worker(
+    nic: SmartNic,
+    nf_name: str,
+    seed: int,
+    quota: int,
+    traffic_aware: bool,
+) -> "YalaPredictor":
+    """Train one NF's predictor in a worker process.
+
+    The worker gets its own collector (caches are process-local); the
+    simulator derives measurement noise per workload set, so results
+    match an in-process run exactly.
+    """
+    predictor = YalaPredictor(make_nf(nf_name), ProfilingCollector(nic), seed=seed)
+    return predictor.train(quota=quota, traffic_aware=traffic_aware)
+
+
 class YalaSystem:
     """A fleet of trained Yala predictors with joint prediction."""
 
@@ -315,7 +416,8 @@ class YalaSystem:
     ) -> None:
         self._nic = nic
         self._collector = ProfilingCollector(nic)
-        self._seed = seed if isinstance(seed, int) else 0x1A1A
+        base = normalize_seed(seed)
+        self._seed = base if base is not None else 0x1A1A
         self._quota = quota
         self._traffic_aware = traffic_aware
         self._predictors: dict[str, YalaPredictor] = {}
@@ -329,11 +431,38 @@ class YalaSystem:
         return self._nic
 
     # ------------------------------------------------------------------
-    def train(self, nf_names: list[str]) -> "YalaSystem":
-        """Train predictors for every NF in ``nf_names``."""
-        for name in nf_names:
-            if name in self._predictors:
-                continue
+    def train(self, nf_names: list[str], jobs: int = 1) -> "YalaSystem":
+        """Train predictors for every NF in ``nf_names``.
+
+        ``jobs > 1`` trains the NFs in parallel worker processes. Each
+        NF's training is already driven by its own derived seed and the
+        simulator is deterministic, so the trained predictors (and every
+        downstream prediction) are identical to a serial run; workers'
+        predictors are re-attached to this system's shared collector
+        when they return.
+        """
+        pending = [name for name in nf_names if name not in self._predictors]
+        if jobs > 1 and len(pending) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                futures = {
+                    name: pool.submit(
+                        _train_predictor_worker,
+                        self._nic,
+                        name,
+                        derive_seed(self._seed, name),
+                        self._quota,
+                        self._traffic_aware,
+                    )
+                    for name in pending
+                }
+                for name in pending:
+                    predictor = futures[name].result()
+                    predictor._collector = self._collector
+                    self._predictors[name] = predictor
+            return self
+        for name in pending:
             predictor = YalaPredictor(
                 make_nf(name), self._collector, seed=derive_seed(self._seed, name)
             )
@@ -383,21 +512,45 @@ class YalaSystem:
         """
         benches = list(benches or [])
         rates = [self.predictor_of(n).predict_solo(t) for n, t in placements]
+        solos = list(rates)
+
+        # Everything except the competitors' offered accelerator rates
+        # is loop-invariant: the memory model sees only counters and
+        # traffic, so its (expensive) GBR evaluation runs once per
+        # target instead of once per fixed-point iteration.
+        cached = []
+        for i, (name, traffic) in enumerate(placements):
+            predictor = self.predictor_of(name)
+            competitors = []
+            peer_slots = []
+            for j, (peer_name, peer_traffic) in enumerate(placements):
+                if j == i:
+                    continue
+                competitors.append(CompetitorSpec.nf(peer_name, peer_traffic))
+                peer_slots.append(j)
+            competitors.extend(benches)
+            counters = predictor.competitor_counters(competitors)
+            n_competitors = sum(
+                spec.contention.actor_count if spec.kind == "bench" else 1
+                for spec in competitors
+            )
+            memory = predictor._memory_throughput(counters, traffic, n_competitors)
+            cached.append((predictor, traffic, competitors, peer_slots, memory))
+
         for _ in range(_JOINT_ITERATIONS):
             updated = []
-            for i, (name, traffic) in enumerate(placements):
-                competitors = []
-                rate_map: dict[int, float] = {}
-                for j, (peer_name, peer_traffic) in enumerate(placements):
-                    if j == i:
-                        continue
-                    competitors.append(CompetitorSpec.nf(peer_name, peer_traffic))
-                    rate_map[len(competitors) - 1] = rates[j]
-                competitors.extend(benches)
+            for i, (predictor, traffic, competitors, peer_slots, memory) in enumerate(
+                cached
+            ):
+                rate_map = {
+                    slot: rates[j] for slot, j in enumerate(peer_slots)
+                }
                 updated.append(
-                    self.predictor_of(name).predict(
+                    predictor.predict_with_cached(
                         traffic,
                         competitors,
+                        solo=solos[i],
+                        memory_throughput=memory,
                         system=self,
                         competitor_rates=rate_map,
                     )

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.core.memory_model import MemoryContentionModel
 from repro.errors import ModelNotFittedError, ProfilingError
 from repro.nf.framework import NetworkFunction
@@ -26,7 +24,7 @@ from repro.nic.counters import PerfCounters
 from repro.profiling.collector import ProfilingCollector
 from repro.profiling.contention import ContentionLevel, random_contention
 from repro.profiling.dataset import ProfileDataset
-from repro.rng import SeedLike, make_rng
+from repro.rng import DEFAULT_SEED, SeedLike, derive_seed, make_rng, normalize_seed
 from repro.traffic.profile import TrafficProfile
 
 
@@ -35,10 +33,17 @@ class SlomoPredictor:
 
     def __init__(self, nf_name: str, seed: SeedLike = None) -> None:
         self.nf_name = nf_name
+        # The GBR model and the contention sampler need *independent*
+        # streams: deriving both from the same int seed used to hand
+        # them identical generators, correlating training subsampling
+        # with the contention sweep.
+        base = normalize_seed(seed)
+        if base is None:
+            base = derive_seed(DEFAULT_SEED, "slomo", nf_name)
         self._model = MemoryContentionModel(
-            nf_name, traffic_aware=False, seed=make_rng(seed)
+            nf_name, traffic_aware=False, seed=make_rng(derive_seed(base, "gbr"))
         )
-        self._rng = make_rng(seed)
+        self._rng = make_rng(derive_seed(base, "contention"))
         self._collector: Optional[ProfilingCollector] = None
         self._nf: Optional[NetworkFunction] = None
         self._train_traffic: Optional[TrafficProfile] = None

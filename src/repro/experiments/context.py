@@ -49,14 +49,20 @@ _CONTEXTS: dict[tuple[str, tuple[str, ...]], ExperimentContext] = {}
 def get_context(
     scale: str | ExperimentScale = "default",
     nf_names: tuple[str, ...] = EVALUATION_NF_NAMES,
+    train_jobs: int = 1,
 ) -> ExperimentContext:
-    """Return (building if needed) the shared trained context."""
+    """Return (building if needed) the shared trained context.
+
+    ``train_jobs > 1`` trains the per-NF predictors in parallel worker
+    processes (see :meth:`YalaSystem.train`); the trained context is
+    identical to a serial build.
+    """
     resolved = get_scale(scale)
     key = (resolved.name, tuple(sorted(nf_names)))
     if key not in _CONTEXTS:
         nic = SmartNic(bluefield2_spec(), seed=EXPERIMENT_SEED)
         yala = YalaSystem(nic, seed=EXPERIMENT_SEED, quota=resolved.quota)
-        yala.train(list(nf_names))
+        yala.train(list(nf_names), jobs=train_jobs)
         _CONTEXTS[key] = ExperimentContext(scale=resolved, nic=nic, yala=yala)
     return _CONTEXTS[key]
 

@@ -1,8 +1,11 @@
 """Run all (or selected) experiments and print their rendered tables.
 
 ``python -m repro.experiments --scale default`` regenerates every table
-and figure; ``--only table2,fig4`` restricts the set. Output of the
-``full`` scale is what EXPERIMENTS.md records.
+and figure; ``--only table2,fig4`` restricts the set. ``--jobs N`` runs
+the selected experiments in N worker processes: every experiment is
+deterministic given its own seeds, so results are identical to a serial
+run — only the wall-clock changes. Output of the ``full`` scale is what
+EXPERIMENTS.md records.
 """
 
 from __future__ import annotations
@@ -29,6 +32,22 @@ from repro.experiments import (
     table9_pensando,
 )
 
+#: Experiments that evaluate through the shared trained context
+#: (repro.experiments.context). Only these benefit from pre-training it
+#: before forking parallel workers.
+CONTEXT_EXPERIMENTS: frozenset[str] = frozenset(
+    {
+        "fig2",
+        "fig3",
+        "table2",
+        "table3+fig7a",
+        "table4",
+        "table5+fig7b",
+        "table6",
+        "table7",
+    }
+)
+
 #: Experiment registry: id -> run() callable. Figure 7 is produced by
 #: the table3 (7a) and table5 (7b) modules; Figure 8 by table8.
 EXPERIMENTS: dict[str, Callable] = {
@@ -49,22 +68,72 @@ EXPERIMENTS: dict[str, Callable] = {
 }
 
 
-def run_experiments(
-    names: list[str] | None = None, scale: str = "default"
-) -> dict[str, object]:
-    """Run the selected experiments and return their result objects."""
+def _select(names: list[str] | None) -> list[str]:
+    """Resolve (possibly partial) experiment names to registry keys."""
     selected = names or list(EXPERIMENTS)
-    results = {}
+    keys: list[str] = []
     for name in selected:
         matches = [key for key in EXPERIMENTS if name in key.split("+") or key == name]
         if not matches:
             raise KeyError(f"unknown experiment {name!r}; known: {list(EXPERIMENTS)}")
         for key in matches:
-            if key in results:
-                continue
-            start = time.time()
-            results[key] = EXPERIMENTS[key](scale=scale)
-            print(f"# {key} finished in {time.time() - start:.1f}s", file=sys.stderr)
+            if key not in keys:
+                keys.append(key)
+    return keys
+
+
+def _run_one(key: str, scale: str) -> tuple[str, object, float]:
+    """Run one experiment (worker-process entry point)."""
+    start = time.perf_counter()
+    result = EXPERIMENTS[key](scale=scale)
+    return key, result, time.perf_counter() - start
+
+
+def run_experiments(
+    names: list[str] | None = None,
+    scale: str = "default",
+    jobs: int = 1,
+    pretrain_context: bool = True,
+) -> dict[str, object]:
+    """Run the selected experiments and return their result objects.
+
+    With ``jobs > 1`` experiments run in worker processes. The shared
+    trained context is built once in this process first (with NF-level
+    training parallelism) so that fork-based workers inherit it instead
+    of retraining; on platforms without fork, workers rebuild it
+    deterministically. The warm-up is skipped automatically when no
+    selected experiment uses the shared context (and can be forced off
+    with ``pretrain_context=False``).
+    """
+    keys = _select(names)
+    results: dict[str, object] = {}
+    if jobs <= 1 or len(keys) == 1:
+        for key in keys:
+            _, results[key], elapsed = _run_one(key, scale)
+            print(f"# {key} finished in {elapsed:.1f}s", file=sys.stderr)
+        return results
+
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+    if pretrain_context and any(key in CONTEXT_EXPERIMENTS for key in keys):
+        # Pre-train the shared default context so forked workers inherit
+        # the trained predictors through copy-on-write memory.
+        from repro.experiments.context import get_context
+
+        get_context(scale, train_jobs=jobs)
+
+    completed: dict[str, object] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(keys))) as pool:
+        futures = {pool.submit(_run_one, key, scale): key for key in keys}
+        remaining = set(futures)
+        while remaining:
+            done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for future in done:
+                key, result, elapsed = future.result()
+                completed[key] = result
+                print(f"# {key} finished in {elapsed:.1f}s", file=sys.stderr)
+    for key in keys:  # registry order, independent of completion order
+        results[key] = completed[key]
     return results
 
 
@@ -78,9 +147,18 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="comma-separated experiment ids (e.g. table2,fig4)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for experiments (1 = serial; results are "
+        "identical at any job count)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     names = args.only.split(",") if args.only else None
-    results = run_experiments(names, scale=args.scale)
+    results = run_experiments(names, scale=args.scale, jobs=args.jobs)
     for key, result in results.items():
         print()
         print(f"=== {key} ===")

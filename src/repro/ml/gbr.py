@@ -4,6 +4,21 @@ This mirrors the configuration SLOMO and Yala use from scikit-learn's
 ``GradientBoostingRegressor``: shallow trees fitted to residuals with a
 shrinkage factor, optional row subsampling (stochastic gradient
 boosting), and optional early stopping on a validation fraction.
+
+Two hot-path optimisations keep results bit-identical to the naive
+loop while removing most of its cost:
+
+- **Leaf-cache residual updates**: each stage's contribution to the
+  in-sample rows is read from the leaf assignments recorded while the
+  tree grew (no re-traversal); only rows outside the stage's subsample
+  are routed through the tree.
+- **Packed batch prediction**: at predict time the whole ensemble is
+  flattened into one set of node arrays, so a batch of rows descends
+  all trees simultaneously instead of looping tree by tree in Python.
+
+Early stopping truncates the ensemble back to the best validation
+stage (as scikit-learn does), instead of keeping the stale trees fitted
+after the validation loss stopped improving.
 """
 
 from __future__ import annotations
@@ -13,7 +28,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigurationError, ModelNotFittedError
-from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.tree import _NO_CHILD, DecisionTreeRegressor
 from repro.rng import SeedLike, make_rng
 
 
@@ -37,9 +52,17 @@ class GradientBoostingRegressor:
         If ``n_iter_no_change`` is set, a validation split of
         ``validation_fraction`` rows is held out and boosting stops when
         the validation loss fails to improve by ``tol`` for that many
-        consecutive stages.
+        consecutive stages; the ensemble is then truncated back to the
+        best validation stage.
     seed:
         Seed for subsampling and the validation split.
+    split_algorithm:
+        Split finder used by the stage trees (see
+        :class:`~repro.ml.tree.DecisionTreeRegressor`).
+    reuse_leaf_cache:
+        Update residuals from the leaf assignments recorded during each
+        stage's fit instead of re-traversing the tree (bit-identical;
+        disable only to benchmark the naive path).
     """
 
     def __init__(
@@ -53,6 +76,8 @@ class GradientBoostingRegressor:
         validation_fraction: float = 0.1,
         tol: float = 1e-4,
         seed: SeedLike = None,
+        split_algorithm: str = "vectorized",
+        reuse_leaf_cache: bool = True,
     ) -> None:
         if n_estimators < 1:
             raise ConfigurationError(f"n_estimators must be >= 1, got {n_estimators}")
@@ -74,10 +99,14 @@ class GradientBoostingRegressor:
         self.n_iter_no_change = n_iter_no_change
         self.validation_fraction = validation_fraction
         self.tol = tol
+        self.split_algorithm = split_algorithm
+        self.reuse_leaf_cache = reuse_leaf_cache
         self._rng = make_rng(seed)
         self._base_prediction = 0.0
         self._trees: list[DecisionTreeRegressor] = []
         self._train_losses: list[float] = []
+        self._val_losses: list[float] = []
+        self._packed: Optional[tuple[np.ndarray, ...]] = None
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -110,53 +139,174 @@ class GradientBoostingRegressor:
         self._base_prediction = float(y_train.mean())
         self._trees = []
         self._train_losses = []
+        self._val_losses = []
+        self._packed = None
         current = np.full(x_train.shape[0], self._base_prediction)
         current_val = np.full(x_val.shape[0], self._base_prediction)
 
         best_val_loss = np.inf
+        best_stage = 0
         stall = 0
         n_rows = x_train.shape[0]
         sample_size = max(2, int(round(self.subsample * n_rows)))
+        full_sample = np.arange(n_rows)
+        presorted = None
+        prebinned = None
+        if self.split_algorithm == "vectorized" and self.subsample >= 1.0:
+            # Every stage refits on the same rows: share one presort.
+            presorted = DecisionTreeRegressor.presort(x_train)
+        elif self.split_algorithm == "histogram":
+            # Bin identities do not depend on the stage's subsample:
+            # bucket once, hand each stage a row-subset view.
+            prebinned = DecisionTreeRegressor.prebin(x_train)
 
         for _ in range(self.n_estimators):
             residual = y_train - current
             if self.subsample < 1.0:
                 rows = self._rng.choice(n_rows, size=sample_size, replace=False)
             else:
-                rows = np.arange(n_rows)
+                rows = full_sample
             tree = DecisionTreeRegressor(
                 max_depth=self.max_depth,
                 min_samples_leaf=self.min_samples_leaf,
                 seed=self._rng,
+                split_algorithm=self.split_algorithm,
             )
-            tree.fit(x_train[rows], residual[rows])
+            if presorted is not None or (
+                prebinned is not None and rows is full_sample
+            ):
+                tree.fit(x_train, residual, presorted=presorted, prebinned=prebinned)
+            elif prebinned is not None:
+                tree.fit(
+                    x_train[rows], residual[rows], prebinned=prebinned.subset(rows)
+                )
+            else:
+                tree.fit(x_train[rows], residual[rows])
             self._trees.append(tree)
-            current = current + self.learning_rate * tree.predict(x_train)
-            self._train_losses.append(float(np.mean((y_train - current) ** 2)))
+            current = current + self.learning_rate * self._stage_prediction(
+                tree, x_train, rows, identity_rows=rows is full_sample
+            )
+            # Same pairwise summation as np.mean, minus its bookkeeping.
+            self._train_losses.append(
+                float(((y_train - current) ** 2).sum() / n_rows)
+            )
 
             if self.n_iter_no_change is not None and val_idx.size:
                 current_val = current_val + self.learning_rate * tree.predict(x_val)
                 val_loss = float(np.mean((y_val - current_val) ** 2))
+                self._val_losses.append(val_loss)
                 if val_loss < best_val_loss - self.tol:
                     best_val_loss = val_loss
+                    best_stage = len(self._trees)
                     stall = 0
                 else:
                     stall += 1
                     if stall >= self.n_iter_no_change:
                         break
 
+        if self.n_iter_no_change is not None and val_idx.size:
+            # Drop the stale trees fitted after the best validation
+            # stage, as scikit-learn's early stopping does.
+            del self._trees[best_stage:]
+            del self._train_losses[best_stage:]
         self._fitted = True
         return self
 
+    def _stage_prediction(
+        self,
+        tree: DecisionTreeRegressor,
+        x_train: np.ndarray,
+        rows: np.ndarray,
+        identity_rows: bool = False,
+    ) -> np.ndarray:
+        """This stage's per-row contribution over all training rows.
+
+        In-sample rows reuse the leaf assignments cached during
+        ``tree.fit``; only out-of-subsample rows traverse the tree.
+        ``identity_rows`` must only be set when ``rows`` is the identity
+        ordering — a full-size *permutation* (subsample rounding up to
+        ``n``) still needs the scatter below to undo the fit-row order.
+        """
+        if not self.reuse_leaf_cache:
+            return tree.predict(x_train)
+        if identity_rows:
+            # Full-sample stage: fit-row order is x_train order.
+            return tree.training_leaf_values()
+        n_rows = x_train.shape[0]
+        prediction = np.empty(n_rows)
+        in_sample = np.zeros(n_rows, dtype=bool)
+        in_sample[rows] = True
+        prediction[rows] = tree.training_leaf_values()
+        out_rows = np.flatnonzero(~in_sample)
+        if out_rows.size:
+            prediction[out_rows] = tree.predict(x_train[out_rows])
+        return prediction
+
     # ------------------------------------------------------------------
+    def _pack_ensemble(self) -> tuple[np.ndarray, ...]:
+        """Flatten all trees into one node-array set (cached).
+
+        Concatenates the per-tree flat arrays, shifting child ids by
+        each tree's node offset, so prediction can advance a whole
+        ``(rows, trees)`` matrix of cursors per level instead of looping
+        over trees in Python.
+        """
+        if self._packed is None:
+            offsets = np.cumsum([0] + [t.node_count for t in self._trees])[:-1]
+            feature = np.concatenate([t._feature_arr for t in self._trees])
+            threshold = np.concatenate([t._threshold_arr for t in self._trees])
+            value = np.concatenate([t._value_arr for t in self._trees])
+            left = np.concatenate(
+                [t._left_arr + off for t, off in zip(self._trees, offsets)]
+            )
+            right = np.concatenate(
+                [t._right_arr + off for t, off in zip(self._trees, offsets)]
+            )
+            self._packed = (feature, threshold, left, right, value, offsets)
+        return self._packed
+
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Predict targets for ``features`` (n, d) -> (n,)."""
         if not self._fitted:
             raise ModelNotFittedError("GradientBoostingRegressor.predict before fit")
         features = np.atleast_2d(np.asarray(features, dtype=float))
-        prediction = np.full(features.shape[0], self._base_prediction)
-        for tree in self._trees:
-            prediction += self.learning_rate * tree.predict(features)
+        n = features.shape[0]
+        prediction = np.full(n, self._base_prediction)
+        if not self._trees:
+            return prediction
+        feature, threshold, left, right, value, offsets = self._pack_ensemble()
+
+        # Descend all rows through all trees simultaneously, one tree
+        # level per iteration. While every cursor is still at an
+        # internal node (the common case for depth-limited boosting
+        # trees), advance the full matrix without building index
+        # tuples.
+        nodes = np.broadcast_to(offsets, (n, offsets.size)).copy()
+        rows = np.arange(n)[:, None]
+        split_feature = feature[nodes]
+        active = split_feature != _NO_CHILD
+        while active.any():
+            if active.all():
+                go_left = features[rows, split_feature] <= threshold[nodes]
+                nodes = np.where(go_left, left[nodes], right[nodes])
+                split_feature = feature[nodes]
+                active = split_feature != _NO_CHILD
+            else:
+                pos = np.nonzero(active)
+                node_ids = nodes[pos]
+                go_left = (
+                    features[pos[0], split_feature[pos]] <= threshold[node_ids]
+                )
+                advanced = np.where(go_left, left[node_ids], right[node_ids])
+                nodes[pos] = advanced
+                split_feature[pos] = feature[advanced]
+                active[pos] = split_feature[pos] != _NO_CHILD
+        leaf_values = value[nodes]
+
+        # Accumulate stages sequentially (same float-op order as the
+        # per-tree loop, so results are bit-identical to it).
+        for stage in range(leaf_values.shape[1]):
+            prediction += self.learning_rate * leaf_values[:, stage]
         return prediction
 
     @property
@@ -168,6 +318,16 @@ class GradientBoostingRegressor:
     def train_losses(self) -> list[float]:
         """Training MSE after each boosting stage."""
         return list(self._train_losses)
+
+    @property
+    def val_losses(self) -> list[float]:
+        """Validation MSE after each fitted stage (pre-truncation).
+
+        Empty unless early stopping was active. After truncation,
+        ``n_stages`` is the last stage whose validation loss improved on
+        the previous best by at least ``tol``.
+        """
+        return list(self._val_losses)
 
     def staged_predict(self, features: np.ndarray, every: int = 1) -> np.ndarray:
         """Predictions after every ``every`` stages, shape (s, n).

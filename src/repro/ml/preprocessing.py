@@ -32,7 +32,11 @@ class StandardScaler:
         if self.mean_ is None or self.scale_ is None:
             raise ModelNotFittedError("StandardScaler.transform before fit")
         features = np.atleast_2d(np.asarray(features, dtype=float))
-        return (features - self.mean_) / self.scale_
+        # One temporary instead of two; bit-identical to
+        # (features - mean) / scale and safe on whole batches at once.
+        scaled = features - self.mean_
+        scaled /= self.scale_
+        return scaled
 
     def fit_transform(self, features: np.ndarray) -> np.ndarray:
         return self.fit(features).transform(features)

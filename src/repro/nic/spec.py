@@ -87,6 +87,19 @@ class NicSpecification:
             self, "accelerators", MappingProxyType(dict(self.accelerators))
         )
 
+    def __getstate__(self) -> dict:
+        """Pickle support: the read-only accelerator view is rebuilt."""
+        state = self.__dict__.copy()
+        state["accelerators"] = dict(self.accelerators)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        object.__setattr__(
+            self, "accelerators", MappingProxyType(dict(self.accelerators))
+        )
+
     def accelerator(self, name: str) -> AcceleratorSpec:
         """Return the accelerator spec called ``name``."""
         try:

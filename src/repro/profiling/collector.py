@@ -10,6 +10,7 @@ in *target* samples, exactly as the paper counts its profiling quota.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from repro.errors import ProfilingError
@@ -27,9 +28,22 @@ class ProfilingCollector:
     def __init__(self, nic: SmartNic) -> None:
         self._nic = nic
         self._solo_cache: dict[tuple, WorkloadResult] = {}
-        self._bench_counter_cache: dict[ContentionLevel, PerfCounters] = {}
+        self._bench_counter_cache: dict[tuple, PerfCounters] = {}
         self._sample_cache: dict[tuple, ProfileSample] = {}
         self._profile_count = 0
+        # Guards the quota counter when predictors train concurrently
+        # (cache writes are idempotent; the counter increment is not).
+        self._count_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        """Pickle support: locks don't travel, caches do."""
+        state = self.__dict__.copy()
+        del state["_count_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._count_lock = threading.Lock()
 
     @property
     def nic(self) -> SmartNic:
@@ -48,26 +62,36 @@ class ProfilingCollector:
             self._solo_cache[key] = self._nic.run_solo(nf.demand(traffic))
         return self._solo_cache[key]
 
-    def bench_counters(self, contention: ContentionLevel) -> PerfCounters:
+    def bench_counters(
+        self,
+        contention: ContentionLevel,
+        available_cores: Optional[int] = None,
+    ) -> PerfCounters:
         """Aggregate solo counters of the benches at ``contention``.
 
         These are the "contention level" features handed to the models;
         the bench set is measured running together (without the target),
         mirroring how SLOMO characterises a competitor mix's
-        contentiousness.
+        contentiousness. ``available_cores`` must describe the same core
+        budget the measured co-run gives the benches (``num_cores -
+        target cores``) so the counter features describe the competitor
+        mix the target actually faced; it defaults to a two-core target.
         """
         if contention.is_idle:
             return PerfCounters.zero()
-        if contention not in self._bench_counter_cache:
-            benches = contention.benches(self._nic.spec.num_cores - 2)
+        if available_cores is None:
+            available_cores = self._nic.spec.num_cores - 2
+        key = (contention, available_cores)
+        if key not in self._bench_counter_cache:
+            benches = contention.benches(available_cores)
             if not benches:
-                self._bench_counter_cache[contention] = PerfCounters.zero()
+                self._bench_counter_cache[key] = PerfCounters.zero()
             else:
                 result = self._nic.run(benches)
-                self._bench_counter_cache[contention] = PerfCounters.aggregate(
+                self._bench_counter_cache[key] = PerfCounters.aggregate(
                     [result[w.name].counters for w in benches]
                 )
-        return self._bench_counter_cache[contention]
+        return self._bench_counter_cache[key]
 
     # ------------------------------------------------------------------
     def profile_one(
@@ -89,18 +113,23 @@ class ProfilingCollector:
             return self._sample_cache[key]
         solo = self.solo(nf, traffic)
         target = nf.demand(traffic)
-        benches = contention.benches(self._nic.spec.num_cores - target.cores)
+        bench_budget = self._nic.spec.num_cores - target.cores
+        benches = contention.benches(bench_budget)
         if benches:
             result = self._nic.run([target] + benches)
             throughput = result[target.name].throughput_mpps
         else:
             throughput = solo.throughput_mpps
-        self._profile_count += 1
+        with self._count_lock:
+            self._profile_count += 1
         sample = ProfileSample(
             nf_name=nf.name,
             traffic=traffic,
             contention=contention,
-            competitor_counters=self.bench_counters(contention),
+            # Counter features must describe the same bench set the
+            # measured co-run used — size it with the target's actual
+            # core take, not a hard-coded two-core assumption.
+            competitor_counters=self.bench_counters(contention, bench_budget),
             throughput_mpps=throughput,
             solo_throughput_mpps=solo.throughput_mpps,
             n_competitors=len(benches),

@@ -32,6 +32,22 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def normalize_seed(seed: SeedLike) -> Optional[int]:
+    """Collapse ``seed`` to a concrete int, honouring the full contract.
+
+    Ints pass through, ``None`` stays ``None`` (callers supply their own
+    default), and an existing :class:`~numpy.random.Generator` is
+    consumed for one draw — so two different generators (or the same
+    generator at different points of its stream) yield different
+    sub-seeds instead of being silently discarded.
+    """
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63 - 1))
+    if seed is None:
+        return None
+    return int(seed)
+
+
 def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """Split ``rng`` into ``count`` independent child generators.
 

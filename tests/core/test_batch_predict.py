@@ -1,0 +1,114 @@
+"""Batch prediction APIs must match their single-call counterparts
+bit-for-bit: batching is a throughput optimisation, never a numerical
+change."""
+
+import numpy as np
+import pytest
+
+from repro.core.memory_model import MemoryContentionModel
+from repro.core.predictor import CompetitorSpec
+from repro.errors import ModelNotFittedError, ProfilingError
+from repro.nf.catalog import make_nf
+from repro.nic.counters import PerfCounters
+from repro.profiling.collector import ProfilingCollector
+from repro.profiling.contention import ContentionLevel, random_contention
+from repro.profiling.dataset import ProfileDataset
+from repro.traffic.profile import TrafficProfile
+
+
+@pytest.fixture(scope="module")
+def small_memory_model(noisy_nic):
+    """A quickly trained traffic-aware memory model."""
+    collector = ProfilingCollector(noisy_nic)
+    nf = make_nf("flowmonitor")
+    dataset = ProfileDataset(nf.name)
+    rng = np.random.default_rng(11)
+    profiles = [
+        TrafficProfile(),
+        TrafficProfile(64_000, 512, 300.0),
+        TrafficProfile(4_000, 1500, 900.0),
+    ]
+    for index in range(36):
+        contention = (
+            ContentionLevel()
+            if index < 4
+            else random_contention(seed=rng, memory=True)
+        )
+        dataset.add(
+            collector.profile_one(nf, contention, profiles[index % len(profiles)])
+        )
+    model = MemoryContentionModel("flowmonitor", n_estimators=40, seed=3)
+    return model.fit(dataset), collector
+
+
+class TestMemoryModelBatch:
+    def test_batch_matches_looped_predict_bitwise(self, small_memory_model):
+        model, collector = small_memory_model
+        rng = np.random.default_rng(21)
+        counters, traffics, competitors = [], [], []
+        for index in range(12):
+            level = random_contention(seed=rng, memory=True)
+            counters.append(collector.bench_counters(level))
+            traffics.append(
+                TrafficProfile(
+                    int(rng.uniform(1_000, 300_000)),
+                    int(rng.uniform(64, 1500)),
+                    float(rng.uniform(0, 1000)),
+                )
+            )
+            competitors.append(int(rng.integers(0, 4)))
+        batched = model.predict_batch(counters, traffics, competitors)
+        looped = [
+            model.predict(c, t, n)
+            for c, t, n in zip(counters, traffics, competitors)
+        ]
+        assert batched.tolist() == looped
+
+    def test_empty_batch(self, small_memory_model):
+        model, _ = small_memory_model
+        assert model.predict_batch([], [], []).shape == (0,)
+
+    def test_mismatched_lengths_rejected(self, small_memory_model):
+        model, _ = small_memory_model
+        with pytest.raises(ProfilingError):
+            model.predict_batch([PerfCounters.zero()], [], [0])
+
+    def test_unfitted_model_rejected(self):
+        model = MemoryContentionModel("acl")
+        with pytest.raises(ModelNotFittedError):
+            model.predict_batch([PerfCounters.zero()], [TrafficProfile()], [0])
+
+
+class TestPredictorBatch:
+    def test_predict_many_matches_looped_predict(self, trained_flowmonitor):
+        requests = [
+            (TrafficProfile(), []),
+            (
+                TrafficProfile(64_000, 512, 300.0),
+                [CompetitorSpec.bench(ContentionLevel(mem_car=120.0))],
+            ),
+            (
+                TrafficProfile(8_000, 1500, 800.0),
+                [
+                    CompetitorSpec.bench(
+                        ContentionLevel(mem_car=60.0, regex_rate=0.8)
+                    )
+                ],
+            ),
+        ]
+        batched = trained_flowmonitor.predict_many(requests)
+        looped = [
+            trained_flowmonitor.predict(traffic, competitors)
+            for traffic, competitors in requests
+        ]
+        assert batched == looped
+
+    def test_predict_many_empty(self, trained_flowmonitor):
+        assert trained_flowmonitor.predict_many([]) == []
+
+    def test_joint_prediction_deterministic(self, small_system):
+        traffic = TrafficProfile()
+        placements = [("flowmonitor", traffic), ("nids", traffic)]
+        assert small_system.predict_colocation(
+            placements
+        ) == small_system.predict_colocation(placements)

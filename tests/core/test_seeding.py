@@ -1,0 +1,117 @@
+"""Regression tests for seeding correctness in SLOMO and Yala.
+
+Covers two fixed bugs:
+
+- ``SlomoPredictor`` used ``make_rng(seed)`` for both its GBR model and
+  its contention sampler, so an int seed handed both components the
+  *same* stream (perfectly correlated subsampling and contention
+  sweeps).
+- ``YalaPredictor`` / ``YalaSystem`` silently discarded any non-int
+  ``SeedLike`` (e.g. a passed Generator) and replaced it with a
+  name-derived constant.
+"""
+
+import numpy as np
+
+from repro.core.predictor import YalaPredictor, YalaSystem
+from repro.core.slomo import SlomoPredictor
+from repro.nf.catalog import make_nf
+from repro.nic.nic import SmartNic
+from repro.nic.spec import bluefield2_spec
+from repro.profiling.collector import ProfilingCollector
+from repro.rng import derive_seed, normalize_seed
+
+
+class TestNormalizeSeed:
+    def test_int_passes_through(self):
+        assert normalize_seed(1234) == 1234
+
+    def test_none_stays_none(self):
+        assert normalize_seed(None) is None
+
+    def test_generator_is_consumed(self):
+        generator = np.random.default_rng(7)
+        first = normalize_seed(generator)
+        second = normalize_seed(generator)
+        assert isinstance(first, int) and isinstance(second, int)
+        assert first != second  # the stream advanced
+
+    def test_equal_generators_agree(self):
+        assert normalize_seed(np.random.default_rng(7)) == normalize_seed(
+            np.random.default_rng(7)
+        )
+
+
+class TestSlomoSeeding:
+    def test_model_and_contention_streams_differ(self):
+        predictor = SlomoPredictor("flowmonitor", seed=1234)
+        gbr_rng = predictor._model._model._rng
+        contention_rng = predictor._rng
+        # With the old correlated seeding these two draws were equal
+        # for every int seed.
+        assert gbr_rng.random(8).tolist() != contention_rng.random(8).tolist()
+
+    def test_sub_seeds_are_derived_not_shared(self):
+        assert derive_seed(1234, "gbr") != derive_seed(1234, "contention")
+
+    def test_deterministic_given_int_seed(self):
+        a = SlomoPredictor("flowmonitor", seed=99)
+        b = SlomoPredictor("flowmonitor", seed=99)
+        assert a._rng.random(4).tolist() == b._rng.random(4).tolist()
+
+    def test_default_seeds_differ_across_nfs(self):
+        a = SlomoPredictor("flowmonitor")
+        b = SlomoPredictor("nids")
+        assert a._rng.random(4).tolist() != b._rng.random(4).tolist()
+
+
+class TestYalaSeeding:
+    def _collector(self):
+        return ProfilingCollector(SmartNic(bluefield2_spec(), seed=1))
+
+    def test_int_seed_honoured(self):
+        predictor = YalaPredictor(make_nf("acl"), self._collector(), seed=77)
+        assert predictor._seed == 77
+
+    def test_none_defaults_to_name_derived(self):
+        predictor = YalaPredictor(make_nf("acl"), self._collector())
+        assert predictor._seed == derive_seed(0x1A1A, "acl")
+
+    def test_generator_seed_no_longer_discarded(self):
+        collector = self._collector()
+        from_generator = YalaPredictor(
+            make_nf("acl"), collector, seed=np.random.default_rng(5)
+        )
+        assert from_generator._seed != derive_seed(0x1A1A, "acl")
+
+    def test_distinct_generator_states_give_distinct_seeds(self):
+        collector = self._collector()
+        generator = np.random.default_rng(5)
+        first = YalaPredictor(make_nf("acl"), collector, seed=generator)
+        second = YalaPredictor(make_nf("acl"), collector, seed=generator)
+        assert first._seed != second._seed
+
+    def test_system_honours_generator_seed(self):
+        nic = SmartNic(bluefield2_spec(), seed=1)
+        system = YalaSystem(nic, seed=np.random.default_rng(3))
+        assert system._seed != 0x1A1A
+        assert YalaSystem(nic)._seed == 0x1A1A
+
+
+class TestParallelTrainingEquivalence:
+    def test_parallel_training_matches_serial(self):
+        from repro.traffic.profile import TrafficProfile
+
+        traffic = TrafficProfile()
+        serial = YalaSystem(
+            SmartNic(bluefield2_spec(), seed=101), seed=909, quota=60
+        ).train(["flowmonitor", "nids"])
+        parallel = YalaSystem(
+            SmartNic(bluefield2_spec(), seed=101), seed=909, quota=60
+        ).train(["flowmonitor", "nids"], jobs=2)
+        assert serial.trained_names == parallel.trained_names
+        assert serial.predict_colocation(
+            [("flowmonitor", traffic), ("nids", traffic)]
+        ) == parallel.predict_colocation(
+            [("flowmonitor", traffic), ("nids", traffic)]
+        )

@@ -3,7 +3,29 @@
 import pytest
 
 from repro.experiments import fig7_fig8_aliases
-from repro.experiments.runner import EXPERIMENTS, run_experiments
+from repro.experiments.runner import EXPERIMENTS, main, run_experiments
+
+
+class _StubResult:
+    """Picklable stand-in for an experiment result."""
+
+    def __init__(self, tag: str, scale: str) -> None:
+        self.value = (tag, scale)
+
+    def render(self) -> str:
+        return f"{self.value}"
+
+
+def _stub_alpha(scale="default"):
+    return _StubResult("alpha", scale)
+
+
+def _stub_beta(scale="default"):
+    return _StubResult("beta", scale)
+
+
+def _stub_gamma(scale="default"):
+    return _StubResult("gamma", scale)
 
 
 class TestRunnerRegistry:
@@ -29,6 +51,60 @@ class TestRunnerRegistry:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(KeyError):
             run_experiments(["fig99"], scale="smoke")
+
+    def test_context_experiments_subset_of_registry(self):
+        from repro.experiments.runner import CONTEXT_EXPERIMENTS
+
+        assert CONTEXT_EXPERIMENTS <= set(EXPERIMENTS)
+
+
+class TestParallelRunner:
+    """--jobs runs experiments in worker processes with identical results."""
+
+    @pytest.fixture()
+    def stub_registry(self, monkeypatch):
+        stubs = {
+            "stub-alpha": _stub_alpha,
+            "stub-beta": _stub_beta,
+            "stub-gamma": _stub_gamma,
+        }
+        monkeypatch.setattr(
+            "repro.experiments.runner.EXPERIMENTS", stubs
+        )
+        return stubs
+
+    def test_parallel_matches_serial(self, stub_registry):
+        serial = run_experiments(None, scale="smoke", jobs=1)
+        parallel = run_experiments(
+            None, scale="smoke", jobs=2, pretrain_context=False
+        )
+        assert list(serial) == list(parallel) == list(stub_registry)
+        assert [r.value for r in serial.values()] == [
+            r.value for r in parallel.values()
+        ]
+
+    def test_parallel_results_in_selection_order(self, stub_registry):
+        results = run_experiments(
+            ["stub-gamma", "stub-alpha"], scale="smoke", jobs=2,
+            pretrain_context=False,
+        )
+        # Output ordering follows the (deterministic) selection order,
+        # never the workers' completion order.
+        assert list(results) == ["stub-gamma", "stub-alpha"]
+
+    def test_single_selection_runs_serially(self, stub_registry):
+        results = run_experiments(["stub-beta"], scale="smoke", jobs=4)
+        assert [r.value for r in results.values()] == [("beta", "smoke")]
+
+    def test_cli_rejects_bad_jobs(self, stub_registry, capsys):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "0"])
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_cli_runs_with_jobs_flag(self, stub_registry, capsys):
+        assert main(["--only", "stub-alpha", "--scale", "smoke", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "stub-alpha" in out and "('alpha', 'smoke')" in out
 
 
 class TestAliases:

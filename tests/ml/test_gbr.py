@@ -62,6 +62,96 @@ class TestFitting:
         assert np.allclose(a.predict(x), b.predict(x))
 
 
+class TestHotPathEquivalence:
+    """The optimised boosting paths must be bit-identical to the seed."""
+
+    @pytest.mark.parametrize("subsample", [0.8, 0.995])
+    def test_leaf_cache_matches_retraversal(self, subsample):
+        # subsample=0.995 rounds the sample size up to n, making rows a
+        # full-size *permutation* — regression for a leaf-cache shortcut
+        # that mistook it for identity ordering.
+        x, y = _smooth_data(100)
+        fast = GradientBoostingRegressor(
+            n_estimators=40, subsample=subsample, seed=9, reuse_leaf_cache=True
+        ).fit(x, y)
+        slow = GradientBoostingRegressor(
+            n_estimators=40, subsample=subsample, seed=9, reuse_leaf_cache=False
+        ).fit(x, y)
+        probe = x[:50]
+        assert np.array_equal(fast.predict(probe), slow.predict(probe))
+        assert fast.train_losses == slow.train_losses
+
+    @pytest.mark.parametrize("subsample", [1.0, 0.8])
+    def test_split_algorithms_match_reference(self, subsample):
+        x, y = _smooth_data(250)
+        models = {
+            algorithm: GradientBoostingRegressor(
+                n_estimators=30,
+                subsample=subsample,
+                min_samples_leaf=2,
+                seed=4,
+                split_algorithm=algorithm,
+            ).fit(x, y)
+            for algorithm in ("reference", "vectorized", "histogram")
+        }
+        probe = x[:40]
+        expected = models["reference"].predict(probe)
+        assert np.array_equal(expected, models["vectorized"].predict(probe))
+        assert np.array_equal(expected, models["histogram"].predict(probe))
+
+    def test_packed_predict_matches_per_tree_loop(self):
+        x, y = _smooth_data(200)
+        model = GradientBoostingRegressor(n_estimators=25, seed=1).fit(x, y)
+        probe = np.random.default_rng(2).uniform(size=(60, 4))
+        looped = np.full(probe.shape[0], model._base_prediction)
+        for tree in model._trees:
+            looped += model.learning_rate * tree.predict(probe)
+        assert np.array_equal(looped, model.predict(probe))
+
+    def test_batch_predict_matches_single_rows(self):
+        x, y = _smooth_data(200)
+        model = GradientBoostingRegressor(n_estimators=25, seed=1).fit(x, y)
+        probe = np.random.default_rng(3).uniform(size=(30, 4))
+        singles = np.array(
+            [model.predict(probe[i : i + 1])[0] for i in range(probe.shape[0])]
+        )
+        assert np.array_equal(singles, model.predict(probe))
+
+
+class TestEarlyStoppingTruncation:
+    def test_ensemble_truncated_to_best_validation_stage(self):
+        x, y = _smooth_data(400)
+        model = GradientBoostingRegressor(
+            n_estimators=500, n_iter_no_change=5, tol=1e-4, seed=0
+        ).fit(x, y)
+        val_losses = model.val_losses
+        assert val_losses, "early stopping must record validation losses"
+        # The stale trees fitted after the last tol-sized improvement
+        # are gone...
+        assert model.n_stages < len(val_losses)
+        assert len(model.train_losses) == model.n_stages
+        # ...and the kept stage replicates the seed's running-best logic:
+        best, stage = np.inf, 0
+        for index, loss in enumerate(val_losses):
+            if loss < best - 1e-4:
+                best, stage = loss, index + 1
+        assert model.n_stages == stage
+
+    def test_truncated_model_still_predicts(self):
+        x, y = _smooth_data(400)
+        model = GradientBoostingRegressor(
+            n_estimators=300, n_iter_no_change=3, seed=2
+        ).fit(x, y)
+        rmse = np.sqrt(np.mean((model.predict(x) - y) ** 2))
+        assert rmse < 0.5 * y.std()
+
+    def test_no_early_stopping_keeps_all_stages(self):
+        x, y = _smooth_data(100)
+        model = GradientBoostingRegressor(n_estimators=20, seed=0).fit(x, y)
+        assert model.n_stages == 20
+        assert model.val_losses == []
+
+
 class TestValidation:
     @pytest.mark.parametrize(
         "kwargs",

@@ -1,0 +1,154 @@
+"""Equivalence tests for the fast split finders in the CART tree.
+
+The ``vectorized`` finder must reproduce the ``reference`` finder
+bit-for-bit (same argsort permutations, same floating-point order); the
+``histogram`` finder must produce the same trees on realistic data (its
+small-node fallback resolves the exactly-tied-gain cases through the
+exact kernel).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ml.tree import DecisionTreeRegressor, HistogramBins
+
+
+def _tree_signature(tree: DecisionTreeRegressor):
+    return (tree._feature, tree._threshold, tree._left, tree._right, tree._value)
+
+
+def _datasets():
+    rng = np.random.default_rng(1234)
+    for trial in range(12):
+        n = int(rng.integers(4, 250))
+        d = int(rng.integers(1, 7))
+        if trial % 3 == 0:
+            # low-cardinality, tie-heavy features
+            features = rng.integers(0, 9, size=(n, d)).astype(float) / 8.0
+        else:
+            features = rng.uniform(0.0, 1.0, size=(n, d))
+        targets = rng.normal(size=n) + 2.0 * features[:, 0]
+        if trial % 5 == 0:
+            targets = np.full(n, 1.5)  # constant-target nodes
+        yield features, targets
+
+
+PARAMS = [
+    {},
+    {"max_depth": 3},
+    {"max_depth": 3, "min_samples_leaf": 2},
+    {"min_samples_leaf": 5},
+    {"max_features": 1, "seed": 7},
+    {"max_features": 0.5, "seed": 11},
+]
+
+
+class TestVectorizedEquivalence:
+    @pytest.mark.parametrize("params", PARAMS)
+    def test_same_tree_as_reference(self, params):
+        for features, targets in _datasets():
+            ref = DecisionTreeRegressor(split_algorithm="reference", **params)
+            vec = DecisionTreeRegressor(split_algorithm="vectorized", **params)
+            ref.fit(features, targets)
+            vec.fit(features, targets)
+            assert _tree_signature(ref) == _tree_signature(vec)
+
+    def test_same_predictions_as_reference(self):
+        rng = np.random.default_rng(5)
+        features = rng.uniform(size=(300, 4))
+        targets = np.sin(5 * features[:, 0]) + rng.normal(scale=0.1, size=300)
+        probe = rng.uniform(size=(100, 4))
+        ref = DecisionTreeRegressor(split_algorithm="reference").fit(
+            features, targets
+        )
+        vec = DecisionTreeRegressor().fit(features, targets)
+        assert np.array_equal(ref.predict(probe), vec.predict(probe))
+
+    def test_presorted_fit_matches_plain_fit(self):
+        rng = np.random.default_rng(6)
+        features = rng.uniform(size=(200, 5))
+        targets = rng.normal(size=200)
+        presorted = DecisionTreeRegressor.presort(features)
+        plain = DecisionTreeRegressor(max_depth=4).fit(features, targets)
+        shared = DecisionTreeRegressor(max_depth=4).fit(
+            features, targets, presorted=presorted
+        )
+        assert _tree_signature(plain) == _tree_signature(shared)
+
+
+class TestHistogramEquivalence:
+    @pytest.mark.parametrize("params", PARAMS)
+    def test_same_tree_as_reference(self, params):
+        for features, targets in _datasets():
+            ref = DecisionTreeRegressor(split_algorithm="reference", **params)
+            hist = DecisionTreeRegressor(split_algorithm="histogram", **params)
+            ref.fit(features, targets)
+            hist.fit(features, targets)
+            assert _tree_signature(ref) == _tree_signature(hist)
+
+    def test_prebinned_fit_matches_plain_fit(self):
+        rng = np.random.default_rng(7)
+        features = rng.integers(0, 16, size=(220, 6)).astype(float) / 15.0
+        targets = rng.normal(size=220)
+        bins = DecisionTreeRegressor.prebin(features)
+        plain = DecisionTreeRegressor(
+            max_depth=3, split_algorithm="histogram"
+        ).fit(features, targets)
+        shared = DecisionTreeRegressor(
+            max_depth=3, split_algorithm="histogram"
+        ).fit(features, targets, prebinned=bins)
+        assert _tree_signature(plain) == _tree_signature(shared)
+
+    def test_subset_binning_matches_direct_binning(self):
+        rng = np.random.default_rng(8)
+        features = rng.integers(0, 12, size=(300, 4)).astype(float)
+        targets = rng.normal(size=300)
+        rows = rng.choice(300, size=200, replace=False)
+        bins = DecisionTreeRegressor.prebin(features)
+        via_subset = DecisionTreeRegressor(split_algorithm="histogram").fit(
+            features[rows], targets[rows], prebinned=bins.subset(rows)
+        )
+        direct = DecisionTreeRegressor(split_algorithm="histogram").fit(
+            features[rows], targets[rows]
+        )
+        assert np.array_equal(
+            via_subset.predict(features), direct.predict(features)
+        )
+
+    def test_prebin_shape(self):
+        features = np.array([[0.0, 3.0], [1.0, 3.0], [0.0, 5.0]])
+        bins = DecisionTreeRegressor.prebin(features)
+        assert isinstance(bins, HistogramBins)
+        assert bins.codes.shape == (2, 3)
+        assert bins.values.shape[0] == 2
+
+
+class TestLeafBookkeeping:
+    @pytest.mark.parametrize("algorithm", ["reference", "vectorized", "histogram"])
+    def test_training_leaf_values_match_predict(self, algorithm):
+        rng = np.random.default_rng(9)
+        features = rng.uniform(size=(150, 3))
+        targets = rng.normal(size=150)
+        tree = DecisionTreeRegressor(
+            max_depth=4, split_algorithm=algorithm
+        ).fit(features, targets)
+        assert np.array_equal(
+            tree.training_leaf_values(), tree.predict(features)
+        )
+
+    def test_apply_returns_leaf_ids(self):
+        rng = np.random.default_rng(10)
+        features = rng.uniform(size=(80, 2))
+        targets = rng.normal(size=80)
+        tree = DecisionTreeRegressor(max_depth=3).fit(features, targets)
+        leaves = tree.apply(features)
+        assert leaves.shape == (80,)
+        # Every returned node must actually be a leaf.
+        assert all(tree._feature[leaf] == -1 for leaf in leaves)
+
+
+class TestValidationOfAlgorithms:
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTreeRegressor(split_algorithm="exact")

@@ -114,6 +114,46 @@ class TestCollector(object):
         assert result.throughput_mpps > 0
 
 
+class TestBenchSetConsistency:
+    """Counter features must describe the bench set the target co-ran
+    against (regression: bench_counters hard-coded a two-core target
+    while profile_one sized benches with the target's actual cores)."""
+
+    # A core-limited mem-bench: its achieved pressure (and therefore its
+    # counters) depends on how many cores the budget leaves it.
+    LEVEL = ContentionLevel(mem_car=400.0, mem_wss_mb=40.0, regex_rate=1.0)
+
+    def test_bench_counters_depend_on_core_budget(self, noisy_nic):
+        collector = ProfilingCollector(noisy_nic)
+        narrow = collector.bench_counters(self.LEVEL, available_cores=3)
+        wide = collector.bench_counters(self.LEVEL, available_cores=6)
+        assert narrow != wide
+
+    def test_default_budget_assumes_two_core_target(self, noisy_nic):
+        collector = ProfilingCollector(noisy_nic)
+        default = collector.bench_counters(self.LEVEL)
+        explicit = collector.bench_counters(
+            self.LEVEL, available_cores=noisy_nic.spec.num_cores - 2
+        )
+        assert default == explicit
+
+    def test_profile_one_features_match_measured_bench_set(self, noisy_nic):
+        collector = ProfilingCollector(noisy_nic)
+        wide_target = make_nf("acl").with_cores(4)
+        sample = collector.profile_one(wide_target, self.LEVEL, TRAFFIC)
+        matching = collector.bench_counters(
+            self.LEVEL, available_cores=noisy_nic.spec.num_cores - 4
+        )
+        assert sample.competitor_counters == matching
+        # ...and differs from the old hard-coded two-core assumption.
+        assert sample.competitor_counters != collector.bench_counters(self.LEVEL)
+
+    def test_two_core_target_unchanged(self, noisy_nic):
+        collector = ProfilingCollector(noisy_nic)
+        sample = collector.profile_one(make_nf("acl"), self.LEVEL, TRAFFIC)
+        assert sample.competitor_counters == collector.bench_counters(self.LEVEL)
+
+
 class TestDataset:
     def _sample(self, throughput=1.0, flows=16_000):
         return ProfileSample(
