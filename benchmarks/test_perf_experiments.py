@@ -1,0 +1,58 @@
+"""Macrobenchmark: the Table 2 evaluation loop, batched vs per-case.
+
+Workload: the real Table 2 case list at the ``smoke`` scale — every
+evaluation NF co-located with sampled competitor mixes under several
+traffic profiles, ground truth already measured — scored two ways:
+
+- **seed**: :func:`score_cases_looped`, the per-case
+  ``yala.predict`` / ``slomo.predict`` loop the seed experiments ran;
+- **fast**: :func:`score_cases`, the batch engine the experiments now
+  use (one memory-model GBR batch per predictor, one SLOMO batch per
+  target NF; only the cheap accelerator fixed point stays per-case).
+
+Timing follows the conventions of ``test_perf_training.py``: both arms
+use ``time.process_time`` (CPU time, immune to co-tenant interference)
+with the minimum of three runs per arm, re-measured up to three times so
+one scheduler hiccup cannot fail the assertion spuriously. Correctness
+is asserted *before* timing: the batch arm must match the seed arm
+bit-for-bit — the speedup is free of any numerical change.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2_overall_accuracy
+from repro.experiments.batch import score_cases, score_cases_looped
+from repro.experiments.context import get_context
+
+#: Required end-to-end advantage of batched scoring over the seed loop.
+MIN_EVAL_SPEEDUP = 2.0
+
+
+def test_table2_batch_scoring_matches_loop_and_is_2x_faster(
+    benchmark, scale, min_time
+):
+    context = get_context(scale)
+    cases = table2_overall_accuracy.build_cases(context, scale)
+    assert cases
+
+    # Bit-identical predictions first (also warms every collector
+    # cache, so both timed arms measure pure scoring cost).
+    looped = score_cases_looped(context, cases)
+    batched = score_cases(context, cases)
+    assert [(s.yala, s.slomo) for s in batched] == [
+        (s.yala, s.slomo) for s in looped
+    ]
+
+    speedup = 0.0
+    for _ in range(3):
+        loop_time = min_time(lambda: score_cases_looped(context, cases))
+        batch_time = min_time(lambda: score_cases(context, cases))
+        speedup = max(speedup, loop_time / batch_time)
+        if speedup >= MIN_EVAL_SPEEDUP:
+            break
+    benchmark.extra_info["table2_eval_speedup_vs_seed_loop"] = round(speedup, 2)
+    benchmark.pedantic(
+        lambda: score_cases(context, cases), rounds=1, iterations=1
+    )
+    print(f"\ntable2 evaluation speedup vs seed per-case loop: {speedup:.2f}x")
+    assert speedup >= MIN_EVAL_SPEEDUP

@@ -12,7 +12,6 @@ composition.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.errors import ConfigurationError
 

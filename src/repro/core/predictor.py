@@ -20,7 +20,7 @@ training with deterministic (seed-derived) results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.core.accel_model import AcceleratorShare, QueueingAcceleratorModel
 from repro.core.composition import (
@@ -44,6 +44,23 @@ from repro.traffic.profile import TrafficProfile
 
 #: Iterations of the system-level prediction fixed point.
 _JOINT_ITERATIONS = 10
+
+
+class _PlanEntry(NamedTuple):
+    """Per-placement evaluation plan of ``predict_colocation_batch``.
+
+    ``solo_slot``/``memory_slot`` index the predictor's batched
+    memory-model evaluation (solo slots are shared across cases with
+    the same traffic).
+    """
+
+    name: str
+    predictor: "YalaPredictor"
+    traffic: "TrafficProfile"
+    competitors: list["CompetitorSpec"]
+    peer_slots: list[int]
+    solo_slot: int
+    memory_slot: int
 
 
 @dataclass(frozen=True)
@@ -345,7 +362,7 @@ class YalaPredictor:
         if self.pattern is None:
             raise ModelNotFittedError(f"{self.nf_name}: train() first")
         per_resource = [memory_throughput]
-        for accelerator, model in self.accel_models.items():
+        for accelerator in self.accel_models:
             shares = []
             for index, spec in enumerate(competitors):
                 share = self._competitor_share(
@@ -498,6 +515,27 @@ class YalaSystem:
         joint = self.predict_colocation(placements, benches)
         return joint[0]
 
+    def predict_batch(
+        self,
+        cases: list[tuple[str, TrafficProfile, list[CompetitorSpec]]],
+    ) -> list[float]:
+        """Predict many ``(target, traffic, competitors)`` cases at once.
+
+        Matches a loop of :meth:`predict` calls bit-for-bit; the
+        per-case memory-model evaluations are grouped into one
+        :meth:`MemoryContentionModel.predict_batch` call per involved
+        predictor (see :meth:`predict_colocation_batch`).
+        """
+        requests = []
+        for target_name, traffic, competitors in cases:
+            competitors = list(competitors or [])
+            placements = [(target_name, traffic)] + [
+                (c.nf_name, c.traffic) for c in competitors if c.kind == "nf"
+            ]
+            benches = [c for c in competitors if c.kind == "bench"]
+            requests.append((placements, benches))
+        return [joint[0] for joint in self.predict_colocation_batch(requests)]
+
     def predict_colocation(
         self,
         placements: list[tuple[str, TrafficProfile]],
@@ -510,55 +548,128 @@ class YalaSystem:
         NF that is bottlenecked elsewhere does not saturate its
         accelerator queues.
         """
-        benches = list(benches or [])
-        rates = [self.predictor_of(n).predict_solo(t) for n, t in placements]
-        solos = list(rates)
+        return self.predict_colocation_batch([(placements, benches)])[0]
 
-        # Everything except the competitors' offered accelerator rates
-        # is loop-invariant: the memory model sees only counters and
-        # traffic, so its (expensive) GBR evaluation runs once per
-        # target instead of once per fixed-point iteration.
-        cached = []
-        for i, (name, traffic) in enumerate(placements):
-            predictor = self.predictor_of(name)
-            competitors = []
-            peer_slots = []
-            for j, (peer_name, peer_traffic) in enumerate(placements):
-                if j == i:
-                    continue
-                competitors.append(CompetitorSpec.nf(peer_name, peer_traffic))
-                peer_slots.append(j)
-            competitors.extend(benches)
-            counters = predictor.competitor_counters(competitors)
-            n_competitors = sum(
-                spec.contention.actor_count if spec.kind == "bench" else 1
-                for spec in competitors
-            )
-            memory = predictor._memory_throughput(counters, traffic, n_competitors)
-            cached.append((predictor, traffic, competitors, peer_slots, memory))
+    def predict_colocation_batch(
+        self,
+        requests: list[
+            tuple[
+                list[tuple[str, TrafficProfile]],
+                list[CompetitorSpec] | None,
+            ]
+        ],
+    ) -> list[list[float]]:
+        """Joint predictions for several placements at once.
 
-        for _ in range(_JOINT_ITERATIONS):
-            updated = []
-            for i, (predictor, traffic, competitors, peer_slots, memory) in enumerate(
-                cached
-            ):
-                rate_map = {
-                    slot: rates[j] for slot, j in enumerate(peer_slots)
-                }
-                updated.append(
-                    predictor.predict_with_cached(
-                        traffic,
-                        competitors,
-                        solo=solos[i],
-                        memory_throughput=memory,
-                        system=self,
-                        competitor_rates=rate_map,
+        Bit-identical to looping :meth:`predict_colocation`: the
+        per-placement solo and memory evaluations — the expensive GBR
+        passes — are batched into one
+        :meth:`MemoryContentionModel.predict_batch` call per predictor
+        across the *whole* request set, and only the cheap accelerator
+        fixed point runs per case. The memory model sees only counters
+        and traffic, so its output is loop-invariant and evaluates once
+        per target instead of once per fixed-point iteration.
+        """
+        if not requests:
+            return []
+        # Phase 1: assemble the per-predictor memory-model batches and a
+        # per-case evaluation plan referencing slots in those batches.
+        # Solo rows are keyed by (predictor, traffic): a sweep repeats
+        # the same solo evaluation across many cases, and predict_batch
+        # is row-wise independent, so sharing the slot changes nothing
+        # numerically while halving the batch for typical case lists.
+        batches: dict[str, tuple[list, list, list]] = {}
+        solo_slots: dict[tuple[str, TrafficProfile], int] = {}
+
+        def enqueue(name, counters, traffic, n_competitors) -> int:
+            rows = batches.setdefault(name, ([], [], []))
+            rows[0].append(counters)
+            rows[1].append(traffic)
+            rows[2].append(n_competitors)
+            return len(rows[0]) - 1
+
+        plans = []
+        for placements, benches in requests:
+            benches = list(benches or [])
+            entries = []
+            for i, (name, traffic) in enumerate(placements):
+                predictor = self.predictor_of(name)
+                if predictor.memory_model is None:
+                    raise ModelNotFittedError(f"{name}: train() first")
+                competitors = []
+                peer_slots = []
+                for j, (peer_name, peer_traffic) in enumerate(placements):
+                    if j == i:
+                        continue
+                    competitors.append(CompetitorSpec.nf(peer_name, peer_traffic))
+                    peer_slots.append(j)
+                competitors.extend(benches)
+                counters = predictor.competitor_counters(competitors)
+                n_competitors = sum(
+                    spec.contention.actor_count if spec.kind == "bench" else 1
+                    for spec in competitors
+                )
+                solo_key = (name, traffic)
+                solo_slot = solo_slots.get(solo_key)
+                if solo_slot is None:
+                    solo_slot = enqueue(name, PerfCounters.zero(), traffic, 0)
+                    solo_slots[solo_key] = solo_slot
+                memory_slot = enqueue(name, counters, traffic, n_competitors)
+                entries.append(
+                    _PlanEntry(
+                        name=name,
+                        predictor=predictor,
+                        traffic=traffic,
+                        competitors=competitors,
+                        peer_slots=peer_slots,
+                        solo_slot=solo_slot,
+                        memory_slot=memory_slot,
                     )
                 )
-            if max(
-                abs(u - r) / max(u, 1e-9) for u, r in zip(updated, rates)
-            ) < 1e-6:
+            plans.append(entries)
+
+        # Phase 2: one batched GBR evaluation per involved predictor.
+        evaluated = {
+            name: self.predictor_of(name).memory_model.predict_batch(*rows)
+            for name, rows in batches.items()
+        }
+
+        # Phase 3: the accelerator fixed point, per case.
+        results = []
+        for entries in plans:
+            solos = [
+                float(evaluated[entry.name][entry.solo_slot])
+                for entry in entries
+            ]
+            memories = [
+                float(evaluated[entry.name][entry.memory_slot])
+                for entry in entries
+            ]
+            rates = list(solos)
+            for _ in range(_JOINT_ITERATIONS):
+                updated = []
+                for i, entry in enumerate(entries):
+                    rate_map = {
+                        slot: rates[j]
+                        for slot, j in enumerate(entry.peer_slots)
+                    }
+                    updated.append(
+                        entry.predictor.predict_with_cached(
+                            entry.traffic,
+                            entry.competitors,
+                            solo=solos[i],
+                            memory_throughput=memories[i],
+                            system=self,
+                            competitor_rates=rate_map,
+                        )
+                    )
+                if not updated:
+                    break
+                if max(
+                    abs(u - r) / max(u, 1e-9) for u, r in zip(updated, rates)
+                ) < 1e-6:
+                    rates = updated
+                    break
                 rates = updated
-                break
-            rates = updated
-        return rates
+            results.append(rates)
+        return results

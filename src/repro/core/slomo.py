@@ -95,16 +95,76 @@ class SlomoPredictor:
         the sensitivity *shape* transfers across traffic profiles —
         approximately true for small deviations only.
         """
+        return self.predict_batch(
+            [competitor_counters],
+            [traffic],
+            [n_competitors],
+            extrapolate=extrapolate,
+        )[0]
+
+    def predict_batch(
+        self,
+        competitor_counters: list[PerfCounters],
+        traffics: list[TrafficProfile | None],
+        n_competitors: list[int],
+        extrapolate: bool = True,
+    ) -> list[float]:
+        """Predict several contention scenarios at once -> list of Mpps.
+
+        The fixed-profile GBR evaluation — the expensive part — runs as
+        one :meth:`MemoryContentionModel.predict_batch` call over the
+        whole request set; the per-row extrapolation ratios reuse the
+        collector's cached solo runs. Every entry is bit-identical to a
+        single :meth:`predict` call (which delegates here), so
+        experiment sweeps can batch without changing results.
+        """
+        bases = self._bases(competitor_counters, traffics, n_competitors)
+        return self._finalize(bases, traffics, extrapolate)
+
+    def predict_batch_both(
+        self,
+        competitor_counters: list[PerfCounters],
+        traffics: list[TrafficProfile | None],
+        n_competitors: list[int],
+    ) -> tuple[list[float], list[float]]:
+        """Extrapolated and raw predictions sharing one GBR pass.
+
+        Equivalent to two :meth:`predict_batch` calls (with and without
+        ``extrapolate``) but the expensive fixed-profile ensemble
+        evaluation — identical for both arms — runs once.
+        """
+        bases = self._bases(competitor_counters, traffics, n_competitors)
+        return (
+            self._finalize(bases, traffics, True),
+            self._finalize(bases, traffics, False),
+        )
+
+    def _bases(self, competitor_counters, traffics, n_competitors):
+        """Validate inputs and run the fixed-profile GBR batch."""
         if self._train_traffic is None or self._collector is None:
             raise ModelNotFittedError(f"SLOMO for {self.nf_name!r} not trained")
-        base = self._model.predict(
-            competitor_counters, self._train_traffic, n_competitors
+        if not (len(competitor_counters) == len(traffics) == len(n_competitors)):
+            raise ProfilingError("predict_batch inputs must have equal lengths")
+        if not competitor_counters:
+            return []
+        return self._model.predict_batch(
+            competitor_counters,
+            [self._train_traffic] * len(traffics),
+            n_competitors,
         )
-        if traffic is None or traffic == self._train_traffic or not extrapolate:
-            return base
-        solo_at_test = self._collector.solo(self._nf, traffic).throughput_mpps
-        ratio = solo_at_test / self._train_solo if self._train_solo > 0 else 1.0
-        return float(max(base * ratio, 1e-6))
+
+    def _finalize(self, bases, traffics, extrapolate: bool) -> list[float]:
+        """Apply per-row sensitivity extrapolation to the GBR bases."""
+        predictions = []
+        for base, traffic in zip(bases, traffics):
+            base = float(base)
+            if traffic is None or traffic == self._train_traffic or not extrapolate:
+                predictions.append(base)
+                continue
+            solo_at_test = self._collector.solo(self._nf, traffic).throughput_mpps
+            ratio = solo_at_test / self._train_solo if self._train_solo > 0 else 1.0
+            predictions.append(float(max(base * ratio, 1e-6)))
+        return predictions
 
     @property
     def train_traffic(self) -> TrafficProfile:

@@ -1,0 +1,329 @@
+"""Batch-first evaluation engine shared by the paper experiments.
+
+The accuracy experiments (Tables 2/3/5/9, Figures 2/3) all follow one
+shape: sample a set of colocation cases, measure the simulator ground
+truth per case, then score Yala and SLOMO predictions against it. The
+seed implementations issued one ``predict`` call per case, paying the
+scaler/ensemble dispatch overhead thousands of times per table; this
+module factors the scoring into a case record (:class:`EvaluationCase`)
+plus batch drivers that group cases per target NF and route every
+memory-model evaluation through the batched predictor APIs
+(:meth:`YalaSystem.predict_batch` / :meth:`YalaPredictor.predict_many` /
+:meth:`SlomoPredictor.predict_batch`).
+
+Batching is a wall-clock optimisation, never a numerical one: each
+driver has a reference twin (:func:`score_cases_looped`,
+:func:`score_standalone_looped`) that replays the seed's per-case calls,
+and tier-1 tests pin the two bit-identical on every experiment's case
+list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+import numpy as np
+
+from repro.core.predictor import CompetitorSpec, YalaPredictor
+from repro.core.slomo import SlomoPredictor
+from repro.errors import ConfigurationError
+from repro.ml.metrics import mape, within_tolerance_accuracy
+from repro.nic.counters import PerfCounters
+from repro.traffic.profile import TrafficProfile
+
+
+@dataclass(frozen=True)
+class EvaluationCase:
+    """One colocation scenario with its measured ground truth.
+
+    ``competitors`` is what Yala scores (catalogued NFs and/or synthetic
+    benches); ``slomo_counters``/``slomo_n_competitors`` carry the
+    contention features SLOMO scores, which the experiments compute
+    exactly as the seed loops did (aggregate solo counters for NF
+    competitors, cached bench counters for bench mixes). ``tag`` is an
+    experiment-specific bucket key (e.g. the Figure 7 contention or
+    deviation bucket) that rides along untouched.
+    """
+
+    target: str
+    traffic: TrafficProfile
+    truth: float
+    competitors: tuple[CompetitorSpec, ...] = ()
+    slomo_counters: Optional[PerfCounters] = None
+    slomo_n_competitors: int = 1
+    tag: Hashable = None
+
+
+@dataclass(frozen=True)
+class ScoredCase:
+    """An :class:`EvaluationCase` with its predictions attached."""
+
+    case: EvaluationCase
+    yala: Optional[float] = None
+    slomo: Optional[float] = None
+    slomo_raw: Optional[float] = None  # SLOMO without extrapolation
+
+    @property
+    def target(self) -> str:
+        return self.case.target
+
+    @property
+    def truth(self) -> float:
+        return self.case.truth
+
+    @property
+    def tag(self) -> Hashable:
+        return self.case.tag
+
+    def _error_pct(self, predicted: Optional[float]) -> float:
+        if predicted is None:
+            raise ConfigurationError("prediction was not scored for this case")
+        return 100.0 * abs(predicted - self.truth) / self.truth
+
+    @property
+    def yala_error_pct(self) -> float:
+        return self._error_pct(self.yala)
+
+    @property
+    def slomo_error_pct(self) -> float:
+        return self._error_pct(self.slomo)
+
+    @property
+    def slomo_raw_error_pct(self) -> float:
+        return self._error_pct(self.slomo_raw)
+
+
+@dataclass(frozen=True)
+class AccuracySummary:
+    """The accuracy-table row shape shared by Tables 2/3/5/9."""
+
+    slomo_mape: float
+    slomo_acc5: float
+    slomo_acc10: float
+    yala_mape: float
+    yala_acc5: float
+    yala_acc10: float
+
+
+def summarize_accuracy(scored: list[ScoredCase]) -> AccuracySummary:
+    """MAPE / ±5% / ±10% accuracy of both predictors over ``scored``.
+
+    Arrays are assembled in case order, matching the seed loops'
+    append-then-``np.array`` aggregation bit-for-bit.
+    """
+    truths = np.array([s.truth for s in scored])
+    yala = np.array([s.yala for s in scored])
+    slomo = np.array([s.slomo for s in scored])
+    return AccuracySummary(
+        slomo_mape=mape(truths, slomo),
+        slomo_acc5=within_tolerance_accuracy(truths, slomo, 5.0),
+        slomo_acc10=within_tolerance_accuracy(truths, slomo, 10.0),
+        yala_mape=mape(truths, yala),
+        yala_acc5=within_tolerance_accuracy(truths, yala, 5.0),
+        yala_acc10=within_tolerance_accuracy(truths, yala, 10.0),
+    )
+
+
+def group_by_target(cases: list) -> dict[str, list[int]]:
+    """Case indices per target NF, targets in first-seen order.
+
+    Works on :class:`EvaluationCase` and :class:`ScoredCase` alike —
+    both expose ``.target``.
+    """
+    groups: dict[str, list[int]] = {}
+    for index, case in enumerate(cases):
+        groups.setdefault(case.target, []).append(index)
+    return groups
+
+
+def _require_slomo_features(case: EvaluationCase) -> PerfCounters:
+    if case.slomo_counters is None:
+        raise ConfigurationError(
+            f"case for {case.target!r} has no slomo_counters; build cases "
+            "with SLOMO features or score with slomo=False"
+        )
+    return case.slomo_counters
+
+
+def score_cases(
+    context,
+    cases: list[EvaluationCase],
+    yala: bool = True,
+    slomo: bool = True,
+    slomo_raw: bool = False,
+) -> list[ScoredCase]:
+    """Score ``cases`` through the shared trained ``context``, batched.
+
+    Yala predictions run as one :meth:`YalaSystem.predict_batch` call
+    over the whole case list (the system groups the memory-model work
+    per involved predictor internally); SLOMO predictions run as one
+    :meth:`SlomoPredictor.predict_batch` call per target NF.
+    ``slomo_raw`` additionally scores SLOMO with sensitivity
+    extrapolation disabled (Figures 3b and 7b). Output order matches
+    input order, and every prediction is bit-identical to the per-case
+    reference :func:`score_cases_looped`.
+    """
+    yala_preds: list[Optional[float]] = [None] * len(cases)
+    slomo_preds: list[Optional[float]] = [None] * len(cases)
+    raw_preds: list[Optional[float]] = [None] * len(cases)
+    if yala and cases:
+        yala_preds = list(
+            context.yala.predict_batch(
+                [(c.target, c.traffic, list(c.competitors)) for c in cases]
+            )
+        )
+    if slomo or slomo_raw:
+        for target, indices in group_by_target(cases).items():
+            predictor = context.slomo_for(target)
+            counters = [_require_slomo_features(cases[i]) for i in indices]
+            traffics = [cases[i].traffic for i in indices]
+            competitors = [cases[i].slomo_n_competitors for i in indices]
+            if slomo and slomo_raw:
+                # Both arms share one GBR pass; they differ only in the
+                # cheap per-row extrapolation step.
+                extrapolated, raw = predictor.predict_batch_both(
+                    counters, traffics, competitors
+                )
+                for i, value, raw_value in zip(indices, extrapolated, raw):
+                    slomo_preds[i] = value
+                    raw_preds[i] = raw_value
+            elif slomo:
+                for i, value in zip(
+                    indices,
+                    predictor.predict_batch(counters, traffics, competitors),
+                ):
+                    slomo_preds[i] = value
+            else:
+                for i, value in zip(
+                    indices,
+                    predictor.predict_batch(
+                        counters, traffics, competitors, extrapolate=False
+                    ),
+                ):
+                    raw_preds[i] = value
+    return [
+        ScoredCase(case=case, yala=yala_preds[i], slomo=slomo_preds[i],
+                   slomo_raw=raw_preds[i])
+        for i, case in enumerate(cases)
+    ]
+
+
+def score_cases_looped(
+    context,
+    cases: list[EvaluationCase],
+    yala: bool = True,
+    slomo: bool = True,
+    slomo_raw: bool = False,
+) -> list[ScoredCase]:
+    """Reference scorer: one predict call per case (the seed loops).
+
+    Kept as the equivalence oracle for tests and the experiments
+    perf benchmark; :func:`score_cases` must match it bit-for-bit.
+    """
+    scored = []
+    for case in cases:
+        predictor = context.slomo_for(case.target) if (slomo or slomo_raw) else None
+        scored.append(
+            ScoredCase(
+                case=case,
+                yala=context.yala.predict(
+                    case.target, case.traffic, list(case.competitors)
+                )
+                if yala
+                else None,
+                slomo=predictor.predict(
+                    _require_slomo_features(case),
+                    case.traffic,
+                    n_competitors=case.slomo_n_competitors,
+                )
+                if slomo
+                else None,
+                slomo_raw=predictor.predict(
+                    _require_slomo_features(case),
+                    case.traffic,
+                    extrapolate=False,
+                    n_competitors=case.slomo_n_competitors,
+                )
+                if slomo_raw
+                else None,
+            )
+        )
+    return scored
+
+
+def score_standalone(
+    cases: list[EvaluationCase],
+    yala: Optional[YalaPredictor] = None,
+    slomo: Optional[SlomoPredictor] = None,
+    slomo_raw: bool = False,
+) -> list[ScoredCase]:
+    """Score cases against standalone predictors (no trained context).
+
+    Used by experiments that train their own single-NF predictors
+    outside the shared context (Table 9's Pensando transfer). Yala runs
+    through :meth:`YalaPredictor.predict_many`, SLOMO through
+    :meth:`SlomoPredictor.predict_batch`; both are bit-identical to the
+    per-case reference :func:`score_standalone_looped`.
+    """
+    yala_preds: list[Optional[float]] = [None] * len(cases)
+    slomo_preds: list[Optional[float]] = [None] * len(cases)
+    raw_preds: list[Optional[float]] = [None] * len(cases)
+    if yala is not None and cases:
+        yala_preds = list(
+            yala.predict_many(
+                [(c.traffic, list(c.competitors)) for c in cases]
+            )
+        )
+    if slomo is not None and cases:
+        counters = [_require_slomo_features(c) for c in cases]
+        traffics = [c.traffic for c in cases]
+        competitors = [c.slomo_n_competitors for c in cases]
+        if slomo_raw:
+            slomo_preds, raw_preds = slomo.predict_batch_both(
+                counters, traffics, competitors
+            )
+        else:
+            slomo_preds = list(
+                slomo.predict_batch(counters, traffics, competitors)
+            )
+    return [
+        ScoredCase(case=case, yala=yala_preds[i], slomo=slomo_preds[i],
+                   slomo_raw=raw_preds[i])
+        for i, case in enumerate(cases)
+    ]
+
+
+def score_standalone_looped(
+    cases: list[EvaluationCase],
+    yala: Optional[YalaPredictor] = None,
+    slomo: Optional[SlomoPredictor] = None,
+    slomo_raw: bool = False,
+) -> list[ScoredCase]:
+    """Per-case reference twin of :func:`score_standalone`."""
+    scored = []
+    for case in cases:
+        scored.append(
+            ScoredCase(
+                case=case,
+                yala=yala.predict(case.traffic, list(case.competitors))
+                if yala is not None
+                else None,
+                slomo=slomo.predict(
+                    _require_slomo_features(case),
+                    case.traffic,
+                    n_competitors=case.slomo_n_competitors,
+                )
+                if slomo is not None
+                else None,
+                slomo_raw=slomo.predict(
+                    _require_slomo_features(case),
+                    case.traffic,
+                    extrapolate=False,
+                    n_competitors=case.slomo_n_competitors,
+                )
+                if slomo is not None and slomo_raw
+                else None,
+            )
+        )
+    return scored

@@ -7,6 +7,11 @@ contention; report the error distributions.
 (b) Compose the two single-resource models with naive sum / min
 composition for a run-to-completion NF (NF1) and a pipeline NF (NF2)
 and report the MAPE of each composition.
+
+The SLOMO arm of (a) and the memory-model arm of (b) are scored in
+batched passes (:mod:`repro.experiments.batch` /
+:meth:`MemoryContentionModel.predict_batch`); the white-box queueing
+evaluations stay per-case — they are closed-form and cheap.
 """
 
 from __future__ import annotations
@@ -16,8 +21,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.baselines import compose_min, compose_sum
-from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
-from repro.experiments.context import get_context
+from repro.experiments.batch import EvaluationCase, score_cases
+from repro.experiments.common import (
+    EXPERIMENT_SEED,
+    ExperimentScale,
+    fmt,
+    get_scale,
+    render_table,
+)
+from repro.experiments.context import ExperimentContext, get_context
 from repro.ml.metrics import error_box_stats
 from repro.nf.catalog import make_nf
 from repro.nf.synthetic import nf1, nf2
@@ -75,6 +87,34 @@ def _contention_grid(points: int) -> list[ContentionLevel]:
     ]
 
 
+def build_cases(
+    context: ExperimentContext, scale: str | ExperimentScale
+) -> list[EvaluationCase]:
+    """FlowMonitor cases over the part-(a) contention grid.
+
+    ``tag`` carries the grid's contention level so the regex-only arm
+    can re-derive its bench share per case.
+    """
+    resolved = get_scale(scale)
+    collector = context.yala.collector
+    target = make_nf("flowmonitor")
+    traffic = TrafficProfile()
+    cases = []
+    for contention in _contention_grid(resolved.sweep_points):
+        truth = collector.profile_one(target, contention, traffic).throughput_mpps
+        cases.append(
+            EvaluationCase(
+                target="flowmonitor",
+                traffic=traffic,
+                truth=truth,
+                slomo_counters=collector.bench_counters(contention),
+                slomo_n_competitors=contention.actor_count,
+                tag=contention,
+            )
+        )
+    return cases
+
+
 def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Fig2Result:
     """Regenerate Figure 2."""
     resolved = get_scale(scale)
@@ -84,22 +124,18 @@ def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Fig2Result:
 
     # ------------------------------------------------------------- (a)
     target = make_nf("flowmonitor")
-    slomo = context.slomo_for("flowmonitor")
     yala_fm = context.yala.predictor_of("flowmonitor")
+    cases = build_cases(context, resolved)
     memory_errors, regex_errors = [], []
-    for contention in _contention_grid(resolved.sweep_points):
-        truth = collector.profile_one(target, contention, traffic).throughput_mpps
-        counters = collector.bench_counters(contention)
-        mem_pred = slomo.predict(
-            counters, traffic, n_competitors=contention.actor_count
-        )
-        solo = collector.solo(target, traffic).throughput_mpps
+    solo = collector.solo(target, traffic).throughput_mpps
+    for case in score_cases(context, cases, yala=False):
+        contention = case.tag
         share = yala_fm._bench_share("regex", contention)
         regex_pred = yala_fm._accelerator_throughput(
             "regex", traffic, [share] if share else [], solo
         )
-        memory_errors.append(100.0 * abs(mem_pred - truth) / truth)
-        regex_errors.append(100.0 * abs(regex_pred - truth) / truth)
+        memory_errors.append(case.slomo_error_pct)
+        regex_errors.append(100.0 * abs(regex_pred - case.truth) / case.truth)
 
     # ------------------------------------------------------------- (b)
     composition_mape: dict[tuple[str, str], float] = {}
@@ -114,19 +150,27 @@ def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Fig2Result:
         predictor.train(
             quota=max(resolved.quota // 2, 100), detect_pattern=False
         )
+        grid = [
+            contention.with_compression(1.0)
+            if nf.uses_accelerators() and "compression" in nf.uses_accelerators()
+            else contention
+            for contention in _contention_grid(max(resolved.sweep_points - 2, 2))
+        ]
+        truths = [
+            collector.profile_one(nf, contention, traffic).throughput_mpps
+            for contention in grid
+        ]
+        solo = collector.solo(nf, traffic).throughput_mpps
+        counters = [collector.bench_counters(contention) for contention in grid]
+        # One batched GBR pass covers the whole grid's memory arm.
+        memory_preds = predictor.memory_model.predict_batch(
+            counters,
+            [traffic] * len(grid),
+            [contention.actor_count for contention in grid],
+        )
         sums, mins = [], []
-        grid = _contention_grid(max(resolved.sweep_points - 2, 2))
-        for contention in grid:
-            if nf.uses_accelerators() and "compression" in nf.uses_accelerators():
-                contention = contention.with_compression(1.0)
-            truth = collector.profile_one(nf, contention, traffic).throughput_mpps
-            solo = collector.solo(nf, traffic).throughput_mpps
-            counters = collector.bench_counters(contention)
-            per_resource = [
-                predictor.memory_model.predict(
-                    counters, traffic, contention.actor_count
-                )
-            ]
+        for i, contention in enumerate(grid):
+            per_resource = [float(memory_preds[i])]
             for accelerator in predictor.accel_models:
                 share = predictor._bench_share(accelerator, contention)
                 per_resource.append(
@@ -134,6 +178,7 @@ def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Fig2Result:
                         accelerator, traffic, [share] if share else [], solo
                     )
                 )
+            truth = truths[i]
             sums.append(
                 100.0 * abs(compose_sum(solo, per_resource) - truth) / truth
             )

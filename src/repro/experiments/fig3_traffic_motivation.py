@@ -5,7 +5,9 @@ traffic profiles (4K / 8K / 16K flows).
 
 (b) Prediction error of a fixed-profile model (SLOMO) on the default
 profile vs. on randomly drawn other profiles, for FlowStats,
-FlowClassifier and FlowTracker.
+FlowClassifier and FlowTracker — scored without extrapolation through
+the batch engine's ``slomo_raw`` arm
+(:mod:`repro.experiments.batch`).
 """
 
 from __future__ import annotations
@@ -14,8 +16,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
-from repro.experiments.context import get_context
+from repro.experiments.batch import EvaluationCase, group_by_target, score_cases
+from repro.experiments.common import (
+    EXPERIMENT_SEED,
+    ExperimentScale,
+    fmt,
+    get_scale,
+    render_table,
+)
+from repro.experiments.context import ExperimentContext, get_context
 from repro.nf.catalog import make_nf
 from repro.nf.synthetic import mem_bench
 from repro.profiling.contention import ContentionLevel
@@ -61,11 +70,57 @@ class Fig3Result:
         return part_a + "\n\n" + part_b
 
 
+def build_cases(
+    context: ExperimentContext,
+    scale: str | ExperimentScale,
+    seed: int = EXPERIMENT_SEED,
+) -> list[EvaluationCase]:
+    """Sample the part-(b) case list (same rng order as the seed loop).
+
+    ``tag`` records which error bucket the case belongs to:
+    ``"default"`` for the default traffic profile, ``"other"`` for the
+    randomly drawn ones (§2.2.2).
+    """
+    resolved = get_scale(scale)
+    collector = context.yala.collector
+    rng = make_rng(seed)
+    cases = []
+    for name in _PART_B_NFS:
+        nf = make_nf(name)
+        for index in range(resolved.random_profiles):
+            contention = ContentionLevel(
+                mem_car=float(rng.uniform(30, 250)),
+                mem_wss_mb=float(rng.uniform(2, 12)),
+            )
+            counters = collector.bench_counters(contention)
+            # Half the evaluations on the default profile, half on
+            # random profiles with up to 500K flows (§2.2.2).
+            if index % 2 == 0:
+                traffic = TrafficProfile()
+                bucket = "default"
+            else:
+                traffic = TrafficProfile(
+                    int(rng.uniform(1_000, 500_000)), 1500, 600.0
+                )
+                bucket = "other"
+            truth = collector.profile_one(nf, contention, traffic).throughput_mpps
+            cases.append(
+                EvaluationCase(
+                    target=name,
+                    traffic=traffic,
+                    truth=truth,
+                    slomo_counters=counters,
+                    slomo_n_competitors=contention.actor_count,
+                    tag=bucket,
+                )
+            )
+    return cases
+
+
 def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Fig3Result:
     """Regenerate Figure 3."""
     resolved = get_scale(scale)
     context = get_context(resolved)
-    collector = context.yala.collector
     nic = context.nic
 
     # ------------------------------------------------------------- (a)
@@ -82,38 +137,20 @@ def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Fig3Result:
         ]
 
     # ------------------------------------------------------------- (b)
-    rng = make_rng(seed)
+    # Figure 3(b) shows the *fixed-profile* model without
+    # extrapolation — the motivation for traffic awareness.
+    cases = build_cases(context, resolved, seed)
+    scored = score_cases(context, cases, yala=False, slomo=False, slomo_raw=True)
+    groups = group_by_target(scored)
     default_errors: dict[str, list[float]] = {}
     other_errors: dict[str, list[float]] = {}
     for name in _PART_B_NFS:
-        nf = make_nf(name)
-        slomo = context.slomo_for(name)
         default_errors[name] = []
         other_errors[name] = []
-        for index in range(resolved.random_profiles):
-            contention = ContentionLevel(
-                mem_car=float(rng.uniform(30, 250)),
-                mem_wss_mb=float(rng.uniform(2, 12)),
-            )
-            counters = collector.bench_counters(contention)
-            # Half the evaluations on the default profile, half on
-            # random profiles with up to 500K flows (§2.2.2).
-            if index % 2 == 0:
-                traffic = TrafficProfile()
-                bucket = default_errors[name]
-            else:
-                traffic = TrafficProfile(
-                    int(rng.uniform(1_000, 500_000)), 1500, 600.0
-                )
-                bucket = other_errors[name]
-            truth = collector.profile_one(nf, contention, traffic).throughput_mpps
-            # Figure 3(b) shows the *fixed-profile* model without
-            # extrapolation — the motivation for traffic awareness.
-            predicted = slomo.predict(
-                counters, traffic, extrapolate=False,
-                n_competitors=contention.actor_count,
-            )
-            bucket.append(100.0 * abs(predicted - truth) / truth)
+        for index in groups.get(name, []):
+            case = scored[index]
+            bucket = default_errors if case.tag == "default" else other_errors
+            bucket[name].append(case.slomo_raw_error_pct)
     return Fig3Result(
         cars=cars,
         series=series,

@@ -4,8 +4,12 @@
 and figure; ``--only table2,fig4`` restricts the set. ``--jobs N`` runs
 the selected experiments in N worker processes: every experiment is
 deterministic given its own seeds, so results are identical to a serial
-run — only the wall-clock changes. Output of the ``full`` scale is what
-EXPERIMENTS.md records.
+run — only the wall-clock changes. Rendered tables go to stdout;
+per-experiment wall-clock timing lines (``# <id> finished in ...s``) go
+to *stderr* so piped table output stays clean. The experiments listed
+in :data:`CONTEXT_EXPERIMENTS` share one pre-trained model context per
+(scale, seed) — the runner warms it before forking workers. Output of
+the ``full`` scale is what EXPERIMENTS.md records.
 """
 
 from __future__ import annotations
@@ -31,6 +35,13 @@ from repro.experiments import (
     table8_profiling,
     table9_pensando,
 )
+
+__all__ = [
+    "CONTEXT_EXPERIMENTS",
+    "EXPERIMENTS",
+    "main",
+    "run_experiments",
+]
 
 #: Experiments that evaluate through the shared trained context
 #: (repro.experiments.context). Only these benefit from pre-training it
@@ -152,7 +163,8 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         help="worker processes for experiments (1 = serial; results are "
-        "identical at any job count)",
+        "identical at any job count; per-experiment timing lines are "
+        "printed to stderr, rendered tables to stdout)",
     )
     args = parser.parse_args(argv)
     if args.jobs < 1:

@@ -4,7 +4,9 @@ and varying traffic attributes.
 Every evaluation NF is co-located with up to three other NFs (sampled
 combinations) under several distinct traffic profiles; Yala and SLOMO
 predict the target's throughput, scored by MAPE / ±5% Acc. / ±10% Acc.
-against the simulator ground truth.
+against the simulator ground truth. Scoring runs through the shared
+batch engine (:mod:`repro.experiments.batch`): case sampling keeps the
+seed loop's rng order, predictions are batched per predictor.
 """
 
 from __future__ import annotations
@@ -15,15 +17,21 @@ import numpy as np
 
 from repro.core.predictor import CompetitorSpec
 from repro.errors import SimulationError
+from repro.experiments.batch import (
+    EvaluationCase,
+    group_by_target,
+    score_cases,
+    summarize_accuracy,
+)
 from repro.experiments.common import (
     EXPERIMENT_SEED,
+    ExperimentScale,
     evaluation_traffic_profiles,
     fmt,
     get_scale,
     render_table,
 )
-from repro.experiments.context import get_context
-from repro.ml.metrics import mape, within_tolerance_accuracy
+from repro.experiments.context import ExperimentContext, get_context
 from repro.nf.catalog import EVALUATION_NF_NAMES, make_nf
 from repro.nic.counters import PerfCounters
 from repro.rng import make_rng
@@ -93,20 +101,19 @@ class Table2Result:
         )
 
 
-def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table2Result:
-    """Regenerate Table 2."""
+def build_cases(
+    context: ExperimentContext,
+    scale: str | ExperimentScale,
+    seed: int = EXPERIMENT_SEED,
+) -> list[EvaluationCase]:
+    """Sample the Table 2 case list (same rng order as the seed loop)."""
     resolved = get_scale(scale)
-    context = get_context(resolved)
-    yala = context.yala
-    collector = yala.collector
+    collector = context.yala.collector
     rng = make_rng(seed)
     profiles = evaluation_traffic_profiles(resolved.traffic_profiles)
-
-    rows = []
+    cases = []
     for target_name in EVALUATION_NF_NAMES:
         target = make_nf(target_name)
-        slomo = context.slomo_for(target_name)
-        truths, yala_preds, slomo_preds = [], [], []
         for traffic in profiles:
             for _ in range(resolved.combos_per_nf):
                 n_competitors = int(rng.integers(1, 4))
@@ -122,34 +129,48 @@ def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table2Result:
                     ).throughput_mpps
                 except SimulationError:
                     continue
-                specs = [
-                    CompetitorSpec.nf(c, traffic) for c in competitor_names
-                ]
-                yala_pred = yala.predict(target_name, traffic, specs)
-                counters = PerfCounters.aggregate(
-                    [
-                        collector.solo(make_nf(c), traffic).counters
-                        for c in competitor_names
-                    ]
+                cases.append(
+                    EvaluationCase(
+                        target=target_name,
+                        traffic=traffic,
+                        truth=truth,
+                        competitors=tuple(
+                            CompetitorSpec.nf(c, traffic)
+                            for c in competitor_names
+                        ),
+                        slomo_counters=PerfCounters.aggregate(
+                            [
+                                collector.solo(make_nf(c), traffic).counters
+                                for c in competitor_names
+                            ]
+                        ),
+                        slomo_n_competitors=len(competitor_names),
+                    )
                 )
-                slomo_pred = slomo.predict(
-                    counters, traffic, n_competitors=len(competitor_names)
-                )
-                truths.append(truth)
-                yala_preds.append(yala_pred)
-                slomo_preds.append(slomo_pred)
-        truths_arr = np.array(truths)
-        yala_arr = np.array(yala_preds)
-        slomo_arr = np.array(slomo_preds)
+    return cases
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table2Result:
+    """Regenerate Table 2."""
+    resolved = get_scale(scale)
+    context = get_context(resolved)
+    cases = build_cases(context, resolved, seed)
+    scored = score_cases(context, cases)
+    groups = group_by_target(scored)
+    rows = []
+    for target_name in EVALUATION_NF_NAMES:
+        summary = summarize_accuracy(
+            [scored[i] for i in groups.get(target_name, [])]
+        )
         rows.append(
             AccuracyRow(
                 nf_name=target_name,
-                slomo_mape=mape(truths_arr, slomo_arr),
-                slomo_acc5=within_tolerance_accuracy(truths_arr, slomo_arr, 5.0),
-                slomo_acc10=within_tolerance_accuracy(truths_arr, slomo_arr, 10.0),
-                yala_mape=mape(truths_arr, yala_arr),
-                yala_acc5=within_tolerance_accuracy(truths_arr, yala_arr, 5.0),
-                yala_acc10=within_tolerance_accuracy(truths_arr, yala_arr, 10.0),
+                slomo_mape=summary.slomo_mape,
+                slomo_acc5=summary.slomo_acc5,
+                slomo_acc10=summary.slomo_acc10,
+                yala_mape=summary.yala_mape,
+                yala_acc5=summary.yala_acc5,
+                yala_acc10=summary.yala_acc10,
             )
         )
     return Table2Result(rows=rows)

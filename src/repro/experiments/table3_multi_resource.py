@@ -4,7 +4,8 @@ NIDS and FlowMonitor (both regex users) co-run with mem-bench and
 regex-bench at varying contention levels under the *default* traffic
 profile, isolating the multi-resource modeling from traffic awareness.
 Figure 7(a) splits FlowMonitor's errors by regex contention level
-(low: bench MTBR <= 600, high: > 600).
+(low: bench MTBR <= 600, high: > 600). Scoring runs through the shared
+batch engine (:mod:`repro.experiments.batch`).
 """
 
 from __future__ import annotations
@@ -14,9 +15,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.predictor import CompetitorSpec
-from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
-from repro.experiments.context import get_context
-from repro.ml.metrics import mape, within_tolerance_accuracy
+from repro.experiments.batch import (
+    EvaluationCase,
+    group_by_target,
+    score_cases,
+    summarize_accuracy,
+)
+from repro.experiments.common import (
+    EXPERIMENT_SEED,
+    ExperimentScale,
+    fmt,
+    get_scale,
+    render_table,
+)
+from repro.experiments.context import ExperimentContext, get_context
 from repro.nf.catalog import make_nf
 from repro.profiling.contention import ContentionLevel
 from repro.rng import make_rng
@@ -77,23 +89,24 @@ class Table3Result:
         return part_a + "\n\n" + part_b
 
 
-def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table3Result:
-    """Regenerate Table 3 and Figure 7(a)."""
+def build_cases(
+    context: ExperimentContext,
+    scale: str | ExperimentScale,
+    seed: int = EXPERIMENT_SEED,
+) -> list[EvaluationCase]:
+    """Sample the Table 3 case list (same rng order as the seed loop).
+
+    ``tag`` carries the regex-bench MTBR used for the Figure 7(a)
+    low/high contention split.
+    """
     resolved = get_scale(scale)
-    context = get_context(resolved)
-    yala = context.yala
-    collector = yala.collector
+    collector = context.yala.collector
     rng = make_rng(seed)
     traffic = TrafficProfile()
-
-    rows = []
-    fig7a_low: dict[str, list[float]] = {"yala": [], "slomo": []}
-    fig7a_high: dict[str, list[float]] = {"yala": [], "slomo": []}
     n_points = max(resolved.combos_per_nf * 3, 9)
+    cases = []
     for target_name in _TARGETS:
         target = make_nf(target_name)
-        slomo = context.slomo_for(target_name)
-        truths, yala_preds, slomo_preds, bench_mtbrs = [], [], [], []
         for _ in range(n_points):
             bench_mtbr = float(rng.uniform(100.0, 1100.0))
             contention = ContentionLevel(
@@ -103,40 +116,48 @@ def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table3Result:
                 regex_mtbr=bench_mtbr,
             )
             truth = collector.profile_one(target, contention, traffic).throughput_mpps
-            yala_pred = yala.predict(
-                target_name, traffic, [CompetitorSpec.bench(contention)]
+            cases.append(
+                EvaluationCase(
+                    target=target_name,
+                    traffic=traffic,
+                    truth=truth,
+                    competitors=(CompetitorSpec.bench(contention),),
+                    slomo_counters=collector.bench_counters(contention),
+                    slomo_n_competitors=contention.actor_count,
+                    tag=bench_mtbr,
+                )
             )
-            slomo_pred = slomo.predict(
-                collector.bench_counters(contention),
-                traffic,
-                n_competitors=contention.actor_count,
-            )
-            truths.append(truth)
-            yala_preds.append(yala_pred)
-            slomo_preds.append(slomo_pred)
-            bench_mtbrs.append(bench_mtbr)
-            if target_name == "flowmonitor":
-                bucket_y = fig7a_low if bench_mtbr <= 600.0 else fig7a_high
-                bucket_y["yala"].append(100.0 * abs(yala_pred - truth) / truth)
-                bucket_y["slomo"].append(100.0 * abs(slomo_pred - truth) / truth)
-        truths_arr = np.array(truths)
+    return cases
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table3Result:
+    """Regenerate Table 3 and Figure 7(a)."""
+    resolved = get_scale(scale)
+    context = get_context(resolved)
+    cases = build_cases(context, resolved, seed)
+    scored = score_cases(context, cases)
+    groups = group_by_target(scored)
+
+    rows = []
+    fig7a_low: dict[str, list[float]] = {"yala": [], "slomo": []}
+    fig7a_high: dict[str, list[float]] = {"yala": [], "slomo": []}
+    for target_name in _TARGETS:
+        subset = [scored[i] for i in groups.get(target_name, [])]
+        if target_name == "flowmonitor":
+            for case in subset:
+                bucket = fig7a_low if case.tag <= 600.0 else fig7a_high
+                bucket["yala"].append(case.yala_error_pct)
+                bucket["slomo"].append(case.slomo_error_pct)
+        summary = summarize_accuracy(subset)
         rows.append(
             Table3Row(
                 nf_name=target_name,
-                slomo_mape=mape(truths_arr, np.array(slomo_preds)),
-                slomo_acc5=within_tolerance_accuracy(
-                    truths_arr, np.array(slomo_preds), 5.0
-                ),
-                slomo_acc10=within_tolerance_accuracy(
-                    truths_arr, np.array(slomo_preds), 10.0
-                ),
-                yala_mape=mape(truths_arr, np.array(yala_preds)),
-                yala_acc5=within_tolerance_accuracy(
-                    truths_arr, np.array(yala_preds), 5.0
-                ),
-                yala_acc10=within_tolerance_accuracy(
-                    truths_arr, np.array(yala_preds), 10.0
-                ),
+                slomo_mape=summary.slomo_mape,
+                slomo_acc5=summary.slomo_acc5,
+                slomo_acc10=summary.slomo_acc10,
+                yala_mape=summary.yala_mape,
+                yala_acc5=summary.yala_acc5,
+                yala_acc10=summary.yala_acc10,
             )
         )
     return Table3Result(rows=rows, fig7a_low=fig7a_low, fig7a_high=fig7a_high)

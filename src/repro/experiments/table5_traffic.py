@@ -5,7 +5,9 @@ the setting SLOMO was built for) while traffic profiles are drawn
 randomly; Yala's traffic-aware models are compared against SLOMO with
 sensitivity extrapolation. Figure 7(b) splits errors on the flow-count
 deviation between training and testing: low (<= 20%) vs high (> 20%),
-and additionally reports SLOMO without extrapolation.
+and additionally reports SLOMO without extrapolation. Scoring runs
+through the shared batch engine (:mod:`repro.experiments.batch`), with
+the no-extrapolation SLOMO arm scored in the same batched pass.
 """
 
 from __future__ import annotations
@@ -15,9 +17,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.predictor import CompetitorSpec
-from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
-from repro.experiments.context import get_context
-from repro.ml.metrics import mape, within_tolerance_accuracy
+from repro.experiments.batch import (
+    EvaluationCase,
+    group_by_target,
+    score_cases,
+    summarize_accuracy,
+)
+from repro.experiments.common import (
+    EXPERIMENT_SEED,
+    ExperimentScale,
+    fmt,
+    get_scale,
+    render_table,
+)
+from repro.experiments.context import ExperimentContext, get_context
 from repro.nf.catalog import make_nf
 from repro.profiling.contention import ContentionLevel
 from repro.rng import make_rng
@@ -88,21 +101,23 @@ class Table5Result:
         return part_a + "\n\n" + part_b
 
 
-def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table5Result:
-    """Regenerate Table 5 and Figure 7(b)."""
-    resolved = get_scale(scale)
-    context = get_context(resolved)
-    yala = context.yala
-    collector = yala.collector
-    rng = make_rng(seed)
+def build_cases(
+    context: ExperimentContext,
+    scale: str | ExperimentScale,
+    seed: int = EXPERIMENT_SEED,
+) -> list[EvaluationCase]:
+    """Sample the Table 5 case list (same rng order as the seed loop).
 
-    rows = []
-    fig7b: dict[tuple[str, str], list[float]] = {}
+    ``tag`` carries the Figure 7(b) deviation bucket (``"low"`` when the
+    drawn flow count stays within ±20% of SLOMO's training flow count).
+    """
+    resolved = get_scale(scale)
+    collector = context.yala.collector
+    rng = make_rng(seed)
+    cases = []
     for target_name in TABLE5_NFS:
         target = make_nf(target_name)
-        slomo = context.slomo_for(target_name)
-        train_flows = slomo.train_traffic.flow_count
-        truths, yala_preds, slomo_preds = [], [], []
+        train_flows = context.slomo_for(target_name).train_traffic.flow_count
         for index in range(resolved.random_profiles):
             # A third of the profiles stay within ±20% of the training
             # flow count (Fig. 7b's "low deviation" range); the rest
@@ -121,50 +136,50 @@ def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table5Result:
                 mem_wss_mb=float(rng.uniform(2.0, 12.0)),
             )
             truth = collector.profile_one(target, contention, traffic).throughput_mpps
-            counters = collector.bench_counters(contention)
-            yala_pred = yala.predict(
-                target_name, traffic, [CompetitorSpec.bench(contention)]
-            )
-            slomo_pred = slomo.predict(
-                counters, traffic, n_competitors=contention.actor_count
-            )
-            truths.append(truth)
-            yala_preds.append(yala_pred)
-            slomo_preds.append(slomo_pred)
-
             deviation = abs(traffic.flow_count - train_flows) / train_flows
-            bucket = "low" if deviation <= 0.2 else "high"
-            fig7b.setdefault(("yala", bucket), []).append(
-                100.0 * abs(yala_pred - truth) / truth
+            cases.append(
+                EvaluationCase(
+                    target=target_name,
+                    traffic=traffic,
+                    truth=truth,
+                    competitors=(CompetitorSpec.bench(contention),),
+                    slomo_counters=collector.bench_counters(contention),
+                    slomo_n_competitors=contention.actor_count,
+                    tag="low" if deviation <= 0.2 else "high",
+                )
             )
-            fig7b.setdefault(("slomo", bucket), []).append(
-                100.0 * abs(slomo_pred - truth) / truth
-            )
-            raw = slomo.predict(
-                counters, traffic, extrapolate=False,
-                n_competitors=contention.actor_count,
-            )
+    return cases
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table5Result:
+    """Regenerate Table 5 and Figure 7(b)."""
+    resolved = get_scale(scale)
+    context = get_context(resolved)
+    cases = build_cases(context, resolved, seed)
+    scored = score_cases(context, cases, slomo_raw=True)
+    groups = group_by_target(scored)
+
+    rows = []
+    fig7b: dict[tuple[str, str], list[float]] = {}
+    for target_name in TABLE5_NFS:
+        subset = [scored[i] for i in groups.get(target_name, [])]
+        for case in subset:
+            bucket = case.tag
+            fig7b.setdefault(("yala", bucket), []).append(case.yala_error_pct)
+            fig7b.setdefault(("slomo", bucket), []).append(case.slomo_error_pct)
             fig7b.setdefault(("slomo-no-extrapolation", bucket), []).append(
-                100.0 * abs(raw - truth) / truth
+                case.slomo_raw_error_pct
             )
-        truths_arr = np.array(truths)
+        summary = summarize_accuracy(subset)
         rows.append(
             Table5Row(
                 nf_name=target_name,
-                slomo_mape=mape(truths_arr, np.array(slomo_preds)),
-                slomo_acc5=within_tolerance_accuracy(
-                    truths_arr, np.array(slomo_preds), 5.0
-                ),
-                slomo_acc10=within_tolerance_accuracy(
-                    truths_arr, np.array(slomo_preds), 10.0
-                ),
-                yala_mape=mape(truths_arr, np.array(yala_preds)),
-                yala_acc5=within_tolerance_accuracy(
-                    truths_arr, np.array(yala_preds), 5.0
-                ),
-                yala_acc10=within_tolerance_accuracy(
-                    truths_arr, np.array(yala_preds), 10.0
-                ),
+                slomo_mape=summary.slomo_mape,
+                slomo_acc5=summary.slomo_acc5,
+                slomo_acc10=summary.slomo_acc10,
+                yala_mape=summary.yala_mape,
+                yala_acc5=summary.yala_acc5,
+                yala_acc10=summary.yala_acc10,
             )
         )
     return Table5Result(rows=rows, fig7b=fig7b)

@@ -4,19 +4,30 @@ A Firewall NF (hardware flow-table walk) runs on the Pensando NIC
 profile under memory contention and dynamic traffic; Yala and SLOMO are
 trained and evaluated exactly as on BlueField-2. The same model family
 must transfer because the architectural style (shared memory subsystem,
-RR-queue accelerators) is the same.
+RR-queue accelerators) is the same. Scoring runs through the batch
+engine's standalone driver (:func:`repro.experiments.batch.score_standalone`)
+since this experiment trains its own predictors outside the shared
+context.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro.core.predictor import CompetitorSpec, YalaPredictor
 from repro.core.slomo import SlomoPredictor
-from repro.core.predictor import YalaPredictor
-from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
-from repro.ml.metrics import mape, within_tolerance_accuracy
+from repro.experiments.batch import (
+    EvaluationCase,
+    score_standalone,
+    summarize_accuracy,
+)
+from repro.experiments.common import (
+    EXPERIMENT_SEED,
+    ExperimentScale,
+    fmt,
+    get_scale,
+    render_table,
+)
 from repro.nf.catalog import make_nf
 from repro.nic.nic import SmartNic
 from repro.nic.spec import pensando_spec
@@ -53,20 +64,16 @@ class Table9Result:
         )
 
 
-def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table9Result:
-    """Regenerate Table 9."""
+def build_cases(
+    collector: ProfilingCollector,
+    scale: str | ExperimentScale,
+    seed: int = EXPERIMENT_SEED,
+) -> list[EvaluationCase]:
+    """Sample the Table 9 case list (same rng order as the seed loop)."""
     resolved = get_scale(scale)
-    nic = SmartNic(pensando_spec(), seed=derive_seed(seed, "pensando"))
-    collector = ProfilingCollector(nic)
     firewall = make_nf("firewall")
     rng = make_rng(seed)
-
-    yala = YalaPredictor(firewall, collector, seed=derive_seed(seed, "t9-yala"))
-    yala.train(quota=resolved.quota)
-    slomo = SlomoPredictor("firewall", seed=derive_seed(seed, "t9-slomo"))
-    slomo.train(collector, firewall, n_samples=resolved.slomo_samples)
-
-    truths, yala_preds, slomo_preds = [], [], []
+    cases = []
     for _ in range(resolved.random_profiles):
         traffic = TrafficProfile(
             int(rng.uniform(1_000, 500_000)), int(rng.uniform(64, 1500)), 600.0
@@ -76,26 +83,38 @@ def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table9Result:
             mem_wss_mb=float(rng.uniform(2.0, 12.0)),
         )
         truth = collector.profile_one(firewall, contention, traffic).throughput_mpps
-        counters = collector.bench_counters(contention)
-        truths.append(truth)
-        yala_preds.append(
-            yala.predict(traffic, [__bench_spec(contention)])
+        cases.append(
+            EvaluationCase(
+                target="firewall",
+                traffic=traffic,
+                truth=truth,
+                competitors=(CompetitorSpec.bench(contention),),
+                slomo_counters=collector.bench_counters(contention),
+                slomo_n_competitors=contention.actor_count,
+            )
         )
-        slomo_preds.append(
-            slomo.predict(counters, traffic, n_competitors=contention.actor_count)
-        )
-    truths_arr = np.array(truths)
+    return cases
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table9Result:
+    """Regenerate Table 9."""
+    resolved = get_scale(scale)
+    nic = SmartNic(pensando_spec(), seed=derive_seed(seed, "pensando"))
+    collector = ProfilingCollector(nic)
+    firewall = make_nf("firewall")
+
+    yala = YalaPredictor(firewall, collector, seed=derive_seed(seed, "t9-yala"))
+    yala.train(quota=resolved.quota)
+    slomo = SlomoPredictor("firewall", seed=derive_seed(seed, "t9-slomo"))
+    slomo.train(collector, firewall, n_samples=resolved.slomo_samples)
+
+    cases = build_cases(collector, resolved, seed)
+    summary = summarize_accuracy(score_standalone(cases, yala=yala, slomo=slomo))
     return Table9Result(
-        slomo_mape=mape(truths_arr, np.array(slomo_preds)),
-        slomo_acc5=within_tolerance_accuracy(truths_arr, np.array(slomo_preds), 5.0),
-        slomo_acc10=within_tolerance_accuracy(truths_arr, np.array(slomo_preds), 10.0),
-        yala_mape=mape(truths_arr, np.array(yala_preds)),
-        yala_acc5=within_tolerance_accuracy(truths_arr, np.array(yala_preds), 5.0),
-        yala_acc10=within_tolerance_accuracy(truths_arr, np.array(yala_preds), 10.0),
+        slomo_mape=summary.slomo_mape,
+        slomo_acc5=summary.slomo_acc5,
+        slomo_acc10=summary.slomo_acc10,
+        yala_mape=summary.yala_mape,
+        yala_acc5=summary.yala_acc5,
+        yala_acc10=summary.yala_acc10,
     )
-
-
-def __bench_spec(contention: ContentionLevel):
-    from repro.core.predictor import CompetitorSpec
-
-    return CompetitorSpec.bench(contention)

@@ -17,7 +17,6 @@ from repro.errors import ConfigurationError
 from repro.nf.elements import Element
 from repro.nic.workload import (
     ExecutionPattern,
-    Resource,
     StageDemand,
     WorkloadDemand,
 )

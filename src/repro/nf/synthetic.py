@@ -15,9 +15,7 @@ from typing import Optional
 from repro.errors import ConfigurationError
 from repro.nf.elements import (
     CompressStage,
-    FixedTable,
     HashTable,
-    HeaderParse,
     PacketIo,
     RegexScan,
 )

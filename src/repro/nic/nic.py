@@ -20,7 +20,7 @@ testbed samples. The noiseless value is also exposed for tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

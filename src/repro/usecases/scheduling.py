@@ -22,16 +22,14 @@ checks plus a repacking pass — documented in DESIGN.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 
-from repro.core.predictor import CompetitorSpec, YalaSystem
+from repro.core.predictor import YalaSystem
 from repro.core.slomo import SlomoPredictor
 from repro.errors import ConfigurationError, PlacementError
 from repro.nf.catalog import EVALUATION_NF_NAMES, make_nf
-from repro.nic.nic import SmartNic
-from repro.profiling.collector import ProfilingCollector
 from repro.rng import SeedLike, make_rng
 from repro.traffic.profile import TrafficProfile
 

@@ -112,3 +112,130 @@ class TestPredictorBatch:
         assert small_system.predict_colocation(
             placements
         ) == small_system.predict_colocation(placements)
+
+
+class TestSystemBatch:
+    """YalaSystem.predict_batch vs looped YalaSystem.predict."""
+
+    def _cases(self):
+        default = TrafficProfile()
+        other = TrafficProfile(64_000, 512, 300.0)
+        return [
+            ("flowmonitor", default, [CompetitorSpec.nf("nids", default)]),
+            (
+                "nids",
+                other,
+                [
+                    CompetitorSpec.nf("flowstats", other),
+                    CompetitorSpec.bench(ContentionLevel(mem_car=90.0)),
+                ],
+            ),
+            ("flowstats", default, []),
+            (
+                "flowmonitor",
+                other,
+                [CompetitorSpec.bench(ContentionLevel(mem_car=150.0, regex_rate=0.5))],
+            ),
+        ]
+
+    def test_batch_matches_looped_predict_bitwise(self, small_system):
+        cases = self._cases()
+        batched = small_system.predict_batch(cases)
+        looped = [
+            small_system.predict(target, traffic, competitors)
+            for target, traffic, competitors in cases
+        ]
+        assert batched == looped
+
+    def test_colocation_batch_matches_looped_colocation(self, small_system):
+        traffic = TrafficProfile()
+        requests = [
+            ([("flowmonitor", traffic), ("nids", traffic)], None),
+            (
+                [("flowstats", traffic)],
+                [CompetitorSpec.bench(ContentionLevel(mem_car=120.0))],
+            ),
+        ]
+        batched = small_system.predict_colocation_batch(requests)
+        looped = [
+            small_system.predict_colocation(placements, benches)
+            for placements, benches in requests
+        ]
+        assert batched == looped
+
+    def test_empty_batch(self, small_system):
+        assert small_system.predict_batch([]) == []
+        assert small_system.predict_colocation_batch([]) == []
+
+
+class TestSlomoBatch:
+    """SlomoPredictor.predict_batch vs looped SlomoPredictor.predict."""
+
+    @pytest.fixture(scope="class")
+    def trained_slomo(self, small_system):
+        from repro.core.slomo import SlomoPredictor
+
+        predictor = SlomoPredictor("flowmonitor", seed=404)
+        predictor.train(
+            small_system.collector, make_nf("flowmonitor"), n_samples=60
+        )
+        return predictor
+
+    def _scenarios(self, collector):
+        rng = np.random.default_rng(33)
+        counters, traffics, competitors = [], [], []
+        for index in range(10):
+            level = random_contention(seed=rng, memory=True)
+            counters.append(collector.bench_counters(level))
+            # Mix training-profile rows (no extrapolation branch) with
+            # off-profile rows (extrapolated).
+            traffics.append(
+                TrafficProfile()
+                if index % 2 == 0
+                else TrafficProfile(
+                    int(rng.uniform(1_000, 300_000)),
+                    int(rng.uniform(64, 1500)),
+                    float(rng.uniform(0, 1000)),
+                )
+            )
+            competitors.append(int(rng.integers(1, 4)))
+        return counters, traffics, competitors
+
+    def test_batch_matches_looped_predict_bitwise(
+        self, trained_slomo, small_system
+    ):
+        counters, traffics, competitors = self._scenarios(small_system.collector)
+        batched = trained_slomo.predict_batch(counters, traffics, competitors)
+        looped = [
+            trained_slomo.predict(c, t, n_competitors=n)
+            for c, t, n in zip(counters, traffics, competitors)
+        ]
+        assert batched == looped
+
+    def test_batch_matches_looped_without_extrapolation(
+        self, trained_slomo, small_system
+    ):
+        counters, traffics, competitors = self._scenarios(small_system.collector)
+        batched = trained_slomo.predict_batch(
+            counters, traffics, competitors, extrapolate=False
+        )
+        looped = [
+            trained_slomo.predict(c, t, extrapolate=False, n_competitors=n)
+            for c, t, n in zip(counters, traffics, competitors)
+        ]
+        assert batched == looped
+
+    def test_empty_batch(self, trained_slomo):
+        assert trained_slomo.predict_batch([], [], []) == []
+
+    def test_mismatched_lengths_rejected(self, trained_slomo):
+        with pytest.raises(ProfilingError):
+            trained_slomo.predict_batch([PerfCounters.zero()], [], [1])
+
+    def test_untrained_rejected(self):
+        from repro.core.slomo import SlomoPredictor
+
+        with pytest.raises(ModelNotFittedError):
+            SlomoPredictor("acl").predict_batch(
+                [PerfCounters.zero()], [TrafficProfile()], [1]
+            )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.predictor import CompetitorSpec, YalaPredictor, YalaSystem
+from repro.core.predictor import CompetitorSpec, YalaPredictor
 from repro.core.slomo import SlomoPredictor
 from repro.errors import ConfigurationError, ModelNotFittedError, ProfilingError
 from repro.nf.catalog import make_nf

@@ -1,0 +1,139 @@
+"""Quantized-feature mode of :class:`MemoryContentionModel`.
+
+``quantize_bins=K`` snaps (scaled) features onto a per-feature quantile
+grid at fit time so the histogram split finder accelerates continuous
+counter matrices. It is an opt-in approximation: the default stays on
+the bit-exact vectorized path. The mode must survive pickling (the
+predictor travels through worker processes during parallel training)
+and keep the batch/single prediction equivalence.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.memory_model import MemoryContentionModel
+from repro.errors import ConfigurationError
+from repro.nf.catalog import make_nf
+from repro.profiling.collector import ProfilingCollector
+from repro.profiling.contention import ContentionLevel, random_contention
+from repro.profiling.dataset import ProfileDataset
+from repro.traffic.profile import TrafficProfile
+
+
+@pytest.fixture(scope="module")
+def profile_data(noisy_nic):
+    """A small profiling dataset plus probe scenarios."""
+    collector = ProfilingCollector(noisy_nic)
+    nf = make_nf("flowmonitor")
+    dataset = ProfileDataset(nf.name)
+    rng = np.random.default_rng(19)
+    profiles = [
+        TrafficProfile(),
+        TrafficProfile(64_000, 512, 300.0),
+        TrafficProfile(4_000, 1500, 900.0),
+    ]
+    for index in range(40):
+        contention = (
+            ContentionLevel()
+            if index < 4
+            else random_contention(seed=rng, memory=True)
+        )
+        dataset.add(
+            collector.profile_one(nf, contention, profiles[index % len(profiles)])
+        )
+    probes = []
+    for _ in range(10):
+        level = random_contention(seed=rng, memory=True)
+        probes.append(
+            (
+                collector.bench_counters(level),
+                TrafficProfile(
+                    int(rng.uniform(1_000, 300_000)),
+                    int(rng.uniform(64, 1500)),
+                    float(rng.uniform(0, 1000)),
+                ),
+                int(rng.integers(0, 4)),
+            )
+        )
+    return dataset, probes
+
+
+def _fit_quantized(dataset: ProfileDataset) -> MemoryContentionModel:
+    model = MemoryContentionModel(
+        dataset.nf_name, n_estimators=40, seed=5, quantize_bins=16
+    )
+    return model.fit(dataset)
+
+
+def _fit_in_worker(dataset: ProfileDataset) -> np.ndarray:
+    """Worker-process entry point for the parallel-training check."""
+    model = _fit_quantized(dataset)
+    sample = dataset.samples[0]
+    return model.predict_batch(
+        [sample.competitor_counters], [sample.traffic], [sample.n_competitors]
+    )
+
+
+class TestQuantizedMode:
+    def test_default_stays_bit_exact_vectorized(self):
+        model = MemoryContentionModel("acl")
+        assert not model.quantized
+        assert model._model.split_algorithm == "vectorized"
+
+    def test_quantized_uses_histogram_finder(self, profile_data):
+        dataset, probes = profile_data
+        model = _fit_quantized(dataset)
+        assert model.quantized
+        assert model._model.split_algorithm == "histogram"
+        predictions = model.predict_batch(*map(list, zip(*probes)))
+        assert np.isfinite(predictions).all()
+        assert (predictions > 0).all()
+
+    def test_quantized_batch_matches_single_calls(self, profile_data):
+        dataset, probes = profile_data
+        model = _fit_quantized(dataset)
+        batched = model.predict_batch(*map(list, zip(*probes)))
+        looped = [model.predict(c, t, n) for c, t, n in probes]
+        assert batched.tolist() == looped
+
+    def test_quantized_tracks_exact_mode_on_training_points(self, profile_data):
+        # Snapping is lossy, but on its own training grid the quantized
+        # model must still fit the measured throughputs about as well as
+        # the exact one (it only merges near-identical counter levels).
+        dataset, _ = profile_data
+        exact = MemoryContentionModel(dataset.nf_name, n_estimators=40, seed=5)
+        exact.fit(dataset)
+        quantized = _fit_quantized(dataset)
+        rows = [
+            (s.competitor_counters, s.traffic, s.n_competitors)
+            for s in dataset.samples
+        ]
+        targets = dataset.targets()
+        args = [list(column) for column in zip(*rows)]
+        exact_err = np.abs(exact.predict_batch(*args) - targets).mean()
+        quant_err = np.abs(quantized.predict_batch(*args) - targets).mean()
+        assert quant_err <= 3.0 * exact_err + 0.05
+
+    def test_pickle_round_trip(self, profile_data):
+        dataset, probes = profile_data
+        model = _fit_quantized(dataset)
+        clone = pickle.loads(pickle.dumps(model))
+        args = [list(column) for column in zip(*probes)]
+        assert clone.predict_batch(*args).tolist() == model.predict_batch(
+            *args
+        ).tolist()
+
+    def test_parallel_training_matches_in_process(self, profile_data):
+        dataset, _ = profile_data
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            from_worker = pool.submit(_fit_in_worker, dataset).result()
+        assert from_worker.tolist() == _fit_in_worker(dataset).tolist()
+
+    def test_bad_bin_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryContentionModel("acl", quantize_bins=1)

@@ -1,0 +1,148 @@
+"""Batch engine equivalence: for every refactored experiment, scoring a
+case list through :mod:`repro.experiments.batch` must match the seed's
+per-case predict loop bit-for-bit — batching is a wall-clock change,
+never a numerical one.
+
+All checks share one smoke-scale trained context (the in-process cache
+of :mod:`repro.experiments.context`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predictor import YalaPredictor
+from repro.core.slomo import SlomoPredictor
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    fig2_single_resource,
+    fig3_traffic_motivation,
+    table2_overall_accuracy,
+    table3_multi_resource,
+    table5_traffic,
+    table9_pensando,
+)
+from repro.experiments.batch import (
+    EvaluationCase,
+    group_by_target,
+    score_cases,
+    score_cases_looped,
+    score_standalone,
+    score_standalone_looped,
+    summarize_accuracy,
+)
+from repro.experiments.context import get_context
+from repro.nf.catalog import make_nf
+from repro.nic.nic import SmartNic
+from repro.nic.spec import pensando_spec
+from repro.profiling.collector import ProfilingCollector
+from repro.rng import derive_seed
+from repro.traffic.profile import TrafficProfile
+
+SCALE = "smoke"
+
+
+@pytest.fixture(scope="module")
+def context():
+    return get_context(SCALE)
+
+
+def _triples(scored):
+    """The raw prediction floats, for exact (bitwise) comparison."""
+    return [(s.yala, s.slomo, s.slomo_raw) for s in scored]
+
+
+class TestExperimentCaseLists:
+    """score_cases == the seed per-case loop on every experiment."""
+
+    def test_table2_batch_matches_loop(self, context):
+        cases = table2_overall_accuracy.build_cases(context, SCALE)
+        assert cases, "table2 produced no cases at smoke scale"
+        assert _triples(score_cases(context, cases)) == _triples(
+            score_cases_looped(context, cases)
+        )
+
+    def test_table3_batch_matches_loop(self, context):
+        cases = table3_multi_resource.build_cases(context, SCALE)
+        assert cases
+        assert _triples(score_cases(context, cases)) == _triples(
+            score_cases_looped(context, cases)
+        )
+
+    def test_table5_batch_matches_loop_including_raw_arm(self, context):
+        cases = table5_traffic.build_cases(context, SCALE)
+        assert cases
+        assert _triples(score_cases(context, cases, slomo_raw=True)) == _triples(
+            score_cases_looped(context, cases, slomo_raw=True)
+        )
+
+    def test_fig2_batch_matches_loop(self, context):
+        cases = fig2_single_resource.build_cases(context, SCALE)
+        assert cases
+        assert _triples(score_cases(context, cases, yala=False)) == _triples(
+            score_cases_looped(context, cases, yala=False)
+        )
+
+    def test_fig3_batch_matches_loop(self, context):
+        cases = fig3_traffic_motivation.build_cases(context, SCALE)
+        assert cases
+        kwargs = dict(yala=False, slomo=False, slomo_raw=True)
+        assert _triples(score_cases(context, cases, **kwargs)) == _triples(
+            score_cases_looped(context, cases, **kwargs)
+        )
+
+    def test_table9_standalone_matches_loop(self):
+        # Table 9 trains its own predictors on the Pensando NIC outside
+        # the shared context; small budgets keep the check fast — the
+        # equivalence holds for any trained pair.
+        nic = SmartNic(pensando_spec(), seed=derive_seed(7, "pensando"))
+        collector = ProfilingCollector(nic)
+        firewall = make_nf("firewall")
+        yala = YalaPredictor(firewall, collector, seed=derive_seed(7, "t9-yala"))
+        yala.train(quota=100)
+        slomo = SlomoPredictor("firewall", seed=derive_seed(7, "t9-slomo"))
+        slomo.train(collector, firewall, n_samples=60)
+        cases = table9_pensando.build_cases(collector, SCALE, seed=7)
+        assert cases
+        assert _triples(
+            score_standalone(cases, yala=yala, slomo=slomo, slomo_raw=True)
+        ) == _triples(
+            score_standalone_looped(cases, yala=yala, slomo=slomo, slomo_raw=True)
+        )
+
+
+class TestEngineBasics:
+    def test_empty_case_list(self, context):
+        assert score_cases(context, []) == []
+        assert score_standalone([]) == []
+
+    def test_group_by_target_first_seen_order(self, context):
+        cases = table3_multi_resource.build_cases(context, SCALE)
+        groups = group_by_target(cases)
+        assert list(groups) == ["nids", "flowmonitor"]
+        assert sum(len(v) for v in groups.values()) == len(cases)
+        # Grouping ScoredCase lists works identically.
+        scored = score_cases(context, cases, slomo=False)
+        assert group_by_target(scored) == groups
+
+    def test_missing_slomo_features_rejected(self, context):
+        case = EvaluationCase(
+            target="nids", traffic=TrafficProfile(), truth=1.0
+        )
+        with pytest.raises(ConfigurationError):
+            score_cases(context, [case], yala=False)
+
+    def test_error_pct_requires_scored_prediction(self, context):
+        cases = table3_multi_resource.build_cases(context, SCALE)[:1]
+        scored = score_cases(context, cases, slomo=False)[0]
+        assert scored.yala_error_pct >= 0.0
+        with pytest.raises(ConfigurationError):
+            _ = scored.slomo_error_pct
+
+    def test_summary_matches_render_path(self, context):
+        cases = table3_multi_resource.build_cases(context, SCALE)
+        scored = score_cases(context, cases)
+        summary = summarize_accuracy(scored)
+        assert 0.0 <= summary.yala_acc5 <= summary.yala_acc10 <= 100.0
+        assert 0.0 <= summary.slomo_acc5 <= summary.slomo_acc10 <= 100.0
+        assert summary.yala_mape >= 0.0 and summary.slomo_mape >= 0.0

@@ -180,7 +180,6 @@ class TestTables:
         for row in result.rows:
             assert row.yala_mape < row.slomo_mape
         # Fig 7a: SLOMO degrades with regex contention, Yala stays low.
-        slomo_low = np.median(result.fig7a_low["slomo"])
         slomo_high = np.median(result.fig7a_high["slomo"])
         yala_high = np.median(result.fig7a_high["yala"])
         assert yala_high < slomo_high

@@ -1,6 +1,5 @@
 """Integration tests for the SmartNIC co-location runtime."""
 
-import numpy as np
 import pytest
 
 from repro.errors import PlacementError, SimulationError

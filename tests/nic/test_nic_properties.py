@@ -1,6 +1,5 @@
 """Property-based invariants of the SmartNIC simulator."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Unit tests for the profiling layer (contention, collector, datasets,
 sampling strategies, adaptive profiling)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, ProfilingError

@@ -1,7 +1,6 @@
 """Unit tests for deterministic RNG utilities."""
 
 import numpy as np
-import pytest
 
 from repro.rng import DEFAULT_SEED, derive_seed, make_rng, spawn
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.traffic.flows import Flow, FlowGenerator
+from repro.traffic.flows import FlowGenerator
 from repro.traffic.payload import PayloadGenerator, measure_mtbr
 from repro.traffic.pktgen import PacketGenerator
 from repro.traffic.profile import (

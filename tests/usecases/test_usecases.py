@@ -1,9 +1,7 @@
 """Tests for the scheduling and diagnosis use cases."""
 
-import numpy as np
 import pytest
 
-from repro.core.predictor import YalaPredictor
 from repro.errors import ConfigurationError
 from repro.nf.catalog import make_nf
 from repro.profiling.contention import ContentionLevel
