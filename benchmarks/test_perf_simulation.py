@@ -1,0 +1,98 @@
+"""Microbenchmark: the SmartNIC fixed point, batched vs per-scenario.
+
+Workload: a profiling-shaped sweep — one target NF co-run against bench
+contention, the shape every profiling consumer pays per sample. A third
+of the points probe under the adaptive profiler's reference contention
+(CAR 180 / 10 MB, the corner-probe setting of Algorithm 1), the rest
+draw heavy random memory + regex pressure; traffic varies per point.
+Solved two ways:
+
+- **seed**: ``[nic.run(s) for s in sweep]`` — the scalar damped fixed
+  point, one scenario at a time;
+- **fast**: ``nic.run_batch(sweep)`` — the vectorized batch engine
+  (:mod:`repro.nic.batch`).
+
+Timing follows the conventions of ``test_perf_training.py``: both arms
+use ``time.process_time`` (CPU time, immune to co-tenant interference)
+with the minimum of three runs per arm, re-measured up to three times so
+one scheduler hiccup cannot fail the assertion spuriously. Correctness
+is asserted *before* timing: the batch arm must match the seed arm
+bit-for-bit — measured throughputs (noise included), counters, stage
+reports, bottleneck labels and iteration counts — so the speedup is
+free of any numerical change.
+"""
+
+from __future__ import annotations
+
+from repro.nf.catalog import make_nf
+from repro.nic.nic import SmartNic
+from repro.nic.spec import bluefield2_spec
+from repro.profiling.contention import ContentionLevel
+from repro.rng import make_rng
+from repro.traffic.profile import TrafficProfile
+
+#: Required advantage of run_batch over the looped scalar solver.
+MIN_SIMULATION_SPEEDUP = 3.0
+
+#: Scenarios in the sweep (each: target + two bench workloads).
+SWEEP_SIZE = 120
+
+#: The adaptive profiler's reference contention (corner probes).
+_REFERENCE = ContentionLevel(mem_car=180.0, mem_wss_mb=10.0)
+
+
+def build_profiling_sweep(nic: SmartNic) -> list[list]:
+    """Profiling-shaped scenario list: target NF + bench contention."""
+    rng = make_rng(0xBA7C4)
+    bench_cores = nic.spec.num_cores - 2
+    sweep = []
+    for index in range(SWEEP_SIZE):
+        if index % 3 == 0:
+            level = _REFERENCE
+        else:
+            level = ContentionLevel(
+                mem_car=float(rng.uniform(150.0, 260.0)),
+                mem_wss_mb=float(rng.uniform(6.0, 12.0)),
+                regex_rate=float(rng.uniform(0.5, 2.0)),
+                regex_mtbr=float(rng.uniform(200.0, 1000.0)),
+            )
+        traffic = TrafficProfile(
+            flow_count=int(rng.integers(1_000, 300_000)),
+            packet_size=int(rng.integers(64, 1500)),
+            mtbr=float(rng.uniform(0.0, 1100.0)),
+        )
+        sweep.append(
+            [make_nf("flowmonitor").demand(traffic)] + level.benches(bench_cores)
+        )
+    return sweep
+
+
+def test_run_batch_matches_loop_and_is_3x_faster(benchmark, min_time):
+    nic = SmartNic(bluefield2_spec(), seed=0x5EED)
+    sweep = build_profiling_sweep(nic)
+
+    # Bit-identical results first — the speedup must be numerically free.
+    looped = [nic.run(scenario) for scenario in sweep]
+    batched = nic.run_batch(sweep)
+    for loop_result, batch_result in zip(looped, batched):
+        assert batch_result.iterations == loop_result.iterations
+        assert batch_result.dram_utilisation == loop_result.dram_utilisation
+        for name in loop_result.workloads:
+            a, b = loop_result[name], batch_result[name]
+            assert b.throughput_mpps == a.throughput_mpps
+            assert b.true_throughput_mpps == a.true_throughput_mpps
+            assert b.counters == a.counters
+            assert b.bottleneck == a.bottleneck
+            assert b.stages == a.stages
+
+    speedup = 0.0
+    for _ in range(3):
+        loop_time = min_time(lambda: [nic.run(s) for s in sweep])
+        batch_time = min_time(lambda: nic.run_batch(sweep))
+        speedup = max(speedup, loop_time / batch_time)
+        if speedup >= MIN_SIMULATION_SPEEDUP:
+            break
+    benchmark.extra_info["run_batch_speedup_vs_seed_loop"] = round(speedup, 2)
+    benchmark.pedantic(lambda: nic.run_batch(sweep), rounds=1, iterations=1)
+    print(f"\nrun_batch speedup vs seed per-scenario loop: {speedup:.2f}x")
+    assert speedup >= MIN_SIMULATION_SPEEDUP

@@ -150,14 +150,20 @@ class QueueingAcceleratorModel:
             traffic_grid = self._default_traffic_grid(base_traffic)
 
         # Pass 1: measure both equilibrium settings at every grid point.
+        # The grid points are independent co-runs, so they profile as
+        # one batch (identical samples to the seed's per-point loop).
+        samples = collector.profile_many(
+            [
+                (nf, self._bench_contention(setting), traffic)
+                for traffic in traffic_grid
+                for setting in (0, 1)
+            ]
+        )
         inverse_rates: list[list[float]] = []
         bench_times = [self._bench_request_time(0), self._bench_request_time(1)]
-        for traffic in traffic_grid:
+        for point in range(len(traffic_grid)):
             pair = []
-            for setting in (0, 1):
-                sample = collector.profile_one(
-                    nf, self._bench_contention(setting), traffic
-                )
+            for sample in samples[2 * point : 2 * point + 2]:
                 if sample.throughput_mpps <= 0:
                     raise ProfilingError("equilibrium co-run produced zero throughput")
                 pair.append(1.0 / sample.throughput_mpps)

@@ -117,7 +117,7 @@ def detect_execution_pattern(
             rtc_error=0.0,
         )
 
-    pipeline_errors, rtc_errors = [], []
+    probes = []
     for mem_car, accel_rate in probe_points:
         mem_only = ContentionLevel(mem_car=mem_car)
         # Probe the accelerator whose contention bites hardest: for NFs
@@ -127,12 +127,22 @@ def detect_execution_pattern(
             accel_only = ContentionLevel(compression_rate=accel_rate)
         else:
             accel_only = ContentionLevel(regex_rate=accel_rate, regex_mtbr=900.0)
-        combined = _merge_levels(mem_only, accel_only)
+        probes.append((mem_only, accel_only, _merge_levels(mem_only, accel_only)))
 
-        t_mem = collector.profile_one(nf, mem_only, traffic).throughput_mpps
-        t_accel = collector.profile_one(nf, accel_only, traffic).throughput_mpps
-        t_truth = collector.profile_one(nf, combined, traffic).throughput_mpps
-
+    # All probe co-runs are independent: measure them in one batch
+    # (identical samples to the seed's per-point loop).
+    samples = collector.profile_many(
+        [
+            (nf, contention, traffic)
+            for probe in probes
+            for contention in probe
+        ]
+    )
+    pipeline_errors, rtc_errors = [], []
+    for point in range(len(probes)):
+        t_mem, t_accel, t_truth = (
+            s.throughput_mpps for s in samples[3 * point : 3 * point + 3]
+        )
         per_resource = [t_mem, t_accel]
         pipeline_errors.append(
             abs(pipeline_throughput(solo, per_resource) - t_truth) / t_truth

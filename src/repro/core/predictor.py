@@ -127,8 +127,14 @@ class YalaPredictor:
         traffic_aware: bool = True,
         base_traffic: TrafficProfile = TrafficProfile(),
         detect_pattern: bool = True,
+        quantize_bins: Optional[int] = None,
     ) -> "YalaPredictor":
-        """Run the full offline pipeline: pattern, accel models, memory."""
+        """Run the full offline pipeline: pattern, accel models, memory.
+
+        ``quantize_bins`` opts the memory model into the quantized
+        (histogram-split) training mode — a lossy speed knob for large
+        batch-profiled sweeps; the default stays the bit-exact path.
+        """
         if detect_pattern:
             self.pattern_detection = detect_execution_pattern(
                 self._collector, self.nf, base_traffic
@@ -152,6 +158,7 @@ class YalaPredictor:
             self.nf_name,
             traffic_aware=traffic_aware,
             seed=make_rng(derive_seed(self._seed, "gbr")),
+            quantize_bins=quantize_bins,
         )
         self.memory_model.fit(self.profiling_report.dataset)
         return self
@@ -410,6 +417,7 @@ def _train_predictor_worker(
     seed: int,
     quota: int,
     traffic_aware: bool,
+    quantize_bins: Optional[int],
 ) -> "YalaPredictor":
     """Train one NF's predictor in a worker process.
 
@@ -418,7 +426,9 @@ def _train_predictor_worker(
     match an in-process run exactly.
     """
     predictor = YalaPredictor(make_nf(nf_name), ProfilingCollector(nic), seed=seed)
-    return predictor.train(quota=quota, traffic_aware=traffic_aware)
+    return predictor.train(
+        quota=quota, traffic_aware=traffic_aware, quantize_bins=quantize_bins
+    )
 
 
 class YalaSystem:
@@ -430,6 +440,7 @@ class YalaSystem:
         seed: SeedLike = None,
         quota: int = 400,
         traffic_aware: bool = True,
+        quantize_bins: Optional[int] = None,
     ) -> None:
         self._nic = nic
         self._collector = ProfilingCollector(nic)
@@ -437,6 +448,9 @@ class YalaSystem:
         self._seed = base if base is not None else 0x1A1A
         self._quota = quota
         self._traffic_aware = traffic_aware
+        # Opt-in quantized memory-model training for large batch-profiled
+        # sweeps (lossy; see MemoryContentionModel). Default: bit-exact.
+        self._quantize_bins = quantize_bins
         self._predictors: dict[str, YalaPredictor] = {}
 
     @property
@@ -457,6 +471,12 @@ class YalaSystem:
         downstream prediction) are identical to a serial run; workers'
         predictors are re-attached to this system's shared collector
         when they return.
+
+        Training profiles through the collector's batch paths
+        (``profile_many`` over the accelerator-calibration and
+        pattern-detection grids), and a system built with
+        ``quantize_bins=K`` trains every NF's memory model in the
+        quantized histogram mode end to end.
         """
         pending = [name for name in nf_names if name not in self._predictors]
         if jobs > 1 and len(pending) > 1:
@@ -471,6 +491,7 @@ class YalaSystem:
                         derive_seed(self._seed, name),
                         self._quota,
                         self._traffic_aware,
+                        self._quantize_bins,
                     )
                     for name in pending
                 }
@@ -483,7 +504,11 @@ class YalaSystem:
             predictor = YalaPredictor(
                 make_nf(name), self._collector, seed=derive_seed(self._seed, name)
             )
-            predictor.train(quota=self._quota, traffic_aware=self._traffic_aware)
+            predictor.train(
+                quota=self._quota,
+                traffic_aware=self._traffic_aware,
+                quantize_bins=self._quantize_bins,
+            )
             self._predictors[name] = predictor
         return self
 

@@ -66,12 +66,19 @@ class SlomoPredictor:
             raise ProfilingError(f"NF {nf.name!r} given to SLOMO of {self.nf_name!r}")
         dataset = ProfileDataset(nf.name)
         n_solo = max(2, n_samples // 10)
-        for index in range(n_samples):
-            if index < n_solo:
-                contention = ContentionLevel()
-            else:
-                contention = random_contention(seed=self._rng, memory=True)
-            dataset.add(collector.profile_one(nf, contention, train_traffic))
+        # Contention levels are drawn up front (profiling consumes no
+        # randomness, so the stream is identical to the seed's
+        # draw-then-profile loop) and measured as one batch.
+        levels = [
+            ContentionLevel()
+            if index < n_solo
+            else random_contention(seed=self._rng, memory=True)
+            for index in range(n_samples)
+        ]
+        for sample in collector.profile_many(
+            [(nf, contention, train_traffic) for contention in levels]
+        ):
+            dataset.add(sample)
         self._model.fit(dataset)
         self._collector = collector
         self._nf = nf

@@ -111,9 +111,12 @@ def build_cases(
     collector = context.yala.collector
     rng = make_rng(seed)
     profiles = evaluation_traffic_profiles(resolved.traffic_profiles)
-    cases = []
+    # Sample every combination first (the draws never depended on the
+    # measured truths), then solve all ground-truth co-runs in one
+    # batch; infeasible combinations are skipped from the per-request
+    # errors exactly where the seed loop's ``try/except`` skipped them.
+    combos: list[tuple[str, object, list[str]]] = []
     for target_name in EVALUATION_NF_NAMES:
-        target = make_nf(target_name)
         for traffic in profiles:
             for _ in range(resolved.combos_per_nf):
                 n_competitors = int(rng.integers(1, 4))
@@ -121,32 +124,41 @@ def build_cases(
                     str(rng.choice(EVALUATION_NF_NAMES))
                     for _ in range(n_competitors)
                 ]
-                try:
-                    truth = collector.co_run_with(
-                        target,
-                        traffic,
-                        [(make_nf(c), traffic) for c in competitor_names],
-                    ).throughput_mpps
-                except SimulationError:
-                    continue
-                cases.append(
-                    EvaluationCase(
-                        target=target_name,
-                        traffic=traffic,
-                        truth=truth,
-                        competitors=tuple(
-                            CompetitorSpec.nf(c, traffic)
-                            for c in competitor_names
-                        ),
-                        slomo_counters=PerfCounters.aggregate(
-                            [
-                                collector.solo(make_nf(c), traffic).counters
-                                for c in competitor_names
-                            ]
-                        ),
-                        slomo_n_competitors=len(competitor_names),
-                    )
-                )
+                combos.append((target_name, traffic, competitor_names))
+    outcomes = collector.co_run_many(
+        [
+            (
+                make_nf(target_name),
+                traffic,
+                [(make_nf(c), traffic) for c in competitor_names],
+            )
+            for target_name, traffic, competitor_names in combos
+        ],
+        on_error="return",
+    )
+    cases = []
+    for (target_name, traffic, competitor_names), outcome in zip(combos, outcomes):
+        if isinstance(outcome, Exception):
+            if isinstance(outcome, SimulationError):
+                continue
+            raise outcome
+        cases.append(
+            EvaluationCase(
+                target=target_name,
+                traffic=traffic,
+                truth=outcome.throughput_mpps,
+                competitors=tuple(
+                    CompetitorSpec.nf(c, traffic) for c in competitor_names
+                ),
+                slomo_counters=PerfCounters.aggregate(
+                    [
+                        collector.solo(make_nf(c), traffic).counters
+                        for c in competitor_names
+                    ]
+                ),
+                slomo_n_competitors=len(competitor_names),
+            )
+        )
     return cases
 
 

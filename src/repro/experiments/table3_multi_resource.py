@@ -104,9 +104,10 @@ def build_cases(
     rng = make_rng(seed)
     traffic = TrafficProfile()
     n_points = max(resolved.combos_per_nf * 3, 9)
-    cases = []
+    # Contention levels are drawn up front (same rng order as the seed
+    # loop) and all ground-truth co-runs solve as one profiling batch.
+    configs = []
     for target_name in _TARGETS:
-        target = make_nf(target_name)
         for _ in range(n_points):
             bench_mtbr = float(rng.uniform(100.0, 1100.0))
             contention = ContentionLevel(
@@ -115,18 +116,26 @@ def build_cases(
                 regex_rate=float(rng.uniform(0.2, 1.8)),
                 regex_mtbr=bench_mtbr,
             )
-            truth = collector.profile_one(target, contention, traffic).throughput_mpps
-            cases.append(
-                EvaluationCase(
-                    target=target_name,
-                    traffic=traffic,
-                    truth=truth,
-                    competitors=(CompetitorSpec.bench(contention),),
-                    slomo_counters=collector.bench_counters(contention),
-                    slomo_n_competitors=contention.actor_count,
-                    tag=bench_mtbr,
-                )
+            configs.append((target_name, contention, bench_mtbr))
+    samples = collector.profile_many(
+        [
+            (make_nf(target_name), contention, traffic)
+            for target_name, contention, _ in configs
+        ]
+    )
+    cases = []
+    for (target_name, contention, bench_mtbr), sample in zip(configs, samples):
+        cases.append(
+            EvaluationCase(
+                target=target_name,
+                traffic=traffic,
+                truth=sample.throughput_mpps,
+                competitors=(CompetitorSpec.bench(contention),),
+                slomo_counters=collector.bench_counters(contention),
+                slomo_n_competitors=contention.actor_count,
+                tag=bench_mtbr,
             )
+        )
     return cases
 
 

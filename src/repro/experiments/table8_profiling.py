@@ -94,7 +94,7 @@ def _test_points(
     collector: ProfilingCollector, nf, count: int, seed: int
 ) -> list[tuple]:
     rng = make_rng(seed)
-    points = []
+    configs = []
     for _ in range(count):
         traffic = TrafficProfile(
             int(rng.uniform(1_000, 500_000)),
@@ -105,9 +105,15 @@ def _test_points(
             mem_car=float(rng.uniform(20.0, 250.0)),
             mem_wss_mb=float(rng.uniform(2.0, 12.0)),
         )
-        truth = collector.profile_one(nf, contention, traffic).throughput_mpps
-        points.append((traffic, contention, truth))
-    return points
+        configs.append((traffic, contention))
+    # Independent held-out points: one ground-truth profiling batch.
+    samples = collector.profile_many(
+        [(nf, contention, traffic) for traffic, contention in configs]
+    )
+    return [
+        (traffic, contention, sample.throughput_mpps)
+        for (traffic, contention), sample in zip(configs, samples)
+    ]
 
 
 def _evaluate(model: MemoryContentionModel, collector, points) -> tuple[float, float]:

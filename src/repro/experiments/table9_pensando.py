@@ -73,7 +73,9 @@ def build_cases(
     resolved = get_scale(scale)
     firewall = make_nf("firewall")
     rng = make_rng(seed)
-    cases = []
+    # Points are drawn up front (same rng order as the seed loop); all
+    # ground-truth co-runs solve as one profiling batch.
+    configs = []
     for _ in range(resolved.random_profiles):
         traffic = TrafficProfile(
             int(rng.uniform(1_000, 500_000)), int(rng.uniform(64, 1500)), 600.0
@@ -82,12 +84,17 @@ def build_cases(
             mem_car=float(rng.uniform(30.0, 250.0)),
             mem_wss_mb=float(rng.uniform(2.0, 12.0)),
         )
-        truth = collector.profile_one(firewall, contention, traffic).throughput_mpps
+        configs.append((traffic, contention))
+    samples = collector.profile_many(
+        [(firewall, contention, traffic) for traffic, contention in configs]
+    )
+    cases = []
+    for (traffic, contention), sample in zip(configs, samples):
         cases.append(
             EvaluationCase(
                 target="firewall",
                 traffic=traffic,
-                truth=truth,
+                truth=sample.throughput_mpps,
                 competitors=(CompetitorSpec.bench(contention),),
                 slomo_counters=collector.bench_counters(contention),
                 slomo_n_competitors=contention.actor_count,

@@ -16,7 +16,10 @@ contention the paper studies:
 :class:`repro.nic.nic.SmartNic` co-locates workloads and solves a damped
 fixed point over their mutually dependent throughputs, then synthesises
 the BlueField-2 performance counters of Table 11
-(:mod:`repro.nic.counters`).
+(:mod:`repro.nic.counters`). Independent scenarios batch through
+:meth:`~repro.nic.nic.SmartNic.run_batch`, which drives the same fixed
+point as vectorized array operations over all scenarios at once
+(:mod:`repro.nic.batch`) and is bit-identical to looping ``run()``.
 """
 
 from repro.nic.accelerator import AcceleratorClient, AcceleratorEngine

@@ -1,0 +1,1040 @@
+"""Vectorized batch solver for the SmartNIC co-location fixed point.
+
+:meth:`SmartNic.run_batch` solves many *independent* co-location
+scenarios at once. Scenarios are compiled into array-shaped state —
+static per-workload aggregates are extracted once per scenario, and the
+dynamic fixed-point quantities (throughputs, memory pressure,
+accelerator offered rates) become ``(n_scenarios,)`` vectors — so each
+fixed-point iteration advances *every* unconverged scenario with a fixed
+number of numpy operations instead of a Python-loop sweep per scenario.
+
+Bit-exactness contract
+----------------------
+
+The batch engine is required to reproduce the scalar solver
+(:meth:`SmartNic.run`) **bit for bit** — throughputs, counters,
+bottleneck labels, iteration counts and the seeded measurement noise.
+That drives three design rules:
+
+1. **Vectorize across scenarios, loop over structure.** All reductions
+   in the scalar solver run over small per-scenario collections (stages,
+   memory actors, accelerator clients) whose float-addition order is
+   observable. Those stay as Python loops over vectorized columns, so
+   each scenario sees exactly the scalar sequence of IEEE operations;
+   only the scenario axis (the large one) is array-shaped.
+2. **Group by structure.** Scenarios are bucketed by a structural
+   signature (workload patterns, stage layouts, accelerator usage, DMA
+   actors) so that every scenario in a group shares the same set of
+   arrays and the same control-flow skeleton. The one reduction the
+   scalar solver performs with ``np.sum`` (occupancy pressure) is
+   evaluated per equal-hungry-mask row group on contiguous column
+   slices, which reproduces numpy's pairwise summation exactly.
+3. **Scalar libm where numpy's SIMD differs.** ``x ** 0.7`` in the
+   occupancy solver goes through ``math.pow`` per element: numpy's
+   vectorized ``pow`` is 1 ulp off libm's scalar ``pow`` for some
+   inputs, which the equivalence tests would catch.
+
+Per-scenario damping schedules and convergence masks let finished
+scenarios freeze (their state rows stop updating) while stragglers keep
+iterating; once at least half of a group's rows have converged the
+arrays are compacted to the survivors, so a mixed-convergence batch
+costs what its stragglers need, not ``max_iterations * n_scenarios``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError, PlacementError, SimulationError
+from repro.nic import nic as _nic
+from repro.nic.accelerator import _WATERFILL_ITERATIONS
+from repro.nic.counters import PerfCounters
+from repro.nic.memory import (
+    _MAX_UTILISATION,
+    _OCCUPANCY_ITERATIONS,
+    _PRESSURE_RATE_EXPONENT,
+    MemoryActor,
+)
+from repro.nic.spec import CACHE_LINE_BYTES
+from repro.nic.workload import ExecutionPattern, Resource, WorkloadDemand
+from repro.rng import derive_seed, make_rng
+
+#: The DMA memory actor's reuse locality: SmartNic._memory_actors builds
+#: it without hot-fraction arguments, so it inherits MemoryActor's
+#: dataclass defaults — read them from the dataclass so a retune there
+#: cannot silently diverge the two solvers.
+_DMA_HOT_ACCESS_FRACTION = MemoryActor.__dataclass_fields__[
+    "hot_access_fraction"
+].default
+_DMA_HOT_WSS_FRACTION = MemoryActor.__dataclass_fields__[
+    "hot_wss_fraction"
+].default
+
+
+def _pow_scalar(values: np.ndarray, exponent: float) -> np.ndarray:
+    """Elementwise ``values ** exponent`` through scalar libm ``pow``.
+
+    Bit-identical to Python's ``float ** float`` (the scalar solver's
+    path); numpy's SIMD pow kernel rounds differently on ~5% of inputs.
+    """
+    flat = values.ravel()
+    out = np.array(
+        [math.pow(v, exponent) for v in flat.tolist()], dtype=np.float64
+    )
+    return out.reshape(values.shape)
+
+
+# ----------------------------------------------------------------------
+# Compilation: scenario -> static plan
+# ----------------------------------------------------------------------
+class _WorkloadPlan:
+    """Static (throughput-independent) data of one workload demand."""
+
+    __slots__ = (
+        "demand",
+        "name",
+        "cores_f",
+        "pattern",
+        "n_core",
+        "core_cycles",
+        "core_rw",
+        "core_mlp",
+        "reads_sum",
+        "writes_sum",
+        "instr_sum",
+        "cycles_sum",
+        "wss",
+        "hot_af",
+        "hot_wf",
+        "arrival",
+        "line_rate",
+        "accel_names",
+        "accel_req",
+        "accel_teff",
+        "accel_nq",
+        "accel_bpk",
+        "accel_refs",
+        "dma_flag",
+        "stage_kinds",
+        "stage_labels",
+        "signature",
+    )
+
+    def __init__(self, nic: "_nic.SmartNic", w: WorkloadDemand) -> None:
+        spec = nic.spec
+        core = w.core_stages()
+        accel = w.accelerator_stages()
+        self.demand = w
+        self.name = w.name
+        self.cores_f = float(w.cores)
+        self.pattern = w.pattern
+        self.n_core = len(core)
+        self.core_cycles = [s.cycles_pp for s in core]
+        self.core_rw = [s.reads_pp + s.writes_pp for s in core]
+        self.core_mlp = [s.mlp for s in core]
+        self.reads_sum = sum(s.reads_pp for s in core)
+        self.writes_sum = sum(s.writes_pp for s in core)
+        self.instr_sum = sum(s.instructions_pp for s in w.stages)
+        self.cycles_sum = sum(s.cycles_pp for s in w.stages)
+        self.wss = w.total_wss_bytes()
+        self.hot_af = w.hot_access_fraction
+        self.hot_wf = w.hot_wss_fraction
+        self.arrival = (
+            w.arrival_rate_mpps if w.arrival_rate_mpps is not None else np.inf
+        )
+        self.line_rate = spec.line_rate_mpps(w.packet_size_bytes)
+        self.accel_names = tuple(s.accelerator for s in accel)
+        self.accel_req = [s.requests_pp for s in accel]
+        self.accel_teff = [
+            spec.accelerator(s.accelerator).request_time_us(
+                s.bytes_per_request, s.matches_per_request
+            )
+            + spec.accelerator(s.accelerator).queue_switch_us
+            for s in accel
+        ]
+        self.accel_nq = [float(w.queues_for(s.accelerator)) for s in accel]
+        self.accel_bpk = [s.bytes_per_request / 1024.0 for s in accel]
+        self.accel_refs = [
+            spec.accelerator(s.accelerator).dma_refs_per_kb for s in accel
+        ]
+        # The DMA memory actor exists exactly when some accelerator
+        # stage produces a positive DMA reference rate (rates are > 0).
+        self.dma_flag = any(
+            b > 0.0 and r > 0.0 for b, r in zip(self.accel_bpk, self.accel_refs)
+        )
+        # Stage layout in declaration order: ("c", core_idx) for
+        # CPU/MEMORY stages, ("a", accel_idx) for accelerator stages.
+        kinds: list[tuple[str, int]] = []
+        labels: list[str] = []
+        c_idx = a_idx = 0
+        for stage in w.stages:
+            if stage.resource is Resource.ACCELERATOR:
+                kinds.append(("a", a_idx))
+                labels.append(stage.accelerator or "accelerator")
+                a_idx += 1
+            else:
+                kinds.append(("c", c_idx))
+                labels.append(stage.resource.value)
+                c_idx += 1
+        self.stage_kinds = tuple(kinds)
+        self.stage_labels = labels
+        self.signature = (
+            self.pattern.value,
+            tuple(
+                (kind, self.accel_names[idx] if kind == "a" else None)
+                for kind, idx in kinds
+            ),
+            self.dma_flag,
+        )
+
+
+class _ScenarioPlan:
+    """One compiled scenario: per-workload plans plus a structure key."""
+
+    __slots__ = ("workloads", "signature", "names")
+
+    def __init__(self, nic: "_nic.SmartNic", demands: list[WorkloadDemand]) -> None:
+        self.workloads = [_WorkloadPlan(nic, w) for w in demands]
+        self.names = [w.name for w in demands]
+        self.signature = tuple(p.signature for p in self.workloads)
+
+
+def _validate(nic: "_nic.SmartNic", workloads: list[WorkloadDemand]):
+    """Replicate :meth:`SmartNic.run` validation; return the error or None."""
+    spec = nic.spec
+    if not workloads:
+        return SimulationError("run() needs at least one workload")
+    names = [w.name for w in workloads]
+    if len(set(names)) != len(names):
+        return SimulationError(f"duplicate workload names: {names}")
+    total_cores = sum(w.cores for w in workloads)
+    if total_cores > spec.num_cores:
+        return PlacementError(
+            f"{total_cores} cores requested on {spec.num_cores}-core NIC"
+        )
+    for workload in workloads:
+        for stage in workload.accelerator_stages():
+            try:
+                spec.accelerator(stage.accelerator)
+            except Exception as exc:  # ConfigurationError
+                return exc
+    return None
+
+
+class _View:
+    """The group's static arrays restricted to one set of rows.
+
+    Slices are taken once per compaction event and reused across
+    iterations, so the per-iteration work is purely elementwise.
+    """
+
+    __slots__ = ("wl", "act_wss", "act_sqrt", "act_haf", "act_hot", "act_cold", "engines", "n")
+
+    def __init__(self, group: "_Group", idx: Optional[np.ndarray]) -> None:
+        def take(arr):
+            return arr if idx is None else arr[idx]
+
+        self.n = group.S if idx is None else len(idx)
+        self.act_wss = take(group.act_wss)
+        self.act_sqrt = take(group.act_sqrt)
+        self.act_haf = take(group.act_haf)
+        self.act_hot = take(group.act_hot_bytes)
+        self.act_cold = take(group.act_cold_bytes)
+        self.wl = []
+        for data in group.wl:
+            self.wl.append(
+                {
+                    "pattern": data["pattern"],
+                    "n_core": data["n_core"],
+                    "accel_names": data["accel_names"],
+                    "dma_flag": data["dma_flag"],
+                    "stage_kinds": data["stage_kinds"],
+                    "cores_f": take(data["cores_f"]),
+                    "reads_sum": take(data["reads_sum"]),
+                    "writes_sum": take(data["writes_sum"]),
+                    "instr_sum": take(data["instr_sum"]),
+                    "cycles_sum": take(data["cycles_sum"]),
+                    "wss": take(data["wss"]),
+                    "arrival": take(data["arrival"]),
+                    "line_rate": take(data["line_rate"]),
+                    "core_cycles": [take(a) for a in data["core_cycles"]],
+                    "core_rw": [take(a) for a in data["core_rw"]],
+                    "core_mlp": [take(a) for a in data["core_mlp"]],
+                    "accel_req": [take(a) for a in data["accel_req"]],
+                    "accel_teff": [take(a) for a in data["accel_teff"]],
+                    "accel_nq": [take(a) for a in data["accel_nq"]],
+                    "accel_bpk": [take(a) for a in data["accel_bpk"]],
+                    "accel_refs": [take(a) for a in data["accel_refs"]],
+                }
+            )
+        self.engines = [
+            {
+                "name": engine["name"],
+                "clients": engine["clients"],
+                "teff": [take(a) for a in engine["teff"]],
+                "nq": [take(a) for a in engine["nq"]],
+                "req": [take(a) for a in engine["req"]],
+            }
+            for engine in group.engines
+        ]
+
+
+# ----------------------------------------------------------------------
+# Group solver
+# ----------------------------------------------------------------------
+class _Group:
+    """All scenarios sharing one structural signature, solved together."""
+
+    def __init__(
+        self,
+        nic: "_nic.SmartNic",
+        plans: list[_ScenarioPlan],
+        indices: list[int],
+    ) -> None:
+        self._nic = nic
+        self._spec = nic.spec
+        self._plans = plans
+        self.indices = indices
+        self.S = len(plans)
+        self.W = len(plans[0].workloads)
+        self._build_workload_arrays()
+        self._build_actor_layout()
+        self._build_engine_layout()
+
+    # -- array assembly -------------------------------------------------
+    def _col(self, values: list[float]) -> np.ndarray:
+        return np.array(values, dtype=np.float64)
+
+    def _build_workload_arrays(self) -> None:
+        plans = self._plans
+        self.wl: list[dict] = []
+        for w in range(self.W):
+            ps = [p.workloads[w] for p in plans]
+            ref = ps[0]
+            n_accel = len(ref.accel_names)
+            data = {
+                "pattern": ref.pattern,
+                "n_core": ref.n_core,
+                "accel_names": ref.accel_names,
+                "dma_flag": ref.dma_flag,
+                "stage_kinds": ref.stage_kinds,
+                "cores_f": self._col([p.cores_f for p in ps]),
+                "reads_sum": self._col([p.reads_sum for p in ps]),
+                "writes_sum": self._col([p.writes_sum for p in ps]),
+                "instr_sum": self._col([p.instr_sum for p in ps]),
+                "cycles_sum": self._col([p.cycles_sum for p in ps]),
+                "wss": self._col([p.wss for p in ps]),
+                "hot_af": self._col([p.hot_af for p in ps]),
+                "hot_wf": self._col([p.hot_wf for p in ps]),
+                "arrival": self._col([p.arrival for p in ps]),
+                "line_rate": self._col([p.line_rate for p in ps]),
+                "core_cycles": [
+                    self._col([p.core_cycles[k] for p in ps])
+                    for k in range(ref.n_core)
+                ],
+                "core_rw": [
+                    self._col([p.core_rw[k] for p in ps])
+                    for k in range(ref.n_core)
+                ],
+                "core_mlp": [
+                    self._col([p.core_mlp[k] for p in ps])
+                    for k in range(ref.n_core)
+                ],
+                "accel_req": [
+                    self._col([p.accel_req[m] for p in ps])
+                    for m in range(n_accel)
+                ],
+                "accel_teff": [
+                    self._col([p.accel_teff[m] for p in ps])
+                    for m in range(n_accel)
+                ],
+                "accel_nq": [
+                    self._col([p.accel_nq[m] for p in ps])
+                    for m in range(n_accel)
+                ],
+                "accel_bpk": [
+                    self._col([p.accel_bpk[m] for p in ps])
+                    for m in range(n_accel)
+                ],
+                "accel_refs": [
+                    self._col([p.accel_refs[m] for p in ps])
+                    for m in range(n_accel)
+                ],
+            }
+            self.wl.append(data)
+
+    def _build_actor_layout(self) -> None:
+        """Memory actors in the scalar solver's order: workload, then DMA."""
+        layout: list[tuple[int, bool]] = []
+        for w in range(self.W):
+            layout.append((w, False))
+            if self.wl[w]["dma_flag"]:
+                layout.append((w, True))
+        self.actors = layout
+        self.A = len(layout)
+        llc = self._spec.llc_bytes
+        wss_cols, haf_cols, hwf_cols = [], [], []
+        for w, is_dma in layout:
+            if is_dma:
+                wss_cols.append(np.full(self.S, float(_nic._DMA_BUFFER_BYTES)))
+                haf_cols.append(np.full(self.S, _DMA_HOT_ACCESS_FRACTION))
+                hwf_cols.append(np.full(self.S, _DMA_HOT_WSS_FRACTION))
+            else:
+                wss_cols.append(self.wl[w]["wss"])
+                haf_cols.append(self.wl[w]["hot_af"])
+                hwf_cols.append(self.wl[w]["hot_wf"])
+        self.act_wss = np.column_stack(wss_cols)
+        self.act_haf = np.column_stack(haf_cols)
+        hwf = np.column_stack(hwf_cols)
+        # sqrt(min(wss, llc)) is static; matches np.sqrt on the scalar min.
+        self.act_sqrt = np.sqrt(np.minimum(self.act_wss, llc))
+        self.act_hot_bytes = hwf * self.act_wss
+        self.act_cold_bytes = self.act_wss - self.act_hot_bytes
+        # Workload -> its own (non-DMA) actor column.
+        self.wl_actor = {
+            w: k for k, (w, is_dma) in enumerate(layout) if not is_dma
+        }
+
+    def _build_engine_layout(self) -> None:
+        """Per-engine client structure (scalar ``_accelerator_capacities``)."""
+        self.engines: list[dict] = []
+        for accel_name in self._nic._engines:
+            users: list[tuple[int, int]] = []
+            for w in range(self.W):
+                for m, name in enumerate(self.wl[w]["accel_names"]):
+                    if name == accel_name:
+                        users.append((w, m))
+            if not users:
+                continue
+            # Clients keyed per workload; a later stage on the same
+            # engine overwrites the earlier one (dict-update semantics
+            # of the scalar code), so each client uses its *last* stage.
+            last: dict[int, int] = {}
+            for w, m in users:
+                last[w] = m
+            client_ws = list(last)  # insertion order == workload order
+            self.engines.append(
+                {
+                    "name": accel_name,
+                    "clients": client_ws,
+                    "teff": [self.wl[w]["accel_teff"][last[w]] for w in client_ws],
+                    "nq": [self.wl[w]["accel_nq"][last[w]] for w in client_ws],
+                    "req": [self.wl[w]["accel_req"][last[w]] for w in client_ws],
+                }
+            )
+
+    # -- fixed-point pieces ---------------------------------------------
+    def _memory_pressures(
+        self, view: _View, thr: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-actor cache read/write rates at current throughputs."""
+        reads = np.empty((view.n, self.A))
+        writes = np.empty((view.n, self.A))
+        for k, (w, is_dma) in enumerate(self.actors):
+            data = view.wl[w]
+            rate = thr[:, w]
+            if not is_dma:
+                reads[:, k] = data["reads_sum"] * rate
+                writes[:, k] = data["writes_sum"] * rate
+            else:
+                dma = np.zeros(view.n)
+                for m in range(len(data["accel_names"])):
+                    dma = dma + (
+                        (rate * data["accel_req"][m])
+                        * data["accel_bpk"][m]
+                        * data["accel_refs"][m]
+                    )
+                reads[:, k] = dma * 0.5
+                writes[:, k] = dma * 0.5
+        return reads, writes
+
+    def _solve_occupancy(self, view: _View, access: np.ndarray) -> np.ndarray:
+        """Vectorized LLC water-filling (scalar ``solve_occupancy``).
+
+        Rows advance independently; each round, rows sharing the same
+        hungry-actor mask are grouped so the pressure total is an
+        ``np.sum`` over a contiguous column slice — the exact reduction
+        (including numpy's pairwise blocking) the scalar solver runs.
+        """
+        llc = self._spec.llc_bytes
+        wss = view.act_wss
+        pressure = _pow_scalar(access, _PRESSURE_RATE_EXPONENT) * view.act_sqrt
+        active = (access > 0.0) & (wss > 0.0)
+        occupancy = np.zeros((view.n, self.A))
+        remaining = np.full(view.n, float(llc))
+        hungry = active.copy()
+        alive = active.any(axis=1)
+        bits = 1 << np.arange(self.A, dtype=np.int64)
+        all_cols = np.arange(self.A)
+        for _ in range(_OCCUPANCY_ITERATIONS):
+            alive &= hungry.any(axis=1) & (remaining > 0.0)
+            rows_alive = np.flatnonzero(alive)
+            if len(rows_alive) == 0:
+                break
+            keys = hungry[rows_alive] @ bits
+            for key in sorted(set(keys.tolist())):
+                rows = rows_alive[keys == key]
+                cols = all_cols[(key >> all_cols) & 1 == 1]
+                rows_c = rows[:, None]
+                pres = pressure[rows_c, cols]
+                total = pres.sum(axis=1)
+                positive = total > 0.0
+                if not positive.all():
+                    alive[rows[~positive]] = False
+                    rows = rows[positive]
+                    if len(rows) == 0:
+                        continue
+                    rows_c = rows[:, None]
+                    pres = pres[positive]
+                    total = total[positive]
+                shares = remaining[rows_c] * pres / total[:, None]
+                need = wss[rows_c, cols] - occupancy[rows_c, cols]
+                sat = need <= shares
+                any_sat = sat.any(axis=1)
+                if any_sat.any():
+                    for j, col in enumerate(cols):
+                        hit = any_sat & sat[:, j]
+                        if not hit.any():
+                            continue
+                        r = rows[hit]
+                        occupancy[r, col] += need[hit, j]
+                        remaining[r] -= need[hit, j]
+                        hungry[r, col] = False
+                no_sat = ~any_sat
+                if no_sat.any():
+                    r = rows[no_sat]
+                    occupancy[r[:, None], cols] += shares[no_sat]
+                    remaining[r] = 0.0
+                    alive[r] = False
+        return occupancy
+
+    def _solve_memory(self, view: _View, thr: np.ndarray) -> dict:
+        """Vectorized :meth:`MemorySubsystem.solve` over the view rows."""
+        spec = self._spec
+        reads, writes = self._memory_pressures(view, thr)
+        access = reads + writes
+        occupancy = self._solve_occupancy(view, access)
+        wss = view.act_wss
+        base = spec.base_miss_ratio
+        occ_c = np.clip(occupancy, 0.0, wss)
+        hot_bytes = view.act_hot
+        cold_bytes = view.act_cold
+        hot_resident = np.minimum(occ_c, hot_bytes)
+        cold_resident = np.minimum(
+            np.maximum(occ_c - hot_bytes, 0.0), cold_bytes
+        )
+        hot_miss = np.where(
+            hot_bytes > 0.0,
+            1.0 - hot_resident / np.where(hot_bytes > 0.0, hot_bytes, 1.0),
+            0.0,
+        )
+        cold_miss = np.where(
+            cold_bytes > 0.0,
+            1.0 - cold_resident / np.where(cold_bytes > 0.0, cold_bytes, 1.0),
+            0.0,
+        )
+        haf = view.act_haf
+        blended = haf * hot_miss + (1.0 - haf) * cold_miss
+        miss = np.clip(base + (1.0 - base) * blended, base, 1.0)
+        miss = np.where(wss <= 0.0, base, miss)
+
+        dram_reads = np.empty_like(reads)
+        dram_writes = np.empty_like(writes)
+        for k in range(self.A):
+            dram_reads[:, k] = reads[:, k] * miss[:, k]
+            dram_writes[:, k] = (writes[:, k] * miss[:, k]) + (
+                reads[:, k] + writes[:, k]
+            ) * miss[:, k] * spec.writeback_fraction
+        total_r = np.zeros(view.n)
+        for k in range(self.A):
+            total_r = total_r + dram_reads[:, k]
+        total_w = np.zeros(view.n)
+        for k in range(self.A):
+            total_w = total_w + dram_writes[:, k]
+        total_lines = total_r + total_w
+        utilisation = np.minimum(
+            _MAX_UTILISATION,
+            total_lines * CACHE_LINE_BYTES / spec.dram_bandwidth_bpus,
+        )
+        effective_dram = spec.dram_latency_us / (1.0 - utilisation)
+        avg = spec.llc_hit_time_us + miss * effective_dram[:, None]
+        return {
+            "occupancy": occupancy,
+            "miss": miss,
+            "avg": avg,
+            "dram_reads": dram_reads,
+            "dram_writes": dram_writes,
+        }
+
+    def _waterfill_capacity(
+        self,
+        target_pos: int,
+        teff: list[np.ndarray],
+        nq: list[np.ndarray],
+        offered: list[np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized RR water-filling for one closed-loop target.
+
+        ``offered[target_pos]`` is ignored (the target saturates its
+        queues and is never released); other clients are open-loop with
+        per-row offered rates. Returns (target rate, failed-row mask).
+        """
+        n = len(teff)
+        size = len(teff[target_pos])
+        if n == 1:
+            # allocate() with one closed-loop client resolves in one
+            # round: spare = 1.0, weight = t_eff * n_queues.
+            weight = teff[0] * nq[0]
+            rate = nq[0] * (1.0 / weight)
+            return rate, np.zeros(size, dtype=bool)
+        sat = [np.zeros(size, dtype=bool) for _ in range(n)]
+        sat[target_pos][:] = True
+        done = np.zeros(size, dtype=bool)
+        rate = np.ones(size)
+        for _ in range(_WATERFILL_ITERATIONS):
+            act = ~done
+            if not act.any():
+                break
+            busy = np.zeros(size)
+            for j in range(n):
+                if j == target_pos:
+                    continue
+                busy = busy + np.where(~sat[j], offered[j] * teff[j], 0.0)
+            # capacity_for() allocates [saturated_target] + competitors,
+            # so the scalar weight fold starts with the target's term;
+            # the remaining clients follow in their original order.
+            weight = teff[target_pos] * nq[target_pos]
+            for j in range(n):
+                if j == target_pos:
+                    continue
+                weight = weight + np.where(sat[j], teff[j] * nq[j], 0.0)
+            spare = np.maximum(0.0, 1.0 - busy)
+            per_queue = np.where(
+                weight > 0.0, spare / np.where(weight > 0.0, weight, 1.0), 0.0
+            )
+            moved = np.zeros(size, dtype=bool)
+            for j in range(n):
+                if j == target_pos:
+                    continue
+                mv = act & ~sat[j] & (offered[j] > nq[j] * per_queue + 1e-12)
+                sat[j] |= mv
+                moved |= mv
+            release_rows = act & ~moved
+            released = np.zeros(size, dtype=bool)
+            for j in range(n):
+                if j == target_pos:
+                    continue
+                rl = release_rows & sat[j] & (offered[j] < nq[j] * per_queue - 1e-12)
+                sat[j] &= ~rl
+                released |= rl
+            final = act & ~moved & ~released
+            if final.any():
+                rate[final] = (nq[target_pos] * per_queue)[final]
+                done |= final
+        return rate, ~done
+
+    def _accel_capacities(
+        self, view: _View, thr: np.ndarray
+    ) -> tuple[dict[tuple[int, str], np.ndarray], np.ndarray]:
+        """Per-(workload, engine) stage capacities, plus failed rows."""
+        capacities: dict[tuple[int, str], np.ndarray] = {}
+        failed = np.zeros(view.n, dtype=bool)
+        for engine in view.engines:
+            offered = [
+                thr[:, w] * engine["req"][pos]
+                for pos, w in enumerate(engine["clients"])
+            ]
+            for pos, w in enumerate(engine["clients"]):
+                cap_requests, fail = self._waterfill_capacity(
+                    pos, engine["teff"], engine["nq"], offered
+                )
+                failed |= fail
+                capacities[(w, engine["name"])] = cap_requests / engine["req"][pos]
+        return capacities, failed
+
+    def _core_times(
+        self, view: _View, w: int, tau: np.ndarray
+    ) -> list[np.ndarray]:
+        data = view.wl[w]
+        freq = self._spec.core_freq_mhz
+        return [
+            data["core_cycles"][k] / freq
+            + data["core_rw"][k] * tau / data["core_mlp"][k]
+            for k in range(data["n_core"])
+        ]
+
+    def _compose(
+        self,
+        view: _View,
+        w: int,
+        core_times: list[np.ndarray],
+        accel_caps: list[np.ndarray],
+    ) -> np.ndarray:
+        data = view.wl[w]
+        cores = data["cores_f"]
+        if data["pattern"] is ExecutionPattern.PIPELINE:
+            n_core = max(1, data["n_core"])
+            result = None
+            for t in core_times:
+                positive = t > 0.0
+                cap = np.where(
+                    positive,
+                    (cores / n_core) / np.where(positive, t, 1.0),
+                    np.inf,
+                )
+                result = cap if result is None else np.minimum(result, cap)
+            for cap in accel_caps:
+                result = cap if result is None else np.minimum(result, cap)
+            if result is None:
+                return np.zeros(view.n)
+            return result
+        total_core = np.zeros(view.n)
+        for t in core_times:
+            total_core = total_core + t
+        accel_wait = np.zeros(view.n)
+        for cap in accel_caps:
+            positive = cap > 0.0
+            accel_wait = accel_wait + np.where(
+                positive, cores / np.where(positive, cap, 1.0), 0.0
+            )
+        denom = total_core + accel_wait
+        positive = denom > 0.0
+        return np.where(
+            positive, cores / np.where(positive, denom, 1.0), np.inf
+        )
+
+    def _estimate(self, view: _View) -> np.ndarray:
+        """Vectorized :meth:`SmartNic._contention_free_estimate`."""
+        spec = self._spec
+        tau0 = spec.llc_hit_time_us + spec.base_miss_ratio * spec.dram_latency_us
+        thr = np.empty((view.n, self.W))
+        for w in range(self.W):
+            data = view.wl[w]
+            core_times = [
+                data["core_cycles"][k] / spec.core_freq_mhz
+                + data["core_rw"][k] * tau0 / data["core_mlp"][k]
+                for k in range(data["n_core"])
+            ]
+            accel_caps = []
+            for m in range(len(data["accel_names"])):
+                teff = data["accel_teff"][m]
+                nq = data["accel_nq"][m]
+                # allocate() with one closed-loop client in one round:
+                # spare = 1.0, weight = t_eff * n, rate = n * (1 / weight).
+                solo = nq * (1.0 / (teff * nq))
+                accel_caps.append(solo / data["accel_req"][m])
+            estimate = self._compose(view, w, core_times, accel_caps)
+            estimate = np.minimum(estimate, data["arrival"])
+            thr[:, w] = np.minimum(estimate, data["line_rate"])
+        return thr
+
+    def _iterate(
+        self, view: _View, thr: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One vectorized sweep of the fixed-point map."""
+        memory = self._solve_memory(view, thr)
+        capacities, failed = self._accel_capacities(view, thr)
+        updated = np.empty_like(thr)
+        for w in range(self.W):
+            data = view.wl[w]
+            tau = memory["avg"][:, self.wl_actor[w]]
+            core_times = self._core_times(view, w, tau)
+            accel_caps = [capacities[(w, name)] for name in data["accel_names"]]
+            rate = self._compose(view, w, core_times, accel_caps)
+            rate = np.minimum(rate, data["arrival"])
+            rate = np.minimum(rate, data["line_rate"])
+            updated[:, w] = np.maximum(rate, 1e-9)
+        return updated, failed
+
+    # -- driver ----------------------------------------------------------
+    def solve(self) -> list:
+        """Run the damped fixed point; return per-scenario results."""
+        S, W = self.S, self.W
+        thr_final = np.empty((S, W))
+        iterations = np.full(S, _nic._MAX_ITERATIONS, dtype=np.int64)
+        errors: dict[int, Exception] = {}
+
+        view = _View(self, None)
+        rows = np.arange(S)  # global row of each live slot
+        thr = self._estimate(view)
+        damping = np.full(S, _nic._DAMPING)
+        best = np.full(S, np.inf)
+        stall = np.zeros(S, dtype=np.int64)
+        last_residual = np.full(S, np.inf)
+        frozen = np.zeros(S, dtype=bool)  # converged or failed slots
+
+        with np.errstate(all="ignore"):
+            for it in range(1, _nic._MAX_ITERATIONS + 1):
+                updated, failed = self._iterate(view, thr)
+                new_fail = failed & ~frozen
+                if new_fail.any():
+                    for slot in np.flatnonzero(new_fail):
+                        errors[rows[slot]] = SimulationError(
+                            "accelerator water-filling failed to converge"
+                        )
+                    frozen |= new_fail
+                residual = None
+                for w in range(W):
+                    rel = np.abs(updated[:, w] - thr[:, w]) / np.maximum(
+                        updated[:, w], 1e-12
+                    )
+                    residual = rel if residual is None else np.maximum(residual, rel)
+                live = ~frozen
+                improved = residual < best - 1e-12
+                bumped = stall + 1
+                trigger = ~improved & (bumped >= _nic._STALL_WINDOW)
+                best = np.where(live & improved, residual, best)
+                damping = np.where(
+                    live & trigger,
+                    np.maximum(damping * 0.5, _nic._MIN_DAMPING),
+                    damping,
+                )
+                stall = np.where(
+                    live, np.where(improved | trigger, 0, bumped), stall
+                )
+                thr = np.where(
+                    live[:, None],
+                    (1.0 - damping)[:, None] * thr + damping[:, None] * updated,
+                    thr,
+                )
+                last_residual = np.where(live, residual, last_residual)
+
+                done = live & (residual < _nic._REL_TOLERANCE)
+                if done.any():
+                    thr_final[rows[done]] = thr[done]
+                    iterations[rows[done]] = it
+                    frozen |= done
+                if frozen.all():
+                    break
+                # Compact once at least half the slots have frozen, so
+                # stragglers iterate on small arrays.
+                if frozen.sum() * 2 >= len(rows):
+                    keep = ~frozen
+                    rows = rows[keep]
+                    view = _View(self, rows)
+                    thr = thr[keep]
+                    damping = damping[keep]
+                    best = best[keep]
+                    stall = stall[keep]
+                    last_residual = last_residual[keep]
+                    frozen = np.zeros(len(rows), dtype=bool)
+
+        # The for-else path of the scalar loop: accept small residuals,
+        # fail the rest.
+        open_slots = np.flatnonzero(~frozen)
+        for slot in open_slots:
+            res = last_residual[slot]
+            if res > _nic._ACCEPT_RESIDUAL:
+                errors[rows[slot]] = ConvergenceError(
+                    f"fixed point residual {res:.3e} after "
+                    f"{_nic._MAX_ITERATIONS} iterations"
+                )
+            else:
+                thr_final[rows[slot]] = thr[slot]
+
+        results: list = [None] * S
+        for row, error in errors.items():
+            results[row] = error
+        ok = np.array(
+            [i for i in range(S) if i not in errors], dtype=np.int64
+        )
+        if len(ok) > 0:
+            self._finalise(ok, thr_final[ok], iterations[ok], results)
+        return results
+
+    # -- reporting --------------------------------------------------------
+    def _finalise(
+        self,
+        idx: np.ndarray,
+        thr: np.ndarray,
+        iterations: np.ndarray,
+        results: list,
+    ) -> None:
+        """Vectorized :meth:`SmartNic._finalise` over the ``idx`` rows."""
+        nic = self._nic
+        spec = self._spec
+        view = _View(self, idx)
+        with np.errstate(all="ignore"):
+            memory = self._solve_memory(view, thr)
+            capacities, _ = self._accel_capacities(view, thr)
+        # dram_utilisation(): per-actor (read + write) accumulated in
+        # actor order, then the same clamp as the solve.
+        total = np.zeros(view.n)
+        for k in range(self.A):
+            total = total + (
+                memory["dram_reads"][:, k] + memory["dram_writes"][:, k]
+            )
+        dram_util = np.minimum(
+            _MAX_UTILISATION,
+            total * CACHE_LINE_BYTES / spec.dram_bandwidth_bpus,
+        )
+
+        per_wl = []
+        for w in range(self.W):
+            data = view.wl[w]
+            actor = self.wl_actor[w]
+            avg = memory["avg"][:, actor]
+            core_times = self._core_times(view, w, avg)
+            n_core = max(1, data["n_core"])
+            cores = data["cores_f"]
+            stage_times = []
+            stage_caps = []
+            rtc_metric = []
+            for kind, pos in data["stage_kinds"]:
+                if kind == "a":
+                    cap = capacities[(w, data["accel_names"][pos])]
+                    positive = cap > 0.0
+                    t = np.where(
+                        positive, 1.0 / np.where(positive, cap, 1.0), np.inf
+                    )
+                    rtc_metric.append(cores * t)
+                else:
+                    t = core_times[pos]
+                    positive = t > 0.0
+                    safe_t = np.where(positive, t, 1.0)
+                    if data["pattern"] is ExecutionPattern.PIPELINE:
+                        cap = np.where(positive, (cores / n_core) / safe_t, np.inf)
+                    else:
+                        cap = np.where(positive, cores / safe_t, np.inf)
+                    rtc_metric.append(t)
+                stage_times.append(t)
+                stage_caps.append(cap)
+            if data["pattern"] is ExecutionPattern.PIPELINE:
+                bottleneck_idx = np.argmin(np.column_stack(stage_caps), axis=1)
+            else:
+                bottleneck_idx = np.argmax(np.column_stack(rtc_metric), axis=1)
+
+            # Table 11 counters.
+            rate = thr[:, w]
+            stall_cycles = np.zeros(view.n)
+            for k in range(data["n_core"]):
+                stall_cycles = stall_cycles + (
+                    data["core_rw"][k]
+                    * avg
+                    / data["core_mlp"][k]
+                    * spec.core_freq_mhz
+                )
+            total_cycles = np.maximum(data["cycles_sum"] + stall_cycles, 1e-9)
+            share_dma = np.zeros(view.n)
+            for m in range(len(data["accel_names"])):
+                share_dma = share_dma + (
+                    rate
+                    * data["accel_req"][m]
+                    * data["accel_bpk"][m]
+                    * data["accel_refs"][m]
+                )
+            dma_reads = share_dma * 0.5
+            instr = data["instr_sum"]
+            miss = memory["miss"][:, actor]
+            per_wl.append(
+                {
+                    "stage_times": stage_times,
+                    "stage_caps": stage_caps,
+                    "bottleneck_idx": bottleneck_idx,
+                    "ipc": np.where(
+                        instr > 0.0, instr / total_cycles, 0.0
+                    ),
+                    "irt": instr * rate,
+                    "l2crd": data["reads_sum"] * rate + dma_reads,
+                    "l2cwr": data["writes_sum"] * rate + (share_dma - dma_reads),
+                    "memrd": memory["dram_reads"][:, actor] + dma_reads * miss,
+                    "memwr": memory["dram_writes"][:, actor],
+                    "wss": data["wss"],
+                    "miss": miss,
+                    "occupancy": memory["occupancy"][:, actor],
+                }
+            )
+
+        for row, scenario_row in enumerate(idx):
+            plan = self._plans[scenario_row]
+            demands = [p.demand for p in plan.workloads]
+            if nic._noise_std == 0.0:
+                noises = [1.0] * self.W
+            else:
+                reps = [repr(d) for d in demands]
+                sorted_reps = tuple(sorted(reps))
+                noises = []
+                for rep in reps:
+                    rng = make_rng(derive_seed(nic._seed, rep, sorted_reps))
+                    noises.append(float(1.0 + rng.normal(0.0, nic._noise_std)))
+            workload_results = {}
+            for w in range(self.W):
+                wplan = plan.workloads[w]
+                values = per_wl[w]
+                stages = []
+                for s_idx, (kind, pos) in enumerate(wplan.stage_kinds):
+                    stage = wplan.demand.stages[s_idx]
+                    stages.append(
+                        _nic.StageReport(
+                            name=stage.name,
+                            resource=stage.resource,
+                            accelerator=(
+                                stage.accelerator if kind == "a" else None
+                            ),
+                            time_pp_us=float(values["stage_times"][s_idx][row]),
+                            capacity_mpps=float(values["stage_caps"][s_idx][row]),
+                        )
+                    )
+                counters = PerfCounters(
+                    ipc=float(values["ipc"][row]),
+                    irt=float(values["irt"][row]),
+                    l2crd=float(values["l2crd"][row]),
+                    l2cwr=float(values["l2cwr"][row]),
+                    memrd=float(values["memrd"][row]),
+                    memwr=float(values["memwr"][row]),
+                    wss=float(values["wss"][row]),
+                )
+                rate = float(thr[row, w])
+                workload_results[wplan.name] = _nic.WorkloadResult(
+                    name=wplan.name,
+                    throughput_mpps=rate * noises[w],
+                    true_throughput_mpps=rate,
+                    counters=counters,
+                    stages=tuple(stages),
+                    bottleneck=wplan.stage_labels[
+                        int(values["bottleneck_idx"][row])
+                    ],
+                    miss_ratio=float(values["miss"][row]),
+                    llc_occupancy_bytes=float(values["occupancy"][row]),
+                )
+            results[scenario_row] = _nic.RunResult(
+                workloads=workload_results,
+                iterations=int(iterations[row]),
+                dram_utilisation=float(dram_util[row]),
+            )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def solve_batch(
+    nic: "_nic.SmartNic",
+    scenarios: list[list[WorkloadDemand]],
+    on_error: str = "raise",
+):
+    """Solve many co-location scenarios; see :meth:`SmartNic.run_batch`."""
+    if on_error not in ("raise", "return"):
+        raise SimulationError(f"unknown on_error mode {on_error!r}")
+    results: list = [None] * len(scenarios)
+    groups: dict[tuple, tuple[list[_ScenarioPlan], list[int]]] = {}
+    for i, workloads in enumerate(scenarios):
+        error = _validate(nic, list(workloads))
+        if error is not None:
+            results[i] = error
+            continue
+        plan = _ScenarioPlan(nic, list(workloads))
+        plans, indices = groups.setdefault(plan.signature, ([], []))
+        plans.append(plan)
+        indices.append(i)
+    for plans, indices in groups.values():
+        group = _Group(nic, plans, indices)
+        for local, outcome in enumerate(group.solve()):
+            results[indices[local]] = outcome
+    if on_error == "raise":
+        for outcome in results:
+            if isinstance(outcome, Exception):
+                raise outcome
+    return results

