@@ -13,13 +13,49 @@ from repro.core.slomo import SlomoPredictor
 from repro.nf.catalog import make_nf
 from repro.nic.nic import SmartNic
 from repro.nic.spec import bluefield2_spec
+from repro.profiling.sweep import colocation_sweep
+from repro.traffic.profile import TrafficProfile
 from repro.usecases.scheduling import Scheduler, random_arrivals
 
 NF_POOL = ("flowmonitor", "nids", "flowstats", "nat", "acl")
 
 
+def pairwise_drop_matrix(nic: SmartNic) -> None:
+    """True pairwise co-location drops, solved in two batched calls."""
+    traffic = TrafficProfile()
+    nfs = {name: make_nf(name) for name in NF_POOL}
+    solos = colocation_sweep(nic, [[(nfs[name], traffic)] for name in NF_POOL])
+    solo_tput = {
+        name: result.throughput_of(f"{name}#0")
+        for name, result in zip(NF_POOL, solos)
+    }
+    pairs = [
+        (a, b) for i, a in enumerate(NF_POOL) for b in NF_POOL[i:]
+    ]
+    # Every pair's ground-truth co-run solves in ONE run_batch call.
+    results = colocation_sweep(
+        nic, [[(nfs[a], traffic), (nfs[b], traffic)] for a, b in pairs]
+    )
+    drops = {}
+    for (a, b), result in zip(pairs, results):
+        drops[(a, b)] = 100.0 * (
+            1.0 - result.throughput_of(f"{a}#0") / solo_tput[a]
+        )
+        if a != b:  # diagonal keeps instance #0's measurement
+            drops[(b, a)] = 100.0 * (
+                1.0 - result.throughput_of(f"{b}#1") / solo_tput[b]
+            )
+    print("True pairwise throughput drop % (row NF co-run with column NF):")
+    print(f"{'':14s}" + "".join(f"{name:>13s}" for name in NF_POOL))
+    for a in NF_POOL:
+        cells = "".join(f"{max(drops[(a, b)], 0.0):13.1f}" for b in NF_POOL)
+        print(f"{a:14s}{cells}")
+    print()
+
+
 def main() -> None:
     nic = SmartNic(bluefield2_spec(), seed=21)
+    pairwise_drop_matrix(nic)
     print("Training predictors for the NF pool...")
     system = YalaSystem(nic, seed=21, quota=250)
     system.train(list(NF_POOL))

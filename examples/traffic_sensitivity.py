@@ -16,6 +16,7 @@ from repro.nic.spec import bluefield2_spec
 from repro.profiling.adaptive import AdaptiveProfiler
 from repro.profiling.collector import ProfilingCollector
 from repro.profiling.contention import ContentionLevel
+from repro.profiling.sweep import traffic_sweep
 from repro.traffic.profile import TrafficProfile
 
 
@@ -34,14 +35,20 @@ def main() -> None:
 
     print()
     print("FlowStats contended throughput (Mpps) across flow counts")
-    print("(mem-bench at CAR 140 Mref/s, WSS 10 MB):")
+    print("(mem-bench at CAR 140 Mref/s, WSS 10 MB; one batched sweep):")
     flowstats = make_nf("flowstats")
     contention = ContentionLevel(mem_car=140.0, mem_wss_mb=10.0)
-    for flows in np.geomspace(1_000, 500_000, 7):
-        traffic = TrafficProfile(int(flows), 1500, 600.0)
-        sample = collector.profile_one(flowstats, contention, traffic)
+    traffics = [
+        TrafficProfile(int(flows), 1500, 600.0)
+        for flows in np.geomspace(1_000, 500_000, 7)
+    ]
+    # All seven operating points solve in one SmartNic.run_batch call.
+    for sample in traffic_sweep(collector, flowstats, contention, traffics):
         bar = "#" * int(sample.throughput_mpps * 25)
-        print(f"  {int(flows):>8,d} flows  {sample.throughput_mpps:6.3f}  {bar}")
+        print(
+            f"  {sample.traffic.flow_count:>8,d} flows  "
+            f"{sample.throughput_mpps:6.3f}  {bar}"
+        )
 
 
 if __name__ == "__main__":

@@ -26,6 +26,8 @@ class ExperimentScale:
     sweep_points: int  # points per 1-D sweep
     sequences: int  # scheduling sequences
     arrivals: int  # NFs per scheduling sequence
+    fleet_epochs: int = 8  # epochs of the fleet serving simulation
+    fleet_arrival_rate: float = 1.2  # fleet service arrivals per epoch
 
 
 SCALES: dict[str, ExperimentScale] = {
@@ -39,6 +41,8 @@ SCALES: dict[str, ExperimentScale] = {
         sweep_points=4,
         sequences=1,
         arrivals=10,
+        fleet_epochs=8,
+        fleet_arrival_rate=1.2,
     ),
     "default": ExperimentScale(
         name="default",
@@ -50,6 +54,8 @@ SCALES: dict[str, ExperimentScale] = {
         sweep_points=6,
         sequences=2,
         arrivals=24,
+        fleet_epochs=16,
+        fleet_arrival_rate=1.5,
     ),
     "full": ExperimentScale(
         name="full",
@@ -61,6 +67,8 @@ SCALES: dict[str, ExperimentScale] = {
         sweep_points=9,
         sequences=5,
         arrivals=60,
+        fleet_epochs=40,
+        fleet_arrival_rate=2.0,
     ),
 }
 

@@ -1,0 +1,80 @@
+"""Fleet serving: the §7.5 use cases run online over time.
+
+Every policy drives the *same* seeded churn/traffic schedule through
+the time-stepped fleet simulator (:mod:`repro.fleet.engine`): services
+arrive and depart, traffic evolves along per-service traces, the
+policy places and (for ``rebalance``) migrates services, and the
+simulator scores every NIC's residents each epoch. The rendered table
+is the dynamic analogue of Table 6 — wastage and SLA violations — plus
+the serving-system columns a one-shot snapshot cannot express:
+utilisation, aggregate throughput and migration count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
+from repro.experiments.context import get_context
+from repro.fleet.churn import ChurnProcess
+from repro.fleet.engine import FleetEngine, FleetReport
+from repro.fleet.policies import FLEET_POLICY_NAMES, PlacementModel, make_policy
+from repro.nf.catalog import EVALUATION_NF_NAMES
+from repro.rng import derive_seed
+
+
+@dataclass
+class FleetResult:
+    reports: dict[str, FleetReport]
+
+    def render(self) -> str:
+        rows = []
+        for name, report in self.reports.items():
+            mean_tput = (
+                sum(m.aggregate_throughput_mpps for m in report.metrics)
+                / len(report.metrics)
+                if report.metrics
+                else 0.0
+            )
+            rows.append(
+                [
+                    name,
+                    fmt(report.mean_nics, 1),
+                    fmt(report.mean_utilisation_pct),
+                    fmt(report.mean_wastage_pct),
+                    fmt(report.violation_rate_pct),
+                    fmt(mean_tput, 2),
+                    report.total_migrations,
+                ]
+            )
+        return render_table(
+            [
+                "policy",
+                "mean NICs",
+                "utilisation %",
+                "wastage %",
+                "SLA violations %",
+                "mean tput Mpps",
+                "migrations",
+            ],
+            rows,
+            title="Fleet — traffic-aware serving over time (dynamic Table 6)",
+        )
+
+
+def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> FleetResult:
+    """Run every fleet policy over one shared churn schedule."""
+    resolved = get_scale(scale)
+    context = get_context(resolved)
+    slomo = {name: context.slomo_for(name) for name in EVALUATION_NF_NAMES}
+    model = PlacementModel(yala=context.yala, slomo_predictors=slomo)
+    churn = ChurnProcess(
+        nf_names=EVALUATION_NF_NAMES,
+        seed=derive_seed(seed, "fleet-churn"),
+        arrival_rate=resolved.fleet_arrival_rate,
+    )
+    reports = {}
+    for name in FLEET_POLICY_NAMES:
+        engine = FleetEngine(make_policy(name), churn, model)
+        reports[name] = engine.run(resolved.fleet_epochs)
+    return FleetResult(reports=reports)

@@ -26,6 +26,7 @@ from repro.experiments import (
     fig4_regex_equilibrium,
     fig5_execution_patterns,
     fig6_traffic_attributes,
+    fleet_serving,
     table2_overall_accuracy,
     table3_multi_resource,
     table4_composition,
@@ -56,6 +57,7 @@ CONTEXT_EXPERIMENTS: frozenset[str] = frozenset(
         "table5+fig7b",
         "table6",
         "table7",
+        "fleet",
     }
 )
 
@@ -76,6 +78,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "table7": table7_diagnosis.run,
     "table8+fig8": table8_profiling.run,
     "table9": table9_pensando.run,
+    "fleet": fleet_serving.run,
 }
 
 

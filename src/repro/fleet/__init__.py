@@ -1,0 +1,44 @@
+"""Traffic-aware fleet serving simulator (§7.5 taken online).
+
+A time-stepped SmartNIC cluster: NF services arrive and depart
+(:mod:`repro.fleet.churn`), their traffic profiles evolve every epoch
+(:mod:`repro.fleet.traces`), and an online placement policy
+(:mod:`repro.fleet.policies`) decides where each service runs on the
+growing/shrinking cluster (:mod:`repro.fleet.cluster`). The epoch loop
+(:mod:`repro.fleet.engine`) scores every NIC's residents against
+simulator ground truth — one :meth:`SmartNic.run_batch` call per epoch —
+and accumulates SLA-violation, utilisation, wastage and migration-cost
+time series.
+
+CLI: ``python -m repro.fleet --epochs 20 --policy yala``.
+"""
+
+from repro.fleet.churn import ChurnProcess, ServiceRequest
+from repro.fleet.cluster import Cluster, FleetNic, MigrationRecord, ServiceInstance
+from repro.fleet.engine import EpochMetrics, FleetEngine, FleetReport, simulate
+from repro.fleet.policies import (
+    FLEET_POLICY_NAMES,
+    PlacementModel,
+    make_policy,
+)
+from repro.fleet.traces import TRACE_KINDS, TrafficTrace, make_trace, random_trace
+
+__all__ = [
+    "ChurnProcess",
+    "Cluster",
+    "EpochMetrics",
+    "FLEET_POLICY_NAMES",
+    "FleetEngine",
+    "FleetNic",
+    "FleetReport",
+    "MigrationRecord",
+    "PlacementModel",
+    "ServiceInstance",
+    "ServiceRequest",
+    "TRACE_KINDS",
+    "TrafficTrace",
+    "make_policy",
+    "make_trace",
+    "random_trace",
+    "simulate",
+]

@@ -1,0 +1,182 @@
+"""Fleet state: SmartNICs, resident services, migration bookkeeping.
+
+A :class:`Cluster` tracks which service instance runs on which NIC of a
+homogeneous SmartNIC pool. NICs are spun up on demand (placement onto
+``nic_id=None``), retire automatically when their last resident leaves,
+and every migration is appended to an ordered log so a trajectory can
+be replayed and compared bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlacementError
+from repro.fleet.churn import ServiceRequest
+from repro.nic.spec import NicSpecification
+from repro.traffic.profile import TrafficProfile
+
+#: Cores every NF instance occupies (the paper gives each NF two).
+CORES_PER_NF = 2
+
+
+@dataclass
+class ServiceInstance:
+    """A placed service: its request plus the current epoch's traffic.
+
+    Exposes ``nf_name`` / ``traffic`` / ``sla_drop_fraction`` so the
+    shared strategy predicates (:mod:`repro.fleet.policies`) treat fleet
+    residents and one-shot :class:`~repro.usecases.scheduling.NfArrival`
+    objects uniformly.
+    """
+
+    request: ServiceRequest
+    traffic: TrafficProfile
+
+    @property
+    def instance_id(self) -> str:
+        return self.request.instance_id
+
+    @property
+    def nf_name(self) -> str:
+        return self.request.nf_name
+
+    @property
+    def sla_drop_fraction(self) -> float:
+        return self.request.sla_drop_fraction
+
+
+@dataclass
+class FleetNic:
+    """One SmartNIC of the fleet and its resident services."""
+
+    nic_id: int
+    residents: list[ServiceInstance] = field(default_factory=list)
+
+    def cores_used(self) -> int:
+        return CORES_PER_NF * len(self.residents)
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One service move between NICs (``from_nic is None`` = placement)."""
+
+    epoch: int
+    instance_id: str
+    from_nic: int
+    to_nic: int
+    reason: str
+
+
+class Cluster:
+    """Mutable fleet state with deterministic bookkeeping."""
+
+    def __init__(self, spec: NicSpecification) -> None:
+        self._spec = spec
+        self._nics: list[FleetNic] = []
+        self._next_nic_id = 0
+        self._by_instance: dict[str, FleetNic] = {}
+        self.migration_log: list[MigrationRecord] = []
+        self.total_placements = 0
+        self.total_departures = 0
+
+    @property
+    def spec(self) -> NicSpecification:
+        return self._spec
+
+    @property
+    def max_residents_per_nic(self) -> int:
+        return self._spec.num_cores // CORES_PER_NF
+
+    @property
+    def nics(self) -> list[FleetNic]:
+        """Active (non-empty) NICs in spin-up order."""
+        return list(self._nics)
+
+    @property
+    def nics_used(self) -> int:
+        return len(self._nics)
+
+    @property
+    def services(self) -> list[ServiceInstance]:
+        """All residents in (NIC spin-up, placement) order."""
+        return [r for nic in self._nics for r in nic.residents]
+
+    def nic_of(self, instance_id: str) -> FleetNic:
+        try:
+            return self._by_instance[instance_id]
+        except KeyError:
+            raise PlacementError(f"unknown instance {instance_id!r}") from None
+
+    # ------------------------------------------------------------------
+    def place(self, instance: ServiceInstance, nic_id: int | None = None) -> int:
+        """Place ``instance`` on NIC ``nic_id`` (``None`` = a new NIC)."""
+        if instance.instance_id in self._by_instance:
+            raise PlacementError(f"{instance.instance_id!r} is already placed")
+        if nic_id is None:
+            nic = FleetNic(nic_id=self._next_nic_id)
+            self._next_nic_id += 1
+            self._nics.append(nic)
+        else:
+            nic = self._find(nic_id)
+            if len(nic.residents) >= self.max_residents_per_nic:
+                raise PlacementError(f"NIC {nic_id} is full")
+        nic.residents.append(instance)
+        self._by_instance[instance.instance_id] = nic
+        self.total_placements += 1
+        return nic.nic_id
+
+    def remove(self, instance_id: str) -> None:
+        """Remove a departing service; retire the NIC if now empty."""
+        nic = self.nic_of(instance_id)
+        nic.residents = [
+            r for r in nic.residents if r.instance_id != instance_id
+        ]
+        del self._by_instance[instance_id]
+        self.total_departures += 1
+        if not nic.residents:
+            self._nics.remove(nic)
+
+    def migrate(
+        self,
+        instance_id: str,
+        to_nic_id: int | None,
+        epoch: int,
+        reason: str = "rebalance",
+    ) -> int:
+        """Move a service to another (or a fresh) NIC and log the move."""
+        source = self.nic_of(instance_id)
+        if to_nic_id == source.nic_id:
+            raise PlacementError("migration target is the current NIC")
+        if to_nic_id is not None:
+            target = self._find(to_nic_id)
+            if len(target.residents) >= self.max_residents_per_nic:
+                raise PlacementError(f"NIC {to_nic_id} is full")
+        instance = next(
+            r for r in source.residents if r.instance_id == instance_id
+        )
+        source.residents = [
+            r for r in source.residents if r.instance_id != instance_id
+        ]
+        del self._by_instance[instance_id]
+        if not source.residents:
+            self._nics.remove(source)
+        placed_on = self.place(instance, to_nic_id)
+        self.total_placements -= 1  # a move, not a new placement
+        self.migration_log.append(
+            MigrationRecord(
+                epoch=epoch,
+                instance_id=instance_id,
+                from_nic=source.nic_id,
+                to_nic=placed_on,
+                reason=reason,
+            )
+        )
+        return placed_on
+
+    # ------------------------------------------------------------------
+    def _find(self, nic_id: int) -> FleetNic:
+        for nic in self._nics:
+            if nic.nic_id == nic_id:
+                return nic
+        raise PlacementError(f"unknown NIC {nic_id}")

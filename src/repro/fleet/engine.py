@@ -1,0 +1,380 @@
+"""The fleet epoch loop: churn, dynamic traffic, placement, scoring.
+
+This is the paper's §7.5 taken online. The one-shot evaluations place a
+fixed arrival sequence (scheduling, §7.5.1) or probe one operating
+point (diagnosis, §7.5.2); the fleet engine instead advances a
+SmartNIC cluster through discrete *epochs* in which services arrive
+and depart (:mod:`repro.fleet.churn`), every resident's traffic profile
+evolves along its trace (:mod:`repro.fleet.traces`), and an online
+policy decides placements and migrations using exactly the predictors
+the paper's scheduler uses (:mod:`repro.fleet.policies`).
+
+Each epoch proceeds in five phases:
+
+1. **Departures** — services whose lifetime ended leave; empty NICs
+   retire.
+2. **Traffic evolution** — every remaining service's traffic becomes
+   its trace's profile for this epoch (the dynamic-traffic regime of
+   §7.5.2's MTBR sweep, generalised to all attributes).
+3. **Rebalancing** — the policy may migrate residents based on the
+   *previous* epoch's measured drops (the diagnosis-triggered
+   ``rebalance`` policy migrates the bottlenecked NF of each violating
+   NIC, mirroring how §7.5.2's operator reacts to a diagnosis).
+4. **Arrivals** — new services are placed one by one (the online
+   regime of §7.5.1, with predictions evaluated at the service's
+   *current* traffic).
+5. **Ground-truth scoring** — the simulator runs every NIC's resident
+   mix under the epoch's traffic. All uncached solo baselines and
+   co-run mixes across the whole cluster are solved in **one**
+   :meth:`SmartNic.run_batch` call per epoch (``score_mode="batch"``);
+   ``score_mode="loop"`` solves the identical scenario list with
+   per-scenario :meth:`SmartNic.run` calls and is the bit-exactness
+   oracle — reports from the two modes must be equal to the last bit.
+
+The scored drops feed the SLA-violation, utilisation, wastage and
+migration-cost time series of the :class:`FleetReport`, and are handed
+to the policy as ``last_drops`` at the next epoch's rebalancing phase.
+Everything is deterministic in ``(churn seed, trained model)``: two
+runs with the same configuration produce byte-identical JSON reports.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.fleet.churn import ChurnProcess
+from repro.fleet.cluster import Cluster, MigrationRecord, ServiceInstance
+from repro.fleet.policies import FleetPolicy, PlacementModel, make_policy
+from repro.nf.catalog import make_nf
+
+
+@dataclass(frozen=True)
+class EpochMetrics:
+    """Scored fleet state at the end of one epoch."""
+
+    epoch: int
+    services: int
+    nics_used: int
+    arrivals: int
+    departures: int
+    migrations: int
+    sla_violations: int
+    violation_rate_pct: float
+    utilisation_pct: float
+    wastage_pct: float
+    aggregate_throughput_mpps: float
+
+
+@dataclass
+class FleetReport:
+    """Trajectory of one fleet simulation."""
+
+    policy: str
+    seed: int
+    epochs: int
+    score_mode: str
+    metrics: list[EpochMetrics] = field(default_factory=list)
+    migrations: list[MigrationRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_nics(self) -> float:
+        return _mean([m.nics_used for m in self.metrics])
+
+    @property
+    def mean_utilisation_pct(self) -> float:
+        return _mean([m.utilisation_pct for m in self.metrics])
+
+    @property
+    def mean_wastage_pct(self) -> float:
+        return _mean([m.wastage_pct for m in self.metrics])
+
+    @property
+    def violation_rate_pct(self) -> float:
+        """SLA violations over all (service, epoch) scoring points."""
+        scored = sum(m.services for m in self.metrics)
+        violated = sum(m.sla_violations for m in self.metrics)
+        return 100.0 * violated / scored if scored else 0.0
+
+    @property
+    def total_migrations(self) -> int:
+        return sum(m.migrations for m in self.metrics)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Deterministic JSON rendering of the whole trajectory."""
+        payload = {
+            "policy": self.policy,
+            "seed": self.seed,
+            "epochs": self.epochs,
+            "score_mode": self.score_mode,
+            "summary": {
+                "mean_nics": self.mean_nics,
+                "mean_utilisation_pct": self.mean_utilisation_pct,
+                "mean_wastage_pct": self.mean_wastage_pct,
+                "violation_rate_pct": self.violation_rate_pct,
+                "total_migrations": self.total_migrations,
+            },
+            "metrics": [asdict(m) for m in self.metrics],
+            "migrations": [asdict(m) for m in self.migrations],
+        }
+        return json.dumps(payload, sort_keys=True, indent=2)
+
+    def render(self) -> str:
+        """Text report: per-epoch rows plus a summary footer."""
+        header = (
+            f"{'epoch':>5s} {'svcs':>5s} {'nics':>5s} {'arr':>4s} {'dep':>4s} "
+            f"{'mig':>4s} {'viol':>5s} {'util%':>7s} {'waste%':>7s} "
+            f"{'tput Mpps':>10s}"
+        )
+        lines = [
+            f"fleet policy={self.policy} seed={self.seed} "
+            f"epochs={self.epochs} score_mode={self.score_mode}",
+            header,
+            "-" * len(header),
+        ]
+        for m in self.metrics:
+            lines.append(
+                f"{m.epoch:5d} {m.services:5d} {m.nics_used:5d} "
+                f"{m.arrivals:4d} {m.departures:4d} {m.migrations:4d} "
+                f"{m.sla_violations:5d} {m.utilisation_pct:7.1f} "
+                f"{m.wastage_pct:7.1f} {m.aggregate_throughput_mpps:10.3f}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"mean NICs {self.mean_nics:.2f} | "
+            f"utilisation {self.mean_utilisation_pct:.1f}% | "
+            f"wastage {self.mean_wastage_pct:.1f}% | "
+            f"SLA violations {self.violation_rate_pct:.2f}% | "
+            f"migrations {self.total_migrations}"
+        )
+        return "\n".join(lines)
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+class FleetEngine:
+    """Drives one policy through the time-stepped fleet simulation."""
+
+    def __init__(
+        self,
+        policy: FleetPolicy | str,
+        churn: ChurnProcess,
+        model: PlacementModel,
+        score_mode: str = "batch",
+    ) -> None:
+        if score_mode not in ("batch", "loop"):
+            raise ConfigurationError("score_mode must be 'batch' or 'loop'")
+        self._policy = make_policy(policy) if isinstance(policy, str) else policy
+        self._churn = churn
+        self._model = model
+        self._nic = model.nic
+        self._collector = model.collector
+        self._score_mode = score_mode
+
+    @property
+    def policy_name(self) -> str:
+        return self._policy.name
+
+    # ------------------------------------------------------------------
+    def run(self, epochs: int) -> FleetReport:
+        """Simulate ``epochs`` epochs; returns the scored trajectory.
+
+        Stateless across calls: every invocation rebuilds the cluster
+        and the scoring caches, so repeated runs of one engine are
+        bit-identical.
+        """
+        if epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+        cluster = Cluster(self._nic.spec)
+        mix_cache: dict[tuple, list[tuple[float, float]]] = {}
+        report = FleetReport(
+            policy=self._policy.name,
+            seed=self._churn.seed,
+            epochs=epochs,
+            score_mode=self._score_mode,
+        )
+        last_drops: dict[str, float] = {}
+
+        for epoch in range(epochs):
+            # 1. Departures.
+            departures = 0
+            for instance in cluster.services:
+                if instance.request.departure_epoch <= epoch:
+                    cluster.remove(instance.instance_id)
+                    departures += 1
+
+            # 2. Traffic evolution along each service's trace.
+            for instance in cluster.services:
+                instance.traffic = instance.request.trace.profile_at(epoch)
+
+            # 2b. Warm this epoch's solo baselines (residents and
+            # arrivals at their current traffic) through the collector,
+            # in one run_batch call, so the policies' feasibility probes
+            # and the scoring drops all hit the cache. The loop twin
+            # warms the identical set with per-pair scalar solves.
+            arrivals = self._churn.arrivals_for(epoch)
+            self._warm_solos(cluster, arrivals, epoch)
+
+            # 3. Policy rebalancing on the previous epoch's measured drops.
+            migrations_before = len(cluster.migration_log)
+            self._policy.rebalance(cluster, epoch, self._model, last_drops)
+            migrations = len(cluster.migration_log) - migrations_before
+
+            # 4. Arrivals, placed online one by one.
+            for request in arrivals:
+                instance = ServiceInstance(
+                    request=request, traffic=request.trace.profile_at(epoch)
+                )
+                nic_id = self._policy.choose_nic(cluster, instance, self._model)
+                cluster.place(instance, nic_id)
+
+            # 5. Ground-truth scoring of every NIC's resident mix.
+            drops, throughputs = self._score_epoch(cluster, mix_cache)
+            last_drops = drops
+            violations = sum(
+                1
+                for instance in cluster.services
+                if drops[instance.instance_id] > instance.sla_drop_fraction
+            )
+
+            services = len(cluster.services)
+            total_cores = cluster.nics_used * self._nic.spec.num_cores
+            used_cores = sum(nic.cores_used() for nic in cluster.nics)
+            min_nics = math.ceil(services / cluster.max_residents_per_nic)
+            report.metrics.append(
+                EpochMetrics(
+                    epoch=epoch,
+                    services=services,
+                    nics_used=cluster.nics_used,
+                    arrivals=len(arrivals),
+                    departures=departures,
+                    migrations=migrations,
+                    sla_violations=violations,
+                    violation_rate_pct=(
+                        100.0 * violations / services if services else 0.0
+                    ),
+                    utilisation_pct=(
+                        100.0 * used_cores / total_cores if total_cores else 0.0
+                    ),
+                    wastage_pct=(
+                        100.0 * (cluster.nics_used - min_nics) / min_nics
+                        if min_nics
+                        else 0.0
+                    ),
+                    aggregate_throughput_mpps=sum(throughputs.values()),
+                )
+            )
+        report.migrations = list(cluster.migration_log)
+        return report
+
+    # ------------------------------------------------------------------
+    # Epoch scoring
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _mix_key(residents: list[ServiceInstance]) -> tuple:
+        return tuple((r.nf_name, r.traffic) for r in residents)
+
+    def _warm_solos(self, cluster: Cluster, arrivals, epoch: int) -> None:
+        """Measure this epoch's solo baselines into the collector cache.
+
+        ``batch`` mode solves every uncached solo in one
+        :meth:`ProfilingCollector.solo_many` call (one ``run_batch``);
+        ``loop`` mode measures the identical set with per-pair scalar
+        :meth:`ProfilingCollector.solo` calls — same cache entries, so
+        both modes' policies and drop baselines see the same values.
+        """
+        pairs = [(r.nf_name, r.traffic) for r in cluster.services]
+        pairs.extend(
+            (request.nf_name, request.trace.profile_at(epoch))
+            for request in arrivals
+        )
+        if self._score_mode == "batch":
+            self._collector.solo_many(
+                [(make_nf(name), traffic) for name, traffic in pairs]
+            )
+        else:
+            for name, traffic in pairs:
+                self._collector.solo(make_nf(name), traffic)
+
+    def _solo_throughput(self, nf_name: str, traffic) -> float:
+        return self._collector.solo(make_nf(nf_name), traffic).throughput_mpps
+
+    def _score_epoch(
+        self,
+        cluster: Cluster,
+        mix_cache: dict[tuple, list[tuple[float, float]]],
+    ) -> tuple[dict[str, float], dict[str, float]]:
+        """Measured drop and throughput of every resident service.
+
+        Builds one scenario list covering every uncached multi-resident
+        mix on the cluster and solves it in a single
+        :meth:`SmartNic.run_batch` call (``batch`` mode) or with
+        per-scenario :meth:`SmartNic.run` calls (``loop`` mode, the
+        bit-exactness oracle), then reads both modes' results
+        identically. Solo baselines come from the collector cache
+        warmed at the top of the epoch.
+        """
+        scenarios: list[list] = []
+        mix_slots: dict[tuple, int] = {}
+        for nic in cluster.nics:
+            if len(nic.residents) < 2:
+                continue
+            mix_key = self._mix_key(nic.residents)
+            if mix_key not in mix_cache and mix_key not in mix_slots:
+                mix_slots[mix_key] = len(scenarios)
+                scenarios.append(
+                    [
+                        make_nf(name).demand(traffic, instance=f"{name}#{j}")
+                        for j, (name, traffic) in enumerate(mix_key)
+                    ]
+                )
+
+        if self._score_mode == "batch":
+            solved = self._nic.run_batch(scenarios) if scenarios else []
+        else:
+            solved = [self._nic.run(scenario) for scenario in scenarios]
+
+        for mix_key, slot in mix_slots.items():
+            result = solved[slot]
+            entries = []
+            for j, (name, traffic) in enumerate(mix_key):
+                achieved = result.throughput_of(f"{name}#{j}")
+                solo = self._solo_throughput(name, traffic)
+                entries.append((max(0.0, 1.0 - achieved / solo), achieved))
+            mix_cache[mix_key] = entries
+
+        drops: dict[str, float] = {}
+        throughputs: dict[str, float] = {}
+        for nic in cluster.nics:
+            if len(nic.residents) == 1:
+                resident = nic.residents[0]
+                drops[resident.instance_id] = 0.0
+                throughputs[resident.instance_id] = self._solo_throughput(
+                    resident.nf_name, resident.traffic
+                )
+                continue
+            entries = mix_cache[self._mix_key(nic.residents)]
+            for resident, (drop, throughput) in zip(nic.residents, entries):
+                drops[resident.instance_id] = drop
+                throughputs[resident.instance_id] = throughput
+        return drops, throughputs
+
+
+def simulate(
+    policy: str,
+    epochs: int,
+    churn: ChurnProcess,
+    model: PlacementModel,
+    score_mode: str = "batch",
+) -> FleetReport:
+    """One-call convenience wrapper around :class:`FleetEngine`."""
+    return FleetEngine(policy, churn, model, score_mode=score_mode).run(epochs)
+
+
+__all__ = ["EpochMetrics", "FleetEngine", "FleetReport", "simulate"]

@@ -1,0 +1,324 @@
+"""Online placement and rebalancing policies for the fleet.
+
+Two layers:
+
+- :class:`PlacementModel` — the strategy predicates shared between the
+  one-shot Table 6 scheduler (:mod:`repro.usecases.scheduling`) and the
+  fleet: additive utilisation estimation (greedy), SLOMO predicted
+  feasibility (memory-only) and Yala predicted feasibility
+  (multi-resource). The predicates operate on any resident objects
+  exposing ``nf_name`` / ``traffic`` / ``sla_drop_fraction`` —
+  one-shot ``NfArrival`` records and fleet ``ServiceInstance``\\ s alike.
+- :class:`FleetPolicy` subclasses — the online decision rules: where an
+  arriving service goes (``choose_nic``) and, once per epoch, whether
+  resident services should migrate (``rebalance``). The
+  ``rebalance`` policy is the diagnosis-triggered one: it places like
+  Yala, watches the previous epoch's measured drops, and migrates the
+  bottlenecked NF of every SLA-violating NIC.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence
+
+from repro.errors import ConfigurationError, PlacementError
+from repro.fleet.cluster import Cluster, ServiceInstance
+from repro.nf.catalog import make_nf
+from repro.nic.counters import PerfCounters
+from repro.traffic.profile import TrafficProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.predictor import YalaSystem
+    from repro.core.slomo import SlomoPredictor
+
+
+class Resident(Protocol):
+    """What the strategy predicates need to know about one service."""
+
+    @property
+    def nf_name(self) -> str: ...
+
+    @property
+    def traffic(self) -> TrafficProfile: ...
+
+    @property
+    def sla_drop_fraction(self) -> float: ...
+
+
+class PlacementModel:
+    """Strategy predicates shared by Table 6 and the fleet policies."""
+
+    def __init__(
+        self,
+        yala: Optional["YalaSystem"] = None,
+        slomo_predictors: Optional[dict[str, "SlomoPredictor"]] = None,
+        collector=None,
+        nic=None,
+    ) -> None:
+        if yala is None and (collector is None or nic is None):
+            raise ConfigurationError(
+                "PlacementModel needs a YalaSystem or an explicit "
+                "collector + nic (greedy/monopolization-only use)"
+            )
+        self._yala = yala
+        self._slomo = slomo_predictors or {}
+        self._collector = collector if collector is not None else yala.collector
+        self._nic = nic if nic is not None else yala.nic
+        # greedy_utilisation is additive over residents, and placement
+        # probes it once per candidate NIC per arrival — memoise the
+        # per-resident bandwidth term (values come from the collector's
+        # cached solo runs, so caching changes nothing numerically).
+        self._mem_bw_cache: dict[tuple, float] = {}
+
+    @property
+    def collector(self):
+        return self._collector
+
+    @property
+    def nic(self):
+        return self._nic
+
+    # ------------------------------------------------------------------
+    def solo_throughput(self, resident: Resident) -> float:
+        """Measured solo throughput of one resident (collector-cached)."""
+        return self._collector.solo(
+            make_nf(resident.nf_name), resident.traffic
+        ).throughput_mpps
+
+    def _resident_mem_bw(self, resident: Resident) -> float:
+        key = (resident.nf_name, resident.traffic)
+        if key not in self._mem_bw_cache:
+            counters = self._collector.solo(
+                make_nf(resident.nf_name), resident.traffic
+            ).counters
+            self._mem_bw_cache[key] = (counters.memrd + counters.memwr) * 64.0
+        return self._mem_bw_cache[key]
+
+    def greedy_utilisation(self, residents: Sequence[Resident]) -> float:
+        """Additive utilisation estimate of one NIC (greedy's view)."""
+        mem_bw = 0.0
+        for resident in residents:
+            mem_bw += self._resident_mem_bw(resident)
+        return mem_bw / self._nic.spec.dram_bandwidth_bpus
+
+    def predicted_feasible_yala(self, residents: Sequence[Resident]) -> bool:
+        """Every resident keeps its SLA according to Yala's predictions."""
+        if self._yala is None:
+            raise PlacementError("yala feasibility needs a trained YalaSystem")
+        placements = [(r.nf_name, r.traffic) for r in residents]
+        predictions = self._yala.predict_colocation(placements)
+        for resident, predicted in zip(residents, predictions):
+            solo = self._yala.predictor_of(resident.nf_name).predict_solo(
+                resident.traffic
+            )
+            drop = max(0.0, 1.0 - predicted / solo)
+            if drop > resident.sla_drop_fraction:
+                return False
+        return True
+
+    def predicted_feasible_slomo(self, residents: Sequence[Resident]) -> bool:
+        """Every resident keeps its SLA according to SLOMO (memory-only)."""
+        for i, resident in enumerate(residents):
+            slomo = self._slomo.get(resident.nf_name)
+            if slomo is None:
+                raise PlacementError(
+                    f"no SLOMO predictor for {resident.nf_name!r}"
+                )
+            competitor_counters = [
+                self._collector.solo(make_nf(r.nf_name), r.traffic).counters
+                for j, r in enumerate(residents)
+                if j != i
+            ]
+            aggregated = PerfCounters.aggregate(competitor_counters)
+            predicted = slomo.predict(
+                aggregated,
+                resident.traffic,
+                n_competitors=len(competitor_counters),
+            )
+            solo = self.solo_throughput(resident)
+            if max(0.0, 1.0 - predicted / solo) > resident.sla_drop_fraction:
+                return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# Fleet policies
+# ----------------------------------------------------------------------
+class FleetPolicy:
+    """Base online policy: placement plus (optional) rebalancing."""
+
+    name = "base"
+
+    def choose_nic(
+        self, cluster: Cluster, instance: ServiceInstance, model: PlacementModel
+    ) -> int | None:
+        """NIC id the instance should join, or ``None`` for a new NIC."""
+        raise NotImplementedError
+
+    def rebalance(
+        self,
+        cluster: Cluster,
+        epoch: int,
+        model: PlacementModel,
+        last_drops: dict[str, float],
+    ) -> int:
+        """Apply migrations for this epoch; returns how many moved."""
+        return 0
+
+    # ------------------------------------------------------------------
+    def _open_nics(self, cluster: Cluster):
+        """Non-full NICs in spin-up order."""
+        limit = cluster.max_residents_per_nic
+        return [nic for nic in cluster.nics if len(nic.residents) < limit]
+
+
+class MonopolizationPolicy(FleetPolicy):
+    """One service per NIC: no contention, maximal wastage."""
+
+    name = "monopolization"
+
+    def choose_nic(self, cluster, instance, model):
+        return None
+
+
+class GreedyPolicy(FleetPolicy):
+    """Utilisation-based first fit (E3/Meili style, contention-blind)."""
+
+    name = "greedy"
+
+    def choose_nic(self, cluster, instance, model):
+        candidates = sorted(
+            self._open_nics(cluster),
+            key=lambda nic: (
+                len(nic.residents),
+                model.greedy_utilisation(nic.residents),
+            ),
+        )
+        for nic in candidates:
+            if model.greedy_utilisation(nic.residents + [instance]) <= 1.0:
+                return nic.nic_id
+        return None
+
+
+class _PredictedFeasibilityPolicy(FleetPolicy):
+    """First fit over the fullest NICs whose prediction keeps all SLAs."""
+
+    def _feasible(self, residents, model) -> bool:
+        raise NotImplementedError
+
+    def choose_nic(self, cluster, instance, model):
+        candidates = sorted(
+            self._open_nics(cluster), key=lambda nic: -len(nic.residents)
+        )
+        for nic in candidates:
+            if self._feasible(nic.residents + [instance], model):
+                return nic.nic_id
+        return None
+
+
+class SlomoPolicy(_PredictedFeasibilityPolicy):
+    name = "slomo"
+
+    def _feasible(self, residents, model):
+        return model.predicted_feasible_slomo(residents)
+
+
+class YalaPolicy(_PredictedFeasibilityPolicy):
+    name = "yala"
+
+    def _feasible(self, residents, model):
+        return model.predicted_feasible_yala(residents)
+
+
+class DiagnosisRebalancePolicy(YalaPolicy):
+    """Yala placement plus diagnosis-triggered migration (§7.5.2 online).
+
+    After every scored epoch the engine hands the policy the measured
+    per-service throughput drops. For each NIC hosting an SLA violation
+    the policy migrates the *bottlenecked NF* — the resident with the
+    worst measured drop — to the fullest NIC where Yala predicts all
+    SLAs hold, or to a fresh NIC when no such target exists.
+    """
+
+    name = "rebalance"
+
+    def __init__(self, max_migrations_per_epoch: int = 4) -> None:
+        if max_migrations_per_epoch < 1:
+            raise ConfigurationError("max_migrations_per_epoch must be >= 1")
+        self._max_migrations = max_migrations_per_epoch
+
+    def rebalance(self, cluster, epoch, model, last_drops):
+        moved = 0
+        # A migrated service carries its stale measured drop until the
+        # next scoring, so exclude it from later NICs' violation scans —
+        # otherwise one service could ping-pong through the whole
+        # migration budget in a single epoch.
+        relocated: set[str] = set()
+        for nic in cluster.nics:  # snapshot: migrations mutate the fleet
+            if moved >= self._max_migrations:
+                break
+            if len(nic.residents) < 2:
+                # A solo resident cannot be in contention; a stale
+                # violating drop from a departed co-runner's epoch
+                # must not trigger a pointless migration.
+                continue
+            violated = [
+                r
+                for r in nic.residents
+                if r.instance_id not in relocated
+                and last_drops.get(r.instance_id, 0.0) > r.sla_drop_fraction
+            ]
+            if not violated:
+                continue
+            worst = max(
+                violated, key=lambda r: last_drops[r.instance_id]
+            )
+            limit = cluster.max_residents_per_nic
+            target = None
+            candidates = sorted(
+                (
+                    n
+                    for n in cluster.nics
+                    if n.nic_id != nic.nic_id and len(n.residents) < limit
+                ),
+                key=lambda n: -len(n.residents),
+            )
+            for candidate in candidates:
+                if model.predicted_feasible_yala(candidate.residents + [worst]):
+                    target = candidate.nic_id
+                    break
+            relocated.add(worst.instance_id)
+            cluster.migrate(
+                worst.instance_id, target, epoch, reason="sla-violation"
+            )
+            moved += 1
+        return moved
+
+
+#: Policy names the fleet CLI and experiment accept.
+FLEET_POLICY_NAMES: tuple[str, ...] = (
+    "monopolization",
+    "greedy",
+    "slomo",
+    "yala",
+    "rebalance",
+)
+
+_POLICIES = {
+    "monopolization": MonopolizationPolicy,
+    "greedy": GreedyPolicy,
+    "slomo": SlomoPolicy,
+    "yala": YalaPolicy,
+    "rebalance": DiagnosisRebalancePolicy,
+}
+
+
+def make_policy(name: str, **params) -> FleetPolicy:
+    """Instantiate a fleet policy by name."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; known: {FLEET_POLICY_NAMES}"
+        ) from None
+    return cls(**params)

@@ -1,0 +1,174 @@
+"""Seeded dynamic traffic generators for the fleet simulator.
+
+A :class:`TrafficTrace` maps an epoch index to the
+:class:`~repro.traffic.profile.TrafficProfile` one service offers in
+that epoch. Traces are *pure functions* of ``(kind, base, seed,
+params, epoch)`` — no mutable state — so a trajectory is bit-identical
+however often or in whatever order epochs are evaluated, which is what
+lets the engine's batched epoch scoring and its looped reference twin
+see exactly the same traffic.
+
+Kinds:
+
+- ``static`` — the base profile every epoch;
+- ``diurnal`` — sinusoidal day/night swing of flow count and MTBR with
+  a seeded phase (the classic ISP load curve);
+- ``burst`` — base profile with seeded short bursts that multiply the
+  flow count (microburst-heavy services);
+- ``flash_crowd`` — one seeded onset epoch after which flow count jumps
+  and then decays geometrically back towards the base (flash-crowd /
+  breaking-news shape);
+- ``random_walk`` — multiplicative random walk over flow count and
+  MTBR (slowly wandering tenants).
+
+All generated profiles are clamped to the library's admissible
+attribute ranges.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, derive_seed, make_rng, normalize_seed
+from repro.traffic.profile import HEADER_BYTES, TrafficProfile
+
+#: Trace kinds the fleet can draw from.
+TRACE_KINDS: tuple[str, ...] = (
+    "static",
+    "diurnal",
+    "burst",
+    "flash_crowd",
+    "random_walk",
+)
+
+_MAX_FLOWS = 500_000
+_MAX_MTBR = 1100.0
+
+
+def _clamped(base: TrafficProfile, flow_mult: float, mtbr_mult: float) -> TrafficProfile:
+    """Scale flow count / MTBR of ``base`` and clamp to admissible ranges."""
+    flows = int(round(base.flow_count * flow_mult))
+    flows = max(1, min(_MAX_FLOWS, flows))
+    mtbr = min(_MAX_MTBR, max(0.0, base.mtbr * mtbr_mult))
+    profile = base.with_attribute("flow_count", flows)
+    return profile.with_attribute("mtbr", mtbr)
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """One service's deterministic traffic trajectory."""
+
+    kind: str
+    base: TrafficProfile = field(default_factory=TrafficProfile)
+    seed: int = 0
+    #: diurnal period in epochs (a "day").
+    period: int = 24
+    #: relative swing of the diurnal sine / walk step scale.
+    amplitude: float = 0.5
+    #: per-epoch burst probability (``burst`` kind).
+    burst_probability: float = 0.15
+    #: flow-count multiplier applied during a burst / at flash onset.
+    surge_factor: float = 4.0
+    #: geometric decay of the flash-crowd surge per epoch.
+    decay: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRACE_KINDS:
+            raise ConfigurationError(
+                f"unknown trace kind {self.kind!r}; known: {TRACE_KINDS}"
+            )
+        if self.period < 2:
+            raise ConfigurationError("period must be >= 2 epochs")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ConfigurationError("amplitude must be in [0, 1)")
+        if not 0.0 <= self.burst_probability <= 1.0:
+            raise ConfigurationError("burst_probability must be in [0, 1]")
+        if self.surge_factor < 1.0:
+            raise ConfigurationError("surge_factor must be >= 1")
+        if not 0.0 < self.decay < 1.0:
+            raise ConfigurationError("decay must be in (0, 1)")
+
+    # ------------------------------------------------------------------
+    def profile_at(self, epoch: int) -> TrafficProfile:
+        """Traffic profile this trace offers in ``epoch`` (pure)."""
+        if epoch < 0:
+            raise ConfigurationError("epoch must be >= 0")
+        if self.kind == "static":
+            return self.base
+        if self.kind == "diurnal":
+            phase = make_rng(derive_seed(self.seed, "phase")).uniform(0.0, 1.0)
+            # epoch % period keeps the trace *exactly* periodic (no
+            # float drift from ever-growing angles).
+            angle = 2.0 * math.pi * ((epoch % self.period) / self.period + phase)
+            swing = 1.0 + self.amplitude * math.sin(angle)
+            return _clamped(self.base, swing, swing)
+        if self.kind == "burst":
+            rng = make_rng(derive_seed(self.seed, "burst", epoch))
+            if rng.random() < self.burst_probability:
+                return _clamped(self.base, self.surge_factor, 1.0)
+            return self.base
+        if self.kind == "flash_crowd":
+            onset = int(
+                make_rng(derive_seed(self.seed, "onset")).integers(1, self.period)
+            )
+            if epoch < onset:
+                return self.base
+            surge = 1.0 + (self.surge_factor - 1.0) * self.decay ** (epoch - onset)
+            return _clamped(self.base, surge, 1.0)
+        # random_walk: cumulative product of seeded per-epoch steps. The
+        # walk is reconstructed from epoch 0 so evaluation stays pure;
+        # epochs are small integers, so the O(epoch) replay is cheap.
+        log_flow = log_mtbr = 0.0
+        step = 0.35 * self.amplitude
+        for t in range(1, epoch + 1):
+            rng = make_rng(derive_seed(self.seed, "walk", t))
+            log_flow += step * float(rng.standard_normal())
+            log_mtbr += step * float(rng.standard_normal())
+        return _clamped(self.base, math.exp(log_flow), math.exp(log_mtbr))
+
+
+def make_trace(
+    kind: str,
+    base: TrafficProfile | None = None,
+    seed: SeedLike = None,
+    **params,
+) -> TrafficTrace:
+    """Build a trace of ``kind`` with a normalised integer seed."""
+    normalised = normalize_seed(seed)
+    return TrafficTrace(
+        kind=kind,
+        base=base if base is not None else TrafficProfile(),
+        seed=normalised if normalised is not None else 0,
+        **params,
+    )
+
+
+def random_trace(
+    seed: SeedLike = None,
+    kinds: tuple[str, ...] = TRACE_KINDS,
+    base: TrafficProfile | None = None,
+) -> TrafficTrace:
+    """Draw a random trace: kind, base profile perturbation and params.
+
+    The churn process uses this to give every arriving service its own
+    traffic personality. Deterministic in ``seed``.
+    """
+    rng = make_rng(seed)
+    kind = str(rng.choice(kinds))
+    if base is None:
+        flows = int(rng.integers(2_000, 120_000))
+        packet = int(rng.integers(HEADER_BYTES + 10, 1500))
+        mtbr = float(rng.uniform(50.0, 900.0))
+        base = TrafficProfile(flows, packet, mtbr)
+    return TrafficTrace(
+        kind=kind,
+        base=base,
+        seed=int(rng.integers(0, 2**63 - 1)),
+        period=int(rng.integers(8, 32)),
+        amplitude=float(rng.uniform(0.2, 0.7)),
+        burst_probability=float(rng.uniform(0.05, 0.3)),
+        surge_factor=float(rng.uniform(2.0, 6.0)),
+        decay=float(rng.uniform(0.5, 0.85)),
+    )

@@ -1010,6 +1010,16 @@ class _Group:
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
+#: Signature groups smaller than this solve through the scalar solver:
+#: below ~3 rows the vectorized sweep's per-iteration numpy dispatch
+#: costs more than the scalar Python sweep, so heterogeneous batches
+#: (e.g. a fleet epoch whose NICs host structurally diverse mixes)
+#: would otherwise run *slower* batched than looped. The fallback is
+#: observation-free: the scalar solver is the bit-exactness oracle the
+#: vectorized path must reproduce anyway.
+_SCALAR_FALLBACK_GROUP_SIZE = 3
+
+
 def solve_batch(
     nic: "_nic.SmartNic",
     scenarios: list[list[WorkloadDemand]],
@@ -1030,6 +1040,13 @@ def solve_batch(
         plans.append(plan)
         indices.append(i)
     for plans, indices in groups.values():
+        if len(plans) < _SCALAR_FALLBACK_GROUP_SIZE:
+            for plan, index in zip(plans, indices):
+                try:
+                    results[index] = nic.run([p.demand for p in plan.workloads])
+                except ConvergenceError as error:
+                    results[index] = error
+            continue
         group = _Group(nic, plans, indices)
         for local, outcome in enumerate(group.solve()):
             results[indices[local]] = outcome

@@ -11,7 +11,9 @@ prediction models train on:
   bench settings),
 - :mod:`~repro.profiling.sampling` — full-grid and random profiling,
 - :mod:`~repro.profiling.adaptive` — the paper's Algorithm 1 (attribute
-  pruning + recursive range profiling).
+  pruning + recursive range profiling),
+- :mod:`~repro.profiling.sweep` — ``run_batch``-backed sweep helpers
+  for scripts (traffic sweeps, co-location sweeps).
 """
 
 from repro.profiling.adaptive import AdaptiveProfiler, AdaptiveProfilingReport
@@ -19,6 +21,7 @@ from repro.profiling.collector import ProfilingCollector
 from repro.profiling.contention import ContentionLevel, random_contention
 from repro.profiling.dataset import ProfileDataset, ProfileSample
 from repro.profiling.sampling import full_profile, random_profile
+from repro.profiling.sweep import colocation_sweep, traffic_sweep
 
 __all__ = [
     "AdaptiveProfiler",
@@ -27,7 +30,9 @@ __all__ = [
     "ProfileDataset",
     "ProfileSample",
     "ProfilingCollector",
+    "colocation_sweep",
     "full_profile",
     "random_profile",
     "random_contention",
+    "traffic_sweep",
 ]

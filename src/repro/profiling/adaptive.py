@@ -15,7 +15,11 @@ Two phases:
    *every* kept attribute so coverage is a quadtree over the attribute
    space, not just its diagonal. Repeated configurations are served from
    the collector's cache and charged no quota, exactly as the paper's
-   ``profile_one`` specifies.
+   ``profile_one`` specifies. A region's contended samples are
+   independent, so they are collected through
+   :meth:`ProfilingCollector.profile_many` — one ``run_batch`` solve
+   per region — with sample/cache/quota accounting identical to the
+   looped primitive (``use_batch=False``, the pinned oracle).
 
 Adaptation vs. the paper: corner probes run under a fixed *reference
 contention* level rather than solo. The paper probes solo (``C = 0``),
@@ -85,6 +89,7 @@ class AdaptiveProfiler:
             mem_car=180.0, mem_wss_mb=10.0
         ),
         seed: SeedLike = None,
+        use_batch: bool = True,
     ) -> None:
         if quota < 1:
             raise ProfilingError("quota must be >= 1")
@@ -100,6 +105,10 @@ class AdaptiveProfiler:
         self._contention_sampler = contention_sampler
         self._reference_contention = reference_contention
         self._rng = make_rng(seed)
+        # Batch the per-region contended samples through profile_many
+        # (one run_batch per region). False keeps the looped primitive —
+        # the equivalence oracle pinned by tests/profiling.
+        self._use_batch = use_batch
 
     # ------------------------------------------------------------------
     def profile(
@@ -209,6 +218,57 @@ class AdaptiveProfiler:
         contention = self._contention_sampler(self._rng)
         self._sample(nf, contention, traffic, dataset, report)
 
+    def _region_contended_samples(
+        self,
+        nf: NetworkFunction,
+        traffic: TrafficProfile,
+        dataset: ProfileDataset,
+        report: AdaptiveProfilingReport,
+    ) -> bool:
+        """``samples_per_region`` contended samples at a region midpoint.
+
+        Returns ``False`` when the quota ran out mid-region (the caller
+        stops refining, exactly like the looped primitive's early
+        return). The samples of one region are independent, so the
+        batch path draws the contention levels the loop would draw —
+        the between-draws quota check uses a *projected* sample count,
+        which matches the loop because repeated configurations are
+        charged no quota — then solves all of them in one
+        :meth:`ProfilingCollector.profile_many` call. Sample values,
+        dataset order, quota and cache accounting are identical to the
+        loop; ``tests/profiling`` pins the equivalence.
+        """
+        if not self._use_batch:
+            for _ in range(self._samples_per_region):
+                if report.samples_used >= self._quota:
+                    return False
+                self._contended_sample(nf, traffic, dataset, report)
+            return True
+        pending: list[ContentionLevel] = []
+        projected = report.samples_used
+        projected_new: set[tuple] = set()
+        exhausted = False
+        for _ in range(self._samples_per_region):
+            if projected >= self._quota:
+                exhausted = True
+                break
+            contention = self._contention_sampler(self._rng)
+            pending.append(contention)
+            key = (contention, traffic)
+            if key not in self._seen and key not in projected_new:
+                projected_new.add(key)
+                projected += 1
+        samples = self._collector.profile_many(
+            [(nf, contention, traffic) for contention in pending]
+        )
+        for contention, sample in zip(pending, samples):
+            key = (contention, traffic)
+            if key not in self._seen:
+                self._seen.add(key)
+                dataset.add(sample)
+                report.samples_used += 1
+        return not exhausted
+
     def _apply(self, base: TrafficProfile, values: dict[str, float]) -> TrafficProfile:
         traffic = base
         for name, value in values.items():
@@ -280,10 +340,8 @@ class AdaptiveProfiler:
             mids = {n: 0.5 * (box_lows[n] + box_highs[n]) for n in box_lows}
             mid_traffic = self._apply(base_traffic, mids)
             self._sample(nf, ContentionLevel(), mid_traffic, dataset, report)
-            for _ in range(self._samples_per_region):
-                if report.samples_used >= self._quota:
-                    return
-                self._contended_sample(nf, mid_traffic, dataset, report)
+            if not self._region_contended_samples(nf, mid_traffic, dataset, report):
+                return
             priority = diff + 0.3 * deviation
             names = list(box_lows)
             for corner in itertools.product((0, 1), repeat=len(names)):

@@ -1,0 +1,73 @@
+"""``run_batch``-backed sweep helpers for scripts and examples.
+
+Exploratory scripts keep writing the same loop: *for each traffic
+profile / co-location, run the simulator, collect the result*. These
+helpers express that loop as one batched solve:
+
+- :func:`traffic_sweep` — one NF profiled at one contention level
+  across many traffic profiles (one
+  :meth:`ProfilingCollector.profile_many` call);
+- :func:`colocation_sweep` — many co-location scenarios, each a list of
+  ``(NetworkFunction, TrafficProfile)`` pairs, solved in one
+  :meth:`SmartNic.run_batch` call, with the position-indexed instance
+  naming the evaluation uses (``"<nf>#<j>"``) so an NF can co-run with
+  itself.
+
+Both are bit-identical to the loops they replace — batching is never a
+numerical change in this library.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.nf.framework import NetworkFunction
+from repro.nic.nic import RunResult, SmartNic
+from repro.nic.workload import WorkloadDemand
+from repro.profiling.collector import ProfilingCollector
+from repro.profiling.contention import ContentionLevel
+from repro.profiling.dataset import ProfileSample
+from repro.traffic.profile import TrafficProfile
+
+
+def traffic_sweep(
+    collector: ProfilingCollector,
+    nf: NetworkFunction,
+    contention: ContentionLevel,
+    traffics: Sequence[TrafficProfile],
+) -> list[ProfileSample]:
+    """Profile ``nf`` at ``contention`` across many traffic profiles.
+
+    Equivalent to looping :meth:`ProfilingCollector.profile_one`; all
+    uncached runs solve in one batch.
+    """
+    return collector.profile_many(
+        [(nf, contention, traffic) for traffic in traffics]
+    )
+
+
+def colocation_demands(
+    scenario: Sequence[tuple[NetworkFunction, TrafficProfile]],
+) -> list[WorkloadDemand]:
+    """Compile one co-location into demands with position-unique names."""
+    return [
+        nf.demand(traffic, instance=f"{nf.name}#{index}")
+        for index, (nf, traffic) in enumerate(scenario)
+    ]
+
+
+def colocation_sweep(
+    nic: SmartNic,
+    scenarios: Sequence[Sequence[tuple[NetworkFunction, TrafficProfile]]],
+    on_error: str = "raise",
+) -> list[RunResult]:
+    """Solve many co-locations in one :meth:`SmartNic.run_batch` call.
+
+    Workload names follow :func:`colocation_demands`
+    (``"<nf>#<position>"``); with ``on_error="return"`` infeasible
+    scenarios yield their exception instance instead of raising.
+    """
+    return nic.run_batch(
+        [colocation_demands(scenario) for scenario in scenarios],
+        on_error=on_error,
+    )

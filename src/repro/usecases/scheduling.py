@@ -28,7 +28,8 @@ import numpy as np
 
 from repro.core.predictor import YalaSystem
 from repro.core.slomo import SlomoPredictor
-from repro.errors import ConfigurationError, PlacementError
+from repro.errors import ConfigurationError
+from repro.fleet.policies import PlacementModel
 from repro.nf.catalog import EVALUATION_NF_NAMES, make_nf
 from repro.rng import SeedLike, make_rng
 from repro.traffic.profile import TrafficProfile
@@ -109,10 +110,10 @@ class Scheduler:
         slomo_predictors: Optional[dict[str, SlomoPredictor]] = None,
     ) -> None:
         self._yala = yala
-        self._collector = yala.collector
         self._nic = yala.nic
-        self._slomo = slomo_predictors or {}
-        self._solo_cache: dict[tuple, float] = {}
+        # Strategy predicates live in the fleet policy layer so the
+        # one-shot Table 6 scheduler and the fleet engine share them.
+        self._model = PlacementModel(yala=yala, slomo_predictors=slomo_predictors)
         # Ground-truth co-run results are deterministic, so repeated
         # what-if evaluations of the same resident mix (the oracle
         # packing re-probes mixes constantly) are served from cache.
@@ -122,12 +123,7 @@ class Scheduler:
     # Ground truth helpers
     # ------------------------------------------------------------------
     def _solo_throughput(self, arrival: NfArrival) -> float:
-        key = (arrival.nf_name, arrival.traffic)
-        if key not in self._solo_cache:
-            self._solo_cache[key] = self._collector.solo(
-                make_nf(arrival.nf_name), arrival.traffic
-            ).throughput_mpps
-        return self._solo_cache[key]
+        return self._model.solo_throughput(arrival)
 
     @staticmethod
     def _drops_key(residents: list[NfArrival]) -> tuple:
@@ -187,53 +183,17 @@ class Scheduler:
         )
 
     # ------------------------------------------------------------------
-    # Strategy predicates
+    # Strategy predicates (shared with the fleet — repro.fleet.policies)
     # ------------------------------------------------------------------
     def _predicted_feasible_yala(self, residents: list[NfArrival]) -> bool:
-        placements = [(r.nf_name, r.traffic) for r in residents]
-        predictions = self._yala.predict_colocation(placements)
-        for resident, predicted in zip(residents, predictions):
-            solo = self._yala.predictor_of(resident.nf_name).predict_solo(
-                resident.traffic
-            )
-            drop = max(0.0, 1.0 - predicted / solo)
-            if drop > resident.sla_drop_fraction:
-                return False
-        return True
+        return self._model.predicted_feasible_yala(residents)
 
     def _predicted_feasible_slomo(self, residents: list[NfArrival]) -> bool:
-        for i, resident in enumerate(residents):
-            slomo = self._slomo.get(resident.nf_name)
-            if slomo is None:
-                raise PlacementError(
-                    f"no SLOMO predictor for {resident.nf_name!r}"
-                )
-            competitor_counters = [
-                self._collector.solo(make_nf(r.nf_name), r.traffic).counters
-                for j, r in enumerate(residents)
-                if j != i
-            ]
-            from repro.nic.counters import PerfCounters
-
-            aggregated = PerfCounters.aggregate(competitor_counters)
-            predicted = slomo.predict(
-                aggregated,
-                resident.traffic,
-                n_competitors=len(competitor_counters),
-            )
-            solo = self._solo_throughput(resident)
-            if max(0.0, 1.0 - predicted / solo) > resident.sla_drop_fraction:
-                return False
-        return True
+        return self._model.predicted_feasible_slomo(residents)
 
     def _greedy_utilisation(self, residents: list[NfArrival]) -> float:
         """Additive utilisation estimate of one NIC (greedy's view)."""
-        mem_bw = 0.0
-        for resident in residents:
-            solo = self._collector.solo(make_nf(resident.nf_name), resident.traffic)
-            counters = solo.counters
-            mem_bw += (counters.memrd + counters.memwr) * 64.0
-        return mem_bw / self._nic.spec.dram_bandwidth_bpus
+        return self._model.greedy_utilisation(residents)
 
     # ------------------------------------------------------------------
     # Placement

@@ -249,3 +249,33 @@ class TestTables:
         assert result.yala_mape < result.slomo_mape
         assert result.yala_mape < 12.0
         assert result.render()
+
+
+class TestFleetServing:
+    def test_fleet_policy_ordering(self):
+        from repro.experiments import fleet_serving
+        from repro.fleet.policies import FLEET_POLICY_NAMES
+
+        result = fleet_serving.run(scale=SCALE)
+        reports = result.reports
+        assert set(reports) == set(FLEET_POLICY_NAMES)
+        mono = reports["monopolization"]
+        yala = reports["yala"]
+        # One service per NIC can never violate an SLA...
+        assert mono.violation_rate_pct == 0.0
+        # ...and any packing policy wastes at most what isolation does.
+        assert yala.mean_wastage_pct <= mono.mean_wastage_pct
+        assert reports["greedy"].mean_wastage_pct <= mono.mean_wastage_pct
+        # All policies score the same churn schedule.
+        epochs = {r.epochs for r in reports.values()}
+        assert epochs == {reports["yala"].epochs}
+        assert "Fleet" in result.render()
+
+    def test_fleet_experiment_deterministic(self):
+        from repro.experiments import fleet_serving
+
+        a = fleet_serving.run(scale=SCALE)
+        b = fleet_serving.run(scale=SCALE)
+        assert {k: r.to_json() for k, r in a.reports.items()} == {
+            k: r.to_json() for k, r in b.reports.items()
+        }

@@ -1,0 +1,82 @@
+"""Tests for the arrival/departure churn process."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.churn import ChurnProcess, ServiceRequest
+from repro.fleet.traces import make_trace
+
+POOL = ("flowstats", "nids", "acl")
+
+
+class TestChurnSchedule:
+    def test_deterministic_per_epoch(self):
+        a = ChurnProcess(POOL, seed=3, arrival_rate=2.0)
+        b = ChurnProcess(POOL, seed=3, arrival_rate=2.0)
+        for epoch in range(6):
+            assert a.arrivals_for(epoch) == b.arrivals_for(epoch)
+
+    def test_pure_in_call_order(self):
+        churn = ChurnProcess(POOL, seed=3, arrival_rate=2.0)
+        later = churn.arrivals_for(4)
+        churn.arrivals_for(0)  # interleaved call must not disturb epoch 4
+        assert churn.arrivals_for(4) == later
+
+    def test_epoch_zero_seeds_initial_population(self):
+        churn = ChurnProcess(POOL, seed=3, arrival_rate=0.0, initial_services=5)
+        assert len(churn.arrivals_for(0)) == 5
+        assert len(churn.arrivals_for(1)) == 0
+
+    def test_marks_within_configured_ranges(self):
+        churn = ChurnProcess(
+            POOL, seed=9, arrival_rate=3.0, sla_range=(0.08, 0.15)
+        )
+        seen = 0
+        for epoch in range(10):
+            for request in churn.arrivals_for(epoch):
+                seen += 1
+                assert request.nf_name in POOL
+                assert 0.08 <= request.sla_drop_fraction <= 0.15
+                assert request.departure_epoch > request.arrival_epoch
+                assert request.trace.kind in (
+                    "static",
+                    "diurnal",
+                    "burst",
+                    "flash_crowd",
+                    "random_walk",
+                )
+        assert seen > 0
+
+    def test_instance_ids_unique(self):
+        churn = ChurnProcess(POOL, seed=9, arrival_rate=3.0)
+        ids = [
+            request.instance_id
+            for epoch in range(8)
+            for request in churn.arrivals_for(epoch)
+        ]
+        assert len(ids) == len(set(ids))
+
+
+class TestValidation:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChurnProcess((), seed=1)
+
+    def test_bad_sla_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChurnProcess(POOL, seed=1, sla_range=(0.2, 0.1))
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChurnProcess(POOL, seed=1, arrival_rate=-1.0)
+
+    def test_request_validates_lifetime(self):
+        with pytest.raises(ConfigurationError):
+            ServiceRequest(
+                instance_id="svc-0-0",
+                nf_name="acl",
+                sla_drop_fraction=0.1,
+                trace=make_trace("static", seed=1),
+                arrival_epoch=3,
+                departure_epoch=3,
+            )

@@ -1,0 +1,126 @@
+"""Tests for fleet cluster bookkeeping."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.fleet.churn import ServiceRequest
+from repro.fleet.cluster import Cluster, ServiceInstance
+from repro.fleet.traces import make_trace
+from repro.nic.spec import bluefield2_spec
+from repro.traffic.profile import TrafficProfile
+
+
+def _instance(n: int) -> ServiceInstance:
+    request = ServiceRequest(
+        instance_id=f"svc-0-{n}",
+        nf_name="acl",
+        sla_drop_fraction=0.1,
+        trace=make_trace("static", seed=n),
+        arrival_epoch=0,
+        departure_epoch=10,
+    )
+    return ServiceInstance(request=request, traffic=TrafficProfile())
+
+
+@pytest.fixture()
+def cluster() -> Cluster:
+    return Cluster(bluefield2_spec())
+
+
+class TestPlacement:
+    def test_place_on_new_nic(self, cluster):
+        nic_id = cluster.place(_instance(0))
+        assert cluster.nics_used == 1
+        assert cluster.nic_of("svc-0-0").nic_id == nic_id
+
+    def test_place_on_existing_nic(self, cluster):
+        nic_id = cluster.place(_instance(0))
+        assert cluster.place(_instance(1), nic_id) == nic_id
+        assert len(cluster.nic_of("svc-0-1").residents) == 2
+
+    def test_capacity_enforced(self, cluster):
+        nic_id = cluster.place(_instance(0))
+        for n in range(1, cluster.max_residents_per_nic):
+            cluster.place(_instance(n), nic_id)
+        with pytest.raises(PlacementError):
+            cluster.place(_instance(99), nic_id)
+
+    def test_double_placement_rejected(self, cluster):
+        cluster.place(_instance(0))
+        with pytest.raises(PlacementError):
+            cluster.place(_instance(0))
+
+    def test_services_in_placement_order(self, cluster):
+        nic_id = cluster.place(_instance(0))
+        cluster.place(_instance(1), nic_id)
+        cluster.place(_instance(2))
+        assert [s.instance_id for s in cluster.services] == [
+            "svc-0-0",
+            "svc-0-1",
+            "svc-0-2",
+        ]
+
+
+class TestRemoval:
+    def test_remove_retires_empty_nic(self, cluster):
+        cluster.place(_instance(0))
+        cluster.remove("svc-0-0")
+        assert cluster.nics_used == 0
+        assert cluster.total_departures == 1
+
+    def test_remove_keeps_occupied_nic(self, cluster):
+        nic_id = cluster.place(_instance(0))
+        cluster.place(_instance(1), nic_id)
+        cluster.remove("svc-0-0")
+        assert cluster.nics_used == 1
+        assert [s.instance_id for s in cluster.services] == ["svc-0-1"]
+
+    def test_unknown_instance_rejected(self, cluster):
+        with pytest.raises(PlacementError):
+            cluster.remove("svc-9-9")
+
+
+class TestMigration:
+    def test_migrate_moves_and_logs(self, cluster):
+        source = cluster.place(_instance(0))
+        cluster.place(_instance(1), source)
+        target = cluster.place(_instance(2))
+        placed = cluster.migrate("svc-0-0", target, epoch=4, reason="test")
+        assert placed == target
+        record = cluster.migration_log[-1]
+        assert (record.epoch, record.instance_id) == (4, "svc-0-0")
+        assert (record.from_nic, record.to_nic) == (source, target)
+        assert record.reason == "test"
+
+    def test_migrate_to_fresh_nic(self, cluster):
+        source = cluster.place(_instance(0))
+        cluster.place(_instance(1), source)
+        placed = cluster.migrate("svc-0-0", None, epoch=1)
+        assert placed != source
+        assert cluster.nics_used == 2
+
+    def test_migrate_retires_emptied_source(self, cluster):
+        cluster.place(_instance(0))
+        target = cluster.place(_instance(1))
+        cluster.migrate("svc-0-0", target, epoch=0)
+        assert cluster.nics_used == 1
+
+    def test_migration_not_counted_as_placement(self, cluster):
+        cluster.place(_instance(0))
+        cluster.place(_instance(1))
+        before = cluster.total_placements
+        cluster.migrate("svc-0-0", None, epoch=0)
+        assert cluster.total_placements == before
+
+    def test_migrate_to_same_nic_rejected(self, cluster):
+        nic_id = cluster.place(_instance(0))
+        with pytest.raises(PlacementError):
+            cluster.migrate("svc-0-0", nic_id, epoch=0)
+
+    def test_migrate_to_full_nic_rejected(self, cluster):
+        target = cluster.place(_instance(0))
+        for n in range(1, cluster.max_residents_per_nic):
+            cluster.place(_instance(n), target)
+        cluster.place(_instance(50))
+        with pytest.raises(PlacementError):
+            cluster.migrate("svc-0-50", target, epoch=0)

@@ -1,0 +1,97 @@
+"""Tests for the seeded dynamic traffic traces."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.traces import TRACE_KINDS, make_trace, random_trace
+from repro.traffic.profile import TrafficProfile
+
+BASE = TrafficProfile(50_000, 1000, 500.0)
+
+
+class TestTraceDeterminism:
+    @pytest.mark.parametrize("kind", TRACE_KINDS)
+    def test_same_seed_same_trajectory(self, kind):
+        a = make_trace(kind, BASE, seed=5)
+        b = make_trace(kind, BASE, seed=5)
+        assert [a.profile_at(t) for t in range(12)] == [
+            b.profile_at(t) for t in range(12)
+        ]
+
+    def test_pure_in_epoch_order(self):
+        trace = make_trace("random_walk", BASE, seed=9)
+        forward = [trace.profile_at(t) for t in range(8)]
+        backward = [trace.profile_at(t) for t in reversed(range(8))]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        a = make_trace("random_walk", BASE, seed=1)
+        b = make_trace("random_walk", BASE, seed=2)
+        assert any(a.profile_at(t) != b.profile_at(t) for t in range(1, 10))
+
+
+class TestTraceShapes:
+    def test_static_returns_base(self):
+        trace = make_trace("static", BASE, seed=3)
+        assert all(trace.profile_at(t) == BASE for t in range(5))
+
+    def test_diurnal_swings_and_returns(self):
+        trace = make_trace("diurnal", BASE, seed=3, period=8)
+        values = [trace.profile_at(t).flow_count for t in range(8)]
+        assert max(values) > BASE.flow_count
+        assert min(values) < BASE.flow_count
+        # One full period later the profile repeats exactly.
+        assert trace.profile_at(2) == trace.profile_at(10)
+
+    def test_flash_crowd_surges_then_decays(self):
+        trace = make_trace(
+            "flash_crowd", BASE, seed=3, surge_factor=4.0, decay=0.5
+        )
+        flows = [trace.profile_at(t).flow_count for t in range(40)]
+        assert max(flows) > 2 * BASE.flow_count
+        assert flows[0] == BASE.flow_count  # onset is >= 1
+        assert abs(flows[-1] - BASE.flow_count) <= 0.05 * BASE.flow_count
+
+    def test_burst_epochs_are_rare_and_scaled(self):
+        trace = make_trace(
+            "burst", BASE, seed=3, burst_probability=0.25, surge_factor=3.0
+        )
+        flows = [trace.profile_at(t).flow_count for t in range(40)]
+        bursts = [f for f in flows if f > BASE.flow_count]
+        assert 0 < len(bursts) < len(flows)
+
+    def test_attributes_clamped(self):
+        huge = TrafficProfile(400_000, 1500, 1000.0)
+        trace = make_trace(
+            "flash_crowd", huge, seed=3, surge_factor=6.0
+        )
+        for t in range(30):
+            profile = trace.profile_at(t)
+            assert 1 <= profile.flow_count <= 500_000
+            assert 0.0 <= profile.mtbr <= 1100.0
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_trace("sawtooth", BASE, seed=1)
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_trace("static", BASE, seed=1).profile_at(-1)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_trace("diurnal", BASE, seed=1, amplitude=1.5)
+        with pytest.raises(ConfigurationError):
+            make_trace("flash_crowd", BASE, seed=1, decay=1.0)
+
+
+class TestRandomTrace:
+    def test_deterministic(self):
+        assert random_trace(7) == random_trace(7)
+
+    def test_kind_restriction(self):
+        for seed in range(10):
+            trace = random_trace(seed, kinds=("diurnal", "burst"))
+            assert trace.kind in ("diurnal", "burst")

@@ -1,0 +1,113 @@
+"""Equivalence pins for the adaptive profiler's batched region samples,
+``ProfilingCollector.solo_many`` and the ``run_batch``-backed sweep
+helpers — all must match their looped primitives bit for bit."""
+
+import pytest
+
+from repro.nf.catalog import make_nf
+from repro.nic.nic import SmartNic
+from repro.nic.spec import bluefield2_spec
+from repro.profiling.adaptive import AdaptiveProfiler
+from repro.profiling.collector import ProfilingCollector
+from repro.profiling.contention import ContentionLevel
+from repro.profiling.sweep import colocation_sweep, traffic_sweep
+from repro.traffic.profile import TrafficProfile
+
+
+def _profile(nf_name: str, use_batch: bool):
+    """One adaptive profiling run on a fresh collector."""
+    nic = SmartNic(bluefield2_spec(), seed=101)
+    collector = ProfilingCollector(nic)
+    profiler = AdaptiveProfiler(
+        collector, quota=100, seed=31, use_batch=use_batch
+    )
+    return profiler.profile(make_nf(nf_name)), collector
+
+
+class TestAdaptiveBatchEquivalence:
+    @pytest.mark.parametrize("nf_name", ["flowstats", "flowmonitor"])
+    def test_batched_regions_match_looped_primitive(self, nf_name):
+        looped, looped_collector = _profile(nf_name, use_batch=False)
+        batched, batched_collector = _profile(nf_name, use_batch=True)
+        # Identical samples in identical order...
+        assert batched.dataset.samples == looped.dataset.samples
+        # ...identical quota accounting (profiler and collector)...
+        assert batched.samples_used == looped.samples_used
+        assert batched_collector.profile_count == looped_collector.profile_count
+        # ...and identical Algorithm 1 decisions.
+        assert batched.kept_attributes == looped.kept_attributes
+        assert batched.pruned_attributes == looped.pruned_attributes
+        assert batched.regions_split == looped.regions_split
+
+    def test_quota_never_exceeded(self):
+        batched, _ = _profile("flowstats", use_batch=True)
+        assert batched.samples_used <= batched.quota
+
+
+class TestSoloMany:
+    def test_matches_looped_solo(self, noisy_nic):
+        requests = [
+            (make_nf(name), TrafficProfile(flows, 1500, 600.0))
+            for name in ("flowstats", "nids")
+            for flows in (4_000, 16_000, 64_000)
+        ]
+        looped_collector = ProfilingCollector(noisy_nic)
+        looped = [looped_collector.solo(nf, t) for nf, t in requests]
+        batched_collector = ProfilingCollector(noisy_nic)
+        batched = batched_collector.solo_many(requests)
+        assert batched == looped
+
+    def test_duplicates_share_cache_entry(self, noisy_nic):
+        collector = ProfilingCollector(noisy_nic)
+        nf = make_nf("acl")
+        traffic = TrafficProfile()
+        first, second = collector.solo_many([(nf, traffic), (nf, traffic)])
+        assert first == second
+        assert collector.solo(nf, traffic) == first
+
+
+class TestSweepHelpers:
+    def test_traffic_sweep_matches_profile_one(self, noisy_nic):
+        contention = ContentionLevel(mem_car=140.0, mem_wss_mb=10.0)
+        traffics = [
+            TrafficProfile(flows, 1500, 600.0)
+            for flows in (2_000, 20_000, 200_000)
+        ]
+        nf = make_nf("flowstats")
+        looped_collector = ProfilingCollector(noisy_nic)
+        looped = [
+            looped_collector.profile_one(nf, contention, t) for t in traffics
+        ]
+        swept_collector = ProfilingCollector(noisy_nic)
+        swept = traffic_sweep(swept_collector, nf, contention, traffics)
+        assert swept == looped
+        assert swept_collector.profile_count == looped_collector.profile_count
+
+    def test_colocation_sweep_matches_run_loop(self, noisy_nic):
+        traffic = TrafficProfile()
+        scenarios = [
+            [(make_nf("flowstats"), traffic), (make_nf("nids"), traffic)],
+            [(make_nf("acl"), traffic), (make_nf("acl"), traffic)],
+            [(make_nf("nat"), traffic)],
+        ]
+        swept = colocation_sweep(noisy_nic, scenarios)
+        for scenario, result in zip(scenarios, swept):
+            demands = [
+                nf.demand(t, instance=f"{nf.name}#{i}")
+                for i, (nf, t) in enumerate(scenario)
+            ]
+            looped = noisy_nic.run(demands)
+            assert looped.workloads == result.workloads
+            assert looped.iterations == result.iterations
+
+    def test_colocation_sweep_on_error_return(self, noisy_nic):
+        traffic = TrafficProfile()
+        over_capacity = [
+            (make_nf("flowstats"), traffic) for _ in range(10)
+        ]
+        fine = [[(make_nf("acl"), traffic)]]
+        outcomes = colocation_sweep(
+            noisy_nic, [over_capacity] + fine, on_error="return"
+        )
+        assert isinstance(outcomes[0], Exception)
+        assert not isinstance(outcomes[1], Exception)
