@@ -5,14 +5,17 @@ the operator must pack them onto as few SmartNICs as possible without
 violating any SLA. Compares the monopolization / greedy / SLOMO / Yala
 strategies on one arrival sequence.
 
-Run with ``python examples/nf_placement.py``.
+Run with ``python examples/nf_placement.py [--nic <target>]`` — any
+registered hardware target (``bluefield2``, ``pensando``, ...) works.
 """
+
+import argparse
 
 from repro.core.predictor import YalaSystem
 from repro.core.slomo import SlomoPredictor
 from repro.nf.catalog import make_nf
 from repro.nic.nic import SmartNic
-from repro.nic.spec import bluefield2_spec
+from repro.nic.spec import DEFAULT_TARGET, available_specs, get_spec
 from repro.profiling.sweep import colocation_sweep
 from repro.traffic.profile import TrafficProfile
 from repro.usecases.scheduling import Scheduler, random_arrivals
@@ -54,7 +57,16 @@ def pairwise_drop_matrix(nic: SmartNic) -> None:
 
 
 def main() -> None:
-    nic = SmartNic(bluefield2_spec(), seed=21)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--nic",
+        default=DEFAULT_TARGET,
+        choices=available_specs(),
+        help="hardware target to place onto",
+    )
+    args = parser.parse_args()
+    nic = SmartNic(get_spec(args.nic), seed=21)
+    print(f"Hardware target: {args.nic}\n")
     pairwise_drop_matrix(nic)
     print("Training predictors for the NF pool...")
     system = YalaSystem(nic, seed=21, quota=250)

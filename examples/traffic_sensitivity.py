@@ -5,14 +5,18 @@ attributes does my NF care about, and how does its contended throughput
 move across them? Mirrors the analysis behind the paper's Figure 6 and
 the attribute pruning of Algorithm 1.
 
-Run with ``python examples/traffic_sensitivity.py``.
+Run with ``python examples/traffic_sensitivity.py [--nic <target>]`` —
+any registered hardware target (``bluefield2``, ``pensando``, ...)
+works.
 """
+
+import argparse
 
 import numpy as np
 
 from repro.nf.catalog import make_nf
 from repro.nic.nic import SmartNic
-from repro.nic.spec import bluefield2_spec
+from repro.nic.spec import DEFAULT_TARGET, available_specs, get_spec
 from repro.profiling.adaptive import AdaptiveProfiler
 from repro.profiling.collector import ProfilingCollector
 from repro.profiling.contention import ContentionLevel
@@ -21,7 +25,16 @@ from repro.traffic.profile import TrafficProfile
 
 
 def main() -> None:
-    nic = SmartNic(bluefield2_spec(), seed=31)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--nic",
+        default=DEFAULT_TARGET,
+        choices=available_specs(),
+        help="hardware target to profile on",
+    )
+    args = parser.parse_args()
+    nic = SmartNic(get_spec(args.nic), seed=31)
+    print(f"Hardware target: {args.nic}\n")
     collector = ProfilingCollector(nic)
 
     for name in ("flowstats", "iptunnel", "nids", "acl"):

@@ -501,16 +501,44 @@ class YalaSystem:
                     self._predictors[name] = predictor
             return self
         for name in pending:
-            predictor = YalaPredictor(
-                make_nf(name), self._collector, seed=derive_seed(self._seed, name)
-            )
-            predictor.train(
-                quota=self._quota,
-                traffic_aware=self._traffic_aware,
-                quantize_bins=self._quantize_bins,
-            )
-            self._predictors[name] = predictor
+            self.train_one(name)
         return self
+
+    def train_one(self, nf_name: str, seed: SeedLike = None) -> YalaPredictor:
+        """Train (or return) the predictor of one NF.
+
+        The default seed is the system's per-NF derivation
+        (``derive_seed(system_seed, nf_name)``, exactly what
+        :meth:`train` uses); an explicit ``seed`` lets callers pin a
+        historical stream — the multi-target experiment context uses
+        this to keep Table 9's Pensando predictor bit-identical to its
+        pre-refactor standalone training. Requesting an explicit seed
+        for an NF that already trained under a *different* seed raises:
+        silently returning the differently-seeded predictor would break
+        the caller's bit-exactness expectation.
+        """
+        seed_int = normalize_seed(seed)
+        if nf_name in self._predictors:
+            cached = self._predictors[nf_name]
+            if seed_int is not None and cached._seed != seed_int:
+                raise ConfigurationError(
+                    f"{nf_name!r} is already trained with seed "
+                    f"{cached._seed}; request explicit seed streams "
+                    "before the first training"
+                )
+            return cached
+        if seed_int is None:
+            seed_int = derive_seed(self._seed, nf_name)
+        predictor = YalaPredictor(
+            make_nf(nf_name), self._collector, seed=seed_int
+        )
+        predictor.train(
+            quota=self._quota,
+            traffic_aware=self._traffic_aware,
+            quantize_bins=self._quantize_bins,
+        )
+        self._predictors[nf_name] = predictor
+        return predictor
 
     def predictor_of(self, nf_name: str) -> YalaPredictor:
         try:

@@ -4,18 +4,20 @@ A Firewall NF (hardware flow-table walk) runs on the Pensando NIC
 profile under memory contention and dynamic traffic; Yala and SLOMO are
 trained and evaluated exactly as on BlueField-2. The same model family
 must transfer because the architectural style (shared memory subsystem,
-RR-queue accelerators) is the same. Scoring runs through the batch
-engine's standalone driver (:func:`repro.experiments.batch.score_standalone`)
-since this experiment trains its own predictors outside the shared
-context.
+RR-queue accelerators) is the same. The Pensando predictors live in the
+shared multi-target experiment context
+(:meth:`repro.experiments.context.ExperimentContext.target`), trained
+with this experiment's historical seed streams so the rendered table is
+bit-identical to the pre-multi-target standalone training; scoring runs
+through the batch engine's standalone driver
+(:func:`repro.experiments.batch.score_standalone`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.predictor import CompetitorSpec, YalaPredictor
-from repro.core.slomo import SlomoPredictor
+from repro.core.predictor import CompetitorSpec, YalaSystem
 from repro.experiments.batch import (
     EvaluationCase,
     score_standalone,
@@ -28,13 +30,21 @@ from repro.experiments.common import (
     get_scale,
     render_table,
 )
+from repro.experiments.context import (
+    ExperimentContext,
+    TargetContext,
+    get_context,
+)
 from repro.nf.catalog import make_nf
 from repro.nic.nic import SmartNic
-from repro.nic.spec import pensando_spec
+from repro.nic.spec import get_spec, target_seed
 from repro.profiling.collector import ProfilingCollector
 from repro.profiling.contention import ContentionLevel
 from repro.rng import derive_seed, make_rng
 from repro.traffic.profile import TrafficProfile
+
+#: Hardware target this experiment generalises to.
+TARGET = "pensando"
 
 
 @dataclass
@@ -103,19 +113,53 @@ def build_cases(
     return cases
 
 
+def _pensando_target(
+    resolved: ExperimentScale, seed: int
+) -> TargetContext:
+    """The Pensando target context Table 9 trains and scores on.
+
+    The shared multi-target context serves the harness seed; a run at a
+    custom seed gets an equivalent private (uncached) target context so
+    the seed threading stays exact.
+    """
+    if seed == EXPERIMENT_SEED:
+        return get_context(resolved).target(TARGET)
+    spec = get_spec(TARGET)
+    nic = SmartNic(spec, seed=target_seed(seed, TARGET))
+    return TargetContext(
+        target=TARGET,
+        scale=resolved,
+        seed=seed,
+        nic=nic,
+        yala=YalaSystem(
+            nic, seed=target_seed(seed, TARGET, "yala"), quota=resolved.quota
+        ),
+    )
+
+
+def warm_context(context: ExperimentContext, seed: int = EXPERIMENT_SEED) -> None:
+    """Pre-train the Pensando predictors :func:`run` needs.
+
+    The parallel experiment runner calls this before forking workers so
+    they inherit the trained Table 9 target through copy-on-write, the
+    same way the default target is pre-trained.
+    """
+    target = context.target(TARGET)
+    target.yala_for("firewall", seed=derive_seed(seed, "t9-yala"))
+    target.slomo_for("firewall", seed=derive_seed(seed, "t9-slomo"))
+
+
 def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> Table9Result:
-    """Regenerate Table 9."""
+    """Regenerate Table 9 from the shared multi-target context."""
     resolved = get_scale(scale)
-    nic = SmartNic(pensando_spec(), seed=derive_seed(seed, "pensando"))
-    collector = ProfilingCollector(nic)
-    firewall = make_nf("firewall")
+    target = _pensando_target(resolved, seed)
+    # Historical seed streams ("t9-*" tags predate the multi-target
+    # context): the trained predictors — and the rendered table — are
+    # bit-identical to the old standalone training path.
+    yala = target.yala_for("firewall", seed=derive_seed(seed, "t9-yala"))
+    slomo = target.slomo_for("firewall", seed=derive_seed(seed, "t9-slomo"))
 
-    yala = YalaPredictor(firewall, collector, seed=derive_seed(seed, "t9-yala"))
-    yala.train(quota=resolved.quota)
-    slomo = SlomoPredictor("firewall", seed=derive_seed(seed, "t9-slomo"))
-    slomo.train(collector, firewall, n_samples=resolved.slomo_samples)
-
-    cases = build_cases(collector, resolved, seed)
+    cases = build_cases(target.collector, resolved, seed)
     summary = summarize_accuracy(score_standalone(cases, yala=yala, slomo=slomo))
     return Table9Result(
         slomo_mape=summary.slomo_mape,

@@ -14,8 +14,21 @@ CLI: ``python -m repro.fleet --epochs 20 --policy yala``.
 """
 
 from repro.fleet.churn import ChurnProcess, ServiceRequest
-from repro.fleet.cluster import Cluster, FleetNic, MigrationRecord, ServiceInstance
-from repro.fleet.engine import EpochMetrics, FleetEngine, FleetReport, simulate
+from repro.fleet.cluster import (
+    Cluster,
+    FleetNic,
+    MigrationRecord,
+    NicProvisioner,
+    ServiceInstance,
+    parse_nic_mix,
+)
+from repro.fleet.engine import (
+    EpochMetrics,
+    FleetEngine,
+    FleetReport,
+    PoolMetrics,
+    simulate,
+)
 from repro.fleet.policies import (
     FLEET_POLICY_NAMES,
     PlacementModel,
@@ -32,13 +45,16 @@ __all__ = [
     "FleetNic",
     "FleetReport",
     "MigrationRecord",
+    "NicProvisioner",
     "PlacementModel",
+    "PoolMetrics",
     "ServiceInstance",
     "ServiceRequest",
     "TRACE_KINDS",
     "TrafficTrace",
     "make_policy",
     "make_trace",
+    "parse_nic_mix",
     "random_trace",
     "simulate",
 ]

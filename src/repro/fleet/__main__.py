@@ -2,9 +2,13 @@
 
 ``python -m repro.fleet --epochs 20 --policy yala`` trains the
 predictors the chosen policy needs, runs the time-stepped fleet
-simulation and prints a text (or ``--format json``) report. Everything
-is seeded: two invocations with the same arguments produce identical
-reports, byte for byte.
+simulation and prints a text (or ``--format json``) report. A
+heterogeneous pool is one flag away: ``--nic-mix
+bluefield2=0.7,pensando=0.3`` provisions a seeded mixed fleet and
+trains the policy's predictors per hardware target; the report header
+then carries the per-pool NIC composition and per-target
+utilisation/wastage breakdowns. Everything is seeded: two invocations
+with the same arguments produce identical reports, byte for byte.
 """
 
 from __future__ import annotations
@@ -16,11 +20,12 @@ import time
 from repro.core.predictor import YalaSystem
 from repro.core.slomo import SlomoPredictor
 from repro.fleet.churn import ChurnProcess
+from repro.fleet.cluster import NicProvisioner, parse_nic_mix
 from repro.fleet.engine import FleetEngine
 from repro.fleet.policies import FLEET_POLICY_NAMES, PlacementModel
 from repro.nf.catalog import make_nf
 from repro.nic.nic import SmartNic
-from repro.nic.spec import bluefield2_spec
+from repro.nic.spec import DEFAULT_TARGET, get_spec, target_seed
 from repro.profiling.collector import ProfilingCollector
 from repro.rng import derive_seed
 
@@ -29,31 +34,56 @@ from repro.rng import derive_seed
 DEFAULT_POOL = ("flowmonitor", "flowstats", "nids")
 
 
+def _build_target(
+    policy: str,
+    target: str,
+    nf_pool: tuple[str, ...],
+    seed: int,
+    quota: int,
+    jobs: int,
+) -> dict:
+    """Train exactly the predictors ``policy`` needs on one target.
+
+    Seed streams come from :func:`repro.nic.spec.target_seed`: the
+    default target keeps the CLI's historical single-NIC streams
+    (byte-identical reports), secondary targets derive their own.
+    """
+    nic = SmartNic(get_spec(target), seed=target_seed(seed, target))
+    if policy in ("yala", "rebalance"):
+        yala = YalaSystem(nic, seed=target_seed(seed, target), quota=quota)
+        yala.train(list(nf_pool), jobs=jobs)
+        return {"yala": yala}
+    if policy == "slomo":
+        collector = ProfilingCollector(nic)
+        slomo = {}
+        for name in nf_pool:
+            predictor = SlomoPredictor(
+                name, seed=target_seed(seed, target, "slomo", name)
+            )
+            predictor.train(collector, make_nf(name), n_samples=quota)
+            slomo[name] = predictor
+        return {"slomo_predictors": slomo, "collector": collector, "nic": nic}
+    # monopolization / greedy need no trained predictors.
+    return {"collector": ProfilingCollector(nic), "nic": nic}
+
+
 def build_model(
     policy: str,
     nf_pool: tuple[str, ...],
     seed: int,
     quota: int,
     jobs: int,
+    targets: tuple[str, ...] = (DEFAULT_TARGET,),
 ) -> PlacementModel:
-    """Train exactly the predictors ``policy`` needs."""
-    nic = SmartNic(bluefield2_spec(), seed=seed)
-    if policy in ("yala", "rebalance"):
-        yala = YalaSystem(nic, seed=seed, quota=quota)
-        yala.train(list(nf_pool), jobs=jobs)
-        return PlacementModel(yala=yala)
-    if policy == "slomo":
-        collector = ProfilingCollector(nic)
-        slomo = {}
-        for name in nf_pool:
-            predictor = SlomoPredictor(name, seed=derive_seed(seed, "slomo", name))
-            predictor.train(collector, make_nf(name), n_samples=quota)
-            slomo[name] = predictor
-        return PlacementModel(
-            slomo_predictors=slomo, collector=collector, nic=nic
+    """Train the predictors ``policy`` needs on every pool target."""
+    model = PlacementModel(
+        **_build_target(policy, targets[0], nf_pool, seed, quota, jobs)
+    )
+    for target in targets[1:]:
+        model.add_target(
+            **_build_target(policy, target, nf_pool, seed, quota, jobs)
         )
-    # monopolization / greedy need no trained predictors.
-    return PlacementModel(collector=ProfilingCollector(nic), nic=nic)
+    return model
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -62,6 +92,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--epochs", type=int, default=20)
     parser.add_argument("--policy", default="yala", choices=FLEET_POLICY_NAMES)
+    parser.add_argument(
+        "--nic-mix",
+        default=DEFAULT_TARGET,
+        help="hardware pool composition, e.g. 'bluefield2=0.7,pensando=0.3' "
+        "(weights are relative; a bare name means a homogeneous pool)",
+    )
     parser.add_argument(
         "--arrival-rate",
         type=float,
@@ -114,15 +150,24 @@ def main(argv: list[str] | None = None) -> int:
     nf_pool = tuple(name.strip() for name in args.nf_pool.split(",") if name.strip())
     if not nf_pool:
         parser.error("--nf-pool must name at least one NF")
+    try:
+        mix = parse_nic_mix(args.nic_mix)
+    except Exception as error:
+        parser.error(str(error))
 
+    targets = tuple(mix)
     start = time.perf_counter()
-    model = build_model(args.policy, nf_pool, args.seed, args.quota, args.jobs)
+    model = build_model(
+        args.policy, nf_pool, args.seed, args.quota, args.jobs, targets
+    )
     print(
         f"# model ready in {time.perf_counter() - start:.1f}s "
-        f"(policy={args.policy}, pool={','.join(nf_pool)})",
+        f"(policy={args.policy}, pool={','.join(nf_pool)}, "
+        f"targets={','.join(targets)})",
         file=sys.stderr,
     )
 
+    provisioner = NicProvisioner(mix, seed=derive_seed(args.seed, "nic-mix"))
     churn = ChurnProcess(
         nf_names=nf_pool,
         seed=derive_seed(args.seed, "fleet-churn"),
@@ -130,7 +175,13 @@ def main(argv: list[str] | None = None) -> int:
         mean_lifetime=args.mean_lifetime,
         initial_services=args.initial_services,
     )
-    engine = FleetEngine(args.policy, churn, model, score_mode=args.score_mode)
+    engine = FleetEngine(
+        args.policy,
+        churn,
+        model,
+        score_mode=args.score_mode,
+        provisioner=provisioner,
+    )
     start = time.perf_counter()
     report = engine.run(args.epochs)
     print(

@@ -1,23 +1,127 @@
 """Fleet state: SmartNICs, resident services, migration bookkeeping.
 
 A :class:`Cluster` tracks which service instance runs on which NIC of a
-homogeneous SmartNIC pool. NICs are spun up on demand (placement onto
+SmartNIC pool. NICs are spun up on demand (placement onto
 ``nic_id=None``), retire automatically when their last resident leaves,
 and every migration is appended to an ordered log so a trajectory can
 be replayed and compared bit-for-bit.
+
+Pools may be **heterogeneous**: a :class:`NicProvisioner` decides which
+registered hardware target each newly spun-up NIC instantiates — a pure
+function of ``(seed, spin-up ordinal)``, so a mixed
+BlueField-2/Pensando fleet provisions the identical NIC sequence on
+every run regardless of how churn interleaves placements. Constructing
+a cluster from a bare :class:`NicSpecification` keeps the historical
+homogeneous behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import PlacementError
+from repro.errors import ConfigurationError, PlacementError
 from repro.fleet.churn import ServiceRequest
-from repro.nic.spec import NicSpecification
+from repro.nic.spec import NicSpecification, get_spec
+from repro.rng import derive_seed, make_rng
 from repro.traffic.profile import TrafficProfile
 
 #: Cores every NF instance occupies (the paper gives each NF two).
 CORES_PER_NF = 2
+
+
+def parse_nic_mix(text: str) -> dict[str, float]:
+    """Parse a ``--nic-mix`` string into ``{target: weight}``.
+
+    ``"bluefield2=0.7,pensando=0.3"`` — weights are relative (they need
+    not sum to 1); a bare target name means weight 1. Target names must
+    be registered (:func:`repro.nic.spec.get_spec`).
+    """
+    mix: dict[str, float] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, weight_text = part.partition("=")
+        name = name.strip()
+        try:
+            # A bare name means weight 1; a '=' with nothing after it
+            # is a typo, not a default.
+            weight = float(weight_text) if sep else 1.0
+        except ValueError:
+            raise ConfigurationError(
+                f"bad nic-mix weight in {part!r}"
+            ) from None
+        if weight <= 0:
+            raise ConfigurationError(f"nic-mix weight must be > 0 in {part!r}")
+        if name in mix:
+            raise ConfigurationError(f"duplicate nic-mix target {name!r}")
+        get_spec(name)  # validates the target exists
+        mix[name] = weight
+    if not mix:
+        raise ConfigurationError("nic-mix must name at least one target")
+    return mix
+
+
+class NicProvisioner:
+    """Seeded hardware-target source for newly provisioned NICs.
+
+    The spec of the ``n``-th NIC a cluster ever spins up is a pure
+    function of ``(seed, n)``: a weighted draw over the mix for
+    heterogeneous pools, constant for single-target pools.
+    """
+
+    def __init__(
+        self,
+        mix: dict[str, float],
+        seed: int = 0,
+        _specs: dict[str, NicSpecification] | None = None,
+    ) -> None:
+        if not mix:
+            raise ConfigurationError("provisioner mix must be non-empty")
+        # ``_specs`` lets :meth:`constant` supply an (possibly
+        # unregistered) spec object directly; everyone else resolves
+        # through the target registry.
+        self._specs = (
+            _specs if _specs is not None
+            else {name: get_spec(name) for name in mix}
+        )
+        total = float(sum(mix.values()))
+        if total <= 0:
+            raise ConfigurationError("provisioner mix weights must be > 0")
+        self._mix = tuple((name, weight / total) for name, weight in mix.items())
+        self._names = tuple(name for name, _ in self._mix)
+        self._weights = [weight for _, weight in self._mix]
+        self._seed = seed
+
+    @classmethod
+    def constant(cls, spec: NicSpecification) -> "NicProvisioner":
+        """A homogeneous pool of ``spec`` (which may be unregistered)."""
+        return cls({spec.name: 1.0}, seed=0, _specs={spec.name: spec})
+
+    @property
+    def mix(self) -> tuple[tuple[str, float], ...]:
+        """Normalised ``(target, weight)`` pairs, in declaration order."""
+        return self._mix
+
+    @property
+    def target_names(self) -> tuple[str, ...]:
+        return self._names
+
+    def spec_of(self, target: str) -> NicSpecification:
+        try:
+            return self._specs[target]
+        except KeyError:
+            raise ConfigurationError(
+                f"target {target!r} is not in the pool mix {self._names}"
+            ) from None
+
+    def spec_for(self, ordinal: int) -> NicSpecification:
+        """Spec of the ``ordinal``-th provisioned NIC (pure function)."""
+        if len(self._names) == 1:
+            return self._specs[self._names[0]]
+        rng = make_rng(derive_seed(self._seed, "nic-spec", ordinal))
+        index = int(rng.choice(len(self._names), p=self._weights))
+        return self._specs[self._names[index]]
 
 
 @dataclass
@@ -51,7 +155,17 @@ class FleetNic:
     """One SmartNIC of the fleet and its resident services."""
 
     nic_id: int
+    spec: NicSpecification
     residents: list[ServiceInstance] = field(default_factory=list)
+
+    @property
+    def target(self) -> str:
+        """Hardware target name of this NIC (its spec's name)."""
+        return self.spec.name
+
+    @property
+    def max_residents(self) -> int:
+        return self.spec.num_cores // CORES_PER_NF
 
     def cores_used(self) -> int:
         return CORES_PER_NF * len(self.residents)
@@ -71,8 +185,10 @@ class MigrationRecord:
 class Cluster:
     """Mutable fleet state with deterministic bookkeeping."""
 
-    def __init__(self, spec: NicSpecification) -> None:
-        self._spec = spec
+    def __init__(self, pool: NicSpecification | NicProvisioner) -> None:
+        if isinstance(pool, NicSpecification):
+            pool = NicProvisioner.constant(pool)
+        self._provisioner = pool
         self._nics: list[FleetNic] = []
         self._next_nic_id = 0
         self._by_instance: dict[str, FleetNic] = {}
@@ -81,12 +197,27 @@ class Cluster:
         self.total_departures = 0
 
     @property
+    def provisioner(self) -> NicProvisioner:
+        return self._provisioner
+
+    @property
     def spec(self) -> NicSpecification:
-        return self._spec
+        """The pool's primary spec (first mix entry; the only one for
+        homogeneous pools)."""
+        return self._provisioner.spec_of(self._provisioner.target_names[0])
 
     @property
     def max_residents_per_nic(self) -> int:
-        return self._spec.num_cores // CORES_PER_NF
+        """Capacity of the roomiest target in the pool mix.
+
+        Per-NIC capacity lives on :attr:`FleetNic.max_residents`; this
+        pool-level bound feeds the wastage baseline (the fewest NICs any
+        packing could use assumes best-case hardware).
+        """
+        return max(
+            self._provisioner.spec_of(name).num_cores // CORES_PER_NF
+            for name in self._provisioner.target_names
+        )
 
     @property
     def nics(self) -> list[FleetNic]:
@@ -114,12 +245,15 @@ class Cluster:
         if instance.instance_id in self._by_instance:
             raise PlacementError(f"{instance.instance_id!r} is already placed")
         if nic_id is None:
-            nic = FleetNic(nic_id=self._next_nic_id)
+            nic = FleetNic(
+                nic_id=self._next_nic_id,
+                spec=self._provisioner.spec_for(self._next_nic_id),
+            )
             self._next_nic_id += 1
             self._nics.append(nic)
         else:
             nic = self._find(nic_id)
-            if len(nic.residents) >= self.max_residents_per_nic:
+            if len(nic.residents) >= nic.max_residents:
                 raise PlacementError(f"NIC {nic_id} is full")
         nic.residents.append(instance)
         self._by_instance[instance.instance_id] = nic
@@ -150,7 +284,7 @@ class Cluster:
             raise PlacementError("migration target is the current NIC")
         if to_nic_id is not None:
             target = self._find(to_nic_id)
-            if len(target.residents) >= self.max_residents_per_nic:
+            if len(target.residents) >= target.max_residents:
                 raise PlacementError(f"NIC {to_nic_id} is full")
         instance = next(
             r for r in source.residents if r.instance_id == instance_id

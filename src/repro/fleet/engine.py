@@ -26,16 +26,25 @@ Each epoch proceeds in five phases:
 5. **Ground-truth scoring** — the simulator runs every NIC's resident
    mix under the epoch's traffic. All uncached solo baselines and
    co-run mixes across the whole cluster are solved in **one**
-   :meth:`SmartNic.run_batch` call per epoch (``score_mode="batch"``);
-   ``score_mode="loop"`` solves the identical scenario list with
-   per-scenario :meth:`SmartNic.run` calls and is the bit-exactness
-   oracle — reports from the two modes must be equal to the last bit.
+   :meth:`SmartNic.run_batch` call per hardware target per epoch
+   (``score_mode="batch"``); ``score_mode="loop"`` solves the identical
+   scenario lists with per-scenario :meth:`SmartNic.run` calls and is
+   the bit-exactness oracle — reports from the two modes must be equal
+   to the last bit.
+
+Fleets may be **heterogeneous**: a :class:`~repro.fleet.cluster.
+NicProvisioner` mixes hardware targets in one pool, each NIC is scored
+on its own target's simulator, the policies consult that target's
+trained predictors (:class:`~repro.fleet.policies.PlacementModel`), and
+the report carries per-pool composition/utilisation/wastage breakdowns
+next to the fleet-wide series.
 
 The scored drops feed the SLA-violation, utilisation, wastage and
 migration-cost time series of the :class:`FleetReport`, and are handed
 to the policy as ``last_drops`` at the next epoch's rebalancing phase.
-Everything is deterministic in ``(churn seed, trained model)``: two
-runs with the same configuration produce byte-identical JSON reports.
+Everything is deterministic in ``(churn seed, nic mix, trained
+model)``: two runs with the same configuration produce byte-identical
+JSON reports.
 """
 
 from __future__ import annotations
@@ -43,10 +52,17 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import asdict, dataclass, field
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.fleet.churn import ChurnProcess
-from repro.fleet.cluster import Cluster, MigrationRecord, ServiceInstance
+from repro.fleet.cluster import (
+    CORES_PER_NF,
+    Cluster,
+    MigrationRecord,
+    NicProvisioner,
+    ServiceInstance,
+)
 from repro.fleet.policies import FleetPolicy, PlacementModel, make_policy
 from repro.nf.catalog import make_nf
 
@@ -68,6 +84,18 @@ class EpochMetrics:
     aggregate_throughput_mpps: float
 
 
+@dataclass(frozen=True)
+class PoolMetrics:
+    """One hardware target's pool state at the end of one epoch."""
+
+    epoch: int
+    target: str
+    nics_used: int
+    services: int
+    utilisation_pct: float
+    wastage_pct: float
+
+
 @dataclass
 class FleetReport:
     """Trajectory of one fleet simulation."""
@@ -76,7 +104,9 @@ class FleetReport:
     seed: int
     epochs: int
     score_mode: str
+    nic_mix: tuple[tuple[str, float], ...] = ()
     metrics: list[EpochMetrics] = field(default_factory=list)
+    pools: list[PoolMetrics] = field(default_factory=list)
     migrations: list[MigrationRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------------
@@ -103,6 +133,30 @@ class FleetReport:
     def total_migrations(self) -> int:
         return sum(m.migrations for m in self.metrics)
 
+    def pool_summary(self) -> dict[str, dict[str, float]]:
+        """Per-target means over the trajectory (NICs, utilisation, wastage).
+
+        Epochs where a target provisioned no NIC count as zero NICs but
+        are excluded from the utilisation/wastage means (an absent pool
+        has no hardware to utilise or waste).
+        """
+        summary: dict[str, dict[str, float]] = {}
+        targets = [name for name, _ in self.nic_mix] or sorted(
+            {p.target for p in self.pools}
+        )
+        for target in targets:
+            rows = [p for p in self.pools if p.target == target]
+            active = [p for p in rows if p.nics_used > 0]
+            summary[target] = {
+                "mean_nics": _mean([p.nics_used for p in rows]),
+                "mean_utilisation_pct": _mean(
+                    [p.utilisation_pct for p in active]
+                ),
+                "mean_wastage_pct": _mean([p.wastage_pct for p in active]),
+                "mean_services": _mean([p.services for p in rows]),
+            }
+        return summary
+
     # ------------------------------------------------------------------
     def to_json(self) -> str:
         """Deterministic JSON rendering of the whole trajectory."""
@@ -111,6 +165,10 @@ class FleetReport:
             "seed": self.seed,
             "epochs": self.epochs,
             "score_mode": self.score_mode,
+            "nic_mix": [
+                {"target": name, "weight": weight}
+                for name, weight in self.nic_mix
+            ],
             "summary": {
                 "mean_nics": self.mean_nics,
                 "mean_utilisation_pct": self.mean_utilisation_pct,
@@ -118,24 +176,35 @@ class FleetReport:
                 "violation_rate_pct": self.violation_rate_pct,
                 "total_migrations": self.total_migrations,
             },
+            "pool_summary": self.pool_summary(),
             "metrics": [asdict(m) for m in self.metrics],
+            "pools": [asdict(p) for p in self.pools],
             "migrations": [asdict(m) for m in self.migrations],
         }
         return json.dumps(payload, sort_keys=True, indent=2)
 
     def render(self) -> str:
-        """Text report: per-epoch rows plus a summary footer."""
+        """Text report: configuration + per-pool header, per-epoch rows,
+        summary footer."""
         header = (
             f"{'epoch':>5s} {'svcs':>5s} {'nics':>5s} {'arr':>4s} {'dep':>4s} "
             f"{'mig':>4s} {'viol':>5s} {'util%':>7s} {'waste%':>7s} "
             f"{'tput Mpps':>10s}"
         )
+        mix = ",".join(f"{name}={weight:.2f}" for name, weight in self.nic_mix)
         lines = [
             f"fleet policy={self.policy} seed={self.seed} "
-            f"epochs={self.epochs} score_mode={self.score_mode}",
-            header,
-            "-" * len(header),
+            f"epochs={self.epochs} score_mode={self.score_mode}"
+            + (f" nic_mix={mix}" if mix else ""),
         ]
+        for target, stats in self.pool_summary().items():
+            lines.append(
+                f"pool {target}: mean NICs {stats['mean_nics']:.2f} | "
+                f"utilisation {stats['mean_utilisation_pct']:.1f}% | "
+                f"wastage {stats['mean_wastage_pct']:.1f}% | "
+                f"mean services {stats['mean_services']:.2f}"
+            )
+        lines.extend([header, "-" * len(header)])
         for m in self.metrics:
             lines.append(
                 f"{m.epoch:5d} {m.services:5d} {m.nics_used:5d} "
@@ -167,14 +236,25 @@ class FleetEngine:
         churn: ChurnProcess,
         model: PlacementModel,
         score_mode: str = "batch",
+        provisioner: Optional[NicProvisioner] = None,
     ) -> None:
         if score_mode not in ("batch", "loop"):
             raise ConfigurationError("score_mode must be 'batch' or 'loop'")
         self._policy = make_policy(policy) if isinstance(policy, str) else policy
         self._churn = churn
         self._model = model
-        self._nic = model.nic
-        self._collector = model.collector
+        if provisioner is None:
+            # Historical homogeneous behaviour: every NIC is the
+            # model's default target.
+            provisioner = NicProvisioner.constant(model.nic.spec)
+        for target in provisioner.target_names:
+            if target not in model.target_names:
+                raise ConfigurationError(
+                    f"nic-mix target {target!r} has no placement model; "
+                    f"registered: {list(model.target_names)}"
+                )
+        self._provisioner = provisioner
+        self._targets = provisioner.target_names
         self._score_mode = score_mode
 
     @property
@@ -191,13 +271,14 @@ class FleetEngine:
         """
         if epochs < 1:
             raise ConfigurationError("epochs must be >= 1")
-        cluster = Cluster(self._nic.spec)
+        cluster = Cluster(self._provisioner)
         mix_cache: dict[tuple, list[tuple[float, float]]] = {}
         report = FleetReport(
             policy=self._policy.name,
             seed=self._churn.seed,
             epochs=epochs,
             score_mode=self._score_mode,
+            nic_mix=self._provisioner.mix,
         )
         last_drops: dict[str, float] = {}
 
@@ -244,7 +325,7 @@ class FleetEngine:
             )
 
             services = len(cluster.services)
-            total_cores = cluster.nics_used * self._nic.spec.num_cores
+            total_cores = sum(nic.spec.num_cores for nic in cluster.nics)
             used_cores = sum(nic.cores_used() for nic in cluster.nics)
             min_nics = math.ceil(services / cluster.max_residents_per_nic)
             report.metrics.append(
@@ -270,8 +351,37 @@ class FleetEngine:
                     aggregate_throughput_mpps=sum(throughputs.values()),
                 )
             )
+            report.pools.extend(self._pool_metrics(cluster, epoch))
         report.migrations = list(cluster.migration_log)
         return report
+
+    def _pool_metrics(self, cluster: Cluster, epoch: int) -> list[PoolMetrics]:
+        """Per-target pool breakdown of one scored epoch."""
+        rows = []
+        for target in self._targets:
+            pool = [nic for nic in cluster.nics if nic.target == target]
+            pool_services = sum(len(nic.residents) for nic in pool)
+            pool_total = sum(nic.spec.num_cores for nic in pool)
+            pool_used = sum(nic.cores_used() for nic in pool)
+            capacity = self._provisioner.spec_of(target).num_cores // CORES_PER_NF
+            pool_min = math.ceil(pool_services / capacity)
+            rows.append(
+                PoolMetrics(
+                    epoch=epoch,
+                    target=target,
+                    nics_used=len(pool),
+                    services=pool_services,
+                    utilisation_pct=(
+                        100.0 * pool_used / pool_total if pool_total else 0.0
+                    ),
+                    wastage_pct=(
+                        100.0 * (len(pool) - pool_min) / pool_min
+                        if pool_min
+                        else 0.0
+                    ),
+                )
+            )
+        return rows
 
     # ------------------------------------------------------------------
     # Epoch scoring
@@ -281,29 +391,40 @@ class FleetEngine:
         return tuple((r.nf_name, r.traffic) for r in residents)
 
     def _warm_solos(self, cluster: Cluster, arrivals, epoch: int) -> None:
-        """Measure this epoch's solo baselines into the collector cache.
+        """Measure this epoch's solo baselines into the collector caches.
 
-        ``batch`` mode solves every uncached solo in one
-        :meth:`ProfilingCollector.solo_many` call (one ``run_batch``);
-        ``loop`` mode measures the identical set with per-pair scalar
-        :meth:`ProfilingCollector.solo` calls — same cache entries, so
-        both modes' policies and drop baselines see the same values.
+        Every hardware target in the pool mix is warmed with the full
+        (NF, traffic) pair set — placement probes evaluate candidates on
+        any target, and a migration can move a service across pools, so
+        each target's collector must know every pair's solo behaviour.
+        ``batch`` mode solves each target's uncached solos in one
+        :meth:`ProfilingCollector.solo_many` call (one ``run_batch``
+        per target); ``loop`` mode measures the identical set with
+        per-pair scalar :meth:`ProfilingCollector.solo` calls — same
+        cache entries, so both modes' policies and drop baselines see
+        the same values.
         """
         pairs = [(r.nf_name, r.traffic) for r in cluster.services]
         pairs.extend(
             (request.nf_name, request.trace.profile_at(epoch))
             for request in arrivals
         )
-        if self._score_mode == "batch":
-            self._collector.solo_many(
-                [(make_nf(name), traffic) for name, traffic in pairs]
-            )
-        else:
-            for name, traffic in pairs:
-                self._collector.solo(make_nf(name), traffic)
+        for target in self._targets:
+            collector = self._model.collector_for(target)
+            if self._score_mode == "batch":
+                collector.solo_many(
+                    [(make_nf(name), traffic) for name, traffic in pairs]
+                )
+            else:
+                for name, traffic in pairs:
+                    collector.solo(make_nf(name), traffic)
 
-    def _solo_throughput(self, nf_name: str, traffic) -> float:
-        return self._collector.solo(make_nf(nf_name), traffic).throughput_mpps
+    def _solo_throughput(self, nf_name: str, traffic, target: str) -> float:
+        return (
+            self._model.collector_for(target)
+            .solo(make_nf(nf_name), traffic)
+            .throughput_mpps
+        )
 
     def _score_epoch(
         self,
@@ -312,42 +433,51 @@ class FleetEngine:
     ) -> tuple[dict[str, float], dict[str, float]]:
         """Measured drop and throughput of every resident service.
 
-        Builds one scenario list covering every uncached multi-resident
-        mix on the cluster and solves it in a single
-        :meth:`SmartNic.run_batch` call (``batch`` mode) or with
-        per-scenario :meth:`SmartNic.run` calls (``loop`` mode, the
-        bit-exactness oracle), then reads both modes' results
-        identically. Solo baselines come from the collector cache
-        warmed at the top of the epoch.
+        Builds one scenario list per hardware target covering every
+        uncached multi-resident mix on that target's NICs and solves
+        each list in a single :meth:`SmartNic.run_batch` call (``batch``
+        mode — one call per spec group per epoch) or with per-scenario
+        :meth:`SmartNic.run` calls (``loop`` mode, the bit-exactness
+        oracle), then reads both modes' results identically. Solo
+        baselines come from the collector caches warmed at the top of
+        the epoch; a mix is cached per (target, mix) since the same
+        resident set performs differently on different hardware.
         """
-        scenarios: list[list] = []
+        scenarios: dict[str, list[list]] = {t: [] for t in self._targets}
         mix_slots: dict[tuple, int] = {}
         for nic in cluster.nics:
             if len(nic.residents) < 2:
                 continue
-            mix_key = self._mix_key(nic.residents)
-            if mix_key not in mix_cache and mix_key not in mix_slots:
-                mix_slots[mix_key] = len(scenarios)
-                scenarios.append(
+            key = (nic.target, self._mix_key(nic.residents))
+            if key not in mix_cache and key not in mix_slots:
+                mix_slots[key] = len(scenarios[nic.target])
+                scenarios[nic.target].append(
                     [
                         make_nf(name).demand(traffic, instance=f"{name}#{j}")
-                        for j, (name, traffic) in enumerate(mix_key)
+                        for j, (name, traffic) in enumerate(key[1])
                     ]
                 )
 
-        if self._score_mode == "batch":
-            solved = self._nic.run_batch(scenarios) if scenarios else []
-        else:
-            solved = [self._nic.run(scenario) for scenario in scenarios]
+        solved: dict[str, list] = {}
+        for target in self._targets:
+            batch = scenarios[target]
+            if not batch:
+                solved[target] = []
+            elif self._score_mode == "batch":
+                solved[target] = self._model.nic_for(target).run_batch(batch)
+            else:
+                nic_sim = self._model.nic_for(target)
+                solved[target] = [nic_sim.run(scenario) for scenario in batch]
 
-        for mix_key, slot in mix_slots.items():
-            result = solved[slot]
+        for key, slot in mix_slots.items():
+            target, mix_key = key
+            result = solved[target][slot]
             entries = []
             for j, (name, traffic) in enumerate(mix_key):
                 achieved = result.throughput_of(f"{name}#{j}")
-                solo = self._solo_throughput(name, traffic)
+                solo = self._solo_throughput(name, traffic, target)
                 entries.append((max(0.0, 1.0 - achieved / solo), achieved))
-            mix_cache[mix_key] = entries
+            mix_cache[key] = entries
 
         drops: dict[str, float] = {}
         throughputs: dict[str, float] = {}
@@ -356,10 +486,10 @@ class FleetEngine:
                 resident = nic.residents[0]
                 drops[resident.instance_id] = 0.0
                 throughputs[resident.instance_id] = self._solo_throughput(
-                    resident.nf_name, resident.traffic
+                    resident.nf_name, resident.traffic, nic.target
                 )
                 continue
-            entries = mix_cache[self._mix_key(nic.residents)]
+            entries = mix_cache[(nic.target, self._mix_key(nic.residents))]
             for resident, (drop, throughput) in zip(nic.residents, entries):
                 drops[resident.instance_id] = drop
                 throughputs[resident.instance_id] = throughput
@@ -372,9 +502,18 @@ def simulate(
     churn: ChurnProcess,
     model: PlacementModel,
     score_mode: str = "batch",
+    provisioner: Optional[NicProvisioner] = None,
 ) -> FleetReport:
     """One-call convenience wrapper around :class:`FleetEngine`."""
-    return FleetEngine(policy, churn, model, score_mode=score_mode).run(epochs)
+    return FleetEngine(
+        policy, churn, model, score_mode=score_mode, provisioner=provisioner
+    ).run(epochs)
 
 
-__all__ = ["EpochMetrics", "FleetEngine", "FleetReport", "simulate"]
+__all__ = [
+    "EpochMetrics",
+    "FleetEngine",
+    "FleetReport",
+    "PoolMetrics",
+    "simulate",
+]

@@ -8,7 +8,10 @@ Two layers:
   feasibility (memory-only) and Yala predicted feasibility
   (multi-resource). The predicates operate on any resident objects
   exposing ``nf_name`` / ``traffic`` / ``sla_drop_fraction`` —
-  one-shot ``NfArrival`` records and fleet ``ServiceInstance``\\ s alike.
+  one-shot ``NfArrival`` records and fleet ``ServiceInstance``\\ s alike
+  — and take an optional hardware ``target`` so heterogeneous pools
+  evaluate every candidate NIC with the predictors trained for *its*
+  hardware.
 - :class:`FleetPolicy` subclasses — the online decision rules: where an
   arriving service goes (``choose_nic``) and, once per epoch, whether
   resident services should migrate (``rebalance``). The
@@ -45,8 +48,35 @@ class Resident(Protocol):
     def sla_drop_fraction(self) -> float: ...
 
 
+class _TargetModel:
+    """One hardware target's predictors inside a :class:`PlacementModel`."""
+
+    __slots__ = ("yala", "slomo", "collector", "nic")
+
+    def __init__(self, yala, slomo, collector, nic) -> None:
+        if yala is None and (collector is None or nic is None):
+            raise ConfigurationError(
+                "PlacementModel needs a YalaSystem or an explicit "
+                "collector + nic (greedy/monopolization-only use)"
+            )
+        self.yala = yala
+        self.slomo = slomo or {}
+        self.collector = collector if collector is not None else yala.collector
+        self.nic = nic if nic is not None else yala.nic
+
+
 class PlacementModel:
-    """Strategy predicates shared by Table 6 and the fleet policies."""
+    """Strategy predicates shared by Table 6 and the fleet policies.
+
+    The model is **multi-target**: each registered hardware target has
+    its own simulator, collector and trained predictors, and every
+    predicate takes an optional ``target`` (a spec name) naming the
+    hardware the candidate placement would run on. The constructor
+    registers the first target — the *default*, used whenever ``target``
+    is omitted, which keeps the one-shot Table 6 scheduler single-target
+    — and :meth:`add_target` registers the rest of a heterogeneous
+    fleet's pool.
+    """
 
     def __init__(
         self,
@@ -55,60 +85,106 @@ class PlacementModel:
         collector=None,
         nic=None,
     ) -> None:
-        if yala is None and (collector is None or nic is None):
-            raise ConfigurationError(
-                "PlacementModel needs a YalaSystem or an explicit "
-                "collector + nic (greedy/monopolization-only use)"
-            )
-        self._yala = yala
-        self._slomo = slomo_predictors or {}
-        self._collector = collector if collector is not None else yala.collector
-        self._nic = nic if nic is not None else yala.nic
+        first = _TargetModel(yala, slomo_predictors, collector, nic)
+        self._default = first.nic.spec.name
+        self._targets: dict[str, _TargetModel] = {self._default: first}
         # greedy_utilisation is additive over residents, and placement
         # probes it once per candidate NIC per arrival — memoise the
         # per-resident bandwidth term (values come from the collector's
         # cached solo runs, so caching changes nothing numerically).
         self._mem_bw_cache: dict[tuple, float] = {}
 
+    def add_target(
+        self,
+        yala: Optional["YalaSystem"] = None,
+        slomo_predictors: Optional[dict[str, "SlomoPredictor"]] = None,
+        collector=None,
+        nic=None,
+    ) -> str:
+        """Register another hardware target's predictors; returns its name."""
+        entry = _TargetModel(yala, slomo_predictors, collector, nic)
+        name = entry.nic.spec.name
+        if name in self._targets:
+            raise ConfigurationError(f"target {name!r} is already registered")
+        self._targets[name] = entry
+        return name
+
+    def _target(self, target: Optional[str]) -> _TargetModel:
+        if target is None:
+            target = self._default
+        try:
+            return self._targets[target]
+        except KeyError:
+            raise PlacementError(
+                f"no placement model for target {target!r}; "
+                f"registered: {sorted(self._targets)}"
+            ) from None
+
+    @property
+    def default_target(self) -> str:
+        return self._default
+
+    @property
+    def target_names(self) -> tuple[str, ...]:
+        """Registered targets, default first (registration order)."""
+        return tuple(self._targets)
+
     @property
     def collector(self):
-        return self._collector
+        return self._targets[self._default].collector
+
+    def collector_for(self, target: Optional[str] = None):
+        return self._target(target).collector
 
     @property
     def nic(self):
-        return self._nic
+        return self._targets[self._default].nic
+
+    def nic_for(self, target: Optional[str] = None):
+        return self._target(target).nic
 
     # ------------------------------------------------------------------
-    def solo_throughput(self, resident: Resident) -> float:
+    def solo_throughput(
+        self, resident: Resident, target: Optional[str] = None
+    ) -> float:
         """Measured solo throughput of one resident (collector-cached)."""
-        return self._collector.solo(
+        return self._target(target).collector.solo(
             make_nf(resident.nf_name), resident.traffic
         ).throughput_mpps
 
-    def _resident_mem_bw(self, resident: Resident) -> float:
-        key = (resident.nf_name, resident.traffic)
+    def _resident_mem_bw(
+        self, resident: Resident, entry: _TargetModel, target_name: str
+    ) -> float:
+        key = (target_name, resident.nf_name, resident.traffic)
         if key not in self._mem_bw_cache:
-            counters = self._collector.solo(
+            counters = entry.collector.solo(
                 make_nf(resident.nf_name), resident.traffic
             ).counters
             self._mem_bw_cache[key] = (counters.memrd + counters.memwr) * 64.0
         return self._mem_bw_cache[key]
 
-    def greedy_utilisation(self, residents: Sequence[Resident]) -> float:
+    def greedy_utilisation(
+        self, residents: Sequence[Resident], target: Optional[str] = None
+    ) -> float:
         """Additive utilisation estimate of one NIC (greedy's view)."""
+        entry = self._target(target)
+        name = target if target is not None else self._default
         mem_bw = 0.0
         for resident in residents:
-            mem_bw += self._resident_mem_bw(resident)
-        return mem_bw / self._nic.spec.dram_bandwidth_bpus
+            mem_bw += self._resident_mem_bw(resident, entry, name)
+        return mem_bw / entry.nic.spec.dram_bandwidth_bpus
 
-    def predicted_feasible_yala(self, residents: Sequence[Resident]) -> bool:
+    def predicted_feasible_yala(
+        self, residents: Sequence[Resident], target: Optional[str] = None
+    ) -> bool:
         """Every resident keeps its SLA according to Yala's predictions."""
-        if self._yala is None:
+        entry = self._target(target)
+        if entry.yala is None:
             raise PlacementError("yala feasibility needs a trained YalaSystem")
         placements = [(r.nf_name, r.traffic) for r in residents]
-        predictions = self._yala.predict_colocation(placements)
+        predictions = entry.yala.predict_colocation(placements)
         for resident, predicted in zip(residents, predictions):
-            solo = self._yala.predictor_of(resident.nf_name).predict_solo(
+            solo = entry.yala.predictor_of(resident.nf_name).predict_solo(
                 resident.traffic
             )
             drop = max(0.0, 1.0 - predicted / solo)
@@ -116,16 +192,19 @@ class PlacementModel:
                 return False
         return True
 
-    def predicted_feasible_slomo(self, residents: Sequence[Resident]) -> bool:
+    def predicted_feasible_slomo(
+        self, residents: Sequence[Resident], target: Optional[str] = None
+    ) -> bool:
         """Every resident keeps its SLA according to SLOMO (memory-only)."""
+        entry = self._target(target)
         for i, resident in enumerate(residents):
-            slomo = self._slomo.get(resident.nf_name)
+            slomo = entry.slomo.get(resident.nf_name)
             if slomo is None:
                 raise PlacementError(
                     f"no SLOMO predictor for {resident.nf_name!r}"
                 )
             competitor_counters = [
-                self._collector.solo(make_nf(r.nf_name), r.traffic).counters
+                entry.collector.solo(make_nf(r.nf_name), r.traffic).counters
                 for j, r in enumerate(residents)
                 if j != i
             ]
@@ -135,7 +214,7 @@ class PlacementModel:
                 resident.traffic,
                 n_competitors=len(competitor_counters),
             )
-            solo = self.solo_throughput(resident)
+            solo = self.solo_throughput(resident, target)
             if max(0.0, 1.0 - predicted / solo) > resident.sla_drop_fraction:
                 return False
         return True
@@ -167,9 +246,12 @@ class FleetPolicy:
 
     # ------------------------------------------------------------------
     def _open_nics(self, cluster: Cluster):
-        """Non-full NICs in spin-up order."""
-        limit = cluster.max_residents_per_nic
-        return [nic for nic in cluster.nics if len(nic.residents) < limit]
+        """Non-full NICs in spin-up order (per-NIC capacity)."""
+        return [
+            nic
+            for nic in cluster.nics
+            if len(nic.residents) < nic.max_residents
+        ]
 
 
 class MonopolizationPolicy(FleetPolicy):
@@ -182,7 +264,12 @@ class MonopolizationPolicy(FleetPolicy):
 
 
 class GreedyPolicy(FleetPolicy):
-    """Utilisation-based first fit (E3/Meili style, contention-blind)."""
+    """Utilisation-based first fit (E3/Meili style, contention-blind).
+
+    Each candidate NIC is judged on its own hardware target, so a mixed
+    pool falls back across targets naturally: when every NIC of one type
+    is saturated, the first fit keeps walking into the other pool.
+    """
 
     name = "greedy"
 
@@ -191,19 +278,30 @@ class GreedyPolicy(FleetPolicy):
             self._open_nics(cluster),
             key=lambda nic: (
                 len(nic.residents),
-                model.greedy_utilisation(nic.residents),
+                model.greedy_utilisation(nic.residents, nic.target),
             ),
         )
         for nic in candidates:
-            if model.greedy_utilisation(nic.residents + [instance]) <= 1.0:
+            if (
+                model.greedy_utilisation(
+                    nic.residents + [instance], nic.target
+                )
+                <= 1.0
+            ):
                 return nic.nic_id
         return None
 
 
 class _PredictedFeasibilityPolicy(FleetPolicy):
-    """First fit over the fullest NICs whose prediction keeps all SLAs."""
+    """First fit over the fullest NICs whose prediction keeps all SLAs.
 
-    def _feasible(self, residents, model) -> bool:
+    Feasibility is evaluated per candidate NIC on that NIC's hardware
+    target (its spec names the trained predictors to consult), so
+    heterogeneous pools pick whichever hardware still has predicted
+    head-room.
+    """
+
+    def _feasible(self, residents, model, target) -> bool:
         raise NotImplementedError
 
     def choose_nic(self, cluster, instance, model):
@@ -211,7 +309,7 @@ class _PredictedFeasibilityPolicy(FleetPolicy):
             self._open_nics(cluster), key=lambda nic: -len(nic.residents)
         )
         for nic in candidates:
-            if self._feasible(nic.residents + [instance], model):
+            if self._feasible(nic.residents + [instance], model, nic.target):
                 return nic.nic_id
         return None
 
@@ -219,15 +317,15 @@ class _PredictedFeasibilityPolicy(FleetPolicy):
 class SlomoPolicy(_PredictedFeasibilityPolicy):
     name = "slomo"
 
-    def _feasible(self, residents, model):
-        return model.predicted_feasible_slomo(residents)
+    def _feasible(self, residents, model, target):
+        return model.predicted_feasible_slomo(residents, target)
 
 
 class YalaPolicy(_PredictedFeasibilityPolicy):
     name = "yala"
 
-    def _feasible(self, residents, model):
-        return model.predicted_feasible_yala(residents)
+    def _feasible(self, residents, model, target):
+        return model.predicted_feasible_yala(residents, target)
 
 
 class DiagnosisRebalancePolicy(YalaPolicy):
@@ -273,18 +371,20 @@ class DiagnosisRebalancePolicy(YalaPolicy):
             worst = max(
                 violated, key=lambda r: last_drops[r.instance_id]
             )
-            limit = cluster.max_residents_per_nic
             target = None
             candidates = sorted(
                 (
                     n
                     for n in cluster.nics
-                    if n.nic_id != nic.nic_id and len(n.residents) < limit
+                    if n.nic_id != nic.nic_id
+                    and len(n.residents) < n.max_residents
                 ),
                 key=lambda n: -len(n.residents),
             )
             for candidate in candidates:
-                if model.predicted_feasible_yala(candidate.residents + [worst]):
+                if model.predicted_feasible_yala(
+                    candidate.residents + [worst], candidate.target
+                ):
                     target = candidate.nic_id
                     break
             relocated.add(worst.instance_id)

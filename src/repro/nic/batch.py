@@ -202,6 +202,93 @@ class _ScenarioPlan:
         self.signature = tuple(p.signature for p in self.workloads)
 
 
+def _shortest_supersequence(a: tuple, b: tuple) -> tuple:
+    """Shortest common supersequence of two workload-signature tuples.
+
+    Classic LCS-based construction; both inputs embed into the result
+    as subsequences, so scenarios of either signature can share one
+    padded super-group built on it.
+    """
+    n, m = len(a), len(b)
+    lcs = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        for j in range(m - 1, -1, -1):
+            if a[i] == b[j]:
+                lcs[i][j] = lcs[i + 1][j + 1] + 1
+            else:
+                lcs[i][j] = max(lcs[i + 1][j], lcs[i][j + 1])
+    merged: list = []
+    i = j = 0
+    while i < n and j < m:
+        if a[i] == b[j]:
+            merged.append(a[i])
+            i += 1
+            j += 1
+        elif lcs[i + 1][j] >= lcs[i][j + 1]:
+            merged.append(a[i])
+            i += 1
+        else:
+            merged.append(b[j])
+            j += 1
+    merged.extend(a[i:])
+    merged.extend(b[j:])
+    return tuple(merged)
+
+
+class _ColumnRef:
+    """Column structure of a padded super-group, built from a signature.
+
+    A family's super-signature may be synthesized (a supersequence of
+    its members' signatures), so no single real scenario spans every
+    column; the per-workload signature carries everything the group
+    needs to lay a column out — pattern, stage kinds, accelerator names
+    and the DMA flag — while all numeric values stay per-row.
+    """
+
+    __slots__ = ("pattern", "n_core", "accel_names", "dma_flag", "stage_kinds")
+
+    def __init__(self, wsig: tuple) -> None:
+        pattern_value, stages, dma_flag = wsig
+        self.pattern = ExecutionPattern(pattern_value)
+        kinds: list[tuple[str, int]] = []
+        c_idx = a_idx = 0
+        for kind, _ in stages:
+            if kind == "a":
+                kinds.append(("a", a_idx))
+                a_idx += 1
+            else:
+                kinds.append(("c", c_idx))
+                c_idx += 1
+        self.stage_kinds = tuple(kinds)
+        self.n_core = c_idx
+        self.accel_names = tuple(
+            accel for kind, accel in stages if kind == "a"
+        )
+        self.dma_flag = dma_flag
+
+
+def _embed_signature(short: tuple, long: tuple) -> Optional[list[int]]:
+    """Leftmost subsequence embedding of ``short`` into ``long``.
+
+    Returns the column index each workload of a ``short``-signature
+    scenario occupies in a ``long``-signature super-group, or ``None``
+    when no embedding exists. Any valid embedding preserves the scalar
+    reduction order (real columns keep their relative order; dummy
+    columns contribute exact ``+0.0`` terms), so the deterministic
+    leftmost match is as good as any.
+    """
+    cols: list[int] = []
+    pos = 0
+    for wsig in short:
+        while pos < len(long) and long[pos] != wsig:
+            pos += 1
+        if pos == len(long):
+            return None
+        cols.append(pos)
+        pos += 1
+    return cols
+
+
 def _validate(nic: "_nic.SmartNic", workloads: list[WorkloadDemand]):
     """Replicate :meth:`SmartNic.run` validation; return the error or None."""
     spec = nic.spec
@@ -231,13 +318,14 @@ class _View:
     iterations, so the per-iteration work is purely elementwise.
     """
 
-    __slots__ = ("wl", "act_wss", "act_sqrt", "act_haf", "act_hot", "act_cold", "engines", "n")
+    __slots__ = ("wl", "act_wss", "act_sqrt", "act_haf", "act_hot", "act_cold", "engines", "n", "lane")
 
     def __init__(self, group: "_Group", idx: Optional[np.ndarray]) -> None:
         def take(arr):
             return arr if idx is None else arr[idx]
 
         self.n = group.S if idx is None else len(idx)
+        self.lane = take(group.lane)
         self.act_wss = take(group.act_wss)
         self.act_sqrt = take(group.act_sqrt)
         self.act_haf = take(group.act_haf)
@@ -286,20 +374,43 @@ class _View:
 # Group solver
 # ----------------------------------------------------------------------
 class _Group:
-    """All scenarios sharing one structural signature, solved together."""
+    """All scenarios sharing one structural signature, solved together.
+
+    A *padded super-group* additionally merges scenarios whose signature
+    is a subsequence of the group's column structure: each scenario's
+    workloads occupy the columns of its ``embeddings`` entry, and the
+    remaining columns are masked-out dummy lanes whose rates, working
+    sets and accelerator demands are all zero. Zero lanes contribute
+    exact ``+0.0`` terms to every left-fold reduction, never turn
+    "hungry" in the occupancy water-filling (so the pairwise ``np.sum``
+    runs over exactly the scalar solver's actor set) and never saturate
+    an accelerator water-fill, which keeps the padded solve bit-identical
+    to the scalar solver for every real lane.
+    """
 
     def __init__(
         self,
         nic: "_nic.SmartNic",
         plans: list[_ScenarioPlan],
         indices: list[int],
+        columns: Optional[list[_WorkloadPlan]] = None,
+        embeddings: Optional[list[list[int]]] = None,
     ) -> None:
         self._nic = nic
         self._spec = nic.spec
         self._plans = plans
         self.indices = indices
         self.S = len(plans)
-        self.W = len(plans[0].workloads)
+        self._columns = columns if columns is not None else plans[0].workloads
+        self.W = len(self._columns)
+        if embeddings is None:
+            embeddings = [list(range(self.W))] * self.S
+        self.embeddings = embeddings
+        # lane[i, w]: scenario i has a real workload in column w.
+        self.lane = np.zeros((self.S, self.W), dtype=bool)
+        for i, cols in enumerate(embeddings):
+            self.lane[i, cols] = True
+        self._padded = not bool(self.lane.all())
         self._build_workload_arrays()
         self._build_actor_layout()
         self._build_engine_layout()
@@ -310,58 +421,74 @@ class _Group:
 
     def _build_workload_arrays(self) -> None:
         plans = self._plans
+        # Per scenario: column index -> its own workload, for the columns
+        # it occupies; padded scenarios leave the rest as dummy lanes.
+        col_to_wl = [
+            {col: j for j, col in enumerate(cols)} for cols in self.embeddings
+        ]
         self.wl: list[dict] = []
         for w in range(self.W):
-            ps = [p.workloads[w] for p in plans]
-            ref = ps[0]
+            ref = self._columns[w]
+            ps = [
+                plan.workloads[col_to_wl[i][w]] if w in col_to_wl[i] else None
+                for i, plan in enumerate(plans)
+            ]
             n_accel = len(ref.accel_names)
+            # Dummy lanes get all-zero demands (mlp keeps 1.0 — it only
+            # ever divides): zero rates feed zero pressure everywhere.
+            def scalar(attr: str, missing: float = 0.0) -> np.ndarray:
+                return self._col(
+                    [getattr(p, attr) if p is not None else missing for p in ps]
+                )
+
+            def per_item(attr: str, k: int, missing: float = 0.0) -> np.ndarray:
+                return self._col(
+                    [
+                        getattr(p, attr)[k] if p is not None else missing
+                        for p in ps
+                    ]
+                )
+
             data = {
                 "pattern": ref.pattern,
                 "n_core": ref.n_core,
                 "accel_names": ref.accel_names,
                 "dma_flag": ref.dma_flag,
                 "stage_kinds": ref.stage_kinds,
-                "cores_f": self._col([p.cores_f for p in ps]),
-                "reads_sum": self._col([p.reads_sum for p in ps]),
-                "writes_sum": self._col([p.writes_sum for p in ps]),
-                "instr_sum": self._col([p.instr_sum for p in ps]),
-                "cycles_sum": self._col([p.cycles_sum for p in ps]),
-                "wss": self._col([p.wss for p in ps]),
-                "hot_af": self._col([p.hot_af for p in ps]),
-                "hot_wf": self._col([p.hot_wf for p in ps]),
-                "arrival": self._col([p.arrival for p in ps]),
-                "line_rate": self._col([p.line_rate for p in ps]),
+                "cores_f": scalar("cores_f"),
+                "reads_sum": scalar("reads_sum"),
+                "writes_sum": scalar("writes_sum"),
+                "instr_sum": scalar("instr_sum"),
+                "cycles_sum": scalar("cycles_sum"),
+                "wss": scalar("wss"),
+                "hot_af": scalar("hot_af"),
+                "hot_wf": scalar("hot_wf"),
+                "arrival": scalar("arrival"),
+                "line_rate": scalar("line_rate"),
                 "core_cycles": [
-                    self._col([p.core_cycles[k] for p in ps])
-                    for k in range(ref.n_core)
+                    per_item("core_cycles", k) for k in range(ref.n_core)
                 ],
                 "core_rw": [
-                    self._col([p.core_rw[k] for p in ps])
-                    for k in range(ref.n_core)
+                    per_item("core_rw", k) for k in range(ref.n_core)
                 ],
                 "core_mlp": [
-                    self._col([p.core_mlp[k] for p in ps])
+                    per_item("core_mlp", k, missing=1.0)
                     for k in range(ref.n_core)
                 ],
                 "accel_req": [
-                    self._col([p.accel_req[m] for p in ps])
-                    for m in range(n_accel)
+                    per_item("accel_req", m) for m in range(n_accel)
                 ],
                 "accel_teff": [
-                    self._col([p.accel_teff[m] for p in ps])
-                    for m in range(n_accel)
+                    per_item("accel_teff", m) for m in range(n_accel)
                 ],
                 "accel_nq": [
-                    self._col([p.accel_nq[m] for p in ps])
-                    for m in range(n_accel)
+                    per_item("accel_nq", m) for m in range(n_accel)
                 ],
                 "accel_bpk": [
-                    self._col([p.accel_bpk[m] for p in ps])
-                    for m in range(n_accel)
+                    per_item("accel_bpk", m) for m in range(n_accel)
                 ],
                 "accel_refs": [
-                    self._col([p.accel_refs[m] for p in ps])
-                    for m in range(n_accel)
+                    per_item("accel_refs", m) for m in range(n_accel)
                 ],
             }
             self.wl.append(data)
@@ -651,7 +778,9 @@ class _Group:
                 cap_requests, fail = self._waterfill_capacity(
                     pos, engine["teff"], engine["nq"], offered
                 )
-                failed |= fail
+                # A dummy lane's water-fill result is discarded, so a
+                # non-converged fill there must not fail the row.
+                failed |= fail & view.lane[:, w] if self._padded else fail
                 capacities[(w, engine["name"])] = cap_requests / engine["req"][pos]
         return capacities, failed
 
@@ -708,6 +837,10 @@ class _Group:
 
     def _estimate(self, view: _View) -> np.ndarray:
         """Vectorized :meth:`SmartNic._contention_free_estimate`."""
+        with np.errstate(all="ignore"):
+            return self._estimate_inner(view)
+
+    def _estimate_inner(self, view: _View) -> np.ndarray:
         spec = self._spec
         tau0 = spec.llc_hit_time_us + spec.base_miss_ratio * spec.dram_latency_us
         thr = np.empty((view.n, self.W))
@@ -729,6 +862,12 @@ class _Group:
             estimate = self._compose(view, w, core_times, accel_caps)
             estimate = np.minimum(estimate, data["arrival"])
             thr[:, w] = np.minimum(estimate, data["line_rate"])
+            if self._padded:
+                # Dummy lanes idle at zero rate: every pressure they
+                # feed downstream is an exact 0.0, and their residual
+                # (updated == thr) is exactly 0.0, so padded rows keep
+                # the scalar solver's iteration count.
+                thr[:, w] = np.where(view.lane[:, w], thr[:, w], 0.0)
         return thr
 
     def _iterate(
@@ -746,7 +885,12 @@ class _Group:
             rate = self._compose(view, w, core_times, accel_caps)
             rate = np.minimum(rate, data["arrival"])
             rate = np.minimum(rate, data["line_rate"])
-            updated[:, w] = np.maximum(rate, 1e-9)
+            if self._padded:
+                updated[:, w] = np.where(
+                    view.lane[:, w], np.maximum(rate, 1e-9), thr[:, w]
+                )
+            else:
+                updated[:, w] = np.maximum(rate, 1e-9)
         return updated, failed
 
     # -- driver ----------------------------------------------------------
@@ -860,6 +1004,13 @@ class _Group:
         with np.errstate(all="ignore"):
             memory = self._solve_memory(view, thr)
             capacities, _ = self._accel_capacities(view, thr)
+            per_wl, dram_util = self._finalise_arrays(
+                view, thr, memory, capacities
+            )
+        self._assemble_results(idx, thr, iterations, per_wl, dram_util, results)
+
+    def _finalise_arrays(self, view, thr, memory, capacities):
+        spec = self._spec
         # dram_utilisation(): per-actor (read + write) accumulated in
         # actor order, then the same clamp as the solve.
         total = np.zeros(view.n)
@@ -947,12 +1098,17 @@ class _Group:
                     "occupancy": memory["occupancy"][:, actor],
                 }
             )
+        return per_wl, dram_util
 
+    def _assemble_results(
+        self, idx, thr, iterations, per_wl, dram_util, results
+    ) -> None:
+        nic = self._nic
         for row, scenario_row in enumerate(idx):
             plan = self._plans[scenario_row]
             demands = [p.demand for p in plan.workloads]
             if nic._noise_std == 0.0:
-                noises = [1.0] * self.W
+                noises = [1.0] * len(demands)
             else:
                 reps = [repr(d) for d in demands]
                 sorted_reps = tuple(sorted(reps))
@@ -961,8 +1117,8 @@ class _Group:
                     rng = make_rng(derive_seed(nic._seed, rep, sorted_reps))
                     noises.append(float(1.0 + rng.normal(0.0, nic._noise_std)))
             workload_results = {}
-            for w in range(self.W):
-                wplan = plan.workloads[w]
+            for j, wplan in enumerate(plan.workloads):
+                w = self.embeddings[scenario_row][j]
                 values = per_wl[w]
                 stages = []
                 for s_idx, (kind, pos) in enumerate(wplan.stage_kinds):
@@ -990,7 +1146,7 @@ class _Group:
                 rate = float(thr[row, w])
                 workload_results[wplan.name] = _nic.WorkloadResult(
                     name=wplan.name,
-                    throughput_mpps=rate * noises[w],
+                    throughput_mpps=rate * noises[j],
                     true_throughput_mpps=rate,
                     counters=counters,
                     stages=tuple(stages),
@@ -1016,16 +1172,84 @@ class _Group:
 #: (e.g. a fleet epoch whose NICs host structurally diverse mixes)
 #: would otherwise run *slower* batched than looped. The fallback is
 #: observation-free: the scalar solver is the bit-exactness oracle the
-#: vectorized path must reproduce anyway.
+#: vectorized path must reproduce anyway. Small groups whose signatures
+#: embed into one another first merge into padded super-groups (see
+#: :class:`_Group`), so only unmergeable stragglers pay the scalar path.
 _SCALAR_FALLBACK_GROUP_SIZE = 3
+
+
+#: Widest super-signature a padded family may grow to. Wider families
+#: merge more stragglers into one vectorized solve but pay per-iteration
+#: work proportional to their column count; past ~2x a typical mix size
+#: the dummy lanes start eating the win.
+_PAD_MAX_WIDTH = 8
+
+
+def _merge_small_groups(
+    small: list[tuple[tuple, list[_ScenarioPlan], list[int]]],
+) -> tuple[list, list]:
+    """Merge small signature groups into padded super-group families.
+
+    Greedy and deterministic: signatures are visited longest first (ties
+    broken by repr). Each joins the first family whose super-signature
+    already contains it as a subsequence; otherwise the first family
+    whose super-signature can *grow* (shortest common supersequence)
+    within :data:`_PAD_MAX_WIDTH` absorbs it; otherwise it roots a new
+    family. Growth keeps every earlier member embeddable (a subsequence
+    of the old root is a subsequence of any supersequence of it).
+    Families that gather at least :data:`_SCALAR_FALLBACK_GROUP_SIZE`
+    scenarios across two or more signatures solve as one padded
+    vectorized group; everything else stays on the scalar path.
+
+    Returns ``(merged, leftovers)``: ``merged`` holds
+    ``(columns_sig, members)`` where each member is ``(sig, plans,
+    indices)``, ``leftovers`` holds ``(plan, index)`` pairs.
+    """
+    order = sorted(small, key=lambda entry: (-len(entry[0]), repr(entry[0])))
+    families: list[dict] = []
+    for sig, plans, indices in order:
+        placed = False
+        for family in families:
+            if _embed_signature(sig, family["sig"]) is not None:
+                family["members"].append((sig, plans, indices))
+                placed = True
+                break
+        if not placed:
+            for family in families:
+                grown = _shortest_supersequence(family["sig"], sig)
+                if len(grown) <= _PAD_MAX_WIDTH:
+                    family["sig"] = grown
+                    family["members"].append((sig, plans, indices))
+                    placed = True
+                    break
+        if not placed:
+            families.append({"sig": sig, "members": [(sig, plans, indices)]})
+
+    merged: list[tuple[tuple, list]] = []
+    leftovers: list[tuple[_ScenarioPlan, int]] = []
+    for family in families:
+        members = family["members"]
+        total = sum(len(plans) for _, plans, _ in members)
+        if len(members) > 1 and total >= _SCALAR_FALLBACK_GROUP_SIZE:
+            merged.append((family["sig"], members))
+        else:
+            for _, plans, indices in members:
+                leftovers.extend(zip(plans, indices))
+    return merged, leftovers
 
 
 def solve_batch(
     nic: "_nic.SmartNic",
     scenarios: list[list[WorkloadDemand]],
     on_error: str = "raise",
+    pad_small_groups: bool = True,
 ):
-    """Solve many co-location scenarios; see :meth:`SmartNic.run_batch`."""
+    """Solve many co-location scenarios; see :meth:`SmartNic.run_batch`.
+
+    ``pad_small_groups=False`` disables the padded super-group merge and
+    reverts every small signature group to the scalar fallback (the
+    heterogeneous-fleet benchmark uses this as its reference arm).
+    """
     if on_error not in ("raise", "return"):
         raise SimulationError(f"unknown on_error mode {on_error!r}")
     results: list = [None] * len(scenarios)
@@ -1039,17 +1263,49 @@ def solve_batch(
         plans, indices = groups.setdefault(plan.signature, ([], []))
         plans.append(plan)
         indices.append(i)
-    for plans, indices in groups.values():
+
+    small: list[tuple[tuple, list[_ScenarioPlan], list[int]]] = []
+    for sig, (plans, indices) in groups.items():
         if len(plans) < _SCALAR_FALLBACK_GROUP_SIZE:
-            for plan, index in zip(plans, indices):
-                try:
-                    results[index] = nic.run([p.demand for p in plan.workloads])
-                except ConvergenceError as error:
-                    results[index] = error
+            small.append((sig, plans, indices))
             continue
         group = _Group(nic, plans, indices)
         for local, outcome in enumerate(group.solve()):
             results[indices[local]] = outcome
+
+    if pad_small_groups and len(small) > 1:
+        merged, leftovers = _merge_small_groups(small)
+    else:
+        merged = []
+        leftovers = [
+            (plan, index)
+            for _, plans, indices in small
+            for plan, index in zip(plans, indices)
+        ]
+    for super_sig, members in merged:
+        all_plans: list[_ScenarioPlan] = []
+        all_indices: list[int] = []
+        all_embeds: list[list[int]] = []
+        for sig, plans, indices in members:
+            cols = _embed_signature(sig, super_sig)
+            all_plans.extend(plans)
+            all_indices.extend(indices)
+            all_embeds.extend([cols] * len(plans))
+        group = _Group(
+            nic,
+            all_plans,
+            all_indices,
+            columns=[_ColumnRef(wsig) for wsig in super_sig],
+            embeddings=all_embeds,
+        )
+        for local, outcome in enumerate(group.solve()):
+            results[all_indices[local]] = outcome
+    for plan, index in leftovers:
+        try:
+            results[index] = nic.run([p.demand for p in plan.workloads])
+        except ConvergenceError as error:
+            results[index] = error
+
     if on_error == "raise":
         for outcome in results:
             if isinstance(outcome, Exception):

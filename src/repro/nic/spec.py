@@ -19,9 +19,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro.errors import ConfigurationError
+from repro.rng import derive_seed
 
 #: Bytes per cache line; all miss traffic is counted in lines.
 CACHE_LINE_BYTES = 64
@@ -98,6 +99,28 @@ class NicSpecification:
             object.__setattr__(self, key, value)
         object.__setattr__(
             self, "accelerators", MappingProxyType(dict(self.accelerators))
+        )
+
+    def __hash__(self) -> int:
+        # The generated (eq=True, frozen=True) hash would fold in the
+        # unhashable accelerator mapping; hash an ordered tuple view
+        # instead so specs can key dictionaries (fleet pools, per-target
+        # model registries). Consistent with the generated __eq__:
+        # equal specs have equal accelerator dicts, hence equal tuples.
+        return hash(
+            (
+                self.name,
+                self.num_cores,
+                self.core_freq_mhz,
+                self.llc_bytes,
+                self.dram_bandwidth_bpus,
+                self.dram_latency_us,
+                self.llc_hit_time_us,
+                self.line_rate_gbps,
+                tuple(sorted(self.accelerators.items())),
+                self.base_miss_ratio,
+                self.writeback_fraction,
+            )
         )
 
     def accelerator(self, name: str) -> AcceleratorSpec:
@@ -187,3 +210,80 @@ def pensando_spec() -> NicSpecification:
             ),
         },
     )
+
+
+# ----------------------------------------------------------------------
+# Hardware target registry
+# ----------------------------------------------------------------------
+#: Name of the default hardware target (the paper's main testbed).
+DEFAULT_TARGET = "bluefield2"
+
+_SPEC_FACTORIES: dict[str, Callable[[], NicSpecification]] = {}
+_SPEC_CACHE: dict[str, NicSpecification] = {}
+
+
+def register_spec(
+    name: str,
+    factory: Callable[[], NicSpecification],
+    overwrite: bool = False,
+) -> None:
+    """Register a hardware target under ``name``.
+
+    ``factory`` builds the target's :class:`NicSpecification`; the built
+    spec's ``name`` must equal the registered name so that every layer
+    keyed on spec names (fleet pools, per-target model registries)
+    round-trips through the registry. Re-registering an existing name
+    requires ``overwrite=True``.
+    """
+    if not name:
+        raise ConfigurationError("target name must be non-empty")
+    if name in _SPEC_FACTORIES and not overwrite:
+        raise ConfigurationError(
+            f"target {name!r} is already registered (pass overwrite=True)"
+        )
+    _SPEC_FACTORIES[name] = factory
+    _SPEC_CACHE.pop(name, None)
+
+
+def get_spec(name: str) -> NicSpecification:
+    """Return the registered :class:`NicSpecification` called ``name``."""
+    if name not in _SPEC_CACHE:
+        try:
+            factory = _SPEC_FACTORIES[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown hardware target {name!r}; "
+                f"available: {list(available_specs())}"
+            ) from None
+        spec = factory()
+        if spec.name != name:
+            raise ConfigurationError(
+                f"target {name!r} built a spec named {spec.name!r}; "
+                "registered name and spec.name must match"
+            )
+        _SPEC_CACHE[name] = spec
+    return _SPEC_CACHE[name]
+
+
+def available_specs() -> tuple[str, ...]:
+    """Names of all registered hardware targets, sorted."""
+    return tuple(sorted(_SPEC_FACTORIES))
+
+
+def target_seed(seed: int, target: str, *tags) -> int:
+    """Per-target seed stream shared by every layer that trains models.
+
+    The default target keeps the un-prefixed historical streams (the
+    bare ``seed`` when no tags are given — what the harness and fleet
+    CLI have always used on BlueField-2, so their outputs stay
+    bit-identical); every other target prefixes its name so its
+    streams are independent. Centralised here so the experiment
+    context and the fleet CLI cannot drift apart.
+    """
+    if target == DEFAULT_TARGET:
+        return derive_seed(seed, *tags) if tags else seed
+    return derive_seed(seed, target, *tags)
+
+
+register_spec("bluefield2", bluefield2_spec)
+register_spec("pensando", pensando_spec)

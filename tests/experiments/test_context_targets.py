@@ -1,0 +1,135 @@
+"""Multi-target experiment context: laziness, caching, and the Table 9
+bit-identity pin against the pre-refactor standalone training path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predictor import YalaPredictor
+from repro.core.slomo import SlomoPredictor
+from repro.errors import ConfigurationError
+from repro.experiments import table9_pensando
+from repro.experiments.batch import score_standalone, summarize_accuracy
+from repro.experiments.common import EXPERIMENT_SEED, get_scale
+from repro.experiments.context import get_context
+from repro.nf.catalog import make_nf
+from repro.nic.nic import SmartNic
+from repro.nic.spec import DEFAULT_TARGET, pensando_spec
+from repro.profiling.collector import ProfilingCollector
+from repro.rng import derive_seed
+
+SCALE = "smoke"
+
+
+class TestMultiTargetContext:
+    def test_targets_are_lazy_and_cached(self):
+        context = get_context(SCALE)
+        target = context.target("pensando")
+        assert context.target("pensando") is target
+        assert target.nic.spec.name == "pensando"
+        assert "pensando" in context.built_targets
+
+    def test_unknown_target_rejected(self):
+        context = get_context(SCALE)
+        with pytest.raises(ConfigurationError):
+            context.target("connectx")
+
+    def test_default_shorthand_delegates(self):
+        context = get_context(SCALE)
+        default = context.target(DEFAULT_TARGET)
+        assert context.nic is default.nic
+        assert context.yala is default.yala
+        assert default.nic.spec.name == DEFAULT_TARGET
+
+    def test_per_target_seeds_differ(self):
+        context = get_context(SCALE)
+        pensando = context.target("pensando")
+        assert pensando.nic._seed == derive_seed(EXPERIMENT_SEED, "pensando")
+
+    def test_target_slomo_cached(self):
+        context = get_context(SCALE)
+        target = context.target("pensando")
+        first = target.slomo_for(
+            "firewall", seed=derive_seed(EXPERIMENT_SEED, "t9-slomo")
+        )
+        assert target.slomo_for("firewall") is first
+        # Re-requesting the same explicit stream is fine...
+        assert (
+            target.slomo_for(
+                "firewall", seed=derive_seed(EXPERIMENT_SEED, "t9-slomo")
+            )
+            is first
+        )
+
+    def test_conflicting_explicit_seed_rejected(self):
+        """A pinned seed stream must never be silently dropped: asking
+        for a different explicit seed after training raises."""
+        context = get_context(SCALE)
+        target = context.target("pensando")
+        target.slomo_for(
+            "firewall", seed=derive_seed(EXPERIMENT_SEED, "t9-slomo")
+        )
+        target.yala_for(
+            "firewall", seed=derive_seed(EXPERIMENT_SEED, "t9-yala")
+        )
+        with pytest.raises(ConfigurationError):
+            target.slomo_for("firewall", seed=123456)
+        with pytest.raises(ConfigurationError):
+            target.yala_for("firewall", seed=123456)
+
+
+class TestTable9SharedContextPin:
+    def test_table9_bit_identical_to_pre_refactor_rendering(self):
+        """The shared-context Table 9 must reproduce the pre-refactor
+        standalone training path to the byte.
+
+        The reference arm below *is* the old ``run()``: a private
+        Pensando simulator/collector, predictors trained with the
+        historical ``t9-*`` seed streams, cases built on that collector.
+        """
+        resolved = get_scale(SCALE)
+        seed = EXPERIMENT_SEED
+
+        # --- pre-refactor standalone path, replicated verbatim -------
+        nic = SmartNic(pensando_spec(), seed=derive_seed(seed, "pensando"))
+        collector = ProfilingCollector(nic)
+        firewall = make_nf("firewall")
+        yala = YalaPredictor(
+            firewall, collector, seed=derive_seed(seed, "t9-yala")
+        )
+        yala.train(quota=resolved.quota)
+        slomo = SlomoPredictor("firewall", seed=derive_seed(seed, "t9-slomo"))
+        slomo.train(collector, firewall, n_samples=resolved.slomo_samples)
+        cases = table9_pensando.build_cases(collector, resolved, seed)
+        summary = summarize_accuracy(
+            score_standalone(cases, yala=yala, slomo=slomo)
+        )
+        legacy = table9_pensando.Table9Result(
+            slomo_mape=summary.slomo_mape,
+            slomo_acc5=summary.slomo_acc5,
+            slomo_acc10=summary.slomo_acc10,
+            yala_mape=summary.yala_mape,
+            yala_acc5=summary.yala_acc5,
+            yala_acc10=summary.yala_acc10,
+        ).render()
+
+        # --- shared multi-target context path -------------------------
+        shared = table9_pensando.run(scale=SCALE).render()
+        assert shared == legacy
+
+    def test_secondary_target_does_not_build_default(self):
+        """Touching the Pensando target must not force the (expensive)
+        BlueField-2 bulk training — targets build independently."""
+        from repro.experiments.context import ExperimentContext
+
+        context = ExperimentContext(scale=get_scale(SCALE))
+        context.target("pensando")
+        assert context.built_targets == ("pensando",)
+        assert context.target("pensando").yala.trained_names == []
+
+    def test_warm_context_pretrains_what_run_uses(self):
+        context = get_context(SCALE)
+        table9_pensando.warm_context(context)
+        target = context.target("pensando")
+        assert "firewall" in target.yala.trained_names
+        assert "firewall" in target.slomo

@@ -1,0 +1,173 @@
+"""Heterogeneous fleet: mixed-pool provisioning, per-target scoring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, PlacementError
+from repro.fleet.churn import ChurnProcess, ServiceRequest
+from repro.fleet.cluster import Cluster, NicProvisioner, parse_nic_mix
+from repro.fleet.cluster import ServiceInstance
+from repro.fleet.engine import FleetEngine
+from repro.fleet.policies import PlacementModel
+from repro.fleet.traces import make_trace
+from repro.nic.nic import SmartNic
+from repro.nic.spec import get_spec
+from repro.profiling.collector import ProfilingCollector
+from repro.rng import derive_seed
+from repro.traffic.profile import TrafficProfile
+
+MIX = {"bluefield2": 0.6, "pensando": 0.4}
+POOL = ("flowstats", "nat", "nids")
+
+
+def _instance(n: int) -> ServiceInstance:
+    request = ServiceRequest(
+        instance_id=f"svc-0-{n}",
+        nf_name="acl",
+        sla_drop_fraction=0.1,
+        trace=make_trace("static", seed=n),
+        arrival_epoch=0,
+        departure_epoch=10,
+    )
+    return ServiceInstance(request=request, traffic=TrafficProfile())
+
+
+@pytest.fixture(scope="module")
+def mixed_model():
+    bf2 = SmartNic(get_spec("bluefield2"), seed=2025)
+    pen = SmartNic(get_spec("pensando"), seed=derive_seed(2025, "pensando"))
+    model = PlacementModel(collector=ProfilingCollector(bf2), nic=bf2)
+    model.add_target(collector=ProfilingCollector(pen), nic=pen)
+    return model
+
+
+class TestParseNicMix:
+    def test_weighted_mix(self):
+        assert parse_nic_mix("bluefield2=0.7,pensando=0.3") == {
+            "bluefield2": 0.7,
+            "pensando": 0.3,
+        }
+
+    def test_bare_name_is_weight_one(self):
+        assert parse_nic_mix("pensando") == {"pensando": 1.0}
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "bluefield2=0", "bluefield2=-1", "bluefield2=x", "nope=1",
+         "bluefield2=1,bluefield2=2", "bluefield2=,pensando=0.3"],
+    )
+    def test_rejects_bad_mixes(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_nic_mix(text)
+
+
+class TestProvisioner:
+    def test_deterministic_spec_sequence(self):
+        a = NicProvisioner(MIX, seed=7)
+        b = NicProvisioner(MIX, seed=7)
+        sequence = [a.spec_for(n).name for n in range(40)]
+        assert sequence == [b.spec_for(n).name for n in range(40)]
+        assert set(sequence) == {"bluefield2", "pensando"}
+
+    def test_different_seed_differs(self):
+        a = [NicProvisioner(MIX, seed=7).spec_for(n).name for n in range(40)]
+        b = [NicProvisioner(MIX, seed=8).spec_for(n).name for n in range(40)]
+        assert a != b
+
+    def test_single_target_is_constant(self):
+        provisioner = NicProvisioner({"pensando": 1.0}, seed=3)
+        assert {provisioner.spec_for(n).name for n in range(10)} == {"pensando"}
+
+    def test_mix_normalised(self):
+        provisioner = NicProvisioner({"bluefield2": 3.0, "pensando": 1.0})
+        assert provisioner.mix == (("bluefield2", 0.75), ("pensando", 0.25))
+
+
+class TestHeterogeneousCluster:
+    def test_per_nic_capacity(self):
+        # Force a pensando NIC (16 cores -> 8 residents) via a pure mix.
+        cluster = Cluster(NicProvisioner({"pensando": 1.0}))
+        nic_id = cluster.place(_instance(0))
+        nic = cluster.nic_of("svc-0-0")
+        assert nic.target == "pensando"
+        assert nic.max_residents == 8
+        for n in range(1, 8):
+            cluster.place(_instance(n), nic_id)
+        with pytest.raises(PlacementError):
+            cluster.place(_instance(99), nic_id)
+
+    def test_pool_capacity_bound_is_roomiest_target(self):
+        cluster = Cluster(NicProvisioner(MIX, seed=1))
+        assert cluster.max_residents_per_nic == 8  # pensando's capacity
+
+    def test_homogeneous_spec_constructor_unchanged(self):
+        cluster = Cluster(get_spec("bluefield2"))
+        cluster.place(_instance(0))
+        nic = cluster.nic_of("svc-0-0")
+        assert nic.target == "bluefield2"
+        assert nic.max_residents == 4
+        assert cluster.spec == get_spec("bluefield2")
+
+
+class TestHeterogeneousEngine:
+    def _engine(self, model, score_mode):
+        provisioner = NicProvisioner(MIX, seed=derive_seed(11, "nic-mix"))
+        churn = ChurnProcess(
+            nf_names=POOL,
+            seed=77,
+            arrival_rate=2.5,
+            mean_lifetime=8.0,
+            initial_services=6,
+        )
+        return FleetEngine(
+            "greedy", churn, model, score_mode=score_mode,
+            provisioner=provisioner,
+        )
+
+    def test_mixed_batch_matches_loop_bit_for_bit(self, mixed_model):
+        batched = self._engine(mixed_model, "batch").run(5)
+        looped = self._engine(mixed_model, "loop").run(5)
+        assert batched.metrics == looped.metrics
+        assert batched.pools == looped.pools
+        assert batched.migrations == looped.migrations
+        a = json.loads(batched.to_json())
+        b = json.loads(looped.to_json())
+        a.pop("score_mode")
+        b.pop("score_mode")
+        assert a == b
+
+    def test_both_pools_provisioned_and_reported(self, mixed_model):
+        report = self._engine(mixed_model, "batch").run(5)
+        targets = {p.target for p in report.pools if p.nics_used > 0}
+        assert targets == {"bluefield2", "pensando"}
+        summary = report.pool_summary()
+        assert set(summary) == {"bluefield2", "pensando"}
+        rendered = report.render()
+        assert "nic_mix=bluefield2=0.60,pensando=0.40" in rendered
+        assert "pool bluefield2:" in rendered
+        assert "pool pensando:" in rendered
+
+    def test_mix_target_without_model_rejected(self):
+        bf2 = SmartNic(get_spec("bluefield2"), seed=1)
+        model = PlacementModel(collector=ProfilingCollector(bf2), nic=bf2)
+        churn = ChurnProcess(nf_names=POOL, seed=1)
+        with pytest.raises(ConfigurationError):
+            FleetEngine(
+                "greedy", churn, model,
+                provisioner=NicProvisioner(MIX, seed=1),
+            )
+
+    def test_unknown_target_predicate_rejected(self, mixed_model):
+        with pytest.raises(PlacementError):
+            mixed_model.greedy_utilisation([_instance(0)], "connectx")
+
+    def test_duplicate_add_target_rejected(self):
+        bf2 = SmartNic(get_spec("bluefield2"), seed=1)
+        model = PlacementModel(collector=ProfilingCollector(bf2), nic=bf2)
+        with pytest.raises(ConfigurationError):
+            model.add_target(
+                collector=ProfilingCollector(bf2), nic=bf2
+            )

@@ -296,3 +296,126 @@ class TestBatchedSums:
                 block.sum(axis=1),
                 np.array([block[i].sum() for i in range(len(block))]),
             )
+
+
+class TestPaddedSuperGroups:
+    """Small signature groups merge into padded super-groups, bit-exact."""
+
+    #: Structurally diverse mixes (A = table-driven, B = regex user) with
+    #: at most two scenarios per signature, so every group is below the
+    #: scalar-fallback threshold and must merge to vectorize at all.
+    MIXES = [
+        ("flowstats", "nat", "nids", "acl"),
+        ("flowstats", "nids", "nat", "acl"),
+        ("nids", "flowstats", "nat", "acl"),
+        ("flowstats", "nat", "acl", "nids"),
+        ("flowstats", "nids", "nat"),
+        ("nids", "flowstats", "nat"),
+        ("flowstats", "nat"),
+        ("flowstats", "nids"),
+        ("nids", "nat"),
+        ("flowstats",),
+        ("nids",),
+        ("flowmonitor", "ipcomp"),  # compression engine in the mix
+    ]
+
+    def _scenarios(self, rng):
+        scenarios = []
+        for mix in self.MIXES:
+            for _ in range(2):
+                traffic_set = [
+                    TrafficProfile(int(rng.integers(5_000, 400_000)), 1500, 600.0)
+                    for _ in mix
+                ]
+                scenarios.append(
+                    [
+                        make_nf(name).demand(traffic, instance=f"{name}#{j}")
+                        for j, (name, traffic) in enumerate(zip(mix, traffic_set))
+                    ]
+                )
+        return scenarios
+
+    def test_padded_merge_matches_scalar_oracle(self):
+        nic = SmartNic(bluefield2_spec(), seed=123)
+        scenarios = self._scenarios(make_rng(31))
+        batch = nic.run_batch(scenarios)
+        for i, scenario in enumerate(scenarios):
+            assert_identical(nic.run(scenario), batch[i], f"padded {i}")
+
+    def test_padded_merge_matches_disabled_padding(self):
+        from repro.nic.batch import solve_batch
+
+        nic = SmartNic(pensando_spec(), seed=9)
+        scenarios = [s for s in self._scenarios(make_rng(5)) if all(
+            stage.accelerator in (None, "regex")
+            for demand in s
+            for stage in demand.stages
+        )]
+        padded = solve_batch(nic, scenarios, pad_small_groups=True)
+        scalar = solve_batch(nic, scenarios, pad_small_groups=False)
+        for i in range(len(scenarios)):
+            assert_identical(scalar[i], padded[i], f"scenario {i}")
+
+    def test_padding_engages_on_this_workload(self):
+        """The merge must actually form padded families here (the
+        equivalence above would pass vacuously on the scalar path)."""
+        from repro.nic.batch import (
+            _SCALAR_FALLBACK_GROUP_SIZE,
+            _ScenarioPlan,
+            _merge_small_groups,
+        )
+
+        nic = SmartNic(bluefield2_spec(), seed=123)
+        groups = {}
+        for i, scenario in enumerate(self._scenarios(make_rng(31))):
+            plan = _ScenarioPlan(nic, scenario)
+            plans, indices = groups.setdefault(plan.signature, ([], []))
+            plans.append(plan)
+            indices.append(i)
+        small = [
+            (sig, plans, indices)
+            for sig, (plans, indices) in groups.items()
+            if len(plans) < _SCALAR_FALLBACK_GROUP_SIZE
+        ]
+        assert len(small) >= 10  # the workload is genuinely fragmented
+        merged, leftovers = _merge_small_groups(small)
+        merged_rows = sum(
+            len(plans) for _, members in merged for _, plans, _ in members
+        )
+        assert merged_rows >= 16  # most scenarios vectorize via padding
+        for super_sig, members in merged:
+            for sig, _, _ in members:
+                assert len(sig) <= len(super_sig)
+
+    def test_embedding_helper(self):
+        from repro.nic.batch import _embed_signature, _shortest_supersequence
+
+        assert _embed_signature(("a", "b"), ("a", "x", "b")) == [0, 2]
+        assert _embed_signature(("a", "a"), ("a", "b", "a")) == [0, 2]
+        assert _embed_signature(("b", "a"), ("a", "b")) is None
+        assert _embed_signature((), ("a",)) == []
+        scs = _shortest_supersequence(("a", "b", "a"), ("b", "a", "b"))
+        assert _embed_signature(("a", "b", "a"), scs) is not None
+        assert _embed_signature(("b", "a", "b"), scs) is not None
+        assert len(scs) <= 4
+
+    def test_mixed_sizes_with_convergence_stragglers(self):
+        """Solos merged with slow multi-NF mixes keep scalar iteration
+        counts (dummy lanes never perturb a row's residual stream)."""
+        nic = SmartNic(bluefield2_spec(), seed=77)
+        traffic = TrafficProfile()
+        scenarios = [
+            [make_nf("nids").demand(traffic, instance="nids#0")],
+            [
+                make_nf("nids").demand(traffic, instance="nids#0"),
+                make_nf("nids").demand(traffic, instance="nids#1"),
+                make_nf("flowstats").demand(traffic, instance="flowstats#2"),
+            ],
+            [
+                make_nf("flowstats").demand(traffic, instance="flowstats#0"),
+                make_nf("nids").demand(traffic, instance="nids#1"),
+            ],
+        ]
+        batch = nic.run_batch(scenarios)
+        for i, scenario in enumerate(scenarios):
+            assert_identical(nic.run(scenario), batch[i], f"straggler {i}")

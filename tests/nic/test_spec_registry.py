@@ -1,0 +1,92 @@
+"""Unit tests for the hardware-target registry in ``repro.nic.spec``."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nic.spec import (
+    DEFAULT_TARGET,
+    NicSpecification,
+    available_specs,
+    bluefield2_spec,
+    get_spec,
+    pensando_spec,
+    register_spec,
+)
+
+
+class TestRegistry:
+    def test_builtin_targets_available(self):
+        names = available_specs()
+        assert "bluefield2" in names
+        assert "pensando" in names
+        assert DEFAULT_TARGET in names
+
+    def test_round_trip(self):
+        assert get_spec("bluefield2") == bluefield2_spec()
+        assert get_spec("pensando") == pensando_spec()
+        for name in available_specs():
+            assert get_spec(name).name == name
+
+    def test_get_spec_cached_instance(self):
+        assert get_spec("bluefield2") is get_spec("bluefield2")
+
+    def test_unknown_name_error_lists_available(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_spec("connectx")
+        message = str(excinfo.value)
+        assert "connectx" in message
+        assert "bluefield2" in message
+
+    def test_reregister_requires_overwrite(self):
+        with pytest.raises(ConfigurationError):
+            register_spec("bluefield2", bluefield2_spec)
+
+    def test_register_custom_target(self):
+        def tiny() -> NicSpecification:
+            return NicSpecification(
+                name="tiny-test-nic",
+                num_cores=2,
+                core_freq_mhz=1000.0,
+                llc_bytes=1024.0 * 1024.0,
+                dram_bandwidth_bpus=1000.0,
+                dram_latency_us=0.2,
+                llc_hit_time_us=0.02,
+                line_rate_gbps=10.0,
+            )
+
+        register_spec("tiny-test-nic", tiny, overwrite=True)
+        try:
+            assert get_spec("tiny-test-nic").num_cores == 2
+            assert "tiny-test-nic" in available_specs()
+        finally:
+            # Registry is module-global: drop the test entry.
+            from repro.nic import spec as spec_module
+
+            spec_module._SPEC_FACTORIES.pop("tiny-test-nic", None)
+            spec_module._SPEC_CACHE.pop("tiny-test-nic", None)
+
+    def test_name_mismatch_rejected(self):
+        register_spec("wrong-name", bluefield2_spec, overwrite=True)
+        try:
+            with pytest.raises(ConfigurationError):
+                get_spec("wrong-name")
+        finally:
+            from repro.nic import spec as spec_module
+
+            spec_module._SPEC_FACTORIES.pop("wrong-name", None)
+            spec_module._SPEC_CACHE.pop("wrong-name", None)
+
+
+class TestHashability:
+    def test_equal_specs_equal_hash(self):
+        assert bluefield2_spec() == bluefield2_spec()
+        assert hash(bluefield2_spec()) == hash(bluefield2_spec())
+
+    def test_distinct_specs_differ(self):
+        assert bluefield2_spec() != pensando_spec()
+
+    def test_usable_as_dict_key(self):
+        pools = {bluefield2_spec(): 0.7, pensando_spec(): 0.3}
+        assert pools[bluefield2_spec()] == 0.7
+        assert pools[get_spec("pensando")] == 0.3
+        assert len({bluefield2_spec(), bluefield2_spec(), pensando_spec()}) == 2
