@@ -1,23 +1,29 @@
 """Fleet serving: the §7.5 use cases run online over time.
 
 Every policy drives the *same* seeded churn/traffic schedule through
-the time-stepped fleet simulator (:mod:`repro.fleet.engine`): services
-arrive and depart, traffic evolves along per-service traces, the
-policy places and (for ``rebalance``) migrates services, and the
-simulator scores every NIC's residents each epoch. The rendered table
-is the dynamic analogue of Table 6 — wastage and SLA violations — plus
-the serving-system columns a one-shot snapshot cannot express:
-utilisation, aggregate throughput and migration count.
+the fleet simulator (:mod:`repro.fleet.engine`): services arrive and
+depart, traffic evolves along per-service traces, the policy places
+and (for ``rebalance``) migrates services, and the simulator scores
+every NIC's residents. The rendered table is the dynamic analogue of
+Table 6 — wastage and SLA violations — plus the serving-system columns
+a one-shot snapshot cannot express: utilisation, aggregate throughput
+and migration count.
+
+Two registry entries share this module: ``fleet`` runs the
+time-stepped epoch engine; ``fleet-event`` (:func:`run_event`) runs the
+continuous-time event engine with sub-epoch Poisson arrival times, and
+appends each policy's second-granularity violation/drop integrals to
+the table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
 from repro.experiments.context import get_context
 from repro.fleet.churn import ChurnProcess
-from repro.fleet.engine import FleetEngine, FleetReport
+from repro.fleet.engine import EventEngine, EventReport, FleetEngine, FleetReport
 from repro.fleet.policies import FLEET_POLICY_NAMES, PlacementModel, make_policy
 from repro.nf.catalog import EVALUATION_NF_NAMES
 from repro.rng import derive_seed
@@ -26,6 +32,8 @@ from repro.rng import derive_seed
 @dataclass
 class FleetResult:
     reports: dict[str, FleetReport]
+    #: Continuous-time reports, populated when ``engine="event"``.
+    event_reports: dict[str, EventReport] = field(default_factory=dict)
 
     def render(self) -> str:
         rows = []
@@ -47,7 +55,7 @@ class FleetResult:
                     report.total_migrations,
                 ]
             )
-        return render_table(
+        table = render_table(
             [
                 "policy",
                 "mean NICs",
@@ -60,9 +68,24 @@ class FleetResult:
             rows,
             title="Fleet — traffic-aware serving over time (dynamic Table 6)",
         )
+        if not self.event_reports:
+            return table
+        lines = [table]
+        for name, report in self.event_reports.items():
+            lines.append(
+                f"event {name}: violation-seconds "
+                f"{report.violation_service_seconds:.3f} | drop-seconds "
+                f"{report.drop_service_seconds:.3f} | observations "
+                f"{len(report.observations)} ({report.probes} probes)"
+            )
+        return "\n".join(lines)
 
 
-def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> FleetResult:
+def run(
+    scale: str = "default",
+    seed: int = EXPERIMENT_SEED,
+    engine: str = "epoch",
+) -> FleetResult:
     """Run every fleet policy over one shared churn schedule."""
     resolved = get_scale(scale)
     context = get_context(resolved)
@@ -73,8 +96,22 @@ def run(scale: str = "default", seed: int = EXPERIMENT_SEED) -> FleetResult:
         seed=derive_seed(seed, "fleet-churn"),
         arrival_rate=resolved.fleet_arrival_rate,
     )
-    reports = {}
+    reports: dict[str, FleetReport] = {}
+    event_reports: dict[str, EventReport] = {}
     for name in FLEET_POLICY_NAMES:
-        engine = FleetEngine(make_policy(name), churn, model)
-        reports[name] = engine.run(resolved.fleet_epochs)
-    return FleetResult(reports=reports)
+        if engine == "event":
+            report = EventEngine(make_policy(name), churn, model).run(
+                resolved.fleet_epochs
+            )
+            event_reports[name] = report
+            reports[name] = report.fleet
+        else:
+            reports[name] = FleetEngine(make_policy(name), churn, model).run(
+                resolved.fleet_epochs
+            )
+    return FleetResult(reports=reports, event_reports=event_reports)
+
+
+def run_event(scale: str = "default", seed: int = EXPERIMENT_SEED) -> FleetResult:
+    """The ``fleet-event`` registry entry: continuous-time engine."""
+    return run(scale=scale, seed=seed, engine="event")

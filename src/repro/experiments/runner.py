@@ -61,6 +61,7 @@ CONTEXT_EXPERIMENTS: frozenset[str] = frozenset(
         "table7",
         "table9",
         "fleet",
+        "fleet-event",
     }
 )
 
@@ -82,6 +83,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "table8+fig8": table8_profiling.run,
     "table9": table9_pensando.run,
     "fleet": fleet_serving.run,
+    "fleet-event": fleet_serving.run_event,
 }
 
 

@@ -1,16 +1,22 @@
 """Traffic-aware fleet serving simulator (§7.5 taken online).
 
-A time-stepped SmartNIC cluster: NF services arrive and depart
-(:mod:`repro.fleet.churn`), their traffic profiles evolve every epoch
+A SmartNIC cluster over time: NF services arrive and depart
+(:mod:`repro.fleet.churn`), their traffic profiles evolve along traces
 (:mod:`repro.fleet.traces`), and an online placement policy
 (:mod:`repro.fleet.policies`) decides where each service runs on the
-growing/shrinking cluster (:mod:`repro.fleet.cluster`). The epoch loop
-(:mod:`repro.fleet.engine`) scores every NIC's residents against
-simulator ground truth — one :meth:`SmartNic.run_batch` call per epoch —
-and accumulates SLA-violation, utilisation, wastage and migration-cost
-time series.
+growing/shrinking cluster (:mod:`repro.fleet.cluster`). Two engines
+share one scoring core (:mod:`repro.fleet.engine`): the time-stepped
+:class:`FleetEngine` advances epoch by epoch, while the
+continuous-time :class:`EventEngine` pops typed events
+(:mod:`repro.fleet.events`) — timed arrivals, mid-epoch traffic change
+points, timed migrations, NIC spin-up — and scores lazily at
+observation points, gathering all changed NICs into one
+:meth:`SmartNic.run_batch` call per hardware target. Both accumulate
+SLA-violation, utilisation, wastage and migration-cost series; the
+event engine adds second-granularity violation/drop integrals.
 
-CLI: ``python -m repro.fleet --epochs 20 --policy yala``.
+CLI: ``python -m repro.fleet --epochs 20 --policy yala``
+(``--engine event`` for the continuous-time engine).
 """
 
 from repro.fleet.churn import ChurnProcess, ServiceRequest
@@ -20,14 +26,32 @@ from repro.fleet.cluster import (
     MigrationRecord,
     NicProvisioner,
     ServiceInstance,
+    TimedMigration,
     parse_nic_mix,
 )
 from repro.fleet.engine import (
     EpochMetrics,
+    EventEngine,
+    EventReport,
     FleetEngine,
     FleetReport,
+    ObservationRecord,
     PoolMetrics,
     simulate,
+    simulate_events,
+)
+from repro.fleet.events import (
+    EVENT_TYPES,
+    Arrival,
+    Departure,
+    Event,
+    EventConfig,
+    EventQueue,
+    MigrationComplete,
+    MigrationStart,
+    Probe,
+    RebalanceTimer,
+    TrafficChange,
 )
 from repro.fleet.policies import (
     FLEET_POLICY_NAMES,
@@ -37,24 +61,40 @@ from repro.fleet.policies import (
 from repro.fleet.traces import TRACE_KINDS, TrafficTrace, make_trace, random_trace
 
 __all__ = [
+    "Arrival",
     "ChurnProcess",
     "Cluster",
+    "Departure",
+    "EVENT_TYPES",
     "EpochMetrics",
+    "Event",
+    "EventConfig",
+    "EventEngine",
+    "EventQueue",
+    "EventReport",
     "FLEET_POLICY_NAMES",
     "FleetEngine",
     "FleetNic",
     "FleetReport",
+    "MigrationComplete",
     "MigrationRecord",
+    "MigrationStart",
     "NicProvisioner",
+    "ObservationRecord",
     "PlacementModel",
     "PoolMetrics",
+    "Probe",
+    "RebalanceTimer",
     "ServiceInstance",
     "ServiceRequest",
     "TRACE_KINDS",
+    "TimedMigration",
+    "TrafficChange",
     "TrafficTrace",
     "make_policy",
     "make_trace",
     "parse_nic_mix",
     "random_trace",
     "simulate",
+    "simulate_events",
 ]

@@ -11,6 +11,14 @@ don't start empty.
 Arrivals are a pure function of ``(seed, epoch)`` — the per-epoch RNG
 is derived with :func:`repro.rng.derive_seed` — so a churn schedule is
 bit-reproducible regardless of how the engine interleaves its calls.
+
+For the continuous-time event engine, :meth:`ChurnProcess.
+arrival_times_for` additionally stamps every arrival with a *time*
+inside its epoch: conditioned on the per-epoch Poisson count, arrival
+instants of a Poisson process are i.i.d. uniforms over the interval, so
+the times are sorted uniform draws from a separate stream derived from
+the same base seed — the request marks (NF, SLA, trace, lifetime) stay
+bit-identical to :meth:`arrivals_for` however the clock is read.
 """
 
 from __future__ import annotations
@@ -117,3 +125,29 @@ class ChurnProcess:
                 )
             )
         return requests
+
+    def arrival_times_for(
+        self, epoch: int, quantize: bool = False
+    ) -> list[tuple[float, ServiceRequest]]:
+        """Timed arrivals of ``epoch``: ``(time, request)``, time-sorted.
+
+        The requests are exactly :meth:`arrivals_for`'s (same derived
+        seed streams, same marks). Times are drawn from a sibling
+        ``"arrival-times"`` stream: sorted uniforms over
+        ``[epoch, epoch + 1)``, except epoch ``0`` whose arrivals all
+        land at ``t = 0.0`` — the initial population seeds the fleet at
+        the instant the simulation starts. With ``quantize=True`` every
+        time snaps to ``float(epoch)``, the epoch-boundary schedule
+        under which the event engine reproduces the epoch engine.
+        """
+        requests = self.arrivals_for(epoch)
+        if quantize or epoch == 0 or not requests:
+            return [(float(epoch), request) for request in requests]
+        rng = make_rng(derive_seed(self._seed, "arrival-times", epoch))
+        offsets = sorted(
+            float(x) for x in rng.uniform(0.0, 1.0, size=len(requests))
+        )
+        return [
+            (epoch + offset, request)
+            for offset, request in zip(offsets, requests)
+        ]

@@ -13,10 +13,29 @@ BlueField-2/Pensando fleet provisions the identical NIC sequence on
 every run regardless of how churn interleaves placements. Constructing
 a cluster from a bare :class:`NicSpecification` keeps the historical
 homogeneous behaviour.
+
+**Continuous time.** For the event engine the cluster also models the
+two costs the epoch world treats as free:
+
+- *Timed migrations* — with ``migration_duration > 0`` a
+  :meth:`Cluster.migrate` call begins an in-flight move: the service
+  stays **resident on both NICs** (it contends for cores, memory and
+  accelerators on source *and* destination — state transfer is not
+  free) until :meth:`complete_migration` lands it, ``duration`` seconds
+  later. The engine drains :meth:`take_pending_migrations` after every
+  policy hook to schedule the completion events. Its home NIC (the one
+  serving its traffic) remains the source until completion.
+- *Spin-up latency* — a NIC provisioned at ``now`` is only
+  ``ready_at = now + spinup_latency``; before that its residents
+  deliver zero throughput (they are booting, and score as full drops).
+
+Both default to zero, under which every code path is bit-identical to
+the historical instantaneous model the epoch engine runs.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, PlacementError
@@ -157,6 +176,9 @@ class FleetNic:
     nic_id: int
     spec: NicSpecification
     residents: list[ServiceInstance] = field(default_factory=list)
+    #: Time this NIC finishes booting (0.0 = ready since the start;
+    #: residents of a not-yet-ready NIC deliver zero throughput).
+    ready_at: float = 0.0
 
     @property
     def target(self) -> str:
@@ -182,6 +204,22 @@ class MigrationRecord:
     reason: str
 
 
+@dataclass(frozen=True)
+class TimedMigration:
+    """A migration with real duration: in flight over [start, end)."""
+
+    instance_id: str
+    from_nic: int
+    to_nic: int
+    start_time: float
+    end_time: float
+    reason: str
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
 class Cluster:
     """Mutable fleet state with deterministic bookkeeping."""
 
@@ -195,6 +233,16 @@ class Cluster:
         self.migration_log: list[MigrationRecord] = []
         self.total_placements = 0
         self.total_departures = 0
+        # Continuous-time state (all inert at their defaults — the
+        # epoch engine never touches them).
+        self.now: float = 0.0
+        self.migration_duration: float = 0.0
+        self.spinup_latency: float = 0.0
+        self.total_migrations_started = 0
+        self.migrations_cancelled = 0
+        self.timed_migrations: list[TimedMigration] = []
+        self._in_flight: dict[str, TimedMigration] = {}
+        self._pending_migrations: list[TimedMigration] = []
 
     @property
     def provisioner(self) -> NicProvisioner:
@@ -230,8 +278,20 @@ class Cluster:
 
     @property
     def services(self) -> list[ServiceInstance]:
-        """All residents in (NIC spin-up, placement) order."""
-        return [r for nic in self._nics for r in nic.residents]
+        """All residents in (NIC spin-up, placement) order.
+
+        A migrating service is resident on two NICs; it is listed once,
+        at its *home* (serving) NIC — the source until the migration
+        completes.
+        """
+        if not self._in_flight:
+            return [r for nic in self._nics for r in nic.residents]
+        return [
+            r
+            for nic in self._nics
+            for r in nic.residents
+            if self._by_instance.get(r.instance_id) is nic
+        ]
 
     def nic_of(self, instance_id: str) -> FleetNic:
         try:
@@ -240,17 +300,39 @@ class Cluster:
             raise PlacementError(f"unknown instance {instance_id!r}") from None
 
     # ------------------------------------------------------------------
+    # Continuous-time queries
+    # ------------------------------------------------------------------
+    def is_home(self, nic: FleetNic, instance_id: str) -> bool:
+        """Is ``nic`` the NIC currently *serving* this instance?
+
+        False only for the destination copy of an in-flight migration
+        (which contends there but does not serve traffic yet).
+        """
+        return self._by_instance.get(instance_id) is nic
+
+    def is_migrating(self, instance_id: str) -> bool:
+        return instance_id in self._in_flight
+
+    def migration_of(self, instance_id: str) -> TimedMigration | None:
+        """The in-flight migration of ``instance_id``, if any.
+
+        The event engine uses this to discard stale completion events: a
+        departure cancels the migration, so a completion whose record is
+        gone (or superseded by a later move) must be a no-op.
+        """
+        return self._in_flight.get(instance_id)
+
+    @property
+    def in_flight_migrations(self) -> tuple[TimedMigration, ...]:
+        return tuple(self._in_flight.values())
+
+    # ------------------------------------------------------------------
     def place(self, instance: ServiceInstance, nic_id: int | None = None) -> int:
         """Place ``instance`` on NIC ``nic_id`` (``None`` = a new NIC)."""
         if instance.instance_id in self._by_instance:
             raise PlacementError(f"{instance.instance_id!r} is already placed")
         if nic_id is None:
-            nic = FleetNic(
-                nic_id=self._next_nic_id,
-                spec=self._provisioner.spec_for(self._next_nic_id),
-            )
-            self._next_nic_id += 1
-            self._nics.append(nic)
+            nic = self._spin_up()
         else:
             nic = self._find(nic_id)
             if len(nic.residents) >= nic.max_residents:
@@ -261,8 +343,21 @@ class Cluster:
         return nic.nic_id
 
     def remove(self, instance_id: str) -> None:
-        """Remove a departing service; retire the NIC if now empty."""
+        """Remove a departing service; retire the NIC if now empty.
+
+        Removing a service that is mid-migration cancels the migration:
+        its destination copy vanishes too (nothing lands later).
+        """
         nic = self.nic_of(instance_id)
+        record = self._in_flight.pop(instance_id, None)
+        if record is not None:
+            dest = self._find(record.to_nic)
+            dest.residents = [
+                r for r in dest.residents if r.instance_id != instance_id
+            ]
+            self.migrations_cancelled += 1
+            if not dest.residents:
+                self._nics.remove(dest)
         nic.residents = [
             r for r in nic.residents if r.instance_id != instance_id
         ]
@@ -278,7 +373,23 @@ class Cluster:
         epoch: int,
         reason: str = "rebalance",
     ) -> int:
-        """Move a service to another (or a fresh) NIC and log the move."""
+        """Move a service to another (or a fresh) NIC and log the move.
+
+        With ``migration_duration > 0`` the move is *timed*: it begins
+        now (the service becomes co-resident on the destination) and
+        only completes — home NIC switches, move logged —
+        ``migration_duration`` seconds later, when the driving engine
+        calls :meth:`complete_migration`. At the default duration of
+        zero the move is the historical instantaneous one.
+        """
+        if self.migration_duration > 0.0:
+            return self.begin_migration(
+                instance_id,
+                to_nic_id,
+                start=self.now,
+                duration=self.migration_duration,
+                reason=reason,
+            )
         source = self.nic_of(instance_id)
         if to_nic_id == source.nic_id:
             raise PlacementError("migration target is the current NIC")
@@ -297,6 +408,7 @@ class Cluster:
             self._nics.remove(source)
         placed_on = self.place(instance, to_nic_id)
         self.total_placements -= 1  # a move, not a new placement
+        self.total_migrations_started += 1
         self.migration_log.append(
             MigrationRecord(
                 epoch=epoch,
@@ -309,6 +421,100 @@ class Cluster:
         return placed_on
 
     # ------------------------------------------------------------------
+    # Timed migrations
+    # ------------------------------------------------------------------
+    def begin_migration(
+        self,
+        instance_id: str,
+        to_nic_id: int | None,
+        start: float,
+        duration: float,
+        reason: str = "rebalance",
+    ) -> int:
+        """Start an in-flight migration; returns the destination NIC id.
+
+        The service keeps serving on its source NIC while a contending
+        copy occupies the destination; :meth:`complete_migration` (at
+        ``start + duration``) performs the hand-over. The new record is
+        queued for :meth:`take_pending_migrations` so the event engine
+        can schedule the completion event.
+        """
+        if duration <= 0.0:
+            raise PlacementError("timed migration needs duration > 0")
+        if instance_id in self._in_flight:
+            raise PlacementError(f"{instance_id!r} is already migrating")
+        source = self.nic_of(instance_id)
+        if to_nic_id == source.nic_id:
+            raise PlacementError("migration target is the current NIC")
+        if to_nic_id is None:
+            dest = self._spin_up()
+        else:
+            dest = self._find(to_nic_id)
+            if len(dest.residents) >= dest.max_residents:
+                raise PlacementError(f"NIC {to_nic_id} is full")
+        instance = next(
+            r for r in source.residents if r.instance_id == instance_id
+        )
+        dest.residents.append(instance)  # the contending copy
+        record = TimedMigration(
+            instance_id=instance_id,
+            from_nic=source.nic_id,
+            to_nic=dest.nic_id,
+            start_time=start,
+            end_time=start + duration,
+            reason=reason,
+        )
+        self._in_flight[instance_id] = record
+        self._pending_migrations.append(record)
+        self.total_migrations_started += 1
+        return dest.nic_id
+
+    def complete_migration(self, instance_id: str) -> TimedMigration:
+        """Land an in-flight migration: the destination becomes home."""
+        try:
+            record = self._in_flight.pop(instance_id)
+        except KeyError:
+            raise PlacementError(
+                f"{instance_id!r} has no migration in flight"
+            ) from None
+        source = self._by_instance[instance_id]
+        dest = self._find(record.to_nic)
+        source.residents = [
+            r for r in source.residents if r.instance_id != instance_id
+        ]
+        if not source.residents:
+            self._nics.remove(source)
+        self._by_instance[instance_id] = dest
+        self.timed_migrations.append(record)
+        self.migration_log.append(
+            MigrationRecord(
+                epoch=int(math.floor(record.end_time)),
+                instance_id=instance_id,
+                from_nic=record.from_nic,
+                to_nic=record.to_nic,
+                reason=record.reason,
+            )
+        )
+        return record
+
+    def take_pending_migrations(self) -> list[TimedMigration]:
+        """Drain migrations begun since the last drain (engine hook)."""
+        pending = self._pending_migrations
+        self._pending_migrations = []
+        return pending
+
+    # ------------------------------------------------------------------
+    def _spin_up(self) -> FleetNic:
+        """Provision the next NIC (ready after the spin-up latency)."""
+        nic = FleetNic(
+            nic_id=self._next_nic_id,
+            spec=self._provisioner.spec_for(self._next_nic_id),
+            ready_at=self.now + self.spinup_latency,
+        )
+        self._next_nic_id += 1
+        self._nics.append(nic)
+        return nic
+
     def _find(self, nic_id: int) -> FleetNic:
         for nic in self._nics:
             if nic.nic_id == nic_id:

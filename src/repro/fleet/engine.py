@@ -1,36 +1,69 @@
-"""The fleet epoch loop: churn, dynamic traffic, placement, scoring.
+"""The fleet engines: churn, dynamic traffic, placement, scoring.
 
 This is the paper's §7.5 taken online. The one-shot evaluations place a
 fixed arrival sequence (scheduling, §7.5.1) or probe one operating
-point (diagnosis, §7.5.2); the fleet engine instead advances a
-SmartNIC cluster through discrete *epochs* in which services arrive
-and depart (:mod:`repro.fleet.churn`), every resident's traffic profile
-evolves along its trace (:mod:`repro.fleet.traces`), and an online
-policy decides placements and migrations using exactly the predictors
-the paper's scheduler uses (:mod:`repro.fleet.policies`).
+point (diagnosis, §7.5.2); the fleet engines instead advance a
+SmartNIC cluster through time while services arrive and depart
+(:mod:`repro.fleet.churn`), every resident's traffic profile evolves
+along its trace (:mod:`repro.fleet.traces`), and an online policy
+decides placements and migrations using exactly the predictors the
+paper's scheduler uses (:mod:`repro.fleet.policies`).
 
-Each epoch proceeds in five phases:
+Two engines share one scoring core:
 
-1. **Departures** — services whose lifetime ended leave; empty NICs
-   retire.
-2. **Traffic evolution** — every remaining service's traffic becomes
-   its trace's profile for this epoch (the dynamic-traffic regime of
-   §7.5.2's MTBR sweep, generalised to all attributes).
-3. **Rebalancing** — the policy may migrate residents based on the
-   *previous* epoch's measured drops (the diagnosis-triggered
-   ``rebalance`` policy migrates the bottlenecked NF of each violating
-   NIC, mirroring how §7.5.2's operator reacts to a diagnosis).
-4. **Arrivals** — new services are placed one by one (the online
-   regime of §7.5.1, with predictions evaluated at the service's
-   *current* traffic).
-5. **Ground-truth scoring** — the simulator runs every NIC's resident
-   mix under the epoch's traffic. All uncached solo baselines and
-   co-run mixes across the whole cluster are solved in **one**
-   :meth:`SmartNic.run_batch` call per hardware target per epoch
-   (``score_mode="batch"``); ``score_mode="loop"`` solves the identical
-   scenario lists with per-scenario :meth:`SmartNic.run` calls and is
-   the bit-exactness oracle — reports from the two modes must be equal
-   to the last bit.
+- :class:`FleetEngine` — the historical *time-stepped* engine. Each
+  epoch proceeds in five phases:
+
+  1. **Departures** — services whose lifetime ended leave; empty NICs
+     retire.
+  2. **Traffic evolution** — every remaining service's traffic becomes
+     its trace's profile for this epoch (the dynamic-traffic regime of
+     §7.5.2's MTBR sweep, generalised to all attributes).
+  3. **Rebalancing** — the policy may migrate residents based on the
+     *previous* epoch's measured drops (the diagnosis-triggered
+     ``rebalance`` policy migrates the bottlenecked NF of each
+     violating NIC, mirroring how §7.5.2's operator reacts to a
+     diagnosis).
+  4. **Arrivals** — new services are placed one by one (the online
+     regime of §7.5.1, with predictions evaluated at the service's
+     *current* traffic).
+  5. **Ground-truth scoring** — the simulator runs every NIC's
+     resident mix under the epoch's traffic, all uncached mixes in
+     **one** :meth:`SmartNic.run_batch` call per hardware target
+     (``score_mode="batch"``); ``score_mode="loop"`` solves the
+     identical scenario lists with per-scenario :meth:`SmartNic.run`
+     calls and is the bit-exactness oracle.
+
+- :class:`EventEngine` — the *continuous-time* engine. It pops typed
+  events (:mod:`repro.fleet.events`) off a deterministic queue and maps
+  them onto the same five phases via the per-timestamp priority order:
+  :class:`~repro.fleet.events.Departure` (phase 1) before
+  :class:`~repro.fleet.events.TrafficChange` (phase 2) before
+  :class:`~repro.fleet.events.MigrationComplete` and
+  :class:`~repro.fleet.events.RebalanceTimer` (phase 3) before
+  :class:`~repro.fleet.events.Arrival` (phase 4) before
+  :class:`~repro.fleet.events.Probe` (phase 5). Scoring is *lazy*: the
+  cluster is only scored at **observation points** — every probe, plus
+  (``observe_changes``) every timestamp at which fleet state actually
+  changed — and each observation gathers all NICs whose mix is not in
+  the persistent mix cache into one ``run_batch`` call per hardware
+  target, exactly like an epoch scoring pass. Between observation
+  points SLA violations and drops are integrated left-Riemann style
+  into second-granularity ``violation_service_seconds`` /
+  ``drop_service_seconds``. Beyond the epoch engine's reach it models
+  Poisson arrival *times* inside each epoch, traffic change points that
+  sit between epochs (a flash crowd's mid-epoch onset), *timed
+  migrations* (the service contends on source and destination for
+  ``migration_duration`` seconds) and NIC spin-up latency (a booting
+  NIC's residents score as full drops until ``ready_at``; boot
+  completion becomes visible at the next observation point).
+
+  Under :meth:`~repro.fleet.events.EventConfig.epoch_equivalent` —
+  arrivals quantized to epoch boundaries, free migrations, no spin-up
+  latency, unit probe/rebalance periods — the event engine reproduces
+  the epoch engine's :class:`FleetReport` **byte-identically** (JSON
+  and rendered text), which is the contract that lets the epoch engine
+  remain the coarse, cheap twin.
 
 Fleets may be **heterogeneous**: a :class:`~repro.fleet.cluster.
 NicProvisioner` mixes hardware targets in one pool, each NIC is scored
@@ -41,10 +74,11 @@ next to the fleet-wide series.
 
 The scored drops feed the SLA-violation, utilisation, wastage and
 migration-cost time series of the :class:`FleetReport`, and are handed
-to the policy as ``last_drops`` at the next epoch's rebalancing phase.
-Everything is deterministic in ``(churn seed, nic mix, trained
-model)``: two runs with the same configuration produce byte-identical
-JSON reports.
+to the policy as ``last_drops`` at the next rebalancing decision.
+Everything is deterministic in ``(churn seed, nic mix, trained model,
+event config)``: two runs with the same configuration produce
+byte-identical JSON reports and — for the event engine — identical
+event logs.
 """
 
 from __future__ import annotations
@@ -62,6 +96,19 @@ from repro.fleet.cluster import (
     MigrationRecord,
     NicProvisioner,
     ServiceInstance,
+    TimedMigration,
+)
+from repro.fleet.events import (
+    Arrival,
+    Departure,
+    Event,
+    EventConfig,
+    EventQueue,
+    MigrationComplete,
+    MigrationStart,
+    Probe,
+    RebalanceTimer,
+    TrafficChange,
 )
 from repro.fleet.policies import FleetPolicy, PlacementModel, make_policy
 from repro.nf.catalog import make_nf
@@ -158,9 +205,9 @@ class FleetReport:
         return summary
 
     # ------------------------------------------------------------------
-    def to_json(self) -> str:
-        """Deterministic JSON rendering of the whole trajectory."""
-        payload = {
+    def payload(self) -> dict:
+        """The trajectory as a JSON-ready dict (what :meth:`to_json` dumps)."""
+        return {
             "policy": self.policy,
             "seed": self.seed,
             "epochs": self.epochs,
@@ -181,7 +228,10 @@ class FleetReport:
             "pools": [asdict(p) for p in self.pools],
             "migrations": [asdict(m) for m in self.migrations],
         }
-        return json.dumps(payload, sort_keys=True, indent=2)
+
+    def to_json(self) -> str:
+        """Deterministic JSON rendering of the whole trajectory."""
+        return json.dumps(self.payload(), sort_keys=True, indent=2)
 
     def render(self) -> str:
         """Text report: configuration + per-pool header, per-epoch rows,
@@ -227,6 +277,221 @@ def _mean(values: list[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
+# ----------------------------------------------------------------------
+# Shared scoring core
+# ----------------------------------------------------------------------
+# Both engines score through these module-level helpers so the numbers
+# can only agree: same cache keys, same scenario construction, same
+# read-out iteration order (dict insertion order feeds float sums, so
+# iteration order *is* part of the byte-determinism contract).
+
+
+def _mix_key(residents: list[ServiceInstance]) -> tuple:
+    return tuple((r.nf_name, r.traffic) for r in residents)
+
+
+def _solo_throughput(
+    model: PlacementModel, nf_name: str, traffic, target: str
+) -> float:
+    return (
+        model.collector_for(target)
+        .solo(make_nf(nf_name), traffic)
+        .throughput_mpps
+    )
+
+
+def _warm_pairs(
+    model: PlacementModel,
+    targets: tuple[str, ...],
+    pairs: list[tuple[str, object]],
+    score_mode: str,
+) -> None:
+    """Measure the given solo baselines into the collector caches.
+
+    Every hardware target in the pool mix is warmed with the full
+    (NF, traffic) pair set — placement probes evaluate candidates on
+    any target, and a migration can move a service across pools, so
+    each target's collector must know every pair's solo behaviour.
+    ``batch`` mode solves each target's uncached solos in one
+    :meth:`ProfilingCollector.solo_many` call (one ``run_batch`` per
+    target); ``loop`` mode measures the identical set with per-pair
+    scalar :meth:`ProfilingCollector.solo` calls — same cache entries,
+    so both modes' policies and drop baselines see the same values.
+    """
+    for target in targets:
+        collector = model.collector_for(target)
+        if score_mode == "batch":
+            collector.solo_many(
+                [(make_nf(name), traffic) for name, traffic in pairs]
+            )
+        else:
+            for name, traffic in pairs:
+                collector.solo(make_nf(name), traffic)
+
+
+def _score_cluster(
+    cluster: Cluster,
+    model: PlacementModel,
+    targets: tuple[str, ...],
+    mix_cache: dict[tuple, list[tuple[float, float]]],
+    score_mode: str,
+    now: Optional[float] = None,
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Measured drop and throughput of every resident service.
+
+    Builds one scenario list per hardware target covering every
+    uncached multi-resident mix on that target's NICs and solves each
+    list in a single :meth:`SmartNic.run_batch` call (``batch`` mode —
+    one call per spec group per observation) or with per-scenario
+    :meth:`SmartNic.run` calls (``loop`` mode, the bit-exactness
+    oracle), then reads both modes' results identically. Solo baselines
+    come from the collector caches; a mix is cached per (target, mix)
+    since the same resident set performs differently on different
+    hardware — and because the cache persists across observation
+    points, only NICs whose mix actually changed ("dirty" NICs) cost a
+    solve.
+
+    ``now`` enables the continuous-time refinements (``None`` is the
+    epoch engine's instantaneous world, kept bit-identical):
+
+    - a NIC still booting (``ready_at > now``) is not solved; its
+      resident services score as full drops (zero throughput);
+    - a NIC's residents include the contending copies of in-flight
+      migrations — they shape the mix (and the solve) but drops and
+      throughputs are assigned only at each service's *home* NIC, the
+      one serving its traffic.
+    """
+    scenarios: dict[str, list[list]] = {t: [] for t in targets}
+    mix_slots: dict[tuple, int] = {}
+    for nic in cluster.nics:
+        if now is not None and nic.ready_at > now:
+            continue  # booting: residents score as full drops below
+        if len(nic.residents) < 2:
+            continue
+        key = (nic.target, _mix_key(nic.residents))
+        if key not in mix_cache and key not in mix_slots:
+            mix_slots[key] = len(scenarios[nic.target])
+            scenarios[nic.target].append(
+                [
+                    make_nf(name).demand(traffic, instance=f"{name}#{j}")
+                    for j, (name, traffic) in enumerate(key[1])
+                ]
+            )
+
+    solved: dict[str, list] = {}
+    for target in targets:
+        batch = scenarios[target]
+        if not batch:
+            solved[target] = []
+        elif score_mode == "batch":
+            solved[target] = model.nic_for(target).run_batch(batch)
+        else:
+            nic_sim = model.nic_for(target)
+            solved[target] = [nic_sim.run(scenario) for scenario in batch]
+
+    for key, slot in mix_slots.items():
+        target, mix_key = key
+        result = solved[target][slot]
+        entries = []
+        for j, (name, traffic) in enumerate(mix_key):
+            achieved = result.throughput_of(f"{name}#{j}")
+            solo = _solo_throughput(model, name, traffic, target)
+            entries.append((max(0.0, 1.0 - achieved / solo), achieved))
+        mix_cache[key] = entries
+
+    drops: dict[str, float] = {}
+    throughputs: dict[str, float] = {}
+    for nic in cluster.nics:
+        if now is not None and nic.ready_at > now:
+            for resident in nic.residents:
+                if cluster.is_home(nic, resident.instance_id):
+                    drops[resident.instance_id] = 1.0
+                    throughputs[resident.instance_id] = 0.0
+            continue
+        if len(nic.residents) == 1:
+            resident = nic.residents[0]
+            if now is None or cluster.is_home(nic, resident.instance_id):
+                drops[resident.instance_id] = 0.0
+                throughputs[resident.instance_id] = _solo_throughput(
+                    model, resident.nf_name, resident.traffic, nic.target
+                )
+            continue
+        entries = mix_cache[(nic.target, _mix_key(nic.residents))]
+        for resident, (drop, throughput) in zip(nic.residents, entries):
+            if now is None or cluster.is_home(nic, resident.instance_id):
+                drops[resident.instance_id] = drop
+                throughputs[resident.instance_id] = throughput
+    return drops, throughputs
+
+
+def _pool_rows(
+    cluster: Cluster,
+    provisioner: NicProvisioner,
+    targets: tuple[str, ...],
+    epoch: int,
+) -> list[PoolMetrics]:
+    """Per-target pool breakdown of one scored epoch.
+
+    Services are counted at their home NIC (a migrating service is
+    listed once, in its source pool) while core utilisation counts the
+    destination copies too — an in-flight migration really does occupy
+    cores in both pools.
+    """
+    rows = []
+    for target in targets:
+        pool = [nic for nic in cluster.nics if nic.target == target]
+        pool_services = sum(
+            1
+            for nic in pool
+            for r in nic.residents
+            if cluster.is_home(nic, r.instance_id)
+        )
+        pool_total = sum(nic.spec.num_cores for nic in pool)
+        pool_used = sum(nic.cores_used() for nic in pool)
+        capacity = provisioner.spec_of(target).num_cores // CORES_PER_NF
+        pool_min = math.ceil(pool_services / capacity)
+        rows.append(
+            PoolMetrics(
+                epoch=epoch,
+                target=target,
+                nics_used=len(pool),
+                services=pool_services,
+                utilisation_pct=(
+                    100.0 * pool_used / pool_total if pool_total else 0.0
+                ),
+                wastage_pct=(
+                    100.0 * (len(pool) - pool_min) / pool_min
+                    if pool_min
+                    else 0.0
+                ),
+            )
+        )
+    return rows
+
+
+def _validate_pool(
+    policy: FleetPolicy | str,
+    model: PlacementModel,
+    score_mode: str,
+    provisioner: Optional[NicProvisioner],
+) -> tuple[FleetPolicy, NicProvisioner]:
+    """Shared engine-constructor validation (both engines, same rules)."""
+    if score_mode not in ("batch", "loop"):
+        raise ConfigurationError("score_mode must be 'batch' or 'loop'")
+    resolved = make_policy(policy) if isinstance(policy, str) else policy
+    if provisioner is None:
+        # Historical homogeneous behaviour: every NIC is the model's
+        # default target.
+        provisioner = NicProvisioner.constant(model.nic.spec)
+    for target in provisioner.target_names:
+        if target not in model.target_names:
+            raise ConfigurationError(
+                f"nic-mix target {target!r} has no placement model; "
+                f"registered: {list(model.target_names)}"
+            )
+    return resolved, provisioner
+
+
 class FleetEngine:
     """Drives one policy through the time-stepped fleet simulation."""
 
@@ -238,23 +503,12 @@ class FleetEngine:
         score_mode: str = "batch",
         provisioner: Optional[NicProvisioner] = None,
     ) -> None:
-        if score_mode not in ("batch", "loop"):
-            raise ConfigurationError("score_mode must be 'batch' or 'loop'")
-        self._policy = make_policy(policy) if isinstance(policy, str) else policy
+        self._policy, self._provisioner = _validate_pool(
+            policy, model, score_mode, provisioner
+        )
         self._churn = churn
         self._model = model
-        if provisioner is None:
-            # Historical homogeneous behaviour: every NIC is the
-            # model's default target.
-            provisioner = NicProvisioner.constant(model.nic.spec)
-        for target in provisioner.target_names:
-            if target not in model.target_names:
-                raise ConfigurationError(
-                    f"nic-mix target {target!r} has no placement model; "
-                    f"registered: {list(model.target_names)}"
-                )
-        self._provisioner = provisioner
-        self._targets = provisioner.target_names
+        self._targets = self._provisioner.target_names
         self._score_mode = score_mode
 
     @property
@@ -300,7 +554,12 @@ class FleetEngine:
             # and the scoring drops all hit the cache. The loop twin
             # warms the identical set with per-pair scalar solves.
             arrivals = self._churn.arrivals_for(epoch)
-            self._warm_solos(cluster, arrivals, epoch)
+            pairs = [(r.nf_name, r.traffic) for r in cluster.services]
+            pairs.extend(
+                (request.nf_name, request.trace.profile_at(epoch))
+                for request in arrivals
+            )
+            _warm_pairs(self._model, self._targets, pairs, self._score_mode)
 
             # 3. Policy rebalancing on the previous epoch's measured drops.
             migrations_before = len(cluster.migration_log)
@@ -316,7 +575,10 @@ class FleetEngine:
                 cluster.place(instance, nic_id)
 
             # 5. Ground-truth scoring of every NIC's resident mix.
-            drops, throughputs = self._score_epoch(cluster, mix_cache)
+            drops, throughputs = _score_cluster(
+                cluster, self._model, self._targets, mix_cache,
+                self._score_mode,
+            )
             last_drops = drops
             violations = sum(
                 1
@@ -351,149 +613,446 @@ class FleetEngine:
                     aggregate_throughput_mpps=sum(throughputs.values()),
                 )
             )
-            report.pools.extend(self._pool_metrics(cluster, epoch))
+            report.pools.extend(
+                _pool_rows(cluster, self._provisioner, self._targets, epoch)
+            )
         report.migrations = list(cluster.migration_log)
         return report
 
-    def _pool_metrics(self, cluster: Cluster, epoch: int) -> list[PoolMetrics]:
-        """Per-target pool breakdown of one scored epoch."""
-        rows = []
-        for target in self._targets:
-            pool = [nic for nic in cluster.nics if nic.target == target]
-            pool_services = sum(len(nic.residents) for nic in pool)
-            pool_total = sum(nic.spec.num_cores for nic in pool)
-            pool_used = sum(nic.cores_used() for nic in pool)
-            capacity = self._provisioner.spec_of(target).num_cores // CORES_PER_NF
-            pool_min = math.ceil(pool_services / capacity)
-            rows.append(
-                PoolMetrics(
-                    epoch=epoch,
-                    target=target,
-                    nics_used=len(pool),
-                    services=pool_services,
-                    utilisation_pct=(
-                        100.0 * pool_used / pool_total if pool_total else 0.0
-                    ),
-                    wastage_pct=(
-                        100.0 * (len(pool) - pool_min) / pool_min
-                        if pool_min
-                        else 0.0
-                    ),
+
+# ----------------------------------------------------------------------
+# Continuous-time event engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObservationRecord:
+    """One scored observation point of the event engine."""
+
+    time: float
+    kind: str  # "probe" (scheduled grid) or "change" (state changed)
+    services: int
+    nics_used: int
+    sla_violations: int
+    drop_sum: float  # sum of measured per-service drops
+    aggregate_throughput_mpps: float
+
+
+@dataclass
+class EventReport:
+    """Continuous-time trajectory: the epoch-grid :class:`FleetReport`
+    plus the event engine's second-granularity series."""
+
+    fleet: FleetReport
+    horizon: float
+    config: EventConfig
+    observations: list[ObservationRecord] = field(default_factory=list)
+    events_processed: int = 0
+    event_counts: dict[str, int] = field(default_factory=dict)
+    event_log: list[str] = field(default_factory=list)
+    #: Left-Riemann integral of the SLA-violation count over time
+    #: (unit: service-seconds in violation).
+    violation_service_seconds: float = 0.0
+    #: Left-Riemann integral of the summed throughput-drop fractions
+    #: (unit: service-seconds of lost throughput).
+    drop_service_seconds: float = 0.0
+    migrations_started: int = 0
+    migrations_completed: int = 0
+    migrations_cancelled: int = 0
+    timed_migrations: list[TimedMigration] = field(default_factory=list)
+
+    @property
+    def probes(self) -> int:
+        return sum(1 for o in self.observations if o.kind == "probe")
+
+    # ------------------------------------------------------------------
+    def payload(self) -> dict:
+        return {
+            "engine": "event",
+            "horizon": self.horizon,
+            "config": asdict(self.config),
+            "summary": {
+                "observations": len(self.observations),
+                "probes": self.probes,
+                "events_processed": self.events_processed,
+                "event_counts": dict(self.event_counts),
+                "violation_service_seconds": self.violation_service_seconds,
+                "drop_service_seconds": self.drop_service_seconds,
+                "migrations_started": self.migrations_started,
+                "migrations_completed": self.migrations_completed,
+                "migrations_cancelled": self.migrations_cancelled,
+            },
+            "observations": [asdict(o) for o in self.observations],
+            "timed_migrations": [asdict(m) for m in self.timed_migrations],
+            "event_log": list(self.event_log),
+            "fleet": self.fleet.payload(),
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON: the fleet payload nested under ``fleet``
+        plus the continuous-time series."""
+        return json.dumps(self.payload(), sort_keys=True, indent=2)
+
+    def render(self) -> str:
+        """The fleet table followed by a continuous-time footer."""
+        lines = [self.fleet.render()]
+        lines.append(
+            f"event engine: horizon {self.horizon:g}s | "
+            f"observations {len(self.observations)} "
+            f"({self.probes} probes) | events {self.events_processed}"
+        )
+        lines.append(
+            f"violation-seconds {self.violation_service_seconds:.3f} | "
+            f"drop-seconds {self.drop_service_seconds:.3f} | "
+            f"migrations started {self.migrations_started} / "
+            f"completed {self.migrations_completed} / "
+            f"cancelled {self.migrations_cancelled}"
+        )
+        return "\n".join(lines)
+
+
+class EventEngine:
+    """Drives one policy through the continuous-time fleet simulation.
+
+    Same constructor contract as :class:`FleetEngine` plus an
+    :class:`~repro.fleet.events.EventConfig`. ``run(horizon)`` advances
+    the fleet to ``horizon`` seconds (one epoch of the time-stepped
+    engine = one second) and returns an :class:`EventReport` whose
+    ``fleet`` member is byte-identical to ``FleetEngine.run(horizon)``'s
+    report under :meth:`EventConfig.epoch_equivalent`.
+    """
+
+    def __init__(
+        self,
+        policy: FleetPolicy | str,
+        churn: ChurnProcess,
+        model: PlacementModel,
+        score_mode: str = "batch",
+        provisioner: Optional[NicProvisioner] = None,
+        config: Optional[EventConfig] = None,
+    ) -> None:
+        self._policy, self._provisioner = _validate_pool(
+            policy, model, score_mode, provisioner
+        )
+        self._churn = churn
+        self._model = model
+        self._targets = self._provisioner.target_names
+        self._score_mode = score_mode
+        self._config = config if config is not None else EventConfig()
+
+    @property
+    def policy_name(self) -> str:
+        return self._policy.name
+
+    @property
+    def config(self) -> EventConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    def run(self, horizon: float) -> EventReport:
+        """Simulate ``horizon`` seconds; returns the scored trajectory.
+
+        Stateless across calls, like :meth:`FleetEngine.run`.
+        """
+        horizon = float(horizon)
+        if not horizon >= 1.0:
+            raise ConfigurationError("horizon must be >= 1 second")
+        cfg = self._config
+        epochs = int(math.ceil(horizon))
+        cluster = Cluster(self._provisioner)
+        cluster.migration_duration = cfg.migration_duration
+        cluster.spinup_latency = cfg.spinup_latency
+        mix_cache: dict[tuple, list[tuple[float, float]]] = {}
+        queue = EventQueue()
+        instances: dict[str, ServiceInstance] = {}
+        report = EventReport(
+            fleet=FleetReport(
+                policy=self._policy.name,
+                seed=self._churn.seed,
+                epochs=epochs,
+                score_mode=self._score_mode,
+                nic_mix=self._provisioner.mix,
+            ),
+            horizon=horizon,
+            config=cfg,
+        )
+
+        # Static schedule: every epoch's timed arrivals, plus the probe
+        # and rebalance grids (chained through their handlers).
+        for epoch in range(epochs):
+            for when, request in self._churn.arrival_times_for(
+                epoch, quantize=cfg.quantize_arrivals
+            ):
+                if when < horizon:
+                    queue.push(Arrival(time=when, request=request))
+        queue.push(Probe(time=0.0))
+        queue.push(RebalanceTimer(time=0.0))
+
+        last_drops: dict[str, float] = {}
+        prev_t = 0.0
+        prev_violations = 0
+        prev_drop_sum = 0.0
+        arrivals_since = 0
+        departures_since = 0
+        migrations_at_probe = 0
+        probe_index = 0
+        rebalance_index = 0
+
+        while queue and queue.peek().time < horizon:
+            t = queue.peek().time
+            cluster.now = t
+            dirty = False
+            probe_due = False
+
+            while queue and queue.peek().time == t:
+                event = self._pop(queue, report)
+
+                if isinstance(event, Departure):
+                    if event.instance_id in instances:
+                        cluster.remove(event.instance_id)
+                        del instances[event.instance_id]
+                        departures_since += 1
+                        dirty = True
+
+                elif isinstance(event, TrafficChange):
+                    instance = instances.get(event.instance_id)
+                    if instance is not None:
+                        trace = instance.request.trace
+                        fresh = trace.profile_at(t)
+                        if fresh != instance.traffic:
+                            dirty = True
+                        instance.traffic = fresh
+                        nxt = trace.next_change_after(t)
+                        if nxt is not None and nxt < horizon:
+                            queue.push(
+                                TrafficChange(nxt, event.instance_id)
+                            )
+
+                elif isinstance(event, MigrationComplete):
+                    record = cluster.migration_of(event.instance_id)
+                    if record is not None and record.end_time == t:
+                        cluster.complete_migration(event.instance_id)
+                        dirty = True
+
+                elif isinstance(event, RebalanceTimer):
+                    moved = self._policy.rebalance(
+                        cluster, int(math.floor(t)), self._model, last_drops
+                    )
+                    if self._launch_migrations(cluster, queue, report, horizon):
+                        dirty = True
+                    elif moved:
+                        dirty = True  # instantaneous (duration-0) moves
+                    rebalance_index += 1
+                    nxt = rebalance_index * cfg.rebalance_period
+                    if nxt < horizon:
+                        queue.push(RebalanceTimer(time=nxt))
+
+                elif isinstance(event, Arrival):
+                    # Gather the whole same-time arrival group (they are
+                    # contiguous in the queue) so their solo baselines
+                    # warm in one batch, like an epoch's phase 2b.
+                    group = [event]
+                    while (
+                        queue
+                        and queue.peek().time == t
+                        and isinstance(queue.peek(), Arrival)
+                    ):
+                        group.append(self._pop(queue, report))
+                    requests = [e.request for e in group]
+                    pairs = [
+                        (r.nf_name, r.traffic) for r in cluster.services
+                    ]
+                    pairs.extend(
+                        (rq.nf_name, rq.trace.profile_at(t))
+                        for rq in requests
+                    )
+                    _warm_pairs(
+                        self._model, self._targets, pairs, self._score_mode
+                    )
+                    for request in requests:
+                        instance = ServiceInstance(
+                            request=request,
+                            traffic=request.trace.profile_at(t),
+                        )
+                        nic_id = self._policy.choose_nic(
+                            cluster, instance, self._model
+                        )
+                        cluster.place(instance, nic_id)
+                        instances[request.instance_id] = instance
+                        departs = float(request.departure_epoch)
+                        if departs < horizon:
+                            queue.push(
+                                Departure(departs, request.instance_id)
+                            )
+                        nxt = request.trace.next_change_after(t)
+                        if nxt is not None and nxt < horizon:
+                            queue.push(
+                                TrafficChange(nxt, request.instance_id)
+                            )
+                    arrivals_since += len(requests)
+                    dirty = True
+
+                elif isinstance(event, Probe):
+                    probe_due = True
+                    probe_index += 1
+                    nxt = probe_index * cfg.probe_period
+                    if nxt < horizon:
+                        queue.push(Probe(time=nxt))
+
+            if not (probe_due or (dirty and cfg.observe_changes)):
+                continue
+
+            # Observation point: lazy scoring of the current fleet.
+            services_now = cluster.services
+            _warm_pairs(
+                self._model,
+                self._targets,
+                [(r.nf_name, r.traffic) for r in services_now],
+                self._score_mode,
+            )
+            drops, throughputs = _score_cluster(
+                cluster, self._model, self._targets, mix_cache,
+                self._score_mode, now=t,
+            )
+            violated = [
+                instance.instance_id
+                for instance in services_now
+                if drops[instance.instance_id] > instance.sla_drop_fraction
+            ]
+            drop_sum = sum(drops[r.instance_id] for r in services_now)
+
+            report.violation_service_seconds += (t - prev_t) * prev_violations
+            report.drop_service_seconds += (t - prev_t) * prev_drop_sum
+            prev_t, prev_violations, prev_drop_sum = (
+                t, len(violated), drop_sum,
+            )
+
+            report.observations.append(
+                ObservationRecord(
+                    time=t,
+                    kind="probe" if probe_due else "change",
+                    services=len(services_now),
+                    nics_used=cluster.nics_used,
+                    sla_violations=len(violated),
+                    drop_sum=drop_sum,
+                    aggregate_throughput_mpps=sum(throughputs.values()),
                 )
             )
-        return rows
+            last_drops = drops
 
-    # ------------------------------------------------------------------
-    # Epoch scoring
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _mix_key(residents: list[ServiceInstance]) -> tuple:
-        return tuple((r.nf_name, r.traffic) for r in residents)
-
-    def _warm_solos(self, cluster: Cluster, arrivals, epoch: int) -> None:
-        """Measure this epoch's solo baselines into the collector caches.
-
-        Every hardware target in the pool mix is warmed with the full
-        (NF, traffic) pair set — placement probes evaluate candidates on
-        any target, and a migration can move a service across pools, so
-        each target's collector must know every pair's solo behaviour.
-        ``batch`` mode solves each target's uncached solos in one
-        :meth:`ProfilingCollector.solo_many` call (one ``run_batch``
-        per target); ``loop`` mode measures the identical set with
-        per-pair scalar :meth:`ProfilingCollector.solo` calls — same
-        cache entries, so both modes' policies and drop baselines see
-        the same values.
-        """
-        pairs = [(r.nf_name, r.traffic) for r in cluster.services]
-        pairs.extend(
-            (request.nf_name, request.trace.profile_at(epoch))
-            for request in arrivals
-        )
-        for target in self._targets:
-            collector = self._model.collector_for(target)
-            if self._score_mode == "batch":
-                collector.solo_many(
-                    [(make_nf(name), traffic) for name, traffic in pairs]
+            if probe_due and t == math.floor(t):
+                # On-grid probe: emit the epoch row the time-stepped
+                # engine would have emitted, from counters accumulated
+                # since the previous grid probe.
+                epoch = int(t)
+                services = len(services_now)
+                total_cores = sum(
+                    nic.spec.num_cores for nic in cluster.nics
                 )
-            else:
-                for name, traffic in pairs:
-                    collector.solo(make_nf(name), traffic)
+                used_cores = sum(nic.cores_used() for nic in cluster.nics)
+                min_nics = math.ceil(
+                    services / cluster.max_residents_per_nic
+                )
+                started = cluster.total_migrations_started
+                report.fleet.metrics.append(
+                    EpochMetrics(
+                        epoch=epoch,
+                        services=services,
+                        nics_used=cluster.nics_used,
+                        arrivals=arrivals_since,
+                        departures=departures_since,
+                        migrations=started - migrations_at_probe,
+                        sla_violations=len(violated),
+                        violation_rate_pct=(
+                            100.0 * len(violated) / services
+                            if services
+                            else 0.0
+                        ),
+                        utilisation_pct=(
+                            100.0 * used_cores / total_cores
+                            if total_cores
+                            else 0.0
+                        ),
+                        wastage_pct=(
+                            100.0 * (cluster.nics_used - min_nics) / min_nics
+                            if min_nics
+                            else 0.0
+                        ),
+                        aggregate_throughput_mpps=sum(throughputs.values()),
+                    )
+                )
+                report.fleet.pools.extend(
+                    _pool_rows(
+                        cluster, self._provisioner, self._targets, epoch
+                    )
+                )
+                arrivals_since = 0
+                departures_since = 0
+                migrations_at_probe = started
 
-    def _solo_throughput(self, nf_name: str, traffic, target: str) -> float:
-        return (
-            self._model.collector_for(target)
-            .solo(make_nf(nf_name), traffic)
-            .throughput_mpps
-        )
+            if probe_due:
+                # Time-aware policy hooks; any migration they start is
+                # observed at the next event (its completion at latest).
+                if violated:
+                    self._policy.on_violation(
+                        cluster, t, self._model, drops, violated
+                    )
+                self._policy.on_probe(cluster, t, self._model, drops)
+                self._launch_migrations(cluster, queue, report, horizon)
 
-    def _score_epoch(
+        # Close the integrals out to the horizon.
+        report.violation_service_seconds += (horizon - prev_t) * prev_violations
+        report.drop_service_seconds += (horizon - prev_t) * prev_drop_sum
+
+        report.fleet.migrations = list(cluster.migration_log)
+        report.migrations_started = cluster.total_migrations_started
+        report.migrations_completed = len(cluster.timed_migrations)
+        report.migrations_cancelled = cluster.migrations_cancelled
+        report.timed_migrations = list(cluster.timed_migrations)
+        return report
+
+    # ------------------------------------------------------------------
+    def _pop(self, queue: EventQueue, report: EventReport) -> Event:
+        """Pop the next event, recording it in the log and the counts."""
+        event = queue.pop()
+        report.events_processed += 1
+        name = type(event).__name__
+        report.event_counts[name] = report.event_counts.get(name, 0) + 1
+        report.event_log.append(f"{event.time:.6f} {event.describe()}")
+        return event
+
+    def _launch_migrations(
         self,
         cluster: Cluster,
-        mix_cache: dict[tuple, list[tuple[float, float]]],
-    ) -> tuple[dict[str, float], dict[str, float]]:
-        """Measured drop and throughput of every resident service.
+        queue: EventQueue,
+        report: EventReport,
+        horizon: float,
+    ) -> bool:
+        """Schedule completions for migrations a policy just started.
 
-        Builds one scenario list per hardware target covering every
-        uncached multi-resident mix on that target's NICs and solves
-        each list in a single :meth:`SmartNic.run_batch` call (``batch``
-        mode — one call per spec group per epoch) or with per-scenario
-        :meth:`SmartNic.run` calls (``loop`` mode, the bit-exactness
-        oracle), then reads both modes' results identically. Solo
-        baselines come from the collector caches warmed at the top of
-        the epoch; a mix is cached per (target, mix) since the same
-        resident set performs differently on different hardware.
+        Timed migrations begin synchronously inside the policy (it
+        mutates the cluster it was handed); the engine drains the
+        cluster's pending list, logs a :class:`MigrationStart` marker
+        per move and queues the matching :class:`MigrationComplete`.
+        Returns whether anything was started.
         """
-        scenarios: dict[str, list[list]] = {t: [] for t in self._targets}
-        mix_slots: dict[tuple, int] = {}
-        for nic in cluster.nics:
-            if len(nic.residents) < 2:
-                continue
-            key = (nic.target, self._mix_key(nic.residents))
-            if key not in mix_cache and key not in mix_slots:
-                mix_slots[key] = len(scenarios[nic.target])
-                scenarios[nic.target].append(
-                    [
-                        make_nf(name).demand(traffic, instance=f"{name}#{j}")
-                        for j, (name, traffic) in enumerate(key[1])
-                    ]
+        pending = cluster.take_pending_migrations()
+        for record in pending:
+            marker = MigrationStart(
+                time=record.start_time,
+                instance_id=record.instance_id,
+                from_nic=record.from_nic,
+                to_nic=record.to_nic,
+                duration=record.duration,
+            )
+            name = type(marker).__name__
+            report.event_counts[name] = report.event_counts.get(name, 0) + 1
+            report.event_log.append(
+                f"{marker.time:.6f} {marker.describe()}"
+            )
+            if record.end_time < horizon:
+                queue.push(
+                    MigrationComplete(record.end_time, record.instance_id)
                 )
-
-        solved: dict[str, list] = {}
-        for target in self._targets:
-            batch = scenarios[target]
-            if not batch:
-                solved[target] = []
-            elif self._score_mode == "batch":
-                solved[target] = self._model.nic_for(target).run_batch(batch)
-            else:
-                nic_sim = self._model.nic_for(target)
-                solved[target] = [nic_sim.run(scenario) for scenario in batch]
-
-        for key, slot in mix_slots.items():
-            target, mix_key = key
-            result = solved[target][slot]
-            entries = []
-            for j, (name, traffic) in enumerate(mix_key):
-                achieved = result.throughput_of(f"{name}#{j}")
-                solo = self._solo_throughput(name, traffic, target)
-                entries.append((max(0.0, 1.0 - achieved / solo), achieved))
-            mix_cache[key] = entries
-
-        drops: dict[str, float] = {}
-        throughputs: dict[str, float] = {}
-        for nic in cluster.nics:
-            if len(nic.residents) == 1:
-                resident = nic.residents[0]
-                drops[resident.instance_id] = 0.0
-                throughputs[resident.instance_id] = self._solo_throughput(
-                    resident.nf_name, resident.traffic, nic.target
-                )
-                continue
-            entries = mix_cache[(nic.target, self._mix_key(nic.residents))]
-            for resident, (drop, throughput) in zip(nic.residents, entries):
-                drops[resident.instance_id] = drop
-                throughputs[resident.instance_id] = throughput
-        return drops, throughputs
+        return bool(pending)
 
 
 def simulate(
@@ -510,10 +1069,34 @@ def simulate(
     ).run(epochs)
 
 
+def simulate_events(
+    policy: str,
+    horizon: float,
+    churn: ChurnProcess,
+    model: PlacementModel,
+    score_mode: str = "batch",
+    provisioner: Optional[NicProvisioner] = None,
+    config: Optional[EventConfig] = None,
+) -> EventReport:
+    """One-call convenience wrapper around :class:`EventEngine`."""
+    return EventEngine(
+        policy,
+        churn,
+        model,
+        score_mode=score_mode,
+        provisioner=provisioner,
+        config=config,
+    ).run(horizon)
+
+
 __all__ = [
     "EpochMetrics",
+    "EventEngine",
+    "EventReport",
     "FleetEngine",
     "FleetReport",
+    "ObservationRecord",
     "PoolMetrics",
     "simulate",
+    "simulate_events",
 ]

@@ -1,0 +1,253 @@
+"""Typed events and the deterministic queue of the continuous-time fleet.
+
+The event engine (:class:`repro.fleet.engine.EventEngine`) advances the
+fleet in *continuous* time by popping events off an :class:`EventQueue`.
+Determinism is structural: events are totally ordered by
+``(time, priority, seq)`` —
+
+- ``time`` is the simulation clock in seconds (one epoch of the
+  time-stepped engine spans one second);
+- ``priority`` is fixed per event *type* and mirrors the phase order of
+  the epoch engine, so events sharing a timestamp replay the epoch
+  phases exactly (departures before traffic changes before rebalancing
+  before arrivals before scoring);
+- ``seq`` is the queue's monotone insertion counter, which makes ties
+  within one ``(time, priority)`` bucket FIFO in scheduling order.
+
+Because the order is a pure function of what was scheduled (never of
+heap internals or hash order), two runs with the same seed pop the
+identical event sequence, which is what the event-log determinism tests
+pin.
+
+:class:`MigrationStart` is special: migrations *begin* synchronously
+inside a policy hook (the policy mutates the cluster it was handed), so
+the engine records the start marker directly in its event log and only
+the matching :class:`MigrationComplete` travels through the queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from itertools import count
+from typing import ClassVar
+
+from repro.errors import ConfigurationError
+from repro.fleet.churn import ServiceRequest
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: a point on the simulation clock."""
+
+    #: Tie-break rank among events sharing a timestamp; mirrors the
+    #: epoch engine's phase order (see the class docstrings below).
+    priority: ClassVar[int] = 99
+
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0.0:
+            raise ConfigurationError("event time must be >= 0")
+
+    def describe(self) -> str:
+        """One-line rendering used by the engine's event log."""
+        return type(self).__name__.lower()
+
+
+@dataclass(frozen=True)
+class Departure(Event):
+    """A service's lifetime ended (epoch phase 1)."""
+
+    priority: ClassVar[int] = 0
+
+    instance_id: str = ""
+
+    def describe(self) -> str:
+        return f"departure {self.instance_id}"
+
+
+@dataclass(frozen=True)
+class TrafficChange(Event):
+    """One service's trace reaches a change point (epoch phase 2)."""
+
+    priority: ClassVar[int] = 1
+
+    instance_id: str = ""
+
+    def describe(self) -> str:
+        return f"traffic-change {self.instance_id}"
+
+
+@dataclass(frozen=True)
+class MigrationComplete(Event):
+    """An in-flight migration lands on its destination NIC.
+
+    Ordered before the rebalance timer so a migration completing
+    exactly on a decision boundary is visible to that decision.
+    """
+
+    priority: ClassVar[int] = 2
+
+    instance_id: str = ""
+
+    def describe(self) -> str:
+        return f"migration-complete {self.instance_id}"
+
+
+@dataclass(frozen=True)
+class MigrationStart(Event):
+    """Log marker for a migration beginning (never queued — migrations
+    start synchronously inside the policy hook that decided them)."""
+
+    priority: ClassVar[int] = 3
+
+    instance_id: str = ""
+    from_nic: int = -1
+    to_nic: int = -1
+    duration: float = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"migration-start {self.instance_id} "
+            f"nic{self.from_nic}->nic{self.to_nic} ({self.duration:g}s)"
+        )
+
+
+@dataclass(frozen=True)
+class RebalanceTimer(Event):
+    """Periodic rebalancing decision point (epoch phase 3)."""
+
+    priority: ClassVar[int] = 4
+
+    def describe(self) -> str:
+        return "rebalance-timer"
+
+
+@dataclass(frozen=True)
+class Arrival(Event):
+    """A new service arrives and must be placed (epoch phase 4)."""
+
+    priority: ClassVar[int] = 5
+
+    request: ServiceRequest = field(default=None)  # type: ignore[assignment]
+
+    def describe(self) -> str:
+        return f"arrival {self.request.instance_id} nf={self.request.nf_name}"
+
+
+@dataclass(frozen=True)
+class Probe(Event):
+    """Scheduled scoring observation point (epoch phase 5)."""
+
+    priority: ClassVar[int] = 6
+
+    def describe(self) -> str:
+        return "probe"
+
+
+#: Every concrete event type, in priority order.
+EVENT_TYPES: tuple[type[Event], ...] = (
+    Departure,
+    TrafficChange,
+    MigrationComplete,
+    MigrationStart,
+    RebalanceTimer,
+    Arrival,
+    Probe,
+)
+
+
+class EventQueue:
+    """Min-heap of events under the stable ``(time, priority, seq)`` order.
+
+    ``seq`` (a monotone insertion counter) guarantees the heap never
+    compares two :class:`Event` objects directly, so ties are FIFO in
+    scheduling order and the pop sequence is a pure function of the
+    pushes — the foundation of the event engine's byte-determinism.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(
+            self._heap, (event.time, event.priority, next(self._seq), event)
+        )
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)[-1]
+
+    def peek(self) -> Event:
+        return self._heap[0][-1]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+@dataclass(frozen=True)
+class EventConfig:
+    """Continuous-time knobs of the :class:`~repro.fleet.engine.EventEngine`.
+
+    The defaults enable the continuous behaviours (sub-epoch arrival
+    times, observation of off-grid change points); the
+    :meth:`epoch_equivalent` preset quantizes everything back onto the
+    epoch grid, under which the event engine must reproduce the epoch
+    engine's reports byte-identically.
+    """
+
+    #: Snap Poisson arrival times to their epoch boundary.
+    quantize_arrivals: bool = False
+    #: Seconds a migration keeps the service resident on *both* NICs
+    #: (0 = instantaneous, the epoch engine's free-migration model).
+    migration_duration: float = 0.0
+    #: Seconds a freshly provisioned NIC delivers zero throughput.
+    spinup_latency: float = 0.0
+    #: Seconds between scheduled scoring probes (grid starts at t=0).
+    probe_period: float = 1.0
+    #: Seconds between rebalancing decision points (grid starts at t=0).
+    rebalance_period: float = 1.0
+    #: Score at off-grid timestamps where cluster state changed (extra
+    #: observation points between probes; never duplicates a probe).
+    observe_changes: bool = True
+
+    def __post_init__(self) -> None:
+        if self.migration_duration < 0.0:
+            raise ConfigurationError("migration_duration must be >= 0")
+        if self.spinup_latency < 0.0:
+            raise ConfigurationError("spinup_latency must be >= 0")
+        if self.probe_period <= 0.0:
+            raise ConfigurationError("probe_period must be > 0")
+        if self.rebalance_period <= 0.0:
+            raise ConfigurationError("rebalance_period must be > 0")
+
+    @classmethod
+    def epoch_equivalent(cls) -> "EventConfig":
+        """The quantized preset under which the event engine must equal
+        the epoch engine byte for byte."""
+        return cls(
+            quantize_arrivals=True,
+            migration_duration=0.0,
+            spinup_latency=0.0,
+            probe_period=1.0,
+            rebalance_period=1.0,
+        )
+
+
+__all__ = [
+    "Arrival",
+    "Departure",
+    "EVENT_TYPES",
+    "Event",
+    "EventConfig",
+    "EventQueue",
+    "MigrationComplete",
+    "MigrationStart",
+    "Probe",
+    "RebalanceTimer",
+    "TrafficChange",
+]

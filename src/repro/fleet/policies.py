@@ -18,10 +18,21 @@ Two layers:
   ``rebalance`` policy is the diagnosis-triggered one: it places like
   Yala, watches the previous epoch's measured drops, and migrates the
   bottlenecked NF of every SLA-violating NIC.
+
+Under the continuous-time event engine policies additionally see
+*time-aware hooks*: :meth:`FleetPolicy.on_probe` fires after every
+scoring observation and :meth:`FleetPolicy.on_violation` whenever an
+observation measures SLA violations — both carry the observation time
+``t``, which may sit between epoch boundaries. The default hooks do
+nothing (the epoch-equivalence contract requires it); the ``rebalance``
+policy opts into mid-epoch reaction with ``react_at_probes=True``,
+migrating violators the instant a probe sees them instead of waiting
+for the next rebalance timer.
 """
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Optional, Protocol, Sequence
 
 from repro.errors import ConfigurationError, PlacementError
@@ -245,6 +256,40 @@ class FleetPolicy:
         return 0
 
     # ------------------------------------------------------------------
+    # Time-aware hooks (continuous-time event engine)
+    # ------------------------------------------------------------------
+    def on_probe(
+        self,
+        cluster: Cluster,
+        t: float,
+        model: PlacementModel,
+        drops: dict[str, float],
+    ) -> int:
+        """Called after every scored observation at time ``t``.
+
+        ``drops`` are the freshly measured per-service throughput
+        drops. May migrate (via ``cluster.migrate``); returns how many
+        services moved. Default: none — the epoch-equivalence contract
+        requires built-in policies to stay quiet here.
+        """
+        return 0
+
+    def on_violation(
+        self,
+        cluster: Cluster,
+        t: float,
+        model: PlacementModel,
+        drops: dict[str, float],
+        violated: list[str],
+    ) -> int:
+        """Called when the observation at ``t`` measured SLA violations.
+
+        ``violated`` lists the violating instance ids in scoring order.
+        Runs before :meth:`on_probe`. Default: no reaction.
+        """
+        return 0
+
+    # ------------------------------------------------------------------
     def _open_nics(self, cluster: Cluster):
         """Non-full NICs in spin-up order (per-NIC capacity)."""
         return [
@@ -340,12 +385,29 @@ class DiagnosisRebalancePolicy(YalaPolicy):
 
     name = "rebalance"
 
-    def __init__(self, max_migrations_per_epoch: int = 4) -> None:
+    def __init__(
+        self,
+        max_migrations_per_epoch: int = 4,
+        react_at_probes: bool = False,
+    ) -> None:
         if max_migrations_per_epoch < 1:
             raise ConfigurationError("max_migrations_per_epoch must be >= 1")
         self._max_migrations = max_migrations_per_epoch
+        self._react_at_probes = react_at_probes
 
     def rebalance(self, cluster, epoch, model, last_drops):
+        return self._migrate_violators(cluster, epoch, model, last_drops)
+
+    def on_violation(self, cluster, t, model, drops, violated):
+        """React mid-epoch (opt-in): migrate violators the moment a
+        probe measures them instead of waiting for the next timer."""
+        if not self._react_at_probes:
+            return 0
+        return self._migrate_violators(
+            cluster, int(math.floor(t)), model, drops
+        )
+
+    def _migrate_violators(self, cluster, epoch, model, drops):
         moved = 0
         # A migrated service carries its stale measured drop until the
         # next scoring, so exclude it from later NICs' violation scans —
@@ -364,12 +426,13 @@ class DiagnosisRebalancePolicy(YalaPolicy):
                 r
                 for r in nic.residents
                 if r.instance_id not in relocated
-                and last_drops.get(r.instance_id, 0.0) > r.sla_drop_fraction
+                and not cluster.is_migrating(r.instance_id)
+                and drops.get(r.instance_id, 0.0) > r.sla_drop_fraction
             ]
             if not violated:
                 continue
             worst = max(
-                violated, key=lambda r: last_drops[r.instance_id]
+                violated, key=lambda r: drops[r.instance_id]
             )
             target = None
             candidates = sorted(

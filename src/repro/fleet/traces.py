@@ -23,6 +23,19 @@ Kinds:
 
 All generated profiles are clamped to the library's admissible
 attribute ranges.
+
+**Continuous time.** :meth:`TrafficTrace.profile_at` accepts *float*
+times so the event engine can evaluate traffic between epoch
+boundaries. Seed-driven kinds (``burst``, ``random_walk``) derive their
+per-epoch streams from ``floor(t)`` as a plain ``int``, which makes
+``profile_at(3)`` and ``profile_at(3.0)`` bit-identical — the property
+the epoch-equivalence contract of the event engine rests on. ``diurnal``
+and ``flash_crowd`` are continuous formulas of ``t`` that coincide with
+the historical integer-epoch values on the grid. A trace also exposes
+its *change points* (:meth:`TrafficTrace.next_change_after`): the times
+at which the offered profile is re-evaluated — every integer for the
+dynamic kinds, plus the flash-crowd onset, which may sit mid-epoch when
+``onset_time`` is given (the scenario the epoch clock cannot see).
 """
 
 from __future__ import annotations
@@ -73,6 +86,9 @@ class TrafficTrace:
     surge_factor: float = 4.0
     #: geometric decay of the flash-crowd surge per epoch.
     decay: float = 0.7
+    #: explicit flash-crowd onset time (may be mid-epoch); ``None``
+    #: draws the historical seeded integer onset in ``[1, period)``.
+    onset_time: float | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in TRACE_KINDS:
@@ -89,19 +105,38 @@ class TrafficTrace:
             raise ConfigurationError("surge_factor must be >= 1")
         if not 0.0 < self.decay < 1.0:
             raise ConfigurationError("decay must be in (0, 1)")
+        if self.onset_time is not None and self.onset_time <= 0.0:
+            raise ConfigurationError("onset_time must be > 0")
 
     # ------------------------------------------------------------------
-    def profile_at(self, epoch: int) -> TrafficProfile:
-        """Traffic profile this trace offers in ``epoch`` (pure)."""
-        if epoch < 0:
+    def _onset(self) -> float:
+        """Flash-crowd onset time (explicit, or the seeded epoch draw)."""
+        if self.onset_time is not None:
+            return self.onset_time
+        return int(
+            make_rng(derive_seed(self.seed, "onset")).integers(1, self.period)
+        )
+
+    def profile_at(self, t: float) -> TrafficProfile:
+        """Traffic profile this trace offers at time ``t`` (pure).
+
+        ``t`` may be a float (continuous time, one epoch = one second);
+        integer and float representations of the same epoch yield
+        bit-identical profiles, so the event engine's continuous clock
+        and the epoch engine's integer clock agree on the grid.
+        """
+        if t < 0:
             raise ConfigurationError("epoch must be >= 0")
+        # Seed streams of the discrete kinds hash the *int* epoch, so
+        # profile_at(3) == profile_at(3.0) to the last bit.
+        epoch = int(math.floor(t))
         if self.kind == "static":
             return self.base
         if self.kind == "diurnal":
             phase = make_rng(derive_seed(self.seed, "phase")).uniform(0.0, 1.0)
-            # epoch % period keeps the trace *exactly* periodic (no
-            # float drift from ever-growing angles).
-            angle = 2.0 * math.pi * ((epoch % self.period) / self.period + phase)
+            # t % period keeps the trace *exactly* periodic (no float
+            # drift from ever-growing angles); continuous in t.
+            angle = 2.0 * math.pi * ((t % self.period) / self.period + phase)
             swing = 1.0 + self.amplitude * math.sin(angle)
             return _clamped(self.base, swing, swing)
         if self.kind == "burst":
@@ -110,23 +145,43 @@ class TrafficTrace:
                 return _clamped(self.base, self.surge_factor, 1.0)
             return self.base
         if self.kind == "flash_crowd":
-            onset = int(
-                make_rng(derive_seed(self.seed, "onset")).integers(1, self.period)
-            )
-            if epoch < onset:
+            onset = self._onset()
+            if t < onset:
                 return self.base
-            surge = 1.0 + (self.surge_factor - 1.0) * self.decay ** (epoch - onset)
+            surge = 1.0 + (self.surge_factor - 1.0) * self.decay ** (t - onset)
             return _clamped(self.base, surge, 1.0)
         # random_walk: cumulative product of seeded per-epoch steps. The
         # walk is reconstructed from epoch 0 so evaluation stays pure;
         # epochs are small integers, so the O(epoch) replay is cheap.
         log_flow = log_mtbr = 0.0
         step = 0.35 * self.amplitude
-        for t in range(1, epoch + 1):
-            rng = make_rng(derive_seed(self.seed, "walk", t))
+        for walk_epoch in range(1, epoch + 1):
+            rng = make_rng(derive_seed(self.seed, "walk", walk_epoch))
             log_flow += step * float(rng.standard_normal())
             log_mtbr += step * float(rng.standard_normal())
         return _clamped(self.base, math.exp(log_flow), math.exp(log_mtbr))
+
+    def next_change_after(self, t: float) -> float | None:
+        """Next time ``> t`` at which the offered profile is re-evaluated.
+
+        ``None`` means the profile never changes again (``static``). The
+        dynamic kinds re-evaluate at every epoch boundary; a flash crowd
+        additionally changes at its (possibly mid-epoch) onset. The
+        event engine chains :class:`~repro.fleet.events.TrafficChange`
+        events through this method, so a trace whose onset sits between
+        two integers is observed exactly at that instant — the scenario
+        the epoch clock quantizes away.
+        """
+        if t < 0:
+            raise ConfigurationError("epoch must be >= 0")
+        if self.kind == "static":
+            return None
+        next_boundary = float(math.floor(t) + 1)
+        if self.kind == "flash_crowd":
+            onset = float(self._onset())
+            if t < onset < next_boundary:
+                return onset
+        return next_boundary
 
 
 def make_trace(

@@ -95,3 +95,108 @@ class TestRandomTrace:
         for seed in range(10):
             trace = random_trace(seed, kinds=("diurnal", "burst"))
             assert trace.kind in ("diurnal", "burst")
+
+
+# ----------------------------------------------------------------------
+# Property tests (hypothesis): clamping invariants, exact flash peaks
+# and the int/float grid equality the event engine's continuous clock
+# relies on.
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.fleet.traces import _MAX_FLOWS, _MAX_MTBR, _clamped  # noqa: E402
+
+_finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestClampedProperties:
+    @given(
+        flow_mult=_finite.filter(lambda x: abs(x) < 1e12),
+        mtbr_mult=_finite.filter(lambda x: abs(x) < 1e12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_output_always_admissible(self, flow_mult, mtbr_mult):
+        profile = _clamped(BASE, flow_mult, mtbr_mult)
+        assert 1 <= profile.flow_count <= _MAX_FLOWS
+        assert 0.0 <= profile.mtbr <= _MAX_MTBR
+
+    @given(mult=st.floats(min_value=1e6, max_value=1e12))
+    @settings(max_examples=50, deadline=None)
+    def test_huge_multipliers_saturate(self, mult):
+        profile = _clamped(BASE, mult, mult)
+        assert profile.flow_count == _MAX_FLOWS
+        assert profile.mtbr == _MAX_MTBR
+
+    @given(mult=st.floats(min_value=-1e12, max_value=0.0))
+    @settings(max_examples=50, deadline=None)
+    def test_nonpositive_multipliers_floor(self, mult):
+        profile = _clamped(BASE, mult, mult)
+        assert profile.flow_count == 1
+        assert profile.mtbr == 0.0
+
+
+class TestProfileAtProperties:
+    @given(
+        kind=st.sampled_from(TRACE_KINDS),
+        seed=st.integers(min_value=0, max_value=2**31),
+        t=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        amplitude=st.floats(min_value=0.0, max_value=0.99),
+        surge=st.floats(min_value=1.0, max_value=1e6),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_profiles_always_admissible(self, kind, seed, t, amplitude, surge):
+        trace = make_trace(
+            kind, BASE, seed=seed, amplitude=amplitude, surge_factor=surge
+        )
+        profile = trace.profile_at(t)
+        assert 1 <= profile.flow_count <= _MAX_FLOWS
+        assert 0.0 <= profile.mtbr <= _MAX_MTBR
+
+    @given(
+        kind=st.sampled_from(TRACE_KINDS),
+        seed=st.integers(min_value=0, max_value=2**31),
+        epoch=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_int_and_float_epochs_bit_identical(self, kind, seed, epoch):
+        """profile_at(k) == profile_at(float(k)) to the last bit — the
+        epoch-equivalence contract of the continuous clock."""
+        trace = make_trace(kind, BASE, seed=seed)
+        assert trace.profile_at(epoch) == trace.profile_at(float(epoch))
+
+
+class TestFlashCrowdPeak:
+    @given(
+        surge=st.floats(min_value=1.0, max_value=9.0),
+        decay=st.floats(min_value=0.01, max_value=0.99),
+        onset=st.floats(min_value=0.5, max_value=20.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_peak_at_onset_is_exactly_the_surge_factor(
+        self, surge, decay, onset
+    ):
+        """At the onset instant decay**0 == 1, so the multiplier is the
+        surge factor itself, whatever the decay."""
+        trace = make_trace(
+            "flash_crowd",
+            BASE,
+            seed=5,
+            surge_factor=surge,
+            decay=decay,
+            onset_time=onset,
+        )
+        assert trace.profile_at(onset) == _clamped(BASE, surge, 1.0)
+
+    @given(
+        surge=st.floats(min_value=1.001, max_value=9.0),
+        onset=st.floats(min_value=0.5, max_value=20.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_just_before_onset_is_base(self, surge, onset):
+        trace = make_trace(
+            "flash_crowd", BASE, seed=5, surge_factor=surge, onset_time=onset
+        )
+        before = max(0.0, onset - 1e-9)
+        if before < onset:
+            assert trace.profile_at(before) == BASE
