@@ -22,11 +22,10 @@ from dataclasses import dataclass, field
 
 from repro.experiments.common import EXPERIMENT_SEED, fmt, get_scale, render_table
 from repro.experiments.context import get_context
-from repro.fleet.churn import ChurnProcess
-from repro.fleet.engine import EventEngine, EventReport, FleetEngine, FleetReport
-from repro.fleet.policies import FLEET_POLICY_NAMES, PlacementModel, make_policy
+from repro.fleet.config import FleetConfig, simulate
+from repro.fleet.engine import EventReport, FleetReport
+from repro.fleet.policies import FLEET_POLICY_NAMES, PlacementModel
 from repro.nf.catalog import EVALUATION_NF_NAMES
-from repro.rng import derive_seed
 
 
 @dataclass
@@ -91,24 +90,25 @@ def run(
     context = get_context(resolved)
     slomo = {name: context.slomo_for(name) for name in EVALUATION_NF_NAMES}
     model = PlacementModel(yala=context.yala, slomo_predictors=slomo)
-    churn = ChurnProcess(
-        nf_names=EVALUATION_NF_NAMES,
-        seed=derive_seed(seed, "fleet-churn"),
-        arrival_rate=resolved.fleet_arrival_rate,
-    )
     reports: dict[str, FleetReport] = {}
     event_reports: dict[str, EventReport] = {}
     for name in FLEET_POLICY_NAMES:
+        config = FleetConfig(
+            policy=name,
+            engine=engine,
+            epochs=resolved.fleet_epochs,
+            seed=seed,
+            nf_pool=tuple(EVALUATION_NF_NAMES),
+            arrival_rate=resolved.fleet_arrival_rate,
+        )
+        report = simulate(config, model=model)
         if engine == "event":
-            report = EventEngine(make_policy(name), churn, model).run(
-                resolved.fleet_epochs
-            )
+            assert isinstance(report, EventReport)
             event_reports[name] = report
             reports[name] = report.fleet
         else:
-            reports[name] = FleetEngine(make_policy(name), churn, model).run(
-                resolved.fleet_epochs
-            )
+            assert isinstance(report, FleetReport)
+            reports[name] = report
     return FleetResult(reports=reports, event_reports=event_reports)
 
 

@@ -15,8 +15,16 @@ observation points, gathering all changed NICs into one
 SLA-violation, utilisation, wastage and migration-cost series; the
 event engine adds second-granularity violation/drop integrals.
 
-CLI: ``python -m repro.fleet --epochs 20 --policy yala``
-(``--engine event`` for the continuous-time engine).
+The **front door** is :class:`FleetConfig` + :func:`simulate`: one
+validated object holding every knob (engine, churn, policy, hardware
+mix, pod topology, execution runtime), one call returning the report.
+The CLI (``python -m repro.fleet --epochs 20 --policy yala``;
+``--engine event`` for the continuous-time engine) and the ``fleet`` /
+``fleet-event`` experiments are thin callers of it. Scoring executes
+on an execution :class:`Runtime` (:mod:`repro.fleet.runtime`):
+``serial`` in-process (the oracle arm) or ``process`` sharding the
+fleet's pods (:mod:`repro.fleet.topology`) across workers — same seed
+⇒ byte-identical reports at any runtime/worker count.
 """
 
 from repro.fleet.churn import ChurnProcess, ServiceRequest
@@ -29,7 +37,16 @@ from repro.fleet.cluster import (
     TimedMigration,
     parse_nic_mix,
 )
+from repro.fleet.config import (
+    DEFAULT_POOL,
+    ENGINE_NAMES,
+    FleetConfig,
+    build_model,
+    build_model_for,
+    simulate,
+)
 from repro.fleet.engine import (
+    FLEET_REPORT_SCHEMA_VERSION,
     EpochMetrics,
     EventEngine,
     EventReport,
@@ -37,8 +54,6 @@ from repro.fleet.engine import (
     FleetReport,
     ObservationRecord,
     PoolMetrics,
-    simulate,
-    simulate_events,
 )
 from repro.fleet.events import (
     EVENT_TYPES,
@@ -58,13 +73,24 @@ from repro.fleet.policies import (
     PlacementModel,
     make_policy,
 )
+from repro.fleet.runtime import (
+    RUNTIME_NAMES,
+    PodScoreTask,
+    ProcessRuntime,
+    Runtime,
+    SerialRuntime,
+    make_runtime,
+)
+from repro.fleet.topology import Topology
 from repro.fleet.traces import TRACE_KINDS, TrafficTrace, make_trace, random_trace
 
 __all__ = [
     "Arrival",
     "ChurnProcess",
     "Cluster",
+    "DEFAULT_POOL",
     "Departure",
+    "ENGINE_NAMES",
     "EVENT_TYPES",
     "EpochMetrics",
     "Event",
@@ -73,6 +99,8 @@ __all__ = [
     "EventQueue",
     "EventReport",
     "FLEET_POLICY_NAMES",
+    "FLEET_REPORT_SCHEMA_VERSION",
+    "FleetConfig",
     "FleetEngine",
     "FleetNic",
     "FleetReport",
@@ -82,19 +110,27 @@ __all__ = [
     "NicProvisioner",
     "ObservationRecord",
     "PlacementModel",
+    "PodScoreTask",
     "PoolMetrics",
     "Probe",
+    "ProcessRuntime",
+    "RUNTIME_NAMES",
     "RebalanceTimer",
+    "Runtime",
+    "SerialRuntime",
     "ServiceInstance",
     "ServiceRequest",
     "TRACE_KINDS",
     "TimedMigration",
+    "Topology",
     "TrafficChange",
     "TrafficTrace",
+    "build_model",
+    "build_model_for",
     "make_policy",
+    "make_runtime",
     "make_trace",
     "parse_nic_mix",
     "random_trace",
     "simulate",
-    "simulate_events",
 ]

@@ -18,9 +18,17 @@ change, yielding second-granularity violation/drop integrals on top of
 the epoch table. ``--quantize-arrivals`` (with the zero-cost defaults)
 reproduces the epoch engine's report byte-identically.
 
-Everything is seeded: two invocations with the same arguments produce
-identical stdout, byte for byte. ``--out PATH`` additionally writes the
-full JSON report to a file without touching stdout.
+``--runtime process`` shards epoch scoring across ``--jobs`` worker
+processes; ``--pods N`` / ``--pod-size K`` lay the fleet out as pods
+(the unit of sharding, and what topology-aware policies keep
+migrations inside). Runtime and worker count never change a byte of
+the report — serial is the oracle arm.
+
+The CLI is a thin shell over :class:`repro.fleet.FleetConfig` +
+:func:`repro.fleet.simulate`; everything is seeded, and two
+invocations with the same arguments produce identical stdout, byte
+for byte. ``--out PATH`` additionally writes the full JSON report to a
+file without touching stdout.
 """
 
 from __future__ import annotations
@@ -29,74 +37,15 @@ import argparse
 import sys
 import time
 
-from repro.core.predictor import YalaSystem
-from repro.core.slomo import SlomoPredictor
-from repro.fleet.churn import ChurnProcess
-from repro.fleet.cluster import NicProvisioner, parse_nic_mix
-from repro.fleet.engine import EventEngine, FleetEngine
-from repro.fleet.events import EventConfig
-from repro.fleet.policies import FLEET_POLICY_NAMES, PlacementModel
-from repro.nf.catalog import make_nf
-from repro.nic.nic import SmartNic
-from repro.nic.spec import DEFAULT_TARGET, get_spec, target_seed
-from repro.profiling.collector import ProfilingCollector
-from repro.rng import derive_seed
-
-#: Default NF pool: a regex-accelerated NF, a flow-count-bound NF and a
-#: memory-heavy NF — small enough that CLI training stays snappy.
-DEFAULT_POOL = ("flowmonitor", "flowstats", "nids")
-
-
-def _build_target(
-    policy: str,
-    target: str,
-    nf_pool: tuple[str, ...],
-    seed: int,
-    quota: int,
-    jobs: int,
-) -> dict:
-    """Train exactly the predictors ``policy`` needs on one target.
-
-    Seed streams come from :func:`repro.nic.spec.target_seed`: the
-    default target keeps the CLI's historical single-NIC streams
-    (byte-identical reports), secondary targets derive their own.
-    """
-    nic = SmartNic(get_spec(target), seed=target_seed(seed, target))
-    if policy in ("yala", "rebalance"):
-        yala = YalaSystem(nic, seed=target_seed(seed, target), quota=quota)
-        yala.train(list(nf_pool), jobs=jobs)
-        return {"yala": yala}
-    if policy == "slomo":
-        collector = ProfilingCollector(nic)
-        slomo = {}
-        for name in nf_pool:
-            predictor = SlomoPredictor(
-                name, seed=target_seed(seed, target, "slomo", name)
-            )
-            predictor.train(collector, make_nf(name), n_samples=quota)
-            slomo[name] = predictor
-        return {"slomo_predictors": slomo, "collector": collector, "nic": nic}
-    # monopolization / greedy need no trained predictors.
-    return {"collector": ProfilingCollector(nic), "nic": nic}
-
-
-def build_model(
-    policy: str,
-    nf_pool: tuple[str, ...],
-    seed: int,
-    quota: int,
-    jobs: int,
-    targets: tuple[str, ...] = (DEFAULT_TARGET,),
-) -> PlacementModel:
-    """Train the predictors ``policy`` needs on every pool target."""
-    model = PlacementModel(
-        **_build_target(policy, targets[0], nf_pool, seed, quota, jobs)
-    )
-    for target in targets[1:]:
-        model.add_target(
-            **_build_target(policy, target, nf_pool, seed, quota, jobs)
-        )
-    return model
+from repro.fleet.config import (
+    DEFAULT_POOL,
+    FleetConfig,
+    build_model_for,
+    simulate,
+)
+from repro.fleet.policies import FLEET_POLICY_NAMES
+from repro.fleet.runtime import RUNTIME_NAMES
+from repro.nic.spec import DEFAULT_TARGET
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -140,8 +89,14 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for predictor training (results identical "
-        "at any job count)",
+        help="worker processes for predictor training and the process "
+        "runtime (results identical at any job count)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="deprecated alias of --jobs",
     )
     parser.add_argument(
         "--nf-pool",
@@ -163,6 +118,28 @@ def main(argv: list[str] | None = None) -> int:
         "continuous-time event engine",
     )
     parser.add_argument(
+        "--runtime",
+        default="serial",
+        choices=RUNTIME_NAMES,
+        help="where epoch scoring executes: 'serial' (in-process, the "
+        "oracle arm) or 'process' (pods solve in --jobs workers); the "
+        "report is byte-identical either way",
+    )
+    parser.add_argument(
+        "--pods",
+        type=int,
+        default=None,
+        help="fixed pod count (NICs dealt round-robin); the unit of "
+        "sharding and pod-local migration preference",
+    )
+    parser.add_argument(
+        "--pod-size",
+        type=int,
+        default=None,
+        help="NICs per pod (sequential fill; pod count grows with the "
+        "fleet); mutually exclusive with --pods",
+    )
+    parser.add_argument(
         "--out",
         default=None,
         metavar="PATH",
@@ -174,6 +151,13 @@ def main(argv: list[str] | None = None) -> int:
         default=0.0,
         help="seconds a migrating service contends on both NICs "
         "(event engine; 0 = instantaneous)",
+    )
+    parser.add_argument(
+        "--cross-pod-migration-duration",
+        type=float,
+        default=None,
+        help="seconds a migration crossing a pod boundary takes instead "
+        "of --migration-duration (event engine; unset = no distinction)",
     )
     parser.add_argument(
         "--spinup-latency",
@@ -195,64 +179,27 @@ def main(argv: list[str] | None = None) -> int:
         "report byte-identically)",
     )
     args = parser.parse_args(argv)
-    if args.epochs < 1:
-        parser.error("--epochs must be >= 1")
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
-    nf_pool = tuple(name.strip() for name in args.nf_pool.split(",") if name.strip())
-    if not nf_pool:
-        parser.error("--nf-pool must name at least one NF")
     try:
-        mix = parse_nic_mix(args.nic_mix)
+        config = FleetConfig.from_cli_args(args)
     except Exception as error:
         parser.error(str(error))
 
-    targets = tuple(mix)
     start = time.perf_counter()
-    model = build_model(
-        args.policy, nf_pool, args.seed, args.quota, args.jobs, targets
-    )
+    model = build_model_for(config)
     print(
         f"# model ready in {time.perf_counter() - start:.1f}s "
-        f"(policy={args.policy}, pool={','.join(nf_pool)}, "
-        f"targets={','.join(targets)})",
+        f"(policy={config.policy}, pool={','.join(config.nf_pool)}, "
+        f"targets={','.join(config.target_names())})",
         file=sys.stderr,
     )
 
-    provisioner = NicProvisioner(mix, seed=derive_seed(args.seed, "nic-mix"))
-    churn = ChurnProcess(
-        nf_names=nf_pool,
-        seed=derive_seed(args.seed, "fleet-churn"),
-        arrival_rate=args.arrival_rate,
-        mean_lifetime=args.mean_lifetime,
-        initial_services=args.initial_services,
-    )
-    if args.engine == "event":
-        engine = EventEngine(
-            args.policy,
-            churn,
-            model,
-            score_mode=args.score_mode,
-            provisioner=provisioner,
-            config=EventConfig(
-                quantize_arrivals=args.quantize_arrivals,
-                migration_duration=args.migration_duration,
-                spinup_latency=args.spinup_latency,
-                probe_period=args.probe_period,
-            ),
-        )
-    else:
-        engine = FleetEngine(
-            args.policy,
-            churn,
-            model,
-            score_mode=args.score_mode,
-            provisioner=provisioner,
-        )
     start = time.perf_counter()
-    report = engine.run(args.epochs)
+    report = simulate(config, model=model)
     print(
-        f"# simulated {args.epochs} epochs in {time.perf_counter() - start:.1f}s",
+        f"# simulated {config.epochs} epochs in "
+        f"{time.perf_counter() - start:.1f}s "
+        f"(runtime={config.runtime}, jobs={config.jobs}, "
+        f"topology={config.topology().describe()})",
         file=sys.stderr,
     )
     if args.out is not None:

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, PlacementError
 from repro.fleet.churn import ServiceRequest
+from repro.fleet.topology import Topology
 from repro.nic.spec import NicSpecification, get_spec
 from repro.rng import derive_seed, make_rng
 from repro.traffic.profile import TrafficProfile
@@ -223,11 +224,20 @@ class TimedMigration:
 class Cluster:
     """Mutable fleet state with deterministic bookkeeping."""
 
-    def __init__(self, pool: NicSpecification | NicProvisioner) -> None:
+    def __init__(
+        self,
+        pool: NicSpecification | NicProvisioner,
+        topology: Topology | None = None,
+    ) -> None:
         if isinstance(pool, NicSpecification):
             pool = NicProvisioner.constant(pool)
         self._provisioner = pool
+        self._topology = topology if topology is not None else Topology()
         self._nics: list[FleetNic] = []
+        # Id index over the *active* list above: datacenter-scale
+        # fleets (the sharded-scoring benchmark runs 5k NICs) make a
+        # linear scan per placement the bottleneck.
+        self._nic_index: dict[int, FleetNic] = {}
         self._next_nic_id = 0
         self._by_instance: dict[str, FleetNic] = {}
         self.migration_log: list[MigrationRecord] = []
@@ -237,6 +247,10 @@ class Cluster:
         # epoch engine never touches them).
         self.now: float = 0.0
         self.migration_duration: float = 0.0
+        #: When set, a migration that crosses a pod boundary takes this
+        #: long instead of ``migration_duration`` (state transfer over
+        #: the fabric vs within a pod); ``None`` means no distinction.
+        self.cross_pod_migration_duration: float | None = None
         self.spinup_latency: float = 0.0
         self.total_migrations_started = 0
         self.migrations_cancelled = 0
@@ -247,6 +261,14 @@ class Cluster:
     @property
     def provisioner(self) -> NicProvisioner:
         return self._provisioner
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    def pod_of(self, nic_id: int) -> int:
+        """Pod of NIC ``nic_id`` under this cluster's topology."""
+        return self._topology.pod_of(nic_id)
 
     @property
     def spec(self) -> NicSpecification:
@@ -357,14 +379,14 @@ class Cluster:
             ]
             self.migrations_cancelled += 1
             if not dest.residents:
-                self._nics.remove(dest)
+                self._retire(dest)
         nic.residents = [
             r for r in nic.residents if r.instance_id != instance_id
         ]
         del self._by_instance[instance_id]
         self.total_departures += 1
         if not nic.residents:
-            self._nics.remove(nic)
+            self._retire(nic)
 
     def migrate(
         self,
@@ -379,18 +401,21 @@ class Cluster:
         now (the service becomes co-resident on the destination) and
         only completes — home NIC switches, move logged —
         ``migration_duration`` seconds later, when the driving engine
-        calls :meth:`complete_migration`. At the default duration of
-        zero the move is the historical instantaneous one.
+        calls :meth:`complete_migration`. A move that crosses a pod
+        boundary takes :attr:`cross_pod_migration_duration` instead when
+        that is set. At duration zero the move is the historical
+        instantaneous one.
         """
-        if self.migration_duration > 0.0:
+        source = self.nic_of(instance_id)
+        duration = self._duration_for(source.nic_id, to_nic_id)
+        if duration > 0.0:
             return self.begin_migration(
                 instance_id,
                 to_nic_id,
                 start=self.now,
-                duration=self.migration_duration,
+                duration=duration,
                 reason=reason,
             )
-        source = self.nic_of(instance_id)
         if to_nic_id == source.nic_id:
             raise PlacementError("migration target is the current NIC")
         if to_nic_id is not None:
@@ -405,7 +430,7 @@ class Cluster:
         ]
         del self._by_instance[instance_id]
         if not source.residents:
-            self._nics.remove(source)
+            self._retire(source)
         placed_on = self.place(instance, to_nic_id)
         self.total_placements -= 1  # a move, not a new placement
         self.total_migrations_started += 1
@@ -419,6 +444,21 @@ class Cluster:
             )
         )
         return placed_on
+
+    def _duration_for(self, from_nic_id: int, to_nic_id: int | None) -> float:
+        """Duration a move between these NICs takes under the topology.
+
+        A ``None`` destination is the NIC about to be spun up, whose id
+        is already determined (``_next_nic_id``) — so whether the move
+        crosses a pod boundary is knowable before provisioning it.
+        """
+        dest = to_nic_id if to_nic_id is not None else self._next_nic_id
+        if (
+            self.cross_pod_migration_duration is not None
+            and self._topology.is_cross_pod(from_nic_id, dest)
+        ):
+            return self.cross_pod_migration_duration
+        return self.migration_duration
 
     # ------------------------------------------------------------------
     # Timed migrations
@@ -483,7 +523,7 @@ class Cluster:
             r for r in source.residents if r.instance_id != instance_id
         ]
         if not source.residents:
-            self._nics.remove(source)
+            self._retire(source)
         self._by_instance[instance_id] = dest
         self.timed_migrations.append(record)
         self.migration_log.append(
@@ -513,10 +553,16 @@ class Cluster:
         )
         self._next_nic_id += 1
         self._nics.append(nic)
+        self._nic_index[nic.nic_id] = nic
         return nic
 
+    def _retire(self, nic: FleetNic) -> None:
+        """Drop an emptied NIC from the fleet (and the id index)."""
+        self._nics.remove(nic)
+        del self._nic_index[nic.nic_id]
+
     def _find(self, nic_id: int) -> FleetNic:
-        for nic in self._nics:
-            if nic.nic_id == nic_id:
-                return nic
-        raise PlacementError(f"unknown NIC {nic_id}")
+        try:
+            return self._nic_index[nic_id]
+        except KeyError:
+            raise PlacementError(f"unknown NIC {nic_id}") from None

@@ -111,7 +111,15 @@ from repro.fleet.events import (
     TrafficChange,
 )
 from repro.fleet.policies import FleetPolicy, PlacementModel, make_policy
+from repro.fleet.runtime import PodScoreTask, Runtime, make_runtime
+from repro.fleet.topology import Topology
 from repro.nf.catalog import make_nf
+
+#: Version of the JSON report layout (:meth:`FleetReport.payload` /
+#: :meth:`EventReport.payload`). Bumped whenever a field is added,
+#: renamed or removed; see ``docs/fleet_report_schema.md``. Version 2
+#: added ``schema_version`` itself and the ``topology`` descriptor.
+FLEET_REPORT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -152,6 +160,10 @@ class FleetReport:
     epochs: int
     score_mode: str
     nic_mix: tuple[tuple[str, float], ...] = ()
+    #: Pod/rack layout descriptor (:meth:`Topology.to_dict`). Purely
+    #: descriptive — the same fleet scores identically at any runtime —
+    #: but part of the report so consumers can attribute pod effects.
+    topology: Optional[dict] = None
     metrics: list[EpochMetrics] = field(default_factory=list)
     pools: list[PoolMetrics] = field(default_factory=list)
     migrations: list[MigrationRecord] = field(default_factory=list)
@@ -208,10 +220,12 @@ class FleetReport:
     def payload(self) -> dict:
         """The trajectory as a JSON-ready dict (what :meth:`to_json` dumps)."""
         return {
+            "schema_version": FLEET_REPORT_SCHEMA_VERSION,
             "policy": self.policy,
             "seed": self.seed,
             "epochs": self.epochs,
             "score_mode": self.score_mode,
+            "topology": self.topology,
             "nic_mix": [
                 {"target": name, "weight": weight}
                 for name, weight in self.nic_mix
@@ -242,10 +256,17 @@ class FleetReport:
             f"{'tput Mpps':>10s}"
         )
         mix = ",".join(f"{name}={weight:.2f}" for name, weight in self.nic_mix)
+        topo = ""
+        if self.topology:
+            if self.topology.get("pod_size") is not None:
+                topo = f"pod-size={self.topology['pod_size']}"
+            elif self.topology.get("pods") is not None:
+                topo = f"pods={self.topology['pods']}"
         lines = [
             f"fleet policy={self.policy} seed={self.seed} "
             f"epochs={self.epochs} score_mode={self.score_mode}"
-            + (f" nic_mix={mix}" if mix else ""),
+            + (f" nic_mix={mix}" if mix else "")
+            + (f" topology={topo}" if topo else ""),
         ]
         for target, stats in self.pool_summary().items():
             lines.append(
@@ -305,28 +326,28 @@ def _warm_pairs(
     targets: tuple[str, ...],
     pairs: list[tuple[str, object]],
     score_mode: str,
+    runtime: Runtime,
 ) -> None:
     """Measure the given solo baselines into the collector caches.
 
     Every hardware target in the pool mix is warmed with the full
     (NF, traffic) pair set — placement probes evaluate candidates on
     any target, and a migration can move a service across pools, so
-    each target's collector must know every pair's solo behaviour.
-    ``batch`` mode solves each target's uncached solos in one
-    :meth:`ProfilingCollector.solo_many` call (one ``run_batch`` per
-    target); ``loop`` mode measures the identical set with per-pair
-    scalar :meth:`ProfilingCollector.solo` calls — same cache entries,
-    so both modes' policies and drop baselines see the same values.
+    each target's collector must know every pair's solo behaviour. The
+    work executes wherever the ``runtime`` decides (worker processes
+    split the uncached set into chunks); the cache entries are
+    identical either way because solos are pure in ``(seed, pair)``.
+    On the serial oracle, ``batch`` mode solves each target's uncached
+    solos in one :meth:`ProfilingCollector.solo_many` call (one
+    ``run_batch`` per target) and ``loop`` mode measures the identical
+    set with per-pair scalar :meth:`ProfilingCollector.solo` calls —
+    same cache entries, so both modes' policies and drop baselines see
+    the same values.
     """
     for target in targets:
-        collector = model.collector_for(target)
-        if score_mode == "batch":
-            collector.solo_many(
-                [(make_nf(name), traffic) for name, traffic in pairs]
-            )
-        else:
-            for name, traffic in pairs:
-                collector.solo(make_nf(name), traffic)
+        runtime.warm_solos(
+            model.collector_for(target), target, pairs, score_mode
+        )
 
 
 def _score_cluster(
@@ -335,16 +356,24 @@ def _score_cluster(
     targets: tuple[str, ...],
     mix_cache: dict[tuple, list[tuple[float, float]]],
     score_mode: str,
+    runtime: Runtime,
     now: Optional[float] = None,
+    seed: int = 0,
 ) -> tuple[dict[str, float], dict[str, float]]:
     """Measured drop and throughput of every resident service.
 
-    Builds one scenario list per hardware target covering every
-    uncached multi-resident mix on that target's NICs and solves each
-    list in a single :meth:`SmartNic.run_batch` call (``batch`` mode —
-    one call per spec group per observation) or with per-scenario
-    :meth:`SmartNic.run` calls (``loop`` mode, the bit-exactness
-    oracle), then reads both modes' results identically. Solo baselines
+    Gathers every uncached multi-resident mix, groups the work **by
+    pod** (the cluster's :class:`~repro.fleet.topology.Topology`; the
+    flat default is one pod) into :class:`PodScoreTask`\\ s — each
+    carrying its pod-derived seed — and hands the task list to the
+    execution ``runtime``: the serial oracle solves pods in-process
+    (``batch`` mode: one :meth:`SmartNic.run_batch` call per hardware
+    target per pod; ``loop`` mode: per-scenario :meth:`SmartNic.run`
+    calls, the bit-exactness oracle), the process runtime farms whole
+    pods to workers. Results merge deterministically: per-pod partials
+    are re-assembled in (pod, discovery) order and cache entries are
+    written by the parent in the NIC-scan discovery order, so reports
+    are byte-identical at any runtime and worker count. Solo baselines
     come from the collector caches; a mix is cached per (target, mix)
     since the same resident set performs differently on different
     hardware — and because the cache persists across observation
@@ -361,43 +390,52 @@ def _score_cluster(
       throughputs are assigned only at each service's *home* NIC, the
       one serving its traffic.
     """
-    scenarios: dict[str, list[list]] = {t: [] for t in targets}
-    mix_slots: dict[tuple, int] = {}
+    topology = cluster.topology
+    # pod -> target -> mix keys, NICs scanned in spin-up order; a mix
+    # appearing in several pods is solved once, in its first pod
+    # (values are pure in (target seed, mix), so where is irrelevant).
+    pod_mixes: dict[int, dict[str, list[tuple]]] = {}
+    mix_order: list[tuple] = []
+    pending: set[tuple] = set()
     for nic in cluster.nics:
         if now is not None and nic.ready_at > now:
             continue  # booting: residents score as full drops below
         if len(nic.residents) < 2:
             continue
         key = (nic.target, _mix_key(nic.residents))
-        if key not in mix_cache and key not in mix_slots:
-            mix_slots[key] = len(scenarios[nic.target])
-            scenarios[nic.target].append(
-                [
-                    make_nf(name).demand(traffic, instance=f"{name}#{j}")
-                    for j, (name, traffic) in enumerate(key[1])
-                ]
+        if key in mix_cache or key in pending:
+            continue
+        pending.add(key)
+        mix_order.append(key)
+        pod = topology.pod_of(nic.nic_id)
+        pod_mixes.setdefault(pod, {}).setdefault(nic.target, []).append(
+            key[1]
+        )
+
+    if mix_order:
+        tasks = [
+            PodScoreTask(
+                pod_id=pod,
+                seed=topology.pod_seed(seed, pod),
+                mixes=tuple(
+                    (target, tuple(keys)) for target, keys in groups.items()
+                ),
             )
-
-    solved: dict[str, list] = {}
-    for target in targets:
-        batch = scenarios[target]
-        if not batch:
-            solved[target] = []
-        elif score_mode == "batch":
-            solved[target] = model.nic_for(target).run_batch(batch)
-        else:
-            nic_sim = model.nic_for(target)
-            solved[target] = [nic_sim.run(scenario) for scenario in batch]
-
-    for key, slot in mix_slots.items():
-        target, mix_key = key
-        result = solved[target][slot]
-        entries = []
-        for j, (name, traffic) in enumerate(mix_key):
-            achieved = result.throughput_of(f"{name}#{j}")
-            solo = _solo_throughput(model, name, traffic, target)
-            entries.append((max(0.0, 1.0 - achieved / solo), achieved))
-        mix_cache[key] = entries
+            for pod, groups in sorted(pod_mixes.items())
+        ]
+        solved = runtime.score_pods(tasks, score_mode)
+        rows: dict[tuple, list[float]] = {}
+        for task, pod_result in zip(tasks, solved):
+            for (target, keys), group_rows in zip(task.mixes, pod_result):
+                for mkey, row in zip(keys, group_rows):
+                    rows[(target, mkey)] = row
+        for key in mix_order:
+            target, mix_key = key
+            entries = []
+            for (name, traffic), achieved in zip(mix_key, rows[key]):
+                solo = _solo_throughput(model, name, traffic, target)
+                entries.append((max(0.0, 1.0 - achieved / solo), achieved))
+            mix_cache[key] = entries
 
     drops: dict[str, float] = {}
     throughputs: dict[str, float] = {}
@@ -493,7 +531,14 @@ def _validate_pool(
 
 
 class FleetEngine:
-    """Drives one policy through the time-stepped fleet simulation."""
+    """Drives one policy through the time-stepped fleet simulation.
+
+    ``runtime`` names the execution runtime scoring runs on (a
+    :class:`~repro.fleet.runtime.Runtime` instance, ``"serial"`` /
+    ``"process"``, or ``None`` for serial) and ``topology`` the pod
+    layout (``None`` = flat). Both are report-invariant: same seed ⇒
+    byte-identical reports at any runtime/worker count.
+    """
 
     def __init__(
         self,
@@ -502,6 +547,8 @@ class FleetEngine:
         model: PlacementModel,
         score_mode: str = "batch",
         provisioner: Optional[NicProvisioner] = None,
+        runtime: "Runtime | str | None" = None,
+        topology: Optional[Topology] = None,
     ) -> None:
         self._policy, self._provisioner = _validate_pool(
             policy, model, score_mode, provisioner
@@ -510,10 +557,16 @@ class FleetEngine:
         self._model = model
         self._targets = self._provisioner.target_names
         self._score_mode = score_mode
+        self._runtime = make_runtime(runtime)
+        self._topology = topology if topology is not None else Topology()
 
     @property
     def policy_name(self) -> str:
         return self._policy.name
+
+    @property
+    def runtime(self) -> Runtime:
+        return self._runtime
 
     # ------------------------------------------------------------------
     def run(self, epochs: int) -> FleetReport:
@@ -525,7 +578,10 @@ class FleetEngine:
         """
         if epochs < 1:
             raise ConfigurationError("epochs must be >= 1")
-        cluster = Cluster(self._provisioner)
+        cluster = Cluster(self._provisioner, topology=self._topology)
+        self._runtime.bind(
+            {t: self._model.nic_for(t) for t in self._targets}
+        )
         mix_cache: dict[tuple, list[tuple[float, float]]] = {}
         report = FleetReport(
             policy=self._policy.name,
@@ -533,6 +589,7 @@ class FleetEngine:
             epochs=epochs,
             score_mode=self._score_mode,
             nic_mix=self._provisioner.mix,
+            topology=self._topology.to_dict(),
         )
         last_drops: dict[str, float] = {}
 
@@ -559,7 +616,10 @@ class FleetEngine:
                 (request.nf_name, request.trace.profile_at(epoch))
                 for request in arrivals
             )
-            _warm_pairs(self._model, self._targets, pairs, self._score_mode)
+            _warm_pairs(
+                self._model, self._targets, pairs, self._score_mode,
+                self._runtime,
+            )
 
             # 3. Policy rebalancing on the previous epoch's measured drops.
             migrations_before = len(cluster.migration_log)
@@ -577,7 +637,7 @@ class FleetEngine:
             # 5. Ground-truth scoring of every NIC's resident mix.
             drops, throughputs = _score_cluster(
                 cluster, self._model, self._targets, mix_cache,
-                self._score_mode,
+                self._score_mode, self._runtime, seed=self._churn.seed,
             )
             last_drops = drops
             violations = sum(
@@ -666,6 +726,7 @@ class EventReport:
     # ------------------------------------------------------------------
     def payload(self) -> dict:
         return {
+            "schema_version": FLEET_REPORT_SCHEMA_VERSION,
             "engine": "event",
             "horizon": self.horizon,
             "config": asdict(self.config),
@@ -728,6 +789,8 @@ class EventEngine:
         score_mode: str = "batch",
         provisioner: Optional[NicProvisioner] = None,
         config: Optional[EventConfig] = None,
+        runtime: "Runtime | str | None" = None,
+        topology: Optional[Topology] = None,
     ) -> None:
         self._policy, self._provisioner = _validate_pool(
             policy, model, score_mode, provisioner
@@ -737,6 +800,8 @@ class EventEngine:
         self._targets = self._provisioner.target_names
         self._score_mode = score_mode
         self._config = config if config is not None else EventConfig()
+        self._runtime = make_runtime(runtime)
+        self._topology = topology if topology is not None else Topology()
 
     @property
     def policy_name(self) -> str:
@@ -745,6 +810,10 @@ class EventEngine:
     @property
     def config(self) -> EventConfig:
         return self._config
+
+    @property
+    def runtime(self) -> Runtime:
+        return self._runtime
 
     # ------------------------------------------------------------------
     def run(self, horizon: float) -> EventReport:
@@ -757,9 +826,15 @@ class EventEngine:
             raise ConfigurationError("horizon must be >= 1 second")
         cfg = self._config
         epochs = int(math.ceil(horizon))
-        cluster = Cluster(self._provisioner)
+        cluster = Cluster(self._provisioner, topology=self._topology)
         cluster.migration_duration = cfg.migration_duration
+        cluster.cross_pod_migration_duration = (
+            cfg.cross_pod_migration_duration
+        )
         cluster.spinup_latency = cfg.spinup_latency
+        self._runtime.bind(
+            {t: self._model.nic_for(t) for t in self._targets}
+        )
         mix_cache: dict[tuple, list[tuple[float, float]]] = {}
         queue = EventQueue()
         instances: dict[str, ServiceInstance] = {}
@@ -770,6 +845,7 @@ class EventEngine:
                 epochs=epochs,
                 score_mode=self._score_mode,
                 nic_mix=self._provisioner.mix,
+                topology=self._topology.to_dict(),
             ),
             horizon=horizon,
             config=cfg,
@@ -865,7 +941,8 @@ class EventEngine:
                         for rq in requests
                     )
                     _warm_pairs(
-                        self._model, self._targets, pairs, self._score_mode
+                        self._model, self._targets, pairs,
+                        self._score_mode, self._runtime,
                     )
                     for request in requests:
                         instance = ServiceInstance(
@@ -907,10 +984,12 @@ class EventEngine:
                 self._targets,
                 [(r.nf_name, r.traffic) for r in services_now],
                 self._score_mode,
+                self._runtime,
             )
             drops, throughputs = _score_cluster(
                 cluster, self._model, self._targets, mix_cache,
-                self._score_mode, now=t,
+                self._score_mode, self._runtime, now=t,
+                seed=self._churn.seed,
             )
             violated = [
                 instance.instance_id
@@ -1055,48 +1134,13 @@ class EventEngine:
         return bool(pending)
 
 
-def simulate(
-    policy: str,
-    epochs: int,
-    churn: ChurnProcess,
-    model: PlacementModel,
-    score_mode: str = "batch",
-    provisioner: Optional[NicProvisioner] = None,
-) -> FleetReport:
-    """One-call convenience wrapper around :class:`FleetEngine`."""
-    return FleetEngine(
-        policy, churn, model, score_mode=score_mode, provisioner=provisioner
-    ).run(epochs)
-
-
-def simulate_events(
-    policy: str,
-    horizon: float,
-    churn: ChurnProcess,
-    model: PlacementModel,
-    score_mode: str = "batch",
-    provisioner: Optional[NicProvisioner] = None,
-    config: Optional[EventConfig] = None,
-) -> EventReport:
-    """One-call convenience wrapper around :class:`EventEngine`."""
-    return EventEngine(
-        policy,
-        churn,
-        model,
-        score_mode=score_mode,
-        provisioner=provisioner,
-        config=config,
-    ).run(horizon)
-
-
 __all__ = [
     "EpochMetrics",
     "EventEngine",
     "EventReport",
+    "FLEET_REPORT_SCHEMA_VERSION",
     "FleetEngine",
     "FleetReport",
     "ObservationRecord",
     "PoolMetrics",
-    "simulate",
-    "simulate_events",
 ]

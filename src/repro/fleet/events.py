@@ -205,6 +205,10 @@ class EventConfig:
     #: Seconds a migration keeps the service resident on *both* NICs
     #: (0 = instantaneous, the epoch engine's free-migration model).
     migration_duration: float = 0.0
+    #: Seconds a migration that crosses a *pod* boundary takes instead
+    #: of ``migration_duration`` (state transfer over the fabric costs
+    #: more than within a pod); ``None`` = no distinction.
+    cross_pod_migration_duration: float | None = None
     #: Seconds a freshly provisioned NIC delivers zero throughput.
     spinup_latency: float = 0.0
     #: Seconds between scheduled scoring probes (grid starts at t=0).
@@ -218,6 +222,13 @@ class EventConfig:
     def __post_init__(self) -> None:
         if self.migration_duration < 0.0:
             raise ConfigurationError("migration_duration must be >= 0")
+        if (
+            self.cross_pod_migration_duration is not None
+            and self.cross_pod_migration_duration < 0.0
+        ):
+            raise ConfigurationError(
+                "cross_pod_migration_duration must be >= 0"
+            )
         if self.spinup_latency < 0.0:
             raise ConfigurationError("spinup_latency must be >= 0")
         if self.probe_period <= 0.0:

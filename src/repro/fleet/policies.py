@@ -381,6 +381,16 @@ class DiagnosisRebalancePolicy(YalaPolicy):
     the policy migrates the *bottlenecked NF* — the resident with the
     worst measured drop — to the fullest NIC where Yala predicts all
     SLAs hold, or to a fresh NIC when no such target exists.
+
+    Under a non-flat :class:`~repro.fleet.topology.Topology` the policy
+    is **topology-aware** (``pod_local_preference``, on by default):
+    candidate NICs in the violating NIC's own pod are tried before any
+    cross-pod candidate (fullest-first within each tier), because a
+    cross-pod move copies service state over the fabric and can carry a
+    longer timed-migration cost
+    (``EventConfig.cross_pod_migration_duration``). On a flat topology
+    every NIC shares pod 0, so the preference is inert and the candidate
+    order — and therefore every report — is unchanged.
     """
 
     name = "rebalance"
@@ -389,11 +399,13 @@ class DiagnosisRebalancePolicy(YalaPolicy):
         self,
         max_migrations_per_epoch: int = 4,
         react_at_probes: bool = False,
+        pod_local_preference: bool = True,
     ) -> None:
         if max_migrations_per_epoch < 1:
             raise ConfigurationError("max_migrations_per_epoch must be >= 1")
         self._max_migrations = max_migrations_per_epoch
         self._react_at_probes = react_at_probes
+        self._pod_local = pod_local_preference
 
     def rebalance(self, cluster, epoch, model, last_drops):
         return self._migrate_violators(cluster, epoch, model, last_drops)
@@ -435,6 +447,7 @@ class DiagnosisRebalancePolicy(YalaPolicy):
                 violated, key=lambda r: drops[r.instance_id]
             )
             target = None
+            home_pod = cluster.pod_of(nic.nic_id)
             candidates = sorted(
                 (
                     n
@@ -442,7 +455,19 @@ class DiagnosisRebalancePolicy(YalaPolicy):
                     if n.nic_id != nic.nic_id
                     and len(n.residents) < n.max_residents
                 ),
-                key=lambda n: -len(n.residents),
+                # Pod-local candidates first (cross-pod moves cost
+                # more), fullest-first within each tier; on a flat
+                # topology the first component is constant and the
+                # order is the historical one.
+                key=lambda n: (
+                    (
+                        0
+                        if not self._pod_local
+                        or cluster.pod_of(n.nic_id) == home_pod
+                        else 1
+                    ),
+                    -len(n.residents),
+                ),
             )
             for candidate in candidates:
                 if model.predicted_feasible_yala(

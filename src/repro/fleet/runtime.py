@@ -1,0 +1,402 @@
+"""Execution runtimes: where the fleet's scoring work actually runs.
+
+Both fleet engines (:class:`~repro.fleet.engine.FleetEngine` and
+:class:`~repro.fleet.engine.EventEngine`) funnel their per-epoch /
+per-observation ground-truth solving through one :class:`Runtime`
+interface — the SimBricks local/parallel/distributed-runtime shape: the
+engine describes *what* must be solved (per-pod mix scenarios, solo
+baselines) and the runtime decides *where*:
+
+- :class:`SerialRuntime` — everything in-process, the historical code
+  path and the byte-exactness **oracle arm** (like ``score_mode="loop"``
+  and ``pad_small_groups=False`` before it);
+- :class:`ProcessRuntime` — pods are solved in worker processes
+  (``jobs`` of them), solo-baseline batches are split into contiguous
+  chunks across the pool.
+
+**Why parallelism cannot change a single byte.** Every solved value is
+a pure function of ``(simulator seed, scenario)``: the NIC's
+measurement noise is derived per scenario (``derive_seed`` over the
+workload reprs — ``SmartNic._noise_for``), never drawn from a shared
+stream, and ``run_batch`` is bit-identical to per-scenario ``run``.
+Workers receive pickled copies of the engine's own simulators, so a
+scenario solves to the identical float no matter which worker (or the
+parent) executes it, and no matter how scenarios are grouped into
+batches. Each :class:`PodScoreTask` additionally carries a per-pod
+derived seed (:meth:`Topology.pod_seed
+<repro.fleet.topology.Topology.pod_seed>`) — keyed to the *pod*, never
+the worker — so future pod-local stochastic refinements inherit the
+same guarantee, exactly like ``YalaSystem.train(jobs=)``'s per-NF
+derived seeds. The merge is deterministic because results are
+re-assembled in task order and every cache insert happens in the parent
+in a fixed iteration order. Net contract, enforced by tier-1: **same
+seed ⇒ byte-identical reports at any runtime and any worker count.**
+
+Naming: worker-process counts are called ``jobs`` everywhere in this
+repo (the experiment runner's ``--jobs``, ``YalaSystem.train(jobs=)``);
+:class:`ProcessRuntime` follows suit and accepts ``workers=`` only as a
+deprecated alias.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.nf.catalog import make_nf
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.nic.nic import SmartNic, WorkloadResult
+    from repro.profiling.collector import ProfilingCollector
+
+
+@dataclass(frozen=True)
+class PodScoreTask:
+    """One pod's uncached multi-resident mixes, ready to solve.
+
+    ``mixes`` holds ``(target, mix_keys)`` groups — one per hardware
+    target that has work in this pod — where each mix key is the
+    ``(nf_name, traffic)`` tuple of one NIC's residents in placement
+    order. The task ships *keys*, not scenario objects: workers rebuild
+    the NF demands locally (cheap, and far less pickling than shipping
+    compiled scenarios).
+    """
+
+    pod_id: int
+    #: Per-pod derived seed (pure in ``(seed, pod_id)``; see module doc).
+    seed: int
+    mixes: tuple[tuple[str, tuple[tuple, ...]], ...]
+
+    @property
+    def scenario_count(self) -> int:
+        return sum(len(keys) for _, keys in self.mixes)
+
+
+def solve_solos(
+    nic_sim: "SmartNic", pairs: Sequence[tuple], score_mode: str
+) -> list["WorkloadResult"]:
+    """Solve the solo baseline of every ``(nf_name, traffic)`` pair.
+
+    Pure in ``(nic_sim seed, pair)`` and bit-identical to
+    :meth:`SmartNic.run_solo` on each pair (``run_solo`` is ``run`` of a
+    one-workload scenario, and ``run_batch`` reproduces ``run``
+    exactly) — so a solo computed in a worker equals one computed by the
+    collector in the parent. ``batch`` solves all pairs in one
+    ``run_batch`` call; ``loop`` is the per-scenario oracle.
+    """
+    nfs = [make_nf(name) for name, _ in pairs]
+    scenarios = [[nf.demand(traffic)] for nf, (_, traffic) in zip(nfs, pairs)]
+    if score_mode == "batch":
+        solved = nic_sim.run_batch(scenarios)
+    else:
+        solved = [nic_sim.run(scenario) for scenario in scenarios]
+    return [result[nf.name] for nf, result in zip(nfs, solved)]
+
+
+def solve_pod(
+    nics_by_target: dict, task: PodScoreTask, score_mode: str
+) -> list[list[list[float]]]:
+    """Solve one pod's mixes; returns per-resident achieved throughputs.
+
+    Output is aligned with ``task.mixes``: one list per ``(target,
+    mix_keys)`` group, one row per mix, one float per resident (in mix
+    order). Rebuilds each mix's demands exactly as the engines' scoring
+    core always has — ``make_nf(name).demand(traffic,
+    instance=f"{name}#{j}")`` — so the solved scenarios are identical
+    objects to the serial path's.
+    """
+    out: list[list[list[float]]] = []
+    for target, mix_keys in task.mixes:
+        nic_sim = nics_by_target[target]
+        scenarios = [
+            [
+                make_nf(name).demand(traffic, instance=f"{name}#{j}")
+                for j, (name, traffic) in enumerate(key)
+            ]
+            for key in mix_keys
+        ]
+        if score_mode == "batch":
+            solved = nic_sim.run_batch(scenarios)
+        else:
+            solved = [nic_sim.run(scenario) for scenario in scenarios]
+        out.append(
+            [
+                [
+                    result.throughput_of(f"{name}#{j}")
+                    for j, (name, _) in enumerate(key)
+                ]
+                for key, result in zip(mix_keys, solved)
+            ]
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+#: The worker's pickled copies of the engine's simulators, installed by
+#: the pool initializer. Values are pure functions of (seed, scenario),
+#: so a copy answers identically to the parent's original.
+_WORKER_NICS: Optional[dict] = None
+
+
+def _init_worker(nics_by_target: dict) -> None:
+    global _WORKER_NICS
+    _WORKER_NICS = nics_by_target
+
+
+def _worker_solos(
+    target: str, pairs: tuple, score_mode: str
+) -> list["WorkloadResult"]:
+    return solve_solos(_WORKER_NICS[target], pairs, score_mode)
+
+
+def _worker_pod(task: PodScoreTask, score_mode: str) -> list:
+    return solve_pod(_WORKER_NICS, task, score_mode)
+
+
+# ----------------------------------------------------------------------
+# Runtimes
+# ----------------------------------------------------------------------
+class Runtime:
+    """Where the engines' scoring work executes.
+
+    An engine :meth:`bind`\\ s its hardware targets' simulators once per
+    run, then issues two kinds of work — both byte-deterministic at any
+    implementation:
+
+    - :meth:`warm_solos` — measure the uncached solo baselines of a
+      ``(nf_name, traffic)`` pair list into a target's collector cache;
+    - :meth:`score_pods` — solve a list of per-pod mix tasks and return
+      their per-resident throughputs in task order.
+    """
+
+    name = "base"
+    #: Worker-process count (1 for in-process runtimes).
+    jobs = 1
+
+    def bind(self, nics_by_target: dict) -> None:
+        """Attach the simulators scoring will run against (idempotent;
+        rebinding different simulators re-provisions workers)."""
+        raise NotImplementedError
+
+    def warm_solos(
+        self,
+        collector: "ProfilingCollector",
+        target: str,
+        pairs: Sequence[tuple],
+        score_mode: str,
+    ) -> None:
+        raise NotImplementedError
+
+    def score_pods(
+        self, tasks: Sequence[PodScoreTask], score_mode: str
+    ) -> list[list[list[list[float]]]]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held execution resources (idempotent)."""
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialRuntime(Runtime):
+    """Everything in the engine's own process — the oracle arm.
+
+    ``warm_solos`` is exactly the historical warm phase
+    (:meth:`ProfilingCollector.solo_many` in batch mode, per-pair
+    :meth:`ProfilingCollector.solo` in loop mode); ``score_pods`` runs
+    the shared :func:`solve_pod` helper pod by pod.
+    """
+
+    name = "serial"
+    jobs = 1
+
+    def __init__(self) -> None:
+        self._nics: dict = {}
+
+    def bind(self, nics_by_target: dict) -> None:
+        self._nics = dict(nics_by_target)
+
+    def warm_solos(self, collector, target, pairs, score_mode) -> None:
+        if score_mode == "batch":
+            collector.solo_many(
+                [(make_nf(name), traffic) for name, traffic in pairs]
+            )
+        else:
+            for name, traffic in pairs:
+                collector.solo(make_nf(name), traffic)
+
+    def score_pods(self, tasks, score_mode):
+        return [solve_pod(self._nics, task, score_mode) for task in tasks]
+
+
+class ProcessRuntime(Runtime):
+    """Pods solve in ``jobs`` worker processes.
+
+    The pool is created lazily on the first big-enough batch and
+    initialised with pickled copies of the bound simulators; it is
+    keyed to those simulator objects, so binding a different model's
+    NICs (a fresh engine) transparently rebuilds it. Small work batches
+    (fewer than ``min_parallel_items`` scenarios) are solved inline —
+    the submit/pickle round-trip costs more than the solve — which
+    changes nothing numerically because inline and worker solving are
+    the same pure functions, and the threshold depends only on batch
+    size, never on timing.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        workers: Optional[int] = None,
+        min_parallel_items: int = 24,
+    ) -> None:
+        if workers is not None:
+            warnings.warn(
+                "ProcessRuntime(workers=...) is deprecated; use jobs= "
+                "(the repo-wide name for worker-process counts)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if jobs is None:
+                jobs = workers
+        if jobs is None:
+            jobs = max(1, os.cpu_count() or 1)
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        if min_parallel_items < 1:
+            raise ConfigurationError("min_parallel_items must be >= 1")
+        self.jobs = jobs
+        self._min_items = min_parallel_items
+        self._nics: dict = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_key: Optional[tuple] = None
+        self._serial = SerialRuntime()
+
+    # ------------------------------------------------------------------
+    def bind(self, nics_by_target: dict) -> None:
+        self._nics = dict(nics_by_target)
+        self._serial.bind(self._nics)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if not self._nics:
+            raise ConfigurationError("ProcessRuntime used before bind()")
+        key = tuple(sorted((t, id(nic)) for t, nic in self._nics.items()))
+        if self._pool is not None and key == self._pool_key:
+            return self._pool
+        self.close()
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(self._nics,),
+        )
+        self._pool_key = key
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_key = None
+
+    # ------------------------------------------------------------------
+    def warm_solos(self, collector, target, pairs, score_mode) -> None:
+        # Dedupe against the collector cache in request order — the
+        # identical key discipline as ProfilingCollector.solo_many.
+        uncached: list[tuple] = []
+        seen: set[tuple] = set()
+        for name, traffic in pairs:
+            nf = make_nf(name)
+            key = (nf.name, nf.pattern.value, traffic)
+            if key in seen or collector.solo_cached(nf, traffic):
+                continue
+            seen.add(key)
+            uncached.append((name, traffic))
+        if not uncached:
+            return
+        if self.jobs == 1 or len(uncached) < self._min_items:
+            self._serial.warm_solos(collector, target, uncached, score_mode)
+            return
+        pool = self._ensure_pool()
+        chunks = _chunk(uncached, self.jobs)
+        futures = [
+            pool.submit(_worker_solos, target, tuple(chunk), score_mode)
+            for chunk in chunks
+        ]
+        for chunk, future in zip(chunks, futures):
+            for (name, traffic), result in zip(chunk, future.result()):
+                collector.install_solo(make_nf(name), traffic, result)
+
+    def score_pods(self, tasks, score_mode):
+        total = sum(task.scenario_count for task in tasks)
+        if self.jobs == 1 or len(tasks) < 2 or total < self._min_items:
+            return self._serial.score_pods(tasks, score_mode)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_worker_pod, task, score_mode) for task in tasks
+        ]
+        return [future.result() for future in futures]
+
+
+def _chunk(items: list, parts: int) -> list[list]:
+    """Split ``items`` into up to ``parts`` contiguous, near-equal
+    chunks (deterministic: depends only on the list and the count)."""
+    parts = min(parts, len(items))
+    size, extra = divmod(len(items), parts)
+    chunks, start = [], 0
+    for i in range(parts):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+#: Runtime names the CLI and :class:`~repro.fleet.config.FleetConfig`
+#: accept.
+RUNTIME_NAMES: tuple[str, ...] = ("serial", "process")
+
+
+def make_runtime(
+    runtime: "Runtime | str | None", jobs: Optional[int] = None
+) -> Runtime:
+    """Resolve a runtime argument: an instance passes through, a name
+    instantiates (``jobs`` applies to ``process``), ``None`` is serial."""
+    if runtime is None:
+        return SerialRuntime()
+    if isinstance(runtime, Runtime):
+        return runtime
+    if runtime == "serial":
+        return SerialRuntime()
+    if runtime == "process":
+        return ProcessRuntime(jobs=jobs)
+    raise ConfigurationError(
+        f"unknown runtime {runtime!r}; known: {RUNTIME_NAMES}"
+    )
+
+
+__all__ = [
+    "PodScoreTask",
+    "ProcessRuntime",
+    "RUNTIME_NAMES",
+    "Runtime",
+    "SerialRuntime",
+    "make_runtime",
+    "solve_pod",
+    "solve_solos",
+]

@@ -109,13 +109,35 @@ class TrafficTrace:
             raise ConfigurationError("onset_time must be > 0")
 
     # ------------------------------------------------------------------
+    # The seed-derived constants below (flash onset, diurnal phase) are
+    # drawn once and cached on the instance: at datacenter scale the
+    # engine evaluates tens of thousands of traces per epoch, and
+    # rebuilding a Generator per call dominates the actual trigonometry.
+    # The cached value is exactly the historical draw, so every profile
+    # stays bit-identical. (frozen dataclass => object.__setattr__.)
     def _onset(self) -> float:
         """Flash-crowd onset time (explicit, or the seeded epoch draw)."""
         if self.onset_time is not None:
             return self.onset_time
-        return int(
-            make_rng(derive_seed(self.seed, "onset")).integers(1, self.period)
-        )
+        cached = self.__dict__.get("_onset_cache")
+        if cached is None:
+            cached = int(
+                make_rng(derive_seed(self.seed, "onset")).integers(
+                    1, self.period
+                )
+            )
+            object.__setattr__(self, "_onset_cache", cached)
+        return cached
+
+    def _phase(self) -> float:
+        """Diurnal phase offset in ``[0, 1)`` (seeded, per-trace)."""
+        cached = self.__dict__.get("_phase_cache")
+        if cached is None:
+            cached = float(
+                make_rng(derive_seed(self.seed, "phase")).uniform(0.0, 1.0)
+            )
+            object.__setattr__(self, "_phase_cache", cached)
+        return cached
 
     def profile_at(self, t: float) -> TrafficProfile:
         """Traffic profile this trace offers at time ``t`` (pure).
@@ -133,7 +155,7 @@ class TrafficTrace:
         if self.kind == "static":
             return self.base
         if self.kind == "diurnal":
-            phase = make_rng(derive_seed(self.seed, "phase")).uniform(0.0, 1.0)
+            phase = self._phase()
             # t % period keeps the trace *exactly* periodic (no float
             # drift from ever-growing angles); continuous in t.
             angle = 2.0 * math.pi * ((t % self.period) / self.period + phase)

@@ -62,6 +62,32 @@ class ProfilingCollector:
             self._solo_cache[key] = self._nic.run_solo(nf.demand(traffic))
         return self._solo_cache[key]
 
+    def solo_cached(self, nf: NetworkFunction, traffic: TrafficProfile) -> bool:
+        """Is the solo baseline of ``(nf, traffic)`` already measured?
+
+        Execution runtimes (:mod:`repro.fleet.runtime`) use this to
+        dedupe a warm batch before farming the uncached remainder to
+        worker processes.
+        """
+        return (nf.name, nf.pattern.value, traffic) in self._solo_cache
+
+    def install_solo(
+        self,
+        nf: NetworkFunction,
+        traffic: TrafficProfile,
+        result: WorkloadResult,
+    ) -> None:
+        """Install an externally solved solo baseline into the cache.
+
+        ``result`` must be what :meth:`SmartNic.run_solo` would return
+        for ``nf.demand(traffic)`` on this collector's NIC — true by
+        construction for the execution runtimes, whose workers solve on
+        pickled copies of the same simulator (values are pure in
+        ``(seed, scenario)``), so installing is indistinguishable from
+        having measured locally.
+        """
+        self._solo_cache[(nf.name, nf.pattern.value, traffic)] = result
+
     def solo_many(
         self, requests: list[tuple[NetworkFunction, TrafficProfile]]
     ) -> list[WorkloadResult]:
