@@ -25,14 +25,33 @@ on an execution :class:`Runtime` (:mod:`repro.fleet.runtime`):
 ``serial`` in-process (the oracle arm) or ``process`` sharding the
 fleet's pods (:mod:`repro.fleet.topology`) across workers — same seed
 ⇒ byte-identical reports at any runtime/worker count.
+
+**Faults are first-class** (:mod:`repro.fleet.faults`): a seeded
+:class:`FaultSchedule` injects NIC hard failures, degraded-capacity
+windows and pod outages into either engine; evicted services queue for
+policy-driven re-placement and the schema-v3 report carries a
+``faults`` accounting section. The :class:`ProcessRuntime` survives
+worker crashes (timeout + retry + deterministic serial re-execution),
+and :mod:`repro.fleet.checkpoint` snapshots let a killed run resume to
+a byte-identical final report — the determinism contract holds under
+failure, not just alongside it.
 """
 
+from repro.fleet.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpointer,
+    atomic_write_bytes,
+    atomic_write_text,
+    load_checkpoint,
+)
 from repro.fleet.churn import ChurnProcess, ServiceRequest
 from repro.fleet.cluster import (
     Cluster,
+    EvictedService,
     FleetNic,
     MigrationRecord,
     NicProvisioner,
+    ReplacementRecord,
     ServiceInstance,
     TimedMigration,
     parse_nic_mix,
@@ -64,9 +83,21 @@ from repro.fleet.events import (
     EventQueue,
     MigrationComplete,
     MigrationStart,
+    NicFail,
+    NicRestore,
+    PodFail,
+    PodRestore,
     Probe,
     RebalanceTimer,
     TrafficChange,
+)
+from repro.fleet.faults import (
+    EpochFaultDriver,
+    FaultConfig,
+    FaultSchedule,
+    NicFault,
+    PodOutage,
+    faults_payload,
 )
 from repro.fleet.policies import (
     FLEET_POLICY_NAMES,
@@ -75,6 +106,7 @@ from repro.fleet.policies import (
 )
 from repro.fleet.runtime import (
     RUNTIME_NAMES,
+    FaultInjectingRuntime,
     PodScoreTask,
     ProcessRuntime,
     Runtime,
@@ -86,20 +118,27 @@ from repro.fleet.traces import TRACE_KINDS, TrafficTrace, make_trace, random_tra
 
 __all__ = [
     "Arrival",
+    "CHECKPOINT_VERSION",
+    "Checkpointer",
     "ChurnProcess",
     "Cluster",
     "DEFAULT_POOL",
     "Departure",
     "ENGINE_NAMES",
     "EVENT_TYPES",
+    "EpochFaultDriver",
     "EpochMetrics",
     "Event",
     "EventConfig",
     "EventEngine",
     "EventQueue",
     "EventReport",
+    "EvictedService",
     "FLEET_POLICY_NAMES",
     "FLEET_REPORT_SCHEMA_VERSION",
+    "FaultConfig",
+    "FaultInjectingRuntime",
+    "FaultSchedule",
     "FleetConfig",
     "FleetEngine",
     "FleetNic",
@@ -107,15 +146,22 @@ __all__ = [
     "MigrationComplete",
     "MigrationRecord",
     "MigrationStart",
+    "NicFail",
+    "NicFault",
     "NicProvisioner",
+    "NicRestore",
     "ObservationRecord",
     "PlacementModel",
+    "PodFail",
+    "PodOutage",
+    "PodRestore",
     "PodScoreTask",
     "PoolMetrics",
     "Probe",
     "ProcessRuntime",
     "RUNTIME_NAMES",
     "RebalanceTimer",
+    "ReplacementRecord",
     "Runtime",
     "SerialRuntime",
     "ServiceInstance",
@@ -125,8 +171,12 @@ __all__ = [
     "Topology",
     "TrafficChange",
     "TrafficTrace",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "build_model",
     "build_model_for",
+    "faults_payload",
+    "load_checkpoint",
     "make_policy",
     "make_runtime",
     "make_trace",

@@ -24,11 +24,20 @@ processes; ``--pods N`` / ``--pod-size K`` lay the fleet out as pods
 migrations inside). Runtime and worker count never change a byte of
 the report — serial is the oracle arm.
 
+``--nic-fail-rate`` / ``--nic-degrade-rate`` / ``--pod-outage-rate``
+turn on seeded failure injection: NICs hard-fail or run degraded,
+whole pods black out, evicted services queue for re-placement, and the
+report's ``faults`` section accounts for every eviction and recovery.
+``--checkpoint-every N --checkpoint-path PATH`` snapshots engine state
+every N epochs (atomically); ``--resume PATH`` continues a killed run
+to a **byte-identical** final report.
+
 The CLI is a thin shell over :class:`repro.fleet.FleetConfig` +
 :func:`repro.fleet.simulate`; everything is seeded, and two
 invocations with the same arguments produce identical stdout, byte
 for byte. ``--out PATH`` additionally writes the full JSON report to a
-file without touching stdout.
+file, atomically (temp file + rename — a crash mid-write never leaves
+a truncated report), without touching stdout.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ import argparse
 import sys
 import time
 
+from repro.fleet.checkpoint import atomic_write_text
 from repro.fleet.config import (
     DEFAULT_POOL,
     FleetConfig,
@@ -172,6 +182,59 @@ def main(argv: list[str] | None = None) -> int:
         help="seconds between scoring probes (event engine)",
     )
     parser.add_argument(
+        "--nic-fail-rate",
+        type=float,
+        default=0.0,
+        help="probability a NIC ever hard-fails (seeded per NIC ordinal; "
+        "evicted residents queue for re-placement)",
+    )
+    parser.add_argument(
+        "--nic-degrade-rate",
+        type=float,
+        default=0.0,
+        help="probability a NIC degrades to fractional capacity instead "
+        "of failing (restored after a seeded repair time)",
+    )
+    parser.add_argument(
+        "--pod-outage-rate",
+        type=float,
+        default=0.0,
+        help="probability a pod suffers one outage window (needs --pods)",
+    )
+    parser.add_argument(
+        "--mean-time-to-fail",
+        type=float,
+        default=8.0,
+        help="mean epochs between a NIC's spin-up and its fault",
+    )
+    parser.add_argument(
+        "--mean-repair-time",
+        type=float,
+        default=3.0,
+        help="mean epochs a degraded NIC stays degraded",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="snapshot engine state every N epochs (with "
+        "--checkpoint-path); a resumed run finishes byte-identically",
+    )
+    parser.add_argument(
+        "--checkpoint-path",
+        default=None,
+        metavar="PATH",
+        help="where periodic snapshots are written (atomic replace)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume a run from a snapshot written by --checkpoint-path "
+        "(the configuration must match the checkpointed run's)",
+    )
+    parser.add_argument(
         "--quantize-arrivals",
         action="store_true",
         help="snap arrival times to epoch boundaries (event engine; with "
@@ -203,9 +266,7 @@ def main(argv: list[str] | None = None) -> int:
         file=sys.stderr,
     )
     if args.out is not None:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(report.to_json())
-            handle.write("\n")
+        atomic_write_text(args.out, report.to_json() + "\n")
     print(report.to_json() if args.format == "json" else report.render())
     return 0
 

@@ -180,6 +180,12 @@ class FleetNic:
     #: Time this NIC finishes booting (0.0 = ready since the start;
     #: residents of a not-yet-ready NIC deliver zero throughput).
     ready_at: float = 0.0
+    #: Time this NIC was provisioned (fault onsets are relative to it).
+    spun_up_at: float = 0.0
+    #: Usable fraction of the hardware (1.0 = healthy; a degraded NIC
+    #: hosts fewer services and delivers proportionally less
+    #: throughput until its repair restores it).
+    capacity_fraction: float = 1.0
 
     @property
     def target(self) -> str:
@@ -187,7 +193,16 @@ class FleetNic:
         return self.spec.name
 
     @property
+    def is_degraded(self) -> bool:
+        return self.capacity_fraction != 1.0
+
+    @property
     def max_residents(self) -> int:
+        if self.capacity_fraction != 1.0:
+            return (
+                int(self.spec.num_cores * self.capacity_fraction)
+                // CORES_PER_NF
+            )
         return self.spec.num_cores // CORES_PER_NF
 
     def cores_used(self) -> int:
@@ -203,6 +218,26 @@ class MigrationRecord:
     from_nic: int
     to_nic: int
     reason: str
+
+
+@dataclass
+class EvictedService:
+    """A service a fault pushed off its NIC, awaiting re-placement."""
+
+    instance: ServiceInstance
+    from_nic: int
+    evicted_at: float
+
+
+@dataclass(frozen=True)
+class ReplacementRecord:
+    """One drained re-placement: an evicted service landing again."""
+
+    instance_id: str
+    from_nic: int
+    to_nic: int
+    evicted_at: float
+    replaced_at: float
 
 
 @dataclass(frozen=True)
@@ -257,6 +292,29 @@ class Cluster:
         self.timed_migrations: list[TimedMigration] = []
         self._in_flight: dict[str, TimedMigration] = {}
         self._pending_migrations: list[TimedMigration] = []
+        # Fault state (all inert until a fault schedule drives it).
+        #: Re-placement queue: services evicted by faults, in eviction
+        #: order (the order policies drain them in).
+        self.evicted: list[EvictedService] = []
+        self._evicted_ids: set[str] = set()
+        #: Pods currently in outage (spin-ups there are refused).
+        self.down_pods: set[int] = set()
+        self._failed_nic_ids: set[int] = set()
+        #: Drained re-placements (the faults report section).
+        self.replacements: list[ReplacementRecord] = []
+        self.nics_failed = 0
+        self.nics_degraded = 0
+        self.nics_restored = 0
+        self.pods_failed = 0
+        self.pods_restored = 0
+        self.services_evicted = 0
+        #: Queued services whose lifetime ended before re-placement.
+        self.services_lost = 0
+        #: When set (engines running a fault schedule), newly spun-up
+        #: NICs are queued for :meth:`take_new_nics` so the driving
+        #: engine can arm their drawn faults.
+        self.collect_new_nics = False
+        self._new_nics: list[FleetNic] = []
 
     @property
     def provisioner(self) -> NicProvisioner:
@@ -452,7 +510,9 @@ class Cluster:
         is already determined (``_next_nic_id``) — so whether the move
         crosses a pod boundary is knowable before provisioning it.
         """
-        dest = to_nic_id if to_nic_id is not None else self._next_nic_id
+        dest = (
+            to_nic_id if to_nic_id is not None else self._next_available_id()
+        )
         if (
             self.cross_pod_migration_duration is not None
             and self._topology.is_cross_pod(from_nic_id, dest)
@@ -544,16 +604,231 @@ class Cluster:
         return pending
 
     # ------------------------------------------------------------------
+    # Fault transitions (distinct from retirement: these evict)
+    # ------------------------------------------------------------------
+    def _evict_resident(self, nic: FleetNic, instance: ServiceInstance) -> None:
+        """Push one home resident of ``nic`` into the re-placement
+        queue, cancelling its in-flight migration (if any)."""
+        instance_id = instance.instance_id
+        record = self._in_flight.pop(instance_id, None)
+        if record is not None:
+            # The copy on the *other* NIC (the destination — the home
+            # copy is the one being evicted) vanishes with the move.
+            other = self._nic_index.get(record.to_nic)
+            if other is not None and other is not nic:
+                other.residents = [
+                    r for r in other.residents
+                    if r.instance_id != instance_id
+                ]
+                if not other.residents:
+                    self._retire(other)
+            self.migrations_cancelled += 1
+        nic.residents = [
+            r for r in nic.residents if r.instance_id != instance_id
+        ]
+        del self._by_instance[instance_id]
+        self.evicted.append(
+            EvictedService(
+                instance=instance, from_nic=nic.nic_id, evicted_at=self.now
+            )
+        )
+        self._evicted_ids.add(instance_id)
+        self.services_evicted += 1
+
+    def fail_nic(self, nic_id: int) -> bool:
+        """Hard-fail a NIC: evict every home resident into the queue,
+        cancel in-flight migrations touching it, drop it from the fleet.
+
+        Unlike :meth:`_retire` the id is recorded as *failed* (never a
+        valid placement target again) and the eviction/failure counters
+        feed the report's ``faults`` section. Returns whether the NIC
+        was alive (re-failing a gone NIC is a no-op).
+        """
+        nic = self._nic_index.get(nic_id)
+        if nic is None:
+            return False
+        for instance in list(nic.residents):
+            if self._by_instance.get(instance.instance_id) is nic:
+                self._evict_resident(nic, instance)
+            else:
+                # Destination copy of an in-flight migration: the move
+                # dies, the service keeps serving at home.
+                record = self._in_flight.pop(instance.instance_id, None)
+                if record is not None:
+                    self.migrations_cancelled += 1
+                nic.residents = [
+                    r for r in nic.residents
+                    if r.instance_id != instance.instance_id
+                ]
+        if nic.nic_id in self._nic_index:
+            self._retire(nic)
+        self._failed_nic_ids.add(nic_id)
+        self.nics_failed += 1
+        return True
+
+    def degrade_nic(self, nic_id: int, capacity_fraction: float) -> bool:
+        """Degrade a NIC to ``capacity_fraction``, evicting residents
+        beyond the shrunken capacity (newest first). Returns whether
+        the NIC was alive to degrade."""
+        if not 0.0 < capacity_fraction < 1.0:
+            raise ConfigurationError(
+                "capacity_fraction must be in (0, 1); use fail_nic for "
+                "total loss"
+            )
+        nic = self._nic_index.get(nic_id)
+        if nic is None:
+            return False
+        nic.capacity_fraction = capacity_fraction
+        self.nics_degraded += 1
+        while len(nic.residents) > nic.max_residents:
+            instance = nic.residents[-1]
+            if self._by_instance.get(instance.instance_id) is nic:
+                self._evict_resident(nic, instance)
+            else:
+                record = self._in_flight.pop(instance.instance_id, None)
+                if record is not None:
+                    self.migrations_cancelled += 1
+                nic.residents = nic.residents[:-1]
+        if not nic.residents:
+            self._retire(nic)
+        return True
+
+    def restore_nic(self, nic_id: int) -> bool:
+        """Repair a degraded NIC back to full capacity. Returns whether
+        anything changed (the NIC may have emptied and retired, or
+        hard-failed in a pod outage, before its repair arrived)."""
+        nic = self._nic_index.get(nic_id)
+        if nic is None or nic.capacity_fraction == 1.0:
+            return False
+        nic.capacity_fraction = 1.0
+        self.nics_restored += 1
+        return True
+
+    def fail_pod(self, pod_id: int) -> bool:
+        """Take a whole pod down: hard-fail every NIC in it and refuse
+        spin-ups there until :meth:`restore_pod`."""
+        if pod_id in self.down_pods:
+            return False
+        self.down_pods.add(pod_id)
+        for nic in list(self._nics):
+            if self._topology.pod_of(nic.nic_id) == pod_id:
+                self.fail_nic(nic.nic_id)
+        self.pods_failed += 1
+        return True
+
+    def restore_pod(self, pod_id: int) -> bool:
+        """End a pod outage: the pod accepts spin-ups again (its failed
+        NICs stay gone — replacement hardware spins up on demand)."""
+        if pod_id not in self.down_pods:
+            return False
+        self.down_pods.discard(pod_id)
+        self.pods_restored += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Re-placement queue
+    # ------------------------------------------------------------------
+    def enqueue_evicted(
+        self, instance: ServiceInstance, from_nic: int = -1
+    ) -> None:
+        """Queue a service that cannot be placed right now (e.g. every
+        eligible pod is in outage): it waits in the re-placement queue
+        exactly like a fault evictee. ``from_nic=-1`` marks a service
+        that never held a NIC."""
+        if instance.instance_id in self._by_instance:
+            raise PlacementError(
+                f"{instance.instance_id!r} is placed; faults evict via "
+                "fail_nic/degrade_nic"
+            )
+        self.evicted.append(
+            EvictedService(
+                instance=instance, from_nic=from_nic, evicted_at=self.now
+            )
+        )
+        self._evicted_ids.add(instance.instance_id)
+        self.services_evicted += 1
+
+    def is_evicted(self, instance_id: str) -> bool:
+        return instance_id in self._evicted_ids
+
+    def drop_evicted(self, instance_id: str) -> EvictedService:
+        """A queued service's lifetime ended before re-placement: it is
+        lost (counted in the faults section, never re-placed)."""
+        entry = self._take_evicted(instance_id)
+        self.services_lost += 1
+        return entry
+
+    def record_replacement(self, instance_id: str, to_nic: int) -> None:
+        """Record a drained re-placement (the policy already placed the
+        instance on ``to_nic``); logs time-to-recover bookkeeping."""
+        entry = self._take_evicted(instance_id)
+        self.replacements.append(
+            ReplacementRecord(
+                instance_id=instance_id,
+                from_nic=entry.from_nic,
+                to_nic=to_nic,
+                evicted_at=entry.evicted_at,
+                replaced_at=self.now,
+            )
+        )
+
+    def _take_evicted(self, instance_id: str) -> EvictedService:
+        for entry in self.evicted:
+            if entry.instance.instance_id == instance_id:
+                self.evicted = [
+                    e for e in self.evicted
+                    if e.instance.instance_id != instance_id
+                ]
+                self._evicted_ids.discard(instance_id)
+                return entry
+        raise PlacementError(f"{instance_id!r} is not in the evicted queue")
+
+    def take_new_nics(self) -> list[FleetNic]:
+        """Drain NICs spun up since the last drain (fault-arming hook;
+        empty unless :attr:`collect_new_nics` is set)."""
+        fresh = self._new_nics
+        self._new_nics = []
+        return fresh
+
+    # ------------------------------------------------------------------
+    def _next_available_id(self) -> int:
+        """The id the next spin-up will use, skipping pods in outage."""
+        nic_id = self._next_nic_id
+        if self.down_pods:
+            pods = self._topology.pods
+            if pods is not None and len(self.down_pods) >= pods:
+                raise PlacementError(
+                    "no pod can host a new NIC (all pods are down)"
+                )
+            if self._topology.is_flat and 0 in self.down_pods:
+                raise PlacementError(
+                    "no pod can host a new NIC (the fleet's single pod "
+                    "is down)"
+                )
+            while self._topology.pod_of(nic_id) in self.down_pods:
+                nic_id += 1
+        return nic_id
+
     def _spin_up(self) -> FleetNic:
-        """Provision the next NIC (ready after the spin-up latency)."""
+        """Provision the next NIC (ready after the spin-up latency).
+
+        During a pod outage the ids that would land in a down pod are
+        burned (skipped, never provisioned) — pod membership is a pure
+        function of the id, so re-using them later would resurrect
+        hardware inside the failure domain.
+        """
+        self._next_nic_id = self._next_available_id()
         nic = FleetNic(
             nic_id=self._next_nic_id,
             spec=self._provisioner.spec_for(self._next_nic_id),
             ready_at=self.now + self.spinup_latency,
+            spun_up_at=self.now,
         )
         self._next_nic_id += 1
         self._nics.append(nic)
         self._nic_index[nic.nic_id] = nic
+        if self.collect_new_nics:
+            self._new_nics.append(nic)
         return nic
 
     def _retire(self, nic: FleetNic) -> None:

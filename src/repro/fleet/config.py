@@ -34,6 +34,7 @@ from typing import Optional, Union
 from repro.core.predictor import YalaSystem
 from repro.core.slomo import SlomoPredictor
 from repro.errors import ConfigurationError
+from repro.fleet.checkpoint import Checkpointer, load_checkpoint
 from repro.fleet.churn import ChurnProcess
 from repro.fleet.cluster import NicProvisioner, parse_nic_mix
 from repro.fleet.engine import (
@@ -43,6 +44,7 @@ from repro.fleet.engine import (
     FleetReport,
 )
 from repro.fleet.events import EventConfig
+from repro.fleet.faults import FaultConfig, FaultSchedule
 from repro.fleet.policies import (
     FLEET_POLICY_NAMES,
     PlacementModel,
@@ -104,6 +106,16 @@ class FleetConfig:
     probe_period: float = 1.0
     rebalance_period: float = 1.0
     observe_changes: bool = True
+    # Faults (both engines; zero rates = the historical fault-free run).
+    nic_fail_rate: float = 0.0
+    nic_degrade_rate: float = 0.0
+    pod_outage_rate: float = 0.0
+    mean_time_to_fail: float = 8.0
+    mean_repair_time: float = 3.0
+    # Crash survival (execution-only: excluded from the fingerprint).
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: Optional[int] = None
+    resume_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.policy not in FLEET_POLICY_NAMES:
@@ -133,6 +145,18 @@ class FleetConfig:
         parse_nic_mix(self.nic_mix)  # validates targets and weights
         self.topology()  # validates pods/pod_size
         self.event_config()  # validates the continuous-time knobs
+        self.fault_config()  # validates the fault rates/means
+        if self.pod_outage_rate > 0.0 and self.pods is None:
+            raise ConfigurationError(
+                "pod_outage_rate needs a fixed pod count (pods=N): outages "
+                "are drawn per pod id up front"
+            )
+        if (self.checkpoint_path is None) != (self.checkpoint_every is None):
+            raise ConfigurationError(
+                "checkpoint_path and checkpoint_every go together"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ConfigurationError("checkpoint_every must be >= 1")
 
     # ------------------------------------------------------------------
     # Derived objects
@@ -164,6 +188,50 @@ class FleetConfig:
             rebalance_period=self.rebalance_period,
             observe_changes=self.observe_changes,
         )
+
+    def fault_config(self) -> FaultConfig:
+        """The validated fault knobs (all-zero rates = fault-free)."""
+        return FaultConfig(
+            nic_fail_rate=self.nic_fail_rate,
+            nic_degrade_rate=self.nic_degrade_rate,
+            pod_outage_rate=self.pod_outage_rate,
+            mean_time_to_fail=self.mean_time_to_fail,
+            mean_repair_time=self.mean_repair_time,
+        )
+
+    def fault_schedule(self) -> Optional[FaultSchedule]:
+        """The seeded fault trajectory, or ``None`` when rates are zero.
+
+        Seeded like every other fleet stream — a dedicated derived
+        stream per purpose — so turning faults on never perturbs churn,
+        NIC mix, or scenario noise draws.
+        """
+        config = self.fault_config()
+        if not config.any_faults:
+            return None
+        return FaultSchedule(
+            config, seed=derive_seed(self.seed, "fleet-faults")
+        )
+
+    def fingerprint(self) -> dict:
+        """What a checkpoint must match to be resumable into this config.
+
+        Everything that shapes the trajectory stays (seed, policy,
+        churn, hardware, faults, ``score_mode``); execution-only knobs
+        (runtime, jobs, checkpoint/resume paths) are dropped — resuming
+        a serial run under the process runtime is exactly the kind of
+        thing the byte-identity contract promises to allow.
+        """
+        payload = self.to_dict()
+        for key in (
+            "runtime",
+            "jobs",
+            "checkpoint_path",
+            "checkpoint_every",
+            "resume_path",
+        ):
+            payload.pop(key, None)
+        return payload
 
     def churn(self) -> ChurnProcess:
         """The seeded churn process (identical derivation to the CLI's)."""
@@ -241,6 +309,14 @@ class FleetConfig:
             cross_pod_migration_duration=args.cross_pod_migration_duration,
             spinup_latency=args.spinup_latency,
             probe_period=args.probe_period,
+            nic_fail_rate=args.nic_fail_rate,
+            nic_degrade_rate=args.nic_degrade_rate,
+            pod_outage_rate=args.pod_outage_rate,
+            mean_time_to_fail=args.mean_time_to_fail,
+            mean_repair_time=args.mean_repair_time,
+            checkpoint_path=args.checkpoint_path,
+            checkpoint_every=args.checkpoint_every,
+            resume_path=args.resume,
         )
 
 
@@ -330,6 +406,18 @@ def simulate(
     """
     if model is None:
         model = build_model_for(config)
+    checkpoint = None
+    if config.checkpoint_path is not None:
+        checkpoint = Checkpointer(
+            config.checkpoint_path,
+            config.checkpoint_every,
+            config.fingerprint(),
+        )
+    resume = None
+    if config.resume_path is not None:
+        _step, resume = load_checkpoint(
+            config.resume_path, config.fingerprint()
+        )
     runtime = config.make_runtime()
     try:
         if config.engine == "event":
@@ -342,6 +430,7 @@ def simulate(
                 config=config.event_config(),
                 runtime=runtime,
                 topology=config.topology(),
+                faults=config.fault_schedule(),
             )
         else:
             engine = FleetEngine(
@@ -352,8 +441,11 @@ def simulate(
                 provisioner=config.provisioner(),
                 runtime=runtime,
                 topology=config.topology(),
+                faults=config.fault_schedule(),
             )
-        return engine.run(config.epochs)
+        return engine.run(
+            config.epochs, checkpoint=checkpoint, resume=resume
+        )
     finally:
         runtime.close()
 

@@ -88,7 +88,8 @@ import math
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PlacementError
+from repro.fleet.checkpoint import Checkpointer
 from repro.fleet.churn import ChurnProcess
 from repro.fleet.cluster import (
     CORES_PER_NF,
@@ -106,10 +107,15 @@ from repro.fleet.events import (
     EventQueue,
     MigrationComplete,
     MigrationStart,
+    NicFail,
+    NicRestore,
+    PodFail,
+    PodRestore,
     Probe,
     RebalanceTimer,
     TrafficChange,
 )
+from repro.fleet.faults import EpochFaultDriver, FaultSchedule, faults_payload
 from repro.fleet.policies import FleetPolicy, PlacementModel, make_policy
 from repro.fleet.runtime import PodScoreTask, Runtime, make_runtime
 from repro.fleet.topology import Topology
@@ -118,8 +124,10 @@ from repro.nf.catalog import make_nf
 #: Version of the JSON report layout (:meth:`FleetReport.payload` /
 #: :meth:`EventReport.payload`). Bumped whenever a field is added,
 #: renamed or removed; see ``docs/fleet_report_schema.md``. Version 2
-#: added ``schema_version`` itself and the ``topology`` descriptor.
-FLEET_REPORT_SCHEMA_VERSION = 2
+#: added ``schema_version`` itself and the ``topology`` descriptor;
+#: version 3 added the ``faults`` section (always present — zeros in a
+#: fault-free run).
+FLEET_REPORT_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -167,6 +175,10 @@ class FleetReport:
     metrics: list[EpochMetrics] = field(default_factory=list)
     pools: list[PoolMetrics] = field(default_factory=list)
     migrations: list[MigrationRecord] = field(default_factory=list)
+    #: Schema-v3 fault section (:func:`~repro.fleet.faults.
+    #: faults_payload`). Always present; all-zero for fault-free runs,
+    #: so the report structure never depends on the fault config.
+    faults: dict = field(default_factory=faults_payload)
 
     # ------------------------------------------------------------------
     @property
@@ -238,6 +250,7 @@ class FleetReport:
                 "total_migrations": self.total_migrations,
             },
             "pool_summary": self.pool_summary(),
+            "faults": self.faults,
             "metrics": [asdict(m) for m in self.metrics],
             "pools": [asdict(p) for p in self.pools],
             "migrations": [asdict(m) for m in self.migrations],
@@ -274,6 +287,22 @@ class FleetReport:
                 f"utilisation {stats['mean_utilisation_pct']:.1f}% | "
                 f"wastage {stats['mean_wastage_pct']:.1f}% | "
                 f"mean services {stats['mean_services']:.2f}"
+            )
+        f = self.faults
+        if f and (
+            f["nic_failures"]
+            or f["nic_degradations"]
+            or f["pod_outages"]
+            or f["services_evicted"]
+        ):
+            lines.append(
+                f"faults: nic fail/degrade/restore {f['nic_failures']}/"
+                f"{f['nic_degradations']}/{f['nic_restores']} | "
+                f"pod outages {f['pod_outages']} | "
+                f"evicted {f['services_evicted']} "
+                f"lost {f['services_lost']} "
+                f"replaced {f['services_replaced']} | "
+                f"mean recover {f['mean_time_to_recover']:.2f}s"
             )
         lines.extend([header, "-" * len(header)])
         for m in self.metrics:
@@ -389,6 +418,17 @@ def _score_cluster(
       migrations — they shape the mix (and the solve) but drops and
       throughputs are assigned only at each service's *home* NIC, the
       one serving its traffic.
+
+    Fault refinements (inert without a fault schedule, keeping the
+    fault-free path bit-identical):
+
+    - a *degraded* NIC delivers ``capacity_fraction`` of its solved
+      throughput. The derating happens at read-out — the mix cache
+      stores undegraded values keyed ``(target, mix)``, so the same mix
+      on a healthy NIC reuses the entry unchanged;
+    - services in the re-placement queue (fault-evicted, not yet
+      re-placed) score as full drops with zero throughput — they are
+      not serving.
     """
     topology = cluster.topology
     # pod -> target -> mix keys, NICs scanned in spin-up order; a mix
@@ -446,20 +486,91 @@ def _score_cluster(
                     drops[resident.instance_id] = 1.0
                     throughputs[resident.instance_id] = 0.0
             continue
+        cap = nic.capacity_fraction
         if len(nic.residents) == 1:
             resident = nic.residents[0]
             if now is None or cluster.is_home(nic, resident.instance_id):
-                drops[resident.instance_id] = 0.0
-                throughputs[resident.instance_id] = _solo_throughput(
+                solo = _solo_throughput(
                     model, resident.nf_name, resident.traffic, nic.target
                 )
+                if cap != 1.0:
+                    achieved = solo * cap
+                    drops[resident.instance_id] = max(
+                        0.0, 1.0 - achieved / solo
+                    )
+                    throughputs[resident.instance_id] = achieved
+                else:
+                    drops[resident.instance_id] = 0.0
+                    throughputs[resident.instance_id] = solo
             continue
         entries = mix_cache[(nic.target, _mix_key(nic.residents))]
         for resident, (drop, throughput) in zip(nic.residents, entries):
             if now is None or cluster.is_home(nic, resident.instance_id):
-                drops[resident.instance_id] = drop
-                throughputs[resident.instance_id] = throughput
+                if cap != 1.0:
+                    solo = _solo_throughput(
+                        model, resident.nf_name, resident.traffic, nic.target
+                    )
+                    achieved = throughput * cap
+                    drops[resident.instance_id] = max(
+                        0.0, 1.0 - achieved / solo
+                    )
+                    throughputs[resident.instance_id] = achieved
+                else:
+                    drops[resident.instance_id] = drop
+                    throughputs[resident.instance_id] = throughput
+    # Queued (fault-evicted) services are not serving: full drop, zero
+    # throughput, appended after every placed service so fault-free
+    # insertion order is untouched.
+    for entry in cluster.evicted:
+        drops[entry.instance.instance_id] = 1.0
+        throughputs[entry.instance.instance_id] = 0.0
     return drops, throughputs
+
+
+def _live_services(cluster: Cluster) -> list[ServiceInstance]:
+    """Every service the fleet is responsible for this instant: placed
+    residents (home-NIC order) then the re-placement queue (eviction
+    order). Both engines count services, violations and drop sums over
+    this list, in this order — the iteration order feeds float sums,
+    so it is part of the byte-determinism contract."""
+    live = cluster.services
+    if cluster.evicted:
+        live = live + [entry.instance for entry in cluster.evicted]
+    return live
+
+
+def _failure_attribution(
+    cluster: Cluster, drops: dict[str, float]
+) -> tuple[int, float]:
+    """Violations and summed drop attributable to active faults.
+
+    Counted over (a) the re-placement queue — every queued service is
+    fully down because a fault displaced it — and (b) home residents of
+    currently *degraded* NICs, whose measured drop is the derated one.
+    Returns ``(violation count, drop sum)``; both engines integrate
+    these over time into the ``faults`` section's
+    ``failure_violation_service_seconds`` /
+    ``failure_drop_service_seconds``.
+    """
+    violations = 0
+    drop_sum = 0.0
+    for entry in cluster.evicted:
+        drop_sum += 1.0
+        if 1.0 > entry.instance.sla_drop_fraction:
+            violations += 1
+    for nic in cluster.nics:
+        if not nic.is_degraded:
+            continue
+        for resident in nic.residents:
+            if not cluster.is_home(nic, resident.instance_id):
+                continue
+            drop = drops.get(resident.instance_id)
+            if drop is None:
+                continue
+            drop_sum += drop
+            if drop > resident.sla_drop_fraction:
+                violations += 1
+    return violations, drop_sum
 
 
 def _pool_rows(
@@ -549,6 +660,7 @@ class FleetEngine:
         provisioner: Optional[NicProvisioner] = None,
         runtime: "Runtime | str | None" = None,
         topology: Optional[Topology] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self._policy, self._provisioner = _validate_pool(
             policy, model, score_mode, provisioner
@@ -559,6 +671,7 @@ class FleetEngine:
         self._score_mode = score_mode
         self._runtime = make_runtime(runtime)
         self._topology = topology if topology is not None else Topology()
+        self._faults = faults
 
     @property
     def policy_name(self) -> str:
@@ -569,41 +682,116 @@ class FleetEngine:
         return self._runtime
 
     # ------------------------------------------------------------------
-    def run(self, epochs: int) -> FleetReport:
+    def run(
+        self,
+        epochs: int,
+        checkpoint: Optional[Checkpointer] = None,
+        resume: Optional[dict] = None,
+    ) -> FleetReport:
         """Simulate ``epochs`` epochs; returns the scored trajectory.
 
         Stateless across calls: every invocation rebuilds the cluster
         and the scoring caches, so repeated runs of one engine are
         bit-identical.
+
+        ``checkpoint`` snapshots the engine state after every interval
+        of completed epochs; ``resume`` is a snapshot's state dict
+        (:func:`~repro.fleet.checkpoint.load_checkpoint`), from which
+        the run continues to a final report byte-identical to the
+        uninterrupted one.
         """
+        try:
+            return self._run(epochs, checkpoint, resume)
+        except BaseException:
+            # The engine owns its runtime's lifecycle on error paths: a
+            # failing run must not leak worker pools. (Success keeps
+            # the pool warm for the next run; close() is idempotent and
+            # the pool rebuilds on demand.)
+            self._runtime.close()
+            raise
+
+    def _run(
+        self,
+        epochs: int,
+        checkpoint: Optional[Checkpointer],
+        resume: Optional[dict],
+    ) -> FleetReport:
         if epochs < 1:
             raise ConfigurationError("epochs must be >= 1")
-        cluster = Cluster(self._provisioner, topology=self._topology)
         self._runtime.bind(
             {t: self._model.nic_for(t) for t in self._targets}
         )
-        mix_cache: dict[tuple, list[tuple[float, float]]] = {}
-        report = FleetReport(
-            policy=self._policy.name,
-            seed=self._churn.seed,
-            epochs=epochs,
-            score_mode=self._score_mode,
-            nic_mix=self._provisioner.mix,
-            topology=self._topology.to_dict(),
-        )
-        last_drops: dict[str, float] = {}
+        if resume is not None:
+            if resume.get("engine") != "epoch":
+                raise ConfigurationError(
+                    "this checkpoint was written by the event engine; "
+                    "resume it with EventEngine.run"
+                )
+            start_epoch = resume["next_epoch"]
+            if start_epoch > epochs:
+                raise ConfigurationError(
+                    f"checkpoint is {start_epoch} epochs in; the run is "
+                    f"only {epochs}"
+                )
+            cluster = resume["cluster"]
+            driver = resume["driver"]
+            mix_cache = resume["mix_cache"]
+            report = resume["report"]
+            last_drops = resume["last_drops"]
+            fail_viol_seconds = resume["fail_viol_seconds"]
+            fail_drop_seconds = resume["fail_drop_seconds"]
+        else:
+            start_epoch = 0
+            cluster = Cluster(self._provisioner, topology=self._topology)
+            driver = None
+            if self._faults is not None and self._faults.config.any_faults:
+                driver = EpochFaultDriver(self._faults)
+                driver.arm_pods(self._topology.pods)
+                cluster.collect_new_nics = True
+            mix_cache: dict[tuple, list[tuple[float, float]]] = {}
+            report = FleetReport(
+                policy=self._policy.name,
+                seed=self._churn.seed,
+                epochs=epochs,
+                score_mode=self._score_mode,
+                nic_mix=self._provisioner.mix,
+                topology=self._topology.to_dict(),
+            )
+            last_drops = {}
+            fail_viol_seconds = 0.0
+            fail_drop_seconds = 0.0
 
-        for epoch in range(epochs):
-            # 1. Departures.
+        for epoch in range(start_epoch, epochs):
+            now = float(epoch)
+            cluster.now = now
+
+            # 0. Fault transitions due at this boundary (restores
+            # before outages before NIC faults — the event queue's
+            # priority order at one timestamp).
+            if driver is not None:
+                driver.apply(cluster, now)
+
+            # 1. Departures — placed services and queued evictees whose
+            # lifetime ran out while they waited (those are *lost*).
             departures = 0
             for instance in cluster.services:
                 if instance.request.departure_epoch <= epoch:
                     cluster.remove(instance.instance_id)
                     departures += 1
+            for entry in list(cluster.evicted):
+                if entry.instance.request.departure_epoch <= epoch:
+                    cluster.drop_evicted(entry.instance.instance_id)
+                    departures += 1
 
-            # 2. Traffic evolution along each service's trace.
+            # 2. Traffic evolution along each service's trace (queued
+            # services keep evolving — they re-place at *current*
+            # traffic).
             for instance in cluster.services:
                 instance.traffic = instance.request.trace.profile_at(epoch)
+            for entry in cluster.evicted:
+                entry.instance.traffic = (
+                    entry.instance.request.trace.profile_at(epoch)
+                )
 
             # 2b. Warm this epoch's solo baselines (residents and
             # arrivals at their current traffic) through the collector,
@@ -611,7 +799,9 @@ class FleetEngine:
             # and the scoring drops all hit the cache. The loop twin
             # warms the identical set with per-pair scalar solves.
             arrivals = self._churn.arrivals_for(epoch)
-            pairs = [(r.nf_name, r.traffic) for r in cluster.services]
+            pairs = [
+                (r.nf_name, r.traffic) for r in _live_services(cluster)
+            ]
             pairs.extend(
                 (request.nf_name, request.trace.profile_at(epoch))
                 for request in arrivals
@@ -621,18 +811,29 @@ class FleetEngine:
                 self._runtime,
             )
 
-            # 3. Policy rebalancing on the previous epoch's measured drops.
+            # 3. Failover drain (evicted services re-place through the
+            # policy's own strategy), then rebalancing on the previous
+            # epoch's measured drops.
+            if cluster.evicted:
+                self._policy.replace_evicted(cluster, epoch, self._model)
             migrations_before = len(cluster.migration_log)
             self._policy.rebalance(cluster, epoch, self._model, last_drops)
             migrations = len(cluster.migration_log) - migrations_before
 
-            # 4. Arrivals, placed online one by one.
+            # 4. Arrivals, placed online one by one. During a pod
+            # outage placement can be impossible; the arrival waits in
+            # the re-placement queue.
             for request in arrivals:
                 instance = ServiceInstance(
                     request=request, traffic=request.trace.profile_at(epoch)
                 )
-                nic_id = self._policy.choose_nic(cluster, instance, self._model)
-                cluster.place(instance, nic_id)
+                try:
+                    nic_id = self._policy.choose_nic(
+                        cluster, instance, self._model
+                    )
+                    cluster.place(instance, nic_id)
+                except PlacementError:
+                    cluster.enqueue_evicted(instance)
 
             # 5. Ground-truth scoring of every NIC's resident mix.
             drops, throughputs = _score_cluster(
@@ -640,13 +841,20 @@ class FleetEngine:
                 self._score_mode, self._runtime, seed=self._churn.seed,
             )
             last_drops = drops
+            live = _live_services(cluster)
             violations = sum(
                 1
-                for instance in cluster.services
+                for instance in live
                 if drops[instance.instance_id] > instance.sla_drop_fraction
             )
+            fail_viol, fail_drop = _failure_attribution(cluster, drops)
+            # One epoch spans exactly one second: the epoch integral
+            # adds value * 1.0 terms in epoch order, matching the event
+            # engine's left-Riemann sums bit for bit on the grid.
+            fail_viol_seconds += float(fail_viol)
+            fail_drop_seconds += fail_drop
 
-            services = len(cluster.services)
+            services = len(live)
             total_cores = sum(nic.spec.num_cores for nic in cluster.nics)
             used_cores = sum(nic.cores_used() for nic in cluster.nics)
             min_nics = math.ceil(services / cluster.max_residents_per_nic)
@@ -676,7 +884,26 @@ class FleetEngine:
             report.pools.extend(
                 _pool_rows(cluster, self._provisioner, self._targets, epoch)
             )
+
+            if checkpoint is not None:
+                checkpoint.maybe_save(
+                    epoch + 1,
+                    {
+                        "engine": "epoch",
+                        "next_epoch": epoch + 1,
+                        "cluster": cluster,
+                        "driver": driver,
+                        "mix_cache": mix_cache,
+                        "report": report,
+                        "last_drops": last_drops,
+                        "fail_viol_seconds": fail_viol_seconds,
+                        "fail_drop_seconds": fail_drop_seconds,
+                    },
+                )
         report.migrations = list(cluster.migration_log)
+        report.faults = faults_payload(
+            cluster, fail_viol_seconds, fail_drop_seconds
+        )
         return report
 
 
@@ -791,6 +1018,7 @@ class EventEngine:
         config: Optional[EventConfig] = None,
         runtime: "Runtime | str | None" = None,
         topology: Optional[Topology] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self._policy, self._provisioner = _validate_pool(
             policy, model, score_mode, provisioner
@@ -802,6 +1030,7 @@ class EventEngine:
         self._config = config if config is not None else EventConfig()
         self._runtime = make_runtime(runtime)
         self._topology = topology if topology is not None else Topology()
+        self._faults = faults
 
     @property
     def policy_name(self) -> str:
@@ -816,61 +1045,163 @@ class EventEngine:
         return self._runtime
 
     # ------------------------------------------------------------------
-    def run(self, horizon: float) -> EventReport:
+    def run(
+        self,
+        horizon: float,
+        checkpoint: Optional[Checkpointer] = None,
+        resume: Optional[dict] = None,
+    ) -> EventReport:
         """Simulate ``horizon`` seconds; returns the scored trajectory.
 
-        Stateless across calls, like :meth:`FleetEngine.run`.
+        Stateless across calls, like :meth:`FleetEngine.run`. The
+        ``checkpoint`` / ``resume`` contract also mirrors the epoch
+        engine's: snapshots are taken after on-grid probes (the epoch
+        grid, so one ``--checkpoint-every`` knob serves both engines)
+        and a resumed run finishes byte-identical to the uninterrupted
+        one.
         """
+        try:
+            return self._run(horizon, checkpoint, resume)
+        except BaseException:
+            self._runtime.close()
+            raise
+
+    def _run(
+        self,
+        horizon: float,
+        checkpoint: Optional[Checkpointer],
+        resume: Optional[dict],
+    ) -> EventReport:
         horizon = float(horizon)
         if not horizon >= 1.0:
             raise ConfigurationError("horizon must be >= 1 second")
         cfg = self._config
         epochs = int(math.ceil(horizon))
-        cluster = Cluster(self._provisioner, topology=self._topology)
-        cluster.migration_duration = cfg.migration_duration
-        cluster.cross_pod_migration_duration = (
-            cfg.cross_pod_migration_duration
-        )
-        cluster.spinup_latency = cfg.spinup_latency
         self._runtime.bind(
             {t: self._model.nic_for(t) for t in self._targets}
         )
-        mix_cache: dict[tuple, list[tuple[float, float]]] = {}
-        queue = EventQueue()
-        instances: dict[str, ServiceInstance] = {}
-        report = EventReport(
-            fleet=FleetReport(
-                policy=self._policy.name,
-                seed=self._churn.seed,
-                epochs=epochs,
-                score_mode=self._score_mode,
-                nic_mix=self._provisioner.mix,
-                topology=self._topology.to_dict(),
-            ),
-            horizon=horizon,
-            config=cfg,
+        schedule = (
+            self._faults
+            if self._faults is not None and self._faults.config.any_faults
+            else None
         )
 
-        # Static schedule: every epoch's timed arrivals, plus the probe
-        # and rebalance grids (chained through their handlers).
-        for epoch in range(epochs):
-            for when, request in self._churn.arrival_times_for(
-                epoch, quantize=cfg.quantize_arrivals
-            ):
-                if when < horizon:
-                    queue.push(Arrival(time=when, request=request))
-        queue.push(Probe(time=0.0))
-        queue.push(RebalanceTimer(time=0.0))
+        if resume is not None:
+            if resume.get("engine") != "event":
+                raise ConfigurationError(
+                    "this checkpoint was written by the epoch engine; "
+                    "resume it with FleetEngine.run"
+                )
+            cluster = resume["cluster"]
+            queue = resume["queue"]
+            instances = resume["instances"]
+            mix_cache = resume["mix_cache"]
+            report = resume["report"]
+            if report.horizon != horizon:
+                raise ConfigurationError(
+                    f"checkpoint was written for horizon "
+                    f"{report.horizon:g}, not {horizon:g}"
+                )
+            last_drops = resume["last_drops"]
+            prev_t = resume["prev_t"]
+            prev_violations = resume["prev_violations"]
+            prev_drop_sum = resume["prev_drop_sum"]
+            prev_fail_viol = resume["prev_fail_viol"]
+            prev_fail_drop = resume["prev_fail_drop"]
+            fail_viol_seconds = resume["fail_viol_seconds"]
+            fail_drop_seconds = resume["fail_drop_seconds"]
+            arrivals_since = resume["arrivals_since"]
+            departures_since = resume["departures_since"]
+            migrations_at_probe = resume["migrations_at_probe"]
+            probe_index = resume["probe_index"]
+            rebalance_index = resume["rebalance_index"]
+        else:
+            cluster = Cluster(self._provisioner, topology=self._topology)
+            cluster.migration_duration = cfg.migration_duration
+            cluster.cross_pod_migration_duration = (
+                cfg.cross_pod_migration_duration
+            )
+            cluster.spinup_latency = cfg.spinup_latency
+            if schedule is not None:
+                cluster.collect_new_nics = True
+            mix_cache: dict[tuple, list[tuple[float, float]]] = {}
+            queue = EventQueue()
+            instances: dict[str, ServiceInstance] = {}
+            report = EventReport(
+                fleet=FleetReport(
+                    policy=self._policy.name,
+                    seed=self._churn.seed,
+                    epochs=epochs,
+                    score_mode=self._score_mode,
+                    nic_mix=self._provisioner.mix,
+                    topology=self._topology.to_dict(),
+                ),
+                horizon=horizon,
+                config=cfg,
+            )
 
-        last_drops: dict[str, float] = {}
-        prev_t = 0.0
-        prev_violations = 0
-        prev_drop_sum = 0.0
-        arrivals_since = 0
-        departures_since = 0
-        migrations_at_probe = 0
-        probe_index = 0
-        rebalance_index = 0
+            # Static schedule: every epoch's timed arrivals, the probe
+            # and rebalance grids (chained through their handlers), and
+            # — with faults — every armed pod outage (NIC faults arm
+            # dynamically as their NICs spin up).
+            for epoch in range(epochs):
+                for when, request in self._churn.arrival_times_for(
+                    epoch, quantize=cfg.quantize_arrivals
+                ):
+                    if when < horizon:
+                        queue.push(Arrival(time=when, request=request))
+            queue.push(Probe(time=0.0))
+            queue.push(RebalanceTimer(time=0.0))
+            if (
+                schedule is not None
+                and schedule.config.pod_outage_rate > 0.0
+            ):
+                if self._topology.pods is None:
+                    raise ConfigurationError(
+                        "pod outages need a fixed pod count "
+                        "(Topology(pods=N))"
+                    )
+                for pod_id in range(self._topology.pods):
+                    outage = schedule.pod_outage(pod_id)
+                    if outage is not None and outage.start < horizon:
+                        queue.push(
+                            PodFail(time=outage.start, pod_id=pod_id)
+                        )
+
+            last_drops: dict[str, float] = {}
+            prev_t = 0.0
+            prev_violations = 0
+            prev_drop_sum = 0.0
+            prev_fail_viol = 0
+            prev_fail_drop = 0.0
+            fail_viol_seconds = 0.0
+            fail_drop_seconds = 0.0
+            arrivals_since = 0
+            departures_since = 0
+            migrations_at_probe = 0
+            probe_index = 0
+            rebalance_index = 0
+
+        def arm_new_nics() -> None:
+            # Arm the drawn fault of every NIC provisioned since the
+            # last call; onset is relative to the spin-up instant, so
+            # every armed event lies strictly in the future.
+            if schedule is None:
+                return
+            for nic in cluster.take_new_nics():
+                fault = schedule.nic_fault(nic.nic_id)
+                if fault is not None:
+                    when = nic.spun_up_at + fault.after
+                    if when < horizon:
+                        queue.push(
+                            NicFail(
+                                time=when,
+                                nic_id=nic.nic_id,
+                                mode=fault.mode,
+                                capacity=fault.capacity,
+                                repair=fault.repair,
+                            )
+                        )
 
         while queue and queue.peek().time < horizon:
             t = queue.peek().time
@@ -881,9 +1212,46 @@ class EventEngine:
             while queue and queue.peek().time == t:
                 event = self._pop(queue, report)
 
-                if isinstance(event, Departure):
+                if isinstance(event, NicRestore):
+                    if cluster.restore_nic(event.nic_id):
+                        dirty = True
+
+                elif isinstance(event, PodRestore):
+                    # The pod accepts spin-ups again; nothing scored
+                    # changes at this instant, so no observation.
+                    cluster.restore_pod(event.pod_id)
+
+                elif isinstance(event, PodFail):
+                    outage = schedule.pod_outage(event.pod_id)
+                    if cluster.fail_pod(event.pod_id):
+                        dirty = True
+                        if outage.end < horizon:
+                            queue.push(
+                                PodRestore(
+                                    time=outage.end, pod_id=event.pod_id
+                                )
+                            )
+
+                elif isinstance(event, NicFail):
+                    if event.mode == "fail":
+                        if cluster.fail_nic(event.nic_id):
+                            dirty = True
+                    elif cluster.degrade_nic(event.nic_id, event.capacity):
+                        dirty = True
+                        when = t + event.repair
+                        if when < horizon:
+                            queue.push(
+                                NicRestore(time=when, nic_id=event.nic_id)
+                            )
+
+                elif isinstance(event, Departure):
                     if event.instance_id in instances:
-                        cluster.remove(event.instance_id)
+                        if cluster.is_evicted(event.instance_id):
+                            # Its lifetime ran out while it waited in
+                            # the re-placement queue: lost, not served.
+                            cluster.drop_evicted(event.instance_id)
+                        else:
+                            cluster.remove(event.instance_id)
                         del instances[event.instance_id]
                         departures_since += 1
                         dirty = True
@@ -909,6 +1277,10 @@ class EventEngine:
                         dirty = True
 
                 elif isinstance(event, RebalanceTimer):
+                    if cluster.evicted and self._policy.replace_evicted(
+                        cluster, int(math.floor(t)), self._model
+                    ):
+                        dirty = True
                     moved = self._policy.rebalance(
                         cluster, int(math.floor(t)), self._model, last_drops
                     )
@@ -949,10 +1321,15 @@ class EventEngine:
                             request=request,
                             traffic=request.trace.profile_at(t),
                         )
-                        nic_id = self._policy.choose_nic(
-                            cluster, instance, self._model
-                        )
-                        cluster.place(instance, nic_id)
+                        try:
+                            nic_id = self._policy.choose_nic(
+                                cluster, instance, self._model
+                            )
+                            cluster.place(instance, nic_id)
+                        except PlacementError:
+                            # Nowhere to put it (e.g. every pod is in
+                            # outage): it waits in the queue.
+                            cluster.enqueue_evicted(instance)
                         instances[request.instance_id] = instance
                         departs = float(request.departure_epoch)
                         if departs < horizon:
@@ -974,15 +1351,15 @@ class EventEngine:
                     if nxt < horizon:
                         queue.push(Probe(time=nxt))
 
+            arm_new_nics()
             if not (probe_due or (dirty and cfg.observe_changes)):
                 continue
 
             # Observation point: lazy scoring of the current fleet.
-            services_now = cluster.services
             _warm_pairs(
                 self._model,
                 self._targets,
-                [(r.nf_name, r.traffic) for r in services_now],
+                [(r.nf_name, r.traffic) for r in cluster.services],
                 self._score_mode,
                 self._runtime,
             )
@@ -991,24 +1368,29 @@ class EventEngine:
                 self._score_mode, self._runtime, now=t,
                 seed=self._churn.seed,
             )
+            live = _live_services(cluster)
             violated = [
                 instance.instance_id
-                for instance in services_now
+                for instance in live
                 if drops[instance.instance_id] > instance.sla_drop_fraction
             ]
-            drop_sum = sum(drops[r.instance_id] for r in services_now)
+            drop_sum = sum(drops[r.instance_id] for r in live)
+            fail_viol, fail_drop = _failure_attribution(cluster, drops)
 
             report.violation_service_seconds += (t - prev_t) * prev_violations
             report.drop_service_seconds += (t - prev_t) * prev_drop_sum
+            fail_viol_seconds += (t - prev_t) * prev_fail_viol
+            fail_drop_seconds += (t - prev_t) * prev_fail_drop
             prev_t, prev_violations, prev_drop_sum = (
                 t, len(violated), drop_sum,
             )
+            prev_fail_viol, prev_fail_drop = fail_viol, fail_drop
 
             report.observations.append(
                 ObservationRecord(
                     time=t,
                     kind="probe" if probe_due else "change",
-                    services=len(services_now),
+                    services=len(live),
                     nics_used=cluster.nics_used,
                     sla_violations=len(violated),
                     drop_sum=drop_sum,
@@ -1017,12 +1399,13 @@ class EventEngine:
             )
             last_drops = drops
 
-            if probe_due and t == math.floor(t):
+            grid_probe = probe_due and t == math.floor(t)
+            if grid_probe:
                 # On-grid probe: emit the epoch row the time-stepped
                 # engine would have emitted, from counters accumulated
                 # since the previous grid probe.
                 epoch = int(t)
-                services = len(services_now)
+                services = len(live)
                 total_cores = sum(
                     nic.spec.num_cores for nic in cluster.nics
                 )
@@ -1076,12 +1459,44 @@ class EventEngine:
                     )
                 self._policy.on_probe(cluster, t, self._model, drops)
                 self._launch_migrations(cluster, queue, report, horizon)
+                arm_new_nics()  # hooks may have spun up NICs
+
+            if checkpoint is not None and grid_probe:
+                checkpoint.maybe_save(
+                    int(t) + 1,
+                    {
+                        "engine": "event",
+                        "cluster": cluster,
+                        "queue": queue,
+                        "instances": instances,
+                        "mix_cache": mix_cache,
+                        "report": report,
+                        "last_drops": last_drops,
+                        "prev_t": prev_t,
+                        "prev_violations": prev_violations,
+                        "prev_drop_sum": prev_drop_sum,
+                        "prev_fail_viol": prev_fail_viol,
+                        "prev_fail_drop": prev_fail_drop,
+                        "fail_viol_seconds": fail_viol_seconds,
+                        "fail_drop_seconds": fail_drop_seconds,
+                        "arrivals_since": arrivals_since,
+                        "departures_since": departures_since,
+                        "migrations_at_probe": migrations_at_probe,
+                        "probe_index": probe_index,
+                        "rebalance_index": rebalance_index,
+                    },
+                )
 
         # Close the integrals out to the horizon.
         report.violation_service_seconds += (horizon - prev_t) * prev_violations
         report.drop_service_seconds += (horizon - prev_t) * prev_drop_sum
+        fail_viol_seconds += (horizon - prev_t) * prev_fail_viol
+        fail_drop_seconds += (horizon - prev_t) * prev_fail_drop
 
         report.fleet.migrations = list(cluster.migration_log)
+        report.fleet.faults = faults_payload(
+            cluster, fail_viol_seconds, fail_drop_seconds
+        )
         report.migrations_started = cluster.total_migrations_started
         report.migrations_completed = len(cluster.timed_migrations)
         report.migrations_cancelled = cluster.migrations_cancelled

@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from itertools import count
 from typing import ClassVar
 
 from repro.errors import ConfigurationError
@@ -53,6 +52,70 @@ class Event:
     def describe(self) -> str:
         """One-line rendering used by the engine's event log."""
         return type(self).__name__.lower()
+
+
+@dataclass(frozen=True)
+class NicRestore(Event):
+    """A degraded NIC's repair completes (epoch fault phase 0).
+
+    Fault transitions order *before* every workload event at a shared
+    timestamp — restores first, so capacity freed by a repair is
+    visible to everything else happening at that instant — mirroring
+    the epoch engine's phase-0 fault application.
+    """
+
+    priority: ClassVar[int] = -4
+
+    nic_id: int = -1
+
+    def describe(self) -> str:
+        return f"nic-restore nic{self.nic_id}"
+
+
+@dataclass(frozen=True)
+class PodRestore(Event):
+    """A pod outage ends; the pod accepts spin-ups again."""
+
+    priority: ClassVar[int] = -3
+
+    pod_id: int = -1
+
+    def describe(self) -> str:
+        return f"pod-restore pod{self.pod_id}"
+
+
+@dataclass(frozen=True)
+class PodFail(Event):
+    """A whole pod goes dark: every NIC in it hard-fails at once."""
+
+    priority: ClassVar[int] = -2
+
+    pod_id: int = -1
+
+    def describe(self) -> str:
+        return f"pod-fail pod{self.pod_id}"
+
+
+@dataclass(frozen=True)
+class NicFail(Event):
+    """One NIC's drawn fault fires: hard failure or degradation."""
+
+    priority: ClassVar[int] = -1
+
+    nic_id: int = -1
+    mode: str = "fail"  # "fail" (permanent) or "degrade" (repairable)
+    #: Capacity fraction while degraded (unused in fail mode).
+    capacity: float = 1.0
+    #: Seconds until the matching :class:`NicRestore` (degrade mode).
+    repair: float = 0.0
+
+    def describe(self) -> str:
+        if self.mode == "degrade":
+            return (
+                f"nic-fail nic{self.nic_id} degrade "
+                f"cap={self.capacity:.2f}"
+            )
+        return f"nic-fail nic{self.nic_id} fail"
 
 
 @dataclass(frozen=True)
@@ -148,6 +211,10 @@ class Probe(Event):
 
 #: Every concrete event type, in priority order.
 EVENT_TYPES: tuple[type[Event], ...] = (
+    NicRestore,
+    PodRestore,
+    PodFail,
+    NicFail,
     Departure,
     TrafficChange,
     MigrationComplete,
@@ -169,12 +236,16 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, int, Event]] = []
-        self._seq = count()
+        # A plain int, not itertools.count: the queue must pickle for
+        # engine checkpoints, and a resumed queue must keep counting
+        # where it left off.
+        self._seq = 0
 
     def push(self, event: Event) -> None:
         heapq.heappush(
-            self._heap, (event.time, event.priority, next(self._seq), event)
+            self._heap, (event.time, event.priority, self._seq, event)
         )
+        self._seq += 1
 
     def pop(self) -> Event:
         return heapq.heappop(self._heap)[-1]
@@ -258,6 +329,10 @@ __all__ = [
     "EventQueue",
     "MigrationComplete",
     "MigrationStart",
+    "NicFail",
+    "NicRestore",
+    "PodFail",
+    "PodRestore",
     "Probe",
     "RebalanceTimer",
     "TrafficChange",

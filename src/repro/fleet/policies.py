@@ -175,26 +175,50 @@ class PlacementModel:
         return self._mem_bw_cache[key]
 
     def greedy_utilisation(
-        self, residents: Sequence[Resident], target: Optional[str] = None
+        self,
+        residents: Sequence[Resident],
+        target: Optional[str] = None,
+        capacity: float = 1.0,
     ) -> float:
-        """Additive utilisation estimate of one NIC (greedy's view)."""
+        """Additive utilisation estimate of one NIC (greedy's view).
+
+        ``capacity`` is the NIC's usable fraction
+        (:attr:`FleetNic.capacity_fraction
+        <repro.fleet.cluster.FleetNic.capacity_fraction>`): a degraded
+        NIC offers proportionally less bandwidth, so the same residents
+        fill it sooner. At the healthy default the arithmetic is
+        bit-identical to the capacity-blind estimate.
+        """
         entry = self._target(target)
         name = target if target is not None else self._default
         mem_bw = 0.0
         for resident in residents:
             mem_bw += self._resident_mem_bw(resident, entry, name)
+        if capacity != 1.0:
+            return mem_bw / (entry.nic.spec.dram_bandwidth_bpus * capacity)
         return mem_bw / entry.nic.spec.dram_bandwidth_bpus
 
     def predicted_feasible_yala(
-        self, residents: Sequence[Resident], target: Optional[str] = None
+        self,
+        residents: Sequence[Resident],
+        target: Optional[str] = None,
+        capacity: float = 1.0,
     ) -> bool:
-        """Every resident keeps its SLA according to Yala's predictions."""
+        """Every resident keeps its SLA according to Yala's predictions.
+
+        On a degraded NIC (``capacity < 1``) every predicted throughput
+        is scaled by the capacity fraction before the SLA check — the
+        same derating ground-truth scoring applies — so feasibility
+        probes see degraded hardware as the tighter fit it really is.
+        """
         entry = self._target(target)
         if entry.yala is None:
             raise PlacementError("yala feasibility needs a trained YalaSystem")
         placements = [(r.nf_name, r.traffic) for r in residents]
         predictions = entry.yala.predict_colocation(placements)
         for resident, predicted in zip(residents, predictions):
+            if capacity != 1.0:
+                predicted = predicted * capacity
             solo = entry.yala.predictor_of(resident.nf_name).predict_solo(
                 resident.traffic
             )
@@ -204,9 +228,16 @@ class PlacementModel:
         return True
 
     def predicted_feasible_slomo(
-        self, residents: Sequence[Resident], target: Optional[str] = None
+        self,
+        residents: Sequence[Resident],
+        target: Optional[str] = None,
+        capacity: float = 1.0,
     ) -> bool:
-        """Every resident keeps its SLA according to SLOMO (memory-only)."""
+        """Every resident keeps its SLA according to SLOMO (memory-only).
+
+        ``capacity`` derates the predicted throughputs exactly like
+        :meth:`predicted_feasible_yala`.
+        """
         entry = self._target(target)
         for i, resident in enumerate(residents):
             slomo = entry.slomo.get(resident.nf_name)
@@ -225,6 +256,8 @@ class PlacementModel:
                 resident.traffic,
                 n_competitors=len(competitor_counters),
             )
+            if capacity != 1.0:
+                predicted = predicted * capacity
             solo = self.solo_throughput(resident, target)
             if max(0.0, 1.0 - predicted / solo) > resident.sla_drop_fraction:
                 return False
@@ -290,6 +323,32 @@ class FleetPolicy:
         return 0
 
     # ------------------------------------------------------------------
+    # Failover (fault injection)
+    # ------------------------------------------------------------------
+    def replace_evicted(
+        self, cluster: Cluster, epoch: int, model: PlacementModel
+    ) -> int:
+        """Drain the re-placement queue of fault-evicted services.
+
+        Each evicted service goes back through this policy's own
+        ``choose_nic`` — failover is just placement again, so every
+        policy self-heals with its usual strategy. Services the policy
+        cannot place right now (e.g. every pod is down) stay queued and
+        are retried at the next drain. Returns how many were re-placed.
+        """
+        placed = 0
+        for entry in list(cluster.evicted):
+            instance = entry.instance
+            try:
+                nic_id = self.choose_nic(cluster, instance, model)
+                placed_on = cluster.place(instance, nic_id)
+            except PlacementError:
+                continue  # stays queued until capacity comes back
+            cluster.record_replacement(instance.instance_id, placed_on)
+            placed += 1
+        return placed
+
+    # ------------------------------------------------------------------
     def _open_nics(self, cluster: Cluster):
         """Non-full NICs in spin-up order (per-NIC capacity)."""
         return [
@@ -323,13 +382,17 @@ class GreedyPolicy(FleetPolicy):
             self._open_nics(cluster),
             key=lambda nic: (
                 len(nic.residents),
-                model.greedy_utilisation(nic.residents, nic.target),
+                model.greedy_utilisation(
+                    nic.residents, nic.target, nic.capacity_fraction
+                ),
             ),
         )
         for nic in candidates:
             if (
                 model.greedy_utilisation(
-                    nic.residents + [instance], nic.target
+                    nic.residents + [instance],
+                    nic.target,
+                    nic.capacity_fraction,
                 )
                 <= 1.0
             ):
@@ -346,7 +409,7 @@ class _PredictedFeasibilityPolicy(FleetPolicy):
     head-room.
     """
 
-    def _feasible(self, residents, model, target) -> bool:
+    def _feasible(self, residents, model, target, capacity=1.0) -> bool:
         raise NotImplementedError
 
     def choose_nic(self, cluster, instance, model):
@@ -354,7 +417,12 @@ class _PredictedFeasibilityPolicy(FleetPolicy):
             self._open_nics(cluster), key=lambda nic: -len(nic.residents)
         )
         for nic in candidates:
-            if self._feasible(nic.residents + [instance], model, nic.target):
+            if self._feasible(
+                nic.residents + [instance],
+                model,
+                nic.target,
+                nic.capacity_fraction,
+            ):
                 return nic.nic_id
         return None
 
@@ -362,15 +430,15 @@ class _PredictedFeasibilityPolicy(FleetPolicy):
 class SlomoPolicy(_PredictedFeasibilityPolicy):
     name = "slomo"
 
-    def _feasible(self, residents, model, target):
-        return model.predicted_feasible_slomo(residents, target)
+    def _feasible(self, residents, model, target, capacity=1.0):
+        return model.predicted_feasible_slomo(residents, target, capacity)
 
 
 class YalaPolicy(_PredictedFeasibilityPolicy):
     name = "yala"
 
-    def _feasible(self, residents, model, target):
-        return model.predicted_feasible_yala(residents, target)
+    def _feasible(self, residents, model, target, capacity=1.0):
+        return model.predicted_feasible_yala(residents, target, capacity)
 
 
 class DiagnosisRebalancePolicy(YalaPolicy):
@@ -471,7 +539,9 @@ class DiagnosisRebalancePolicy(YalaPolicy):
             )
             for candidate in candidates:
                 if model.predicted_feasible_yala(
-                    candidate.residents + [worst], candidate.target
+                    candidate.residents + [worst],
+                    candidate.target,
+                    candidate.capacity_fraction,
                 ):
                     target = candidate.nic_id
                     break

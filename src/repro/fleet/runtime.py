@@ -42,13 +42,20 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    ProcessPoolExecutor,
+)
+from concurrent.futures import TimeoutError as PoolTimeout
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.nf.catalog import make_nf
+from repro.rng import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.nic.nic import SmartNic, WorkloadResult
@@ -241,7 +248,8 @@ class SerialRuntime(Runtime):
 
 
 class ProcessRuntime(Runtime):
-    """Pods solve in ``jobs`` worker processes.
+    """Pods solve in ``jobs`` worker processes — and worker deaths are
+    survivable, not fatal.
 
     The pool is created lazily on the first big-enough batch and
     initialised with pickled copies of the bound simulators; it is
@@ -252,6 +260,20 @@ class ProcessRuntime(Runtime):
     changes nothing numerically because inline and worker solving are
     the same pure functions, and the threshold depends only on batch
     size, never on timing.
+
+    **Crash recovery.** A worker that is OOM-killed, segfaults, or
+    hangs poisons a stock :class:`ProcessPoolExecutor`: every in-flight
+    future raises ``BrokenProcessPool`` and the pool is unusable. Here
+    each future is collected with a per-task ``task_timeout``; tasks
+    that fail with a *pool* failure (broken pool, timeout, cancelled)
+    are retried up to ``max_retries`` times against a freshly rebuilt
+    pool (with ``retry_backoff * 2**attempt`` seconds of backoff), and
+    whatever still fails is re-executed **serially, in task order**, in
+    the parent. Because every task is a pure function of ``(seed,
+    scenario)``, the recovered results are byte-identical to an
+    undisturbed run — worker deaths may cost time, never bytes. Real
+    task exceptions (a bug in the solve itself) propagate immediately;
+    only infrastructure failures are retried.
     """
 
     name = "process"
@@ -261,6 +283,9 @@ class ProcessRuntime(Runtime):
         jobs: Optional[int] = None,
         workers: Optional[int] = None,
         min_parallel_items: int = 24,
+        task_timeout: Optional[float] = 300.0,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
     ) -> None:
         if workers is not None:
             warnings.warn(
@@ -277,12 +302,24 @@ class ProcessRuntime(Runtime):
             raise ConfigurationError("jobs must be >= 1")
         if min_parallel_items < 1:
             raise ConfigurationError("min_parallel_items must be >= 1")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ConfigurationError("task_timeout must be positive or None")
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if retry_backoff < 0:
+            raise ConfigurationError("retry_backoff must be >= 0")
         self.jobs = jobs
         self._min_items = min_parallel_items
+        self._task_timeout = task_timeout
+        self._max_retries = max_retries
+        self._retry_backoff = retry_backoff
         self._nics: dict = {}
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_key: Optional[tuple] = None
         self._serial = SerialRuntime()
+        #: Pool-failure recoveries performed (observability; tests and
+        #: the fault-recovery benchmark assert on it).
+        self.recoveries = 0
 
     # ------------------------------------------------------------------
     def bind(self, nics_by_target: dict) -> None:
@@ -310,10 +347,93 @@ class ProcessRuntime(Runtime):
         return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-            self._pool_key = None
+        pool, self._pool, self._pool_key = self._pool, None, None
+        if pool is not None:
+            pool.shutdown()
+
+    def _abort_pool(self) -> None:
+        """Tear down a (possibly broken) pool without waiting on it.
+
+        ``shutdown(wait=True)`` on a pool with a hung worker never
+        returns, so cancel what can be cancelled, terminate whatever
+        worker processes are still alive, and let :meth:`_ensure_pool`
+        build a fresh pool on the next attempt.
+        """
+        pool, self._pool, self._pool_key = self._pool, None, None
+        if pool is None:
+            return
+        worker_map = getattr(pool, "_processes", None)
+        processes = list(worker_map.values()) if worker_map else []
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        for proc in processes:
+            try:
+                if proc.is_alive():
+                    proc.terminate()
+            except Exception:
+                pass
+
+    def _maybe_inject_fault(self, pool: ProcessPoolExecutor) -> None:
+        """Test seam, called once per submitted batch; a no-op here.
+        :class:`FaultInjectingRuntime` overrides it to kill workers on
+        a seeded schedule."""
+
+    def _run_resilient(
+        self,
+        items: list,
+        submit_one: Callable,
+        solve_serial: Callable,
+    ) -> list:
+        """Run ``items`` through the pool, surviving worker failures.
+
+        Results come back aligned with ``items`` regardless of which
+        attempt (or the serial fallback) produced each one — the merge
+        order, and therefore every downstream byte, is fixed by the
+        item order alone.
+        """
+        results: list = [None] * len(items)
+        pending = list(range(len(items)))
+        for attempt in range(self._max_retries + 1):
+            if not pending:
+                return results
+            pool = self._ensure_pool()
+            try:
+                futures = {
+                    i: submit_one(pool, items[i]) for i in pending
+                }
+            except BrokenExecutor:
+                self._recover(attempt)
+                continue
+            self._maybe_inject_fault(pool)
+            failed: list[int] = []
+            for i in pending:
+                try:
+                    results[i] = futures[i].result(
+                        timeout=self._task_timeout
+                    )
+                except (
+                    BrokenExecutor,
+                    CancelledError,
+                    PoolTimeout,
+                    TimeoutError,
+                ):
+                    failed.append(i)
+            if failed:
+                self._recover(attempt)
+            pending = failed
+        # Last resort: deterministic serial re-execution in the parent,
+        # in task order — byte-identical to a worker having solved it.
+        for i in pending:
+            results[i] = solve_serial(items[i])
+        return results
+
+    def _recover(self, attempt: int) -> None:
+        self.recoveries += 1
+        self._abort_pool()
+        if self._retry_backoff > 0:
+            time.sleep(self._retry_backoff * (2.0**attempt))
 
     # ------------------------------------------------------------------
     def warm_solos(self, collector, target, pairs, score_mode) -> None:
@@ -333,25 +453,80 @@ class ProcessRuntime(Runtime):
         if self.jobs == 1 or len(uncached) < self._min_items:
             self._serial.warm_solos(collector, target, uncached, score_mode)
             return
-        pool = self._ensure_pool()
         chunks = _chunk(uncached, self.jobs)
-        futures = [
-            pool.submit(_worker_solos, target, tuple(chunk), score_mode)
-            for chunk in chunks
-        ]
-        for chunk, future in zip(chunks, futures):
-            for (name, traffic), result in zip(chunk, future.result()):
+        solved = self._run_resilient(
+            chunks,
+            lambda pool, chunk: pool.submit(
+                _worker_solos, target, tuple(chunk), score_mode
+            ),
+            lambda chunk: solve_solos(self._nics[target], chunk, score_mode),
+        )
+        for chunk, chunk_results in zip(chunks, solved):
+            for (name, traffic), result in zip(chunk, chunk_results):
                 collector.install_solo(make_nf(name), traffic, result)
 
     def score_pods(self, tasks, score_mode):
         total = sum(task.scenario_count for task in tasks)
         if self.jobs == 1 or len(tasks) < 2 or total < self._min_items:
             return self._serial.score_pods(tasks, score_mode)
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(_worker_pod, task, score_mode) for task in tasks
+        return self._run_resilient(
+            list(tasks),
+            lambda pool, task: pool.submit(_worker_pod, task, score_mode),
+            lambda task: solve_pod(self._nics, task, score_mode),
+        )
+
+
+class FaultInjectingRuntime(ProcessRuntime):
+    """A :class:`ProcessRuntime` that murders its own workers.
+
+    Verification arm for the crash-recovery contract: after every
+    ``kill_every``-th submitted batch it SIGKILLs one pool worker,
+    chosen by a seed derived purely from ``(kill_seed, batch index)`` —
+    never from pids or timing — so a given configuration always kills
+    the same victims at the same points. Tier-1 pins that a fleet run
+    under this runtime produces **byte-identical reports** to
+    :class:`SerialRuntime`; the perf gate pins that recovery costs
+    bounded time. Test/benchmark-only: it is deliberately not
+    reachable from :data:`RUNTIME_NAMES` or the CLI.
+    """
+
+    name = "fault-injecting"
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        kill_every: int = 3,
+        kill_seed: int = 0,
+        max_kills: Optional[int] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(jobs=jobs, **kwargs)
+        if kill_every < 1:
+            raise ConfigurationError("kill_every must be >= 1")
+        if max_kills is not None and max_kills < 0:
+            raise ConfigurationError("max_kills must be >= 0")
+        self._kill_every = kill_every
+        self._kill_seed = kill_seed
+        self._max_kills = max_kills
+        self._batches = 0
+        #: Workers actually killed (tests assert faults really fired).
+        self.kills = 0
+
+    def _maybe_inject_fault(self, pool: ProcessPoolExecutor) -> None:
+        self._batches += 1
+        if self._batches % self._kill_every != 0:
+            return
+        if self._max_kills is not None and self.kills >= self._max_kills:
+            return
+        worker_map = getattr(pool, "_processes", None) or {}
+        procs = [p for p in worker_map.values() if p.is_alive()]
+        if not procs:
+            return
+        victim = procs[
+            derive_seed(self._kill_seed, "kill", self._batches) % len(procs)
         ]
-        return [future.result() for future in futures]
+        victim.kill()
+        self.kills += 1
 
 
 def _chunk(items: list, parts: int) -> list[list]:
@@ -391,6 +566,7 @@ def make_runtime(
 
 
 __all__ = [
+    "FaultInjectingRuntime",
     "PodScoreTask",
     "ProcessRuntime",
     "RUNTIME_NAMES",

@@ -29,6 +29,15 @@ Placement policies consult the topology to prefer **pod-local
 migrations** (cross-pod moves copy service state across the fabric, so
 they can carry a longer timed-migration duration — see
 ``EventConfig.cross_pod_migration_duration``).
+
+Pods are also the fleet's **failure domains**: pod-scoped outages
+(:mod:`repro.fleet.faults`, ``pod_outage_rate``) black out every NIC
+of one pod at once and refuse placements into it until the restore.
+Because each pod's outage is drawn from its own ``(seed, pod_id)``
+stream, outages need a *fixed* pod count — ``Topology(pods=N)`` — so
+pod ids are stable for the whole run; ``pod_size`` layouts, whose pod
+count grows with the fleet, cannot anchor that stream and are rejected
+for outage scenarios.
 """
 
 from __future__ import annotations

@@ -1,0 +1,237 @@
+"""Tests for crash-surviving checkpoints and atomic report writes.
+
+The headline contract: a run resumed from a mid-run snapshot finishes
+**byte-identical** to the uninterrupted run — for both engines, with
+faults injected, across execution runtimes. Plus the safety rails:
+snapshots are written atomically (no truncated files, ever), and a
+snapshot refuses to resume into a different configuration.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import (
+    CHECKPOINT_VERSION,
+    Checkpointer,
+    FleetConfig,
+    atomic_write_bytes,
+    atomic_write_text,
+    build_model,
+    load_checkpoint,
+    simulate,
+)
+from repro.fleet import __main__ as fleet_cli
+
+BASE = dict(
+    policy="yala", epochs=10, quota=60, initial_services=5,
+    pods=2, pod_outage_rate=0.9, nic_fail_rate=0.2,
+    mean_time_to_fail=3.0,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = FleetConfig(**BASE)
+    return build_model(
+        config.policy, config.nf_pool, config.seed, config.quota, 1
+    )
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(str(path), "first")
+        assert path.read_text() == "first"
+        atomic_write_text(str(path), "second")
+        assert path.read_text() == "second"
+
+    def test_no_temp_droppings(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(str(path), b"payload")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.bin"]
+
+    def test_failed_write_leaves_previous_intact(self, tmp_path,
+                                                 monkeypatch):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(str(path), b"good")
+
+        def exploding_replace(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk on fire"):
+            atomic_write_bytes(str(path), b"bad")
+        monkeypatch.undo()
+        assert path.read_bytes() == b"good"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.bin"]
+
+
+class TestCheckpointer:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Checkpointer("snap.pkl", 0, {})
+        with pytest.raises(ConfigurationError):
+            Checkpointer("", 1, {})
+
+    def test_save_cadence(self, tmp_path):
+        ckpt = Checkpointer(str(tmp_path / "s.pkl"), 3, {"seed": 1})
+        saved = [step for step in range(0, 10)
+                 if ckpt.maybe_save(step, {"step": step})]
+        assert saved == [3, 6, 9]
+        assert ckpt.saves == 3
+        step, state = load_checkpoint(str(tmp_path / "s.pkl"),
+                                      {"seed": 1})
+        assert step == 9 and state == {"step": 9}
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no checkpoint"):
+            load_checkpoint(str(tmp_path / "absent.pkl"))
+
+    def test_load_corrupt(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(b"\x80\x05 this is not a pickle")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            load_checkpoint(str(path))
+
+    def test_load_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "odd.pkl"
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(ConfigurationError, match="not a snapshot"):
+            load_checkpoint(str(path))
+
+    def test_load_wrong_version(self, tmp_path):
+        path = tmp_path / "old.pkl"
+        path.write_bytes(pickle.dumps({
+            "version": CHECKPOINT_VERSION + 1, "fingerprint": {},
+            "step": 1, "state": {},
+        }))
+        with pytest.raises(ConfigurationError, match="version"):
+            load_checkpoint(str(path))
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        path = tmp_path / "s.pkl"
+        Checkpointer(str(path), 1, {"seed": 1}).save(1, {})
+        with pytest.raises(ConfigurationError, match="different"):
+            load_checkpoint(str(path), {"seed": 2})
+        # And without a fingerprint, loading is unconditional.
+        assert load_checkpoint(str(path))[0] == 1
+
+
+class TestResumeByteIdentity:
+    @pytest.mark.parametrize("engine,extra", [
+        ("epoch", {}),
+        ("event", {"quantize_arrivals": True}),
+    ])
+    def test_resumed_run_matches_uninterrupted(self, tmp_path, model,
+                                               engine, extra):
+        snap = str(tmp_path / f"{engine}.pkl")
+        base = dict(BASE, engine=engine, **extra)
+        uninterrupted = simulate(FleetConfig(**base), model=model)
+        # The checkpointing run snapshots at epoch 4 (and 8); resuming
+        # from the *mid-run* step-4 snapshot replays 4..10.
+        mid = simulate(
+            FleetConfig(checkpoint_path=snap, checkpoint_every=4, **base),
+            model=model,
+        )
+        assert mid.to_json() == uninterrupted.to_json()
+        step4 = str(tmp_path / f"{engine}-step4.pkl")
+        Checkpointer(step4, 1, FleetConfig(**base).fingerprint()).save(
+            *_resave_first_snapshot(snap, base, model, tmp_path, engine)
+        )
+        resumed = simulate(
+            FleetConfig(resume_path=step4, **base), model=model
+        )
+        assert resumed.to_json() == uninterrupted.to_json()
+
+    def test_resume_across_runtimes(self, tmp_path, model):
+        # A serial run's snapshot resumes under the process runtime —
+        # execution knobs are outside the fingerprint — and the bytes
+        # still match.
+        snap = str(tmp_path / "serial.pkl")
+        uninterrupted = simulate(FleetConfig(**BASE), model=model)
+        simulate(
+            FleetConfig(checkpoint_path=snap, checkpoint_every=4, **BASE),
+            model=model,
+        )
+        resumed = simulate(
+            FleetConfig(resume_path=snap, runtime="process", jobs=4,
+                        **BASE),
+            model=model,
+        )
+        assert resumed.to_json() == uninterrupted.to_json()
+
+    def test_resume_refuses_other_config(self, tmp_path, model):
+        snap = str(tmp_path / "s.pkl")
+        simulate(
+            FleetConfig(checkpoint_path=snap, checkpoint_every=4, **BASE),
+            model=model,
+        )
+        other = dict(BASE, seed=FleetConfig(**BASE).seed + 1)
+        with pytest.raises(ConfigurationError, match="different"):
+            simulate(FleetConfig(resume_path=snap, **other), model=model)
+
+
+def _resave_first_snapshot(final_snap, base, model, tmp_path, engine):
+    """Re-run the checkpointing sim capturing the step-4 snapshot.
+
+    ``--checkpoint-every 4`` over 10 epochs overwrites step 4 with step
+    8; to resume from a genuinely *mid-run* state we re-run with a
+    fresh path and grab the first save before it is replaced.
+    """
+    import repro.fleet.checkpoint as checkpoint_mod
+
+    captured = {}
+    original_save = checkpoint_mod.Checkpointer.save
+
+    def capturing_save(self, step, state):
+        original_save(self, step, state)
+        if "payload" not in captured:
+            with open(self.path, "rb") as handle:
+                captured["payload"] = pickle.load(handle)
+
+    checkpoint_mod.Checkpointer.save = capturing_save
+    try:
+        snap = str(tmp_path / f"{engine}-capture.pkl")
+        simulate(
+            FleetConfig(checkpoint_path=snap, checkpoint_every=4, **base),
+            model=model,
+        )
+    finally:
+        checkpoint_mod.Checkpointer.save = original_save
+    payload = captured["payload"]
+    return payload["step"], payload["state"]
+
+
+class TestCliCheckpointFlow:
+    CLI = [
+        "--policy", "greedy",
+        "--epochs", "6",
+        "--quota", "30",
+        "--seed", "4",
+        "--nic-fail-rate", "0.4",
+        "--mean-time-to-fail", "2.0",
+        "--format", "json",
+    ]
+
+    def test_checkpoint_resume_and_atomic_out(self, tmp_path, capsys):
+        snap = str(tmp_path / "snap.pkl")
+        out_a = str(tmp_path / "a.json")
+        out_b = str(tmp_path / "b.json")
+        argv = list(self.CLI) + [
+            "--checkpoint-every", "3", "--checkpoint-path", snap,
+            "--out", out_a,
+        ]
+        assert fleet_cli.main(argv) == 0
+        capsys.readouterr()
+        assert os.path.exists(snap)
+        argv = list(self.CLI) + ["--resume", snap, "--out", out_b]
+        assert fleet_cli.main(argv) == 0
+        capsys.readouterr()
+        with open(out_a, "rb") as a, open(out_b, "rb") as b:
+            assert a.read() == b.read()
+        # Atomic --out leaves no temp droppings next to the reports.
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["a.json", "b.json", "snap.pkl"]

@@ -48,6 +48,13 @@ class TestValidation:
         {"nic_mix": "bluefield2=0"},
         {"pods": 2, "pod_size": 4},
         {"migration_duration": -1.0},
+        {"nic_fail_rate": -0.1},
+        {"nic_fail_rate": 0.8, "nic_degrade_rate": 0.5},
+        {"pod_outage_rate": 0.5},  # needs a fixed pod count
+        {"mean_time_to_fail": 0.0},
+        {"checkpoint_path": "snap.pkl"},  # needs checkpoint_every
+        {"checkpoint_every": 2},  # needs checkpoint_path
+        {"checkpoint_path": "snap.pkl", "checkpoint_every": 0},
     ])
     def test_rejects(self, kwargs):
         with pytest.raises(ConfigurationError):
@@ -71,8 +78,25 @@ class TestRoundTrip:
             jobs=2,
             migration_duration=0.5,
             cross_pod_migration_duration=1.5,
+            nic_fail_rate=0.1,
+            nic_degrade_rate=0.2,
+            pod_outage_rate=0.3,
+            mean_time_to_fail=5.0,
+            mean_repair_time=2.0,
         )
         assert FleetConfig.from_dict(config.to_dict()) == config
+
+    def test_fingerprint_drops_execution_knobs_only(self):
+        serial = FleetConfig(policy="greedy", seed=7)
+        process = FleetConfig(
+            policy="greedy", seed=7, runtime="process", jobs=4,
+            checkpoint_path="snap.pkl", checkpoint_every=2,
+        )
+        assert serial.fingerprint() == process.fingerprint()
+        other = FleetConfig(policy="greedy", seed=8)
+        assert other.fingerprint() != serial.fingerprint()
+        faulty = FleetConfig(policy="greedy", seed=7, nic_fail_rate=0.5)
+        assert faulty.fingerprint() != serial.fingerprint()
 
     def test_to_dict_is_json_ready(self):
         payload = FleetConfig().to_dict()
@@ -111,6 +135,14 @@ class TestFromCliArgs:
             cross_pod_migration_duration=None,
             spinup_latency=0.0,
             probe_period=1.0,
+            nic_fail_rate=0.0,
+            nic_degrade_rate=0.0,
+            pod_outage_rate=0.0,
+            mean_time_to_fail=8.0,
+            mean_repair_time=3.0,
+            checkpoint_every=None,
+            checkpoint_path=None,
+            resume=None,
         )
         for key, value in argv.items():
             setattr(ns, key, value)
@@ -171,6 +203,20 @@ class TestFacadeMatchesCli:
 #: breaks downstream consumers and must fail here first.
 FLEET_REPORT_PATHS = {
     "epochs",
+    "faults",
+    "faults.failure_drop_service_seconds",
+    "faults.failure_violation_service_seconds",
+    "faults.max_time_to_recover",
+    "faults.mean_time_to_recover",
+    "faults.nic_degradations",
+    "faults.nic_failures",
+    "faults.nic_restores",
+    "faults.pod_outages",
+    "faults.pod_restores",
+    "faults.replacements",
+    "faults.services_evicted",
+    "faults.services_lost",
+    "faults.services_replaced",
     "metrics",
     "metrics[].aggregate_throughput_mpps",
     "metrics[].arrivals",
@@ -269,10 +315,10 @@ class TestReportSchema:
         return json.loads(report.to_json())
 
     def test_schema_version_pinned(self, fleet_payload, event_payload):
-        assert FLEET_REPORT_SCHEMA_VERSION == 2
-        assert fleet_payload["schema_version"] == 2
-        assert event_payload["schema_version"] == 2
-        assert event_payload["fleet"]["schema_version"] == 2
+        assert FLEET_REPORT_SCHEMA_VERSION == 3
+        assert fleet_payload["schema_version"] == 3
+        assert event_payload["schema_version"] == 3
+        assert event_payload["fleet"]["schema_version"] == 3
 
     def test_fleet_report_golden_structure(self, fleet_payload):
         assert _paths(fleet_payload) == FLEET_REPORT_PATHS

@@ -18,6 +18,10 @@ from repro.fleet.events import (
     EventQueue,
     MigrationComplete,
     MigrationStart,
+    NicFail,
+    NicRestore,
+    PodFail,
+    PodRestore,
     Probe,
     RebalanceTimer,
     TrafficChange,
@@ -37,7 +41,7 @@ class TestEventOrdering:
         assert [e.time for e in _drain(queue)] == [0.5, 1.0, 2.0]
 
     def test_priority_mirrors_epoch_phases_at_equal_time(self):
-        """All seven types at one timestamp pop in phase order."""
+        """All eleven types at one timestamp pop in phase order."""
         queue = EventQueue()
         events = [
             Probe(time=1.0),
@@ -47,11 +51,19 @@ class TestEventOrdering:
             MigrationComplete(time=1.0, instance_id="m"),
             TrafficChange(time=1.0, instance_id="t"),
             Departure(time=1.0, instance_id="d"),
+            NicFail(time=1.0, nic_id=0),
+            PodFail(time=1.0, pod_id=0),
+            PodRestore(time=1.0, pod_id=0),
+            NicRestore(time=1.0, nic_id=0),
         ]
         for event in events:
             queue.push(event)
         popped = [type(e) for e in _drain(queue)]
         assert popped == [
+            NicRestore,
+            PodRestore,
+            PodFail,
+            NicFail,
             Departure,
             TrafficChange,
             MigrationComplete,

@@ -173,7 +173,7 @@ class _PermissiveModel(PlacementModel):
     preference tier in the sort is what decides.
     """
 
-    def predicted_feasible_yala(self, residents, target):
+    def predicted_feasible_yala(self, residents, target, capacity=1.0):
         return len(residents) <= 2
 
 
