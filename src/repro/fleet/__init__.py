@@ -35,6 +35,17 @@ worker crashes (timeout + retry + deterministic serial re-execution),
 and :mod:`repro.fleet.checkpoint` snapshots let a killed run resume to
 a byte-identical final report — the determinism contract holds under
 failure, not just alongside it.
+
+**Telemetry is first-class too** (:mod:`repro.obs`): attach a
+:class:`~repro.obs.TraceRecorder` (``simulate(config, recorder=...)``
+or the CLI's ``--trace-out``/``--metrics-out``) to collect sim-time
+spans, typed events, counters and histograms from every hot layer —
+engine phases, runtime dispatch, batch solver, profiling quota — and
+export them as JSONL, a Chrome/Perfetto trace, or a metrics snapshot.
+Recorders never perturb results: the schema-v4 report (with its
+always-on ``telemetry`` section) stays byte-identical with or without
+one, and the sim-time event stream is itself byte-deterministic at any
+runtime/jobs setting.
 """
 
 from repro.fleet.checkpoint import (
@@ -115,6 +126,15 @@ from repro.fleet.runtime import (
 )
 from repro.fleet.topology import Topology
 from repro.fleet.traces import TRACE_KINDS, TrafficTrace, make_trace, random_trace
+from repro.obs import (
+    NullRecorder,
+    Recorder,
+    TelemetryAccumulator,
+    TraceRecorder,
+    chrome_trace_payload,
+    write_metrics,
+    write_trace,
+)
 
 __all__ = [
     "Arrival",
@@ -150,6 +170,7 @@ __all__ = [
     "NicFault",
     "NicProvisioner",
     "NicRestore",
+    "NullRecorder",
     "ObservationRecord",
     "PlacementModel",
     "PodFail",
@@ -161,20 +182,24 @@ __all__ = [
     "ProcessRuntime",
     "RUNTIME_NAMES",
     "RebalanceTimer",
+    "Recorder",
     "ReplacementRecord",
     "Runtime",
     "SerialRuntime",
     "ServiceInstance",
     "ServiceRequest",
     "TRACE_KINDS",
+    "TelemetryAccumulator",
     "TimedMigration",
     "Topology",
+    "TraceRecorder",
     "TrafficChange",
     "TrafficTrace",
     "atomic_write_bytes",
     "atomic_write_text",
     "build_model",
     "build_model_for",
+    "chrome_trace_payload",
     "faults_payload",
     "load_checkpoint",
     "make_policy",
@@ -183,4 +208,6 @@ __all__ = [
     "parse_nic_mix",
     "random_trace",
     "simulate",
+    "write_metrics",
+    "write_trace",
 ]

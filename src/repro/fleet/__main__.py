@@ -32,6 +32,14 @@ report's ``faults`` section accounts for every eviction and recovery.
 every N epochs (atomically); ``--resume PATH`` continues a killed run
 to a **byte-identical** final report.
 
+``--trace-out PATH`` attaches a telemetry recorder and writes its
+trace on completion — ``--trace-format jsonl`` for the deterministic
+sim-time event log, ``--trace-format chrome`` for a wall-clock
+trace-event timeline loadable in Perfetto (pods as tracks);
+``--metrics-out PATH`` dumps the counters/gauges/histograms snapshot.
+Attaching a recorder never changes a byte of the report (tier-1
+pinned); see ``docs/observability.md``.
+
 The CLI is a thin shell over :class:`repro.fleet.FleetConfig` +
 :func:`repro.fleet.simulate`; everything is seeded, and two
 invocations with the same arguments produce identical stdout, byte
@@ -56,9 +64,25 @@ from repro.fleet.config import (
 from repro.fleet.policies import FLEET_POLICY_NAMES
 from repro.fleet.runtime import RUNTIME_NAMES
 from repro.nic.spec import DEFAULT_TARGET
+from repro.obs import TRACE_FORMATS
 
 
-def main(argv: list[str] | None = None) -> int:
+def _progress(message: str) -> None:
+    """Emit one human-facing progress line to stderr, atomically.
+
+    All CLI progress goes through this single helper: one
+    ``sys.stderr.write`` per line (prefixed ``# ``) followed by a
+    flush, so lines from interleaved runs (or a runtime's worker
+    processes) can't shear mid-line the way buffered ``print`` calls
+    can. stdout stays reserved for the report (``--format json``
+    pipelines parse it), and ``--out`` files never see progress text.
+    """
+    sys.stderr.write(f"# {message}\n")
+    sys.stderr.flush()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.fleet`` argument parser (tested directly)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.fleet", description=__doc__
     )
@@ -241,6 +265,32 @@ def main(argv: list[str] | None = None) -> int:
         "the zero-cost defaults this reproduces the epoch engine's "
         "report byte-identically)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a telemetry trace to PATH on completion (attaching "
+        "the recorder never changes a byte of the report)",
+    )
+    parser.add_argument(
+        "--trace-format",
+        default="jsonl",
+        choices=TRACE_FORMATS,
+        help="'jsonl' is the deterministic sim-time event log; 'chrome' "
+        "the wall-clock trace-event timeline (load in Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON metrics snapshot (counters, gauges, "
+        "histograms) to PATH on completion",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
     try:
         config = FleetConfig.from_cli_args(args)
@@ -249,22 +299,24 @@ def main(argv: list[str] | None = None) -> int:
 
     start = time.perf_counter()
     model = build_model_for(config)
-    print(
-        f"# model ready in {time.perf_counter() - start:.1f}s "
+    _progress(
+        f"model ready in {time.perf_counter() - start:.1f}s "
         f"(policy={config.policy}, pool={','.join(config.nf_pool)}, "
-        f"targets={','.join(config.target_names())})",
-        file=sys.stderr,
+        f"targets={','.join(config.target_names())})"
     )
 
     start = time.perf_counter()
     report = simulate(config, model=model)
-    print(
-        f"# simulated {config.epochs} epochs in "
+    _progress(
+        f"simulated {config.epochs} epochs in "
         f"{time.perf_counter() - start:.1f}s "
         f"(runtime={config.runtime}, jobs={config.jobs}, "
-        f"topology={config.topology().describe()})",
-        file=sys.stderr,
+        f"topology={config.topology().describe()})"
     )
+    if config.trace_out is not None:
+        _progress(f"trace written to {config.trace_out}")
+    if config.metrics_out is not None:
+        _progress(f"metrics written to {config.metrics_out}")
     if args.out is not None:
         atomic_write_text(args.out, report.to_json() + "\n")
     print(report.to_json() if args.format == "json" else report.render())

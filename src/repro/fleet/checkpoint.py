@@ -32,8 +32,9 @@ from typing import Any, Optional
 from repro.errors import ConfigurationError
 
 #: Version of the snapshot payload layout. Bumped on incompatible
-#: changes; :func:`load_checkpoint` rejects other versions.
-CHECKPOINT_VERSION = 1
+#: changes; :func:`load_checkpoint` rejects other versions. v2 added
+#: the telemetry accumulator to both engines' state dicts.
+CHECKPOINT_VERSION = 2
 
 
 def atomic_write_bytes(path: str, data: bytes) -> None:

@@ -52,6 +52,13 @@ from repro.fleet.policies import (
 from repro.fleet.runtime import RUNTIME_NAMES, Runtime, make_runtime
 from repro.fleet.topology import Topology
 from repro.nf.catalog import make_nf
+from repro.obs import (
+    TRACE_FORMATS,
+    Recorder,
+    TraceRecorder,
+    write_metrics,
+    write_trace,
+)
 from repro.nic.nic import SmartNic
 from repro.nic.spec import DEFAULT_TARGET, get_spec, target_seed
 from repro.profiling.collector import ProfilingCollector
@@ -116,6 +123,11 @@ class FleetConfig:
     checkpoint_path: Optional[str] = None
     checkpoint_every: Optional[int] = None
     resume_path: Optional[str] = None
+    # Telemetry export (execution-only: attaching a recorder never
+    # changes a simulated byte, so none of these enter the fingerprint).
+    trace_out: Optional[str] = None
+    trace_format: str = "jsonl"
+    metrics_out: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.policy not in FLEET_POLICY_NAMES:
@@ -157,6 +169,11 @@ class FleetConfig:
             )
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ConfigurationError("checkpoint_every must be >= 1")
+        if self.trace_format not in TRACE_FORMATS:
+            raise ConfigurationError(
+                f"unknown trace_format {self.trace_format!r}; "
+                f"known: {TRACE_FORMATS}"
+            )
 
     # ------------------------------------------------------------------
     # Derived objects
@@ -229,6 +246,9 @@ class FleetConfig:
             "checkpoint_path",
             "checkpoint_every",
             "resume_path",
+            "trace_out",
+            "trace_format",
+            "metrics_out",
         ):
             payload.pop(key, None)
         return payload
@@ -317,6 +337,9 @@ class FleetConfig:
             checkpoint_path=args.checkpoint_path,
             checkpoint_every=args.checkpoint_every,
             resume_path=args.resume,
+            trace_out=getattr(args, "trace_out", None),
+            trace_format=getattr(args, "trace_format", "jsonl"),
+            metrics_out=getattr(args, "metrics_out", None),
         )
 
 
@@ -393,6 +416,7 @@ def build_model_for(config: FleetConfig) -> PlacementModel:
 def simulate(
     config: FleetConfig,
     model: Optional[PlacementModel] = None,
+    recorder: Optional[Recorder] = None,
 ) -> Union[FleetReport, EventReport]:
     """Run one fleet simulation described by ``config``.
 
@@ -402,10 +426,20 @@ def simulate(
     :class:`FleetReport` (``engine="epoch"``) or :class:`EventReport`
     (``engine="event"``); with the same knobs the report is
     byte-identical to the ``python -m repro.fleet`` CLI's JSON output,
-    at any runtime/jobs setting.
+    at any runtime/jobs setting — **including** when a telemetry
+    ``recorder`` is attached (telemetry never perturbs results).
+
+    When ``config.trace_out`` / ``config.metrics_out`` are set and no
+    recorder is supplied, a :class:`~repro.obs.TraceRecorder` is
+    created automatically and its trace / metrics snapshot written on
+    completion.
     """
     if model is None:
         model = build_model_for(config)
+    if recorder is None and (
+        config.trace_out is not None or config.metrics_out is not None
+    ):
+        recorder = TraceRecorder()
     checkpoint = None
     if config.checkpoint_path is not None:
         checkpoint = Checkpointer(
@@ -431,6 +465,7 @@ def simulate(
                 runtime=runtime,
                 topology=config.topology(),
                 faults=config.fault_schedule(),
+                recorder=recorder,
             )
         else:
             engine = FleetEngine(
@@ -442,12 +477,19 @@ def simulate(
                 runtime=runtime,
                 topology=config.topology(),
                 faults=config.fault_schedule(),
+                recorder=recorder,
             )
-        return engine.run(
+        report = engine.run(
             config.epochs, checkpoint=checkpoint, resume=resume
         )
     finally:
         runtime.close()
+    if isinstance(recorder, TraceRecorder):
+        if config.trace_out is not None:
+            write_trace(recorder, config.trace_out, config.trace_format)
+        if config.metrics_out is not None:
+            write_metrics(recorder, config.metrics_out)
+    return report
 
 
 __all__ = [

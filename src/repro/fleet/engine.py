@@ -120,14 +120,21 @@ from repro.fleet.policies import FleetPolicy, PlacementModel, make_policy
 from repro.fleet.runtime import PodScoreTask, Runtime, make_runtime
 from repro.fleet.topology import Topology
 from repro.nf.catalog import make_nf
+from repro.obs import (
+    NULL_RECORDER,
+    Recorder,
+    TelemetryAccumulator,
+    telemetry_payload,
+    use_recorder,
+)
 
 #: Version of the JSON report layout (:meth:`FleetReport.payload` /
 #: :meth:`EventReport.payload`). Bumped whenever a field is added,
 #: renamed or removed; see ``docs/fleet_report_schema.md``. Version 2
 #: added ``schema_version`` itself and the ``topology`` descriptor;
-#: version 3 added the ``faults`` section (always present — zeros in a
-#: fault-free run).
-FLEET_REPORT_SCHEMA_VERSION = 3
+#: version 3 added the ``faults`` section; version 4 the ``telemetry``
+#: section (both always present — zeros/empty when inert).
+FLEET_REPORT_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -179,6 +186,13 @@ class FleetReport:
     #: faults_payload`). Always present; all-zero for fault-free runs,
     #: so the report structure never depends on the fault config.
     faults: dict = field(default_factory=faults_payload)
+    #: Schema-v4 telemetry section (:func:`~repro.obs.telemetry.
+    #: telemetry_payload`): per-epoch solver iteration totals, per-pod
+    #: scoring task counts, per-predictor residual aggregates. Always
+    #: present and derived purely from simulation state — attaching a
+    #: recorder (or none) never changes it, and it is byte-identical at
+    #: any runtime/worker count.
+    telemetry: dict = field(default_factory=telemetry_payload)
 
     # ------------------------------------------------------------------
     @property
@@ -251,6 +265,7 @@ class FleetReport:
             },
             "pool_summary": self.pool_summary(),
             "faults": self.faults,
+            "telemetry": self.telemetry,
             "metrics": [asdict(m) for m in self.metrics],
             "pools": [asdict(p) for p in self.pools],
             "migrations": [asdict(m) for m in self.migrations],
@@ -388,6 +403,9 @@ def _score_cluster(
     runtime: Runtime,
     now: Optional[float] = None,
     seed: int = 0,
+    obs: Recorder = NULL_RECORDER,
+    sim_time: float = 0.0,
+    telemetry: Optional[TelemetryAccumulator] = None,
 ) -> tuple[dict[str, float], dict[str, float]]:
     """Measured drop and throughput of every resident service.
 
@@ -429,6 +447,12 @@ def _score_cluster(
     - services in the re-placement queue (fault-evicted, not yet
       re-placed) score as full drops with zero throughput — they are
       not serving.
+
+    Telemetry (``obs`` / ``sim_time`` / ``telemetry``) is strictly
+    read-only with respect to results: it observes the solve (pod task
+    shapes, per-mix iterations-to-converge, prediction-vs-ground-truth
+    residuals) keyed by simulated time, and both engines feed it from
+    this one site so the ``sim`` channel can only agree across engines.
     """
     topology = cluster.topology
     # pod -> target -> mix keys, NICs scanned in spin-up order; a mix
@@ -452,6 +476,8 @@ def _score_cluster(
             key[1]
         )
 
+    tasks: list[PodScoreTask] = []
+    iterations_of: dict[tuple, int] = {}
     if mix_order:
         tasks = [
             PodScoreTask(
@@ -466,9 +492,12 @@ def _score_cluster(
         solved = runtime.score_pods(tasks, score_mode)
         rows: dict[tuple, list[float]] = {}
         for task, pod_result in zip(tasks, solved):
-            for (target, keys), group_rows in zip(task.mixes, pod_result):
-                for mkey, row in zip(keys, group_rows):
+            for (target, keys), (group_rows, group_iters) in zip(
+                task.mixes, pod_result
+            ):
+                for mkey, row, iters in zip(keys, group_rows, group_iters):
                     rows[(target, mkey)] = row
+                    iterations_of[(target, mkey)] = iters
         for key in mix_order:
             target, mix_key = key
             entries = []
@@ -476,6 +505,35 @@ def _score_cluster(
                 solo = _solo_throughput(model, name, traffic, target)
                 entries.append((max(0.0, 1.0 - achieved / solo), achieved))
             mix_cache[key] = entries
+
+    # Telemetry for this scoring pass — observational only, and pure in
+    # simulation state: iteration counts come back from the runtime but
+    # are identical wherever (and however batched) the solve ran.
+    iteration_counts = [iterations_of[key] for key in mix_order]
+    if telemetry is not None:
+        telemetry.record_scoring(
+            sim_time,
+            [(task.pod_id, task.scenario_count) for task in tasks],
+            iteration_counts,
+        )
+        for key in mix_order:
+            target, mix_key = key
+            predicted = model.predict_mix_throughputs(mix_key, target)
+            if predicted is None:
+                continue  # heuristic arm: no predictor, no residuals
+            for (name, _), pred, (_, achieved) in zip(
+                mix_key, predicted, mix_cache[key]
+            ):
+                telemetry.add_residual(f"{target}:{name}", pred - achieved)
+    if obs.enabled:
+        for count in iteration_counts:
+            obs.histogram("solver.iterations", count)
+        obs.event(
+            sim_time, "score", chan="sim",
+            mixes_solved=len(mix_order),
+            iterations=sum(iteration_counts),
+            pods=[[task.pod_id, task.scenario_count] for task in tasks],
+        )
 
     drops: dict[str, float] = {}
     throughputs: dict[str, float] = {}
@@ -525,6 +583,26 @@ def _score_cluster(
         drops[entry.instance.instance_id] = 1.0
         throughputs[entry.instance.instance_id] = 0.0
     return drops, throughputs
+
+
+def _emit_epoch_row(obs: Recorder, t: float, row: EpochMetrics) -> None:
+    """Emit one epoch-grid metrics row on the ``sim`` channel.
+
+    Both engines call this with the :class:`EpochMetrics` row they just
+    appended — the rows themselves are byte-identical under
+    ``EventConfig.epoch_equivalent()`` (tier-1 pinned), so sourcing the
+    event from the row makes cross-engine agreement structural.
+    """
+    obs.event(
+        t, "epoch.metrics", chan="sim",
+        epoch=row.epoch,
+        services=row.services,
+        nics_used=row.nics_used,
+        arrivals=row.arrivals,
+        departures=row.departures,
+        migrations=row.migrations,
+        sla_violations=row.sla_violations,
+    )
 
 
 def _live_services(cluster: Cluster) -> list[ServiceInstance]:
@@ -661,6 +739,7 @@ class FleetEngine:
         runtime: "Runtime | str | None" = None,
         topology: Optional[Topology] = None,
         faults: Optional[FaultSchedule] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self._policy, self._provisioner = _validate_pool(
             policy, model, score_mode, provisioner
@@ -672,6 +751,7 @@ class FleetEngine:
         self._runtime = make_runtime(runtime)
         self._topology = topology if topology is not None else Topology()
         self._faults = faults
+        self._obs = recorder if recorder is not None else NULL_RECORDER
 
     @property
     def policy_name(self) -> str:
@@ -701,7 +781,11 @@ class FleetEngine:
         uninterrupted one.
         """
         try:
-            return self._run(epochs, checkpoint, resume)
+            # The attached recorder doubles as the process-wide active
+            # recorder for the run, so recorder-less layers (the batch
+            # solver) can report exec-channel metrics into it.
+            with use_recorder(self._obs):
+                return self._run(epochs, checkpoint, resume)
         except BaseException:
             # The engine owns its runtime's lifecycle on error paths: a
             # failing run must not leak worker pools. (Success keeps
@@ -718,9 +802,13 @@ class FleetEngine:
     ) -> FleetReport:
         if epochs < 1:
             raise ConfigurationError("epochs must be >= 1")
+        obs = self._obs
         self._runtime.bind(
             {t: self._model.nic_for(t) for t in self._targets}
         )
+        self._runtime.observe(obs)
+        for target in self._targets:
+            self._model.collector_for(target).observe(obs)
         if resume is not None:
             if resume.get("engine") != "epoch":
                 raise ConfigurationError(
@@ -740,6 +828,7 @@ class FleetEngine:
             last_drops = resume["last_drops"]
             fail_viol_seconds = resume["fail_viol_seconds"]
             fail_drop_seconds = resume["fail_drop_seconds"]
+            telemetry = resume["telemetry"]
         else:
             start_epoch = 0
             cluster = Cluster(self._provisioner, topology=self._topology)
@@ -760,6 +849,7 @@ class FleetEngine:
             last_drops = {}
             fail_viol_seconds = 0.0
             fail_drop_seconds = 0.0
+            telemetry = TelemetryAccumulator()
 
         for epoch in range(start_epoch, epochs):
             now = float(epoch)
@@ -768,30 +858,37 @@ class FleetEngine:
             # 0. Fault transitions due at this boundary (restores
             # before outages before NIC faults — the event queue's
             # priority order at one timestamp).
-            if driver is not None:
-                driver.apply(cluster, now)
+            with obs.span(now, "phase.faults", epoch=epoch):
+                if driver is not None:
+                    driver.apply(cluster, now, obs=obs)
 
             # 1. Departures — placed services and queued evictees whose
             # lifetime ran out while they waited (those are *lost*).
-            departures = 0
-            for instance in cluster.services:
-                if instance.request.departure_epoch <= epoch:
-                    cluster.remove(instance.instance_id)
-                    departures += 1
-            for entry in list(cluster.evicted):
-                if entry.instance.request.departure_epoch <= epoch:
-                    cluster.drop_evicted(entry.instance.instance_id)
-                    departures += 1
+            with obs.span(now, "phase.departures", epoch=epoch) as span:
+                departures = 0
+                for instance in cluster.services:
+                    if instance.request.departure_epoch <= epoch:
+                        cluster.remove(instance.instance_id)
+                        departures += 1
+                for entry in list(cluster.evicted):
+                    if entry.instance.request.departure_epoch <= epoch:
+                        cluster.drop_evicted(entry.instance.instance_id)
+                        departures += 1
+                span.add(departures=departures)
 
             # 2. Traffic evolution along each service's trace (queued
             # services keep evolving — they re-place at *current*
             # traffic).
-            for instance in cluster.services:
-                instance.traffic = instance.request.trace.profile_at(epoch)
-            for entry in cluster.evicted:
-                entry.instance.traffic = (
-                    entry.instance.request.trace.profile_at(epoch)
-                )
+            with obs.span(now, "phase.traffic", epoch=epoch) as span:
+                for instance in cluster.services:
+                    instance.traffic = (
+                        instance.request.trace.profile_at(epoch)
+                    )
+                for entry in cluster.evicted:
+                    entry.instance.traffic = (
+                        entry.instance.request.trace.profile_at(epoch)
+                    )
+                span.add(services=len(cluster.services))
 
             # 2b. Warm this epoch's solo baselines (residents and
             # arrivals at their current traffic) through the collector,
@@ -806,40 +903,53 @@ class FleetEngine:
                 (request.nf_name, request.trace.profile_at(epoch))
                 for request in arrivals
             )
-            _warm_pairs(
-                self._model, self._targets, pairs, self._score_mode,
-                self._runtime,
-            )
+            with obs.span(now, "phase.warm", epoch=epoch, pairs=len(pairs)):
+                _warm_pairs(
+                    self._model, self._targets, pairs, self._score_mode,
+                    self._runtime,
+                )
 
             # 3. Failover drain (evicted services re-place through the
             # policy's own strategy), then rebalancing on the previous
             # epoch's measured drops.
-            if cluster.evicted:
-                self._policy.replace_evicted(cluster, epoch, self._model)
-            migrations_before = len(cluster.migration_log)
-            self._policy.rebalance(cluster, epoch, self._model, last_drops)
-            migrations = len(cluster.migration_log) - migrations_before
+            with obs.span(now, "phase.rebalance", epoch=epoch) as span:
+                if cluster.evicted:
+                    self._policy.replace_evicted(
+                        cluster, epoch, self._model
+                    )
+                migrations_before = len(cluster.migration_log)
+                self._policy.rebalance(
+                    cluster, epoch, self._model, last_drops
+                )
+                migrations = len(cluster.migration_log) - migrations_before
+                span.add(migrations=migrations)
 
             # 4. Arrivals, placed online one by one. During a pod
             # outage placement can be impossible; the arrival waits in
             # the re-placement queue.
-            for request in arrivals:
-                instance = ServiceInstance(
-                    request=request, traffic=request.trace.profile_at(epoch)
-                )
-                try:
-                    nic_id = self._policy.choose_nic(
-                        cluster, instance, self._model
+            with obs.span(
+                now, "phase.arrivals", epoch=epoch, arrivals=len(arrivals)
+            ):
+                for request in arrivals:
+                    instance = ServiceInstance(
+                        request=request,
+                        traffic=request.trace.profile_at(epoch),
                     )
-                    cluster.place(instance, nic_id)
-                except PlacementError:
-                    cluster.enqueue_evicted(instance)
+                    try:
+                        nic_id = self._policy.choose_nic(
+                            cluster, instance, self._model
+                        )
+                        cluster.place(instance, nic_id)
+                    except PlacementError:
+                        cluster.enqueue_evicted(instance)
 
             # 5. Ground-truth scoring of every NIC's resident mix.
-            drops, throughputs = _score_cluster(
-                cluster, self._model, self._targets, mix_cache,
-                self._score_mode, self._runtime, seed=self._churn.seed,
-            )
+            with obs.span(now, "phase.score", epoch=epoch):
+                drops, throughputs = _score_cluster(
+                    cluster, self._model, self._targets, mix_cache,
+                    self._score_mode, self._runtime, seed=self._churn.seed,
+                    obs=obs, sim_time=now, telemetry=telemetry,
+                )
             last_drops = drops
             live = _live_services(cluster)
             violations = sum(
@@ -858,29 +968,30 @@ class FleetEngine:
             total_cores = sum(nic.spec.num_cores for nic in cluster.nics)
             used_cores = sum(nic.cores_used() for nic in cluster.nics)
             min_nics = math.ceil(services / cluster.max_residents_per_nic)
-            report.metrics.append(
-                EpochMetrics(
-                    epoch=epoch,
-                    services=services,
-                    nics_used=cluster.nics_used,
-                    arrivals=len(arrivals),
-                    departures=departures,
-                    migrations=migrations,
-                    sla_violations=violations,
-                    violation_rate_pct=(
-                        100.0 * violations / services if services else 0.0
-                    ),
-                    utilisation_pct=(
-                        100.0 * used_cores / total_cores if total_cores else 0.0
-                    ),
-                    wastage_pct=(
-                        100.0 * (cluster.nics_used - min_nics) / min_nics
-                        if min_nics
-                        else 0.0
-                    ),
-                    aggregate_throughput_mpps=sum(throughputs.values()),
-                )
+            row = EpochMetrics(
+                epoch=epoch,
+                services=services,
+                nics_used=cluster.nics_used,
+                arrivals=len(arrivals),
+                departures=departures,
+                migrations=migrations,
+                sla_violations=violations,
+                violation_rate_pct=(
+                    100.0 * violations / services if services else 0.0
+                ),
+                utilisation_pct=(
+                    100.0 * used_cores / total_cores if total_cores else 0.0
+                ),
+                wastage_pct=(
+                    100.0 * (cluster.nics_used - min_nics) / min_nics
+                    if min_nics
+                    else 0.0
+                ),
+                aggregate_throughput_mpps=sum(throughputs.values()),
             )
+            report.metrics.append(row)
+            if obs.enabled:
+                _emit_epoch_row(obs, now, row)
             report.pools.extend(
                 _pool_rows(cluster, self._provisioner, self._targets, epoch)
             )
@@ -898,12 +1009,14 @@ class FleetEngine:
                         "last_drops": last_drops,
                         "fail_viol_seconds": fail_viol_seconds,
                         "fail_drop_seconds": fail_drop_seconds,
+                        "telemetry": telemetry,
                     },
                 )
         report.migrations = list(cluster.migration_log)
         report.faults = faults_payload(
             cluster, fail_viol_seconds, fail_drop_seconds
         )
+        report.telemetry = telemetry.payload()
         return report
 
 
@@ -1019,6 +1132,7 @@ class EventEngine:
         runtime: "Runtime | str | None" = None,
         topology: Optional[Topology] = None,
         faults: Optional[FaultSchedule] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self._policy, self._provisioner = _validate_pool(
             policy, model, score_mode, provisioner
@@ -1031,6 +1145,7 @@ class EventEngine:
         self._runtime = make_runtime(runtime)
         self._topology = topology if topology is not None else Topology()
         self._faults = faults
+        self._obs = recorder if recorder is not None else NULL_RECORDER
 
     @property
     def policy_name(self) -> str:
@@ -1061,7 +1176,8 @@ class EventEngine:
         one.
         """
         try:
-            return self._run(horizon, checkpoint, resume)
+            with use_recorder(self._obs):
+                return self._run(horizon, checkpoint, resume)
         except BaseException:
             self._runtime.close()
             raise
@@ -1076,10 +1192,14 @@ class EventEngine:
         if not horizon >= 1.0:
             raise ConfigurationError("horizon must be >= 1 second")
         cfg = self._config
+        obs = self._obs
         epochs = int(math.ceil(horizon))
         self._runtime.bind(
             {t: self._model.nic_for(t) for t in self._targets}
         )
+        self._runtime.observe(obs)
+        for target in self._targets:
+            self._model.collector_for(target).observe(obs)
         schedule = (
             self._faults
             if self._faults is not None and self._faults.config.any_faults
@@ -1115,6 +1235,7 @@ class EventEngine:
             migrations_at_probe = resume["migrations_at_probe"]
             probe_index = resume["probe_index"]
             rebalance_index = resume["rebalance_index"]
+            telemetry = resume["telemetry"]
         else:
             cluster = Cluster(self._provisioner, topology=self._topology)
             cluster.migration_duration = cfg.migration_duration
@@ -1181,6 +1302,7 @@ class EventEngine:
             migrations_at_probe = 0
             probe_index = 0
             rebalance_index = 0
+            telemetry = TelemetryAccumulator()
 
         def arm_new_nics() -> None:
             # Arm the drawn fault of every NIC provisioned since the
@@ -1212,19 +1334,37 @@ class EventEngine:
             while queue and queue.peek().time == t:
                 event = self._pop(queue, report)
 
+                # Fault transitions emit "sim"-channel events mirroring
+                # EpochFaultDriver.apply exactly (same names, fields,
+                # success conditions, and — at one timestamp — the same
+                # order, because the driver applies categories in this
+                # queue's priority order), so the sim stream agrees
+                # across engines under aligned faults.
                 if isinstance(event, NicRestore):
                     if cluster.restore_nic(event.nic_id):
                         dirty = True
+                        obs.event(
+                            t, "fault.nic_restore", chan="sim",
+                            nic=event.nic_id,
+                        )
 
                 elif isinstance(event, PodRestore):
                     # The pod accepts spin-ups again; nothing scored
                     # changes at this instant, so no observation.
                     cluster.restore_pod(event.pod_id)
+                    obs.event(
+                        t, "fault.pod_restore", chan="sim",
+                        pod=event.pod_id,
+                    )
 
                 elif isinstance(event, PodFail):
                     outage = schedule.pod_outage(event.pod_id)
                     if cluster.fail_pod(event.pod_id):
                         dirty = True
+                        obs.event(
+                            t, "fault.pod_fail", chan="sim",
+                            pod=event.pod_id,
+                        )
                         if outage.end < horizon:
                             queue.push(
                                 PodRestore(
@@ -1236,8 +1376,16 @@ class EventEngine:
                     if event.mode == "fail":
                         if cluster.fail_nic(event.nic_id):
                             dirty = True
+                            obs.event(
+                                t, "fault.nic_fail", chan="sim",
+                                nic=event.nic_id,
+                            )
                     elif cluster.degrade_nic(event.nic_id, event.capacity):
                         dirty = True
+                        obs.event(
+                            t, "fault.nic_degrade", chan="sim",
+                            nic=event.nic_id, capacity=event.capacity,
+                        )
                         when = t + event.repair
                         if when < horizon:
                             queue.push(
@@ -1275,6 +1423,10 @@ class EventEngine:
                     if record is not None and record.end_time == t:
                         cluster.complete_migration(event.instance_id)
                         dirty = True
+                        obs.event(
+                            t, "migration.complete",
+                            instance=event.instance_id,
+                        )
 
                 elif isinstance(event, RebalanceTimer):
                     if cluster.evicted and self._policy.replace_evicted(
@@ -1367,6 +1519,7 @@ class EventEngine:
                 cluster, self._model, self._targets, mix_cache,
                 self._score_mode, self._runtime, now=t,
                 seed=self._churn.seed,
+                obs=obs, sim_time=t, telemetry=telemetry,
             )
             live = _live_services(cluster)
             violated = [
@@ -1414,33 +1567,34 @@ class EventEngine:
                     services / cluster.max_residents_per_nic
                 )
                 started = cluster.total_migrations_started
-                report.fleet.metrics.append(
-                    EpochMetrics(
-                        epoch=epoch,
-                        services=services,
-                        nics_used=cluster.nics_used,
-                        arrivals=arrivals_since,
-                        departures=departures_since,
-                        migrations=started - migrations_at_probe,
-                        sla_violations=len(violated),
-                        violation_rate_pct=(
-                            100.0 * len(violated) / services
-                            if services
-                            else 0.0
-                        ),
-                        utilisation_pct=(
-                            100.0 * used_cores / total_cores
-                            if total_cores
-                            else 0.0
-                        ),
-                        wastage_pct=(
-                            100.0 * (cluster.nics_used - min_nics) / min_nics
-                            if min_nics
-                            else 0.0
-                        ),
-                        aggregate_throughput_mpps=sum(throughputs.values()),
-                    )
+                row = EpochMetrics(
+                    epoch=epoch,
+                    services=services,
+                    nics_used=cluster.nics_used,
+                    arrivals=arrivals_since,
+                    departures=departures_since,
+                    migrations=started - migrations_at_probe,
+                    sla_violations=len(violated),
+                    violation_rate_pct=(
+                        100.0 * len(violated) / services
+                        if services
+                        else 0.0
+                    ),
+                    utilisation_pct=(
+                        100.0 * used_cores / total_cores
+                        if total_cores
+                        else 0.0
+                    ),
+                    wastage_pct=(
+                        100.0 * (cluster.nics_used - min_nics) / min_nics
+                        if min_nics
+                        else 0.0
+                    ),
+                    aggregate_throughput_mpps=sum(throughputs.values()),
                 )
+                report.fleet.metrics.append(row)
+                if obs.enabled:
+                    _emit_epoch_row(obs, t, row)
                 report.fleet.pools.extend(
                     _pool_rows(
                         cluster, self._provisioner, self._targets, epoch
@@ -1484,6 +1638,7 @@ class EventEngine:
                         "migrations_at_probe": migrations_at_probe,
                         "probe_index": probe_index,
                         "rebalance_index": rebalance_index,
+                        "telemetry": telemetry,
                     },
                 )
 
@@ -1497,6 +1652,7 @@ class EventEngine:
         report.fleet.faults = faults_payload(
             cluster, fail_viol_seconds, fail_drop_seconds
         )
+        report.fleet.telemetry = telemetry.payload()
         report.migrations_started = cluster.total_migrations_started
         report.migrations_completed = len(cluster.timed_migrations)
         report.migrations_cancelled = cluster.migrations_cancelled
@@ -1511,6 +1667,15 @@ class EventEngine:
         name = type(event).__name__
         report.event_counts[name] = report.event_counts.get(name, 0) + 1
         report.event_log.append(f"{event.time:.6f} {event.describe()}")
+        obs = self._obs
+        if obs.enabled:
+            # Engine channel: the queue is engine mechanics, but its
+            # contents are pure simulation state — deterministic at any
+            # runtime/worker count.
+            obs.event(
+                event.time, "event.pop", type=name,
+                detail=event.describe(),
+            )
         return event
 
     def _launch_migrations(
@@ -1528,6 +1693,7 @@ class EventEngine:
         per move and queues the matching :class:`MigrationComplete`.
         Returns whether anything was started.
         """
+        obs = self._obs
         pending = cluster.take_pending_migrations()
         for record in pending:
             marker = MigrationStart(
@@ -1542,6 +1708,14 @@ class EventEngine:
             report.event_log.append(
                 f"{marker.time:.6f} {marker.describe()}"
             )
+            if obs.enabled:
+                obs.event(
+                    record.start_time, "migration.start",
+                    instance=record.instance_id,
+                    from_nic=record.from_nic,
+                    to_nic=record.to_nic,
+                    duration=record.duration,
+                )
             if record.end_time < horizon:
                 queue.push(
                     MigrationComplete(record.end_time, record.instance_id)

@@ -63,6 +63,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs import NULL_RECORDER, Recorder
 from repro.rng import derive_seed, make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -321,15 +322,38 @@ class EpochFaultDriver:
         entries[:] = [e for e in entries if e[0] > now]
         return due
 
-    def apply(self, cluster: "Cluster", now: float) -> None:
-        """Apply every transition due at ``now`` (epoch phase 0)."""
+    def apply(
+        self, cluster: "Cluster", now: float, obs: Recorder = NULL_RECORDER
+    ) -> None:
+        """Apply every transition due at ``now`` (epoch phase 0).
+
+        Each applied transition emits a ``sim``-channel telemetry event
+        mirroring the event engine's fault handlers exactly — same
+        names, fields, success conditions and within-timestamp order
+        (the category order here *is* the queue's priority order) — so
+        the sim stream agrees across engines under aligned faults.
+        """
         self._arm_new_nics(cluster)
-        for _, _, nic_id in self._take_due(self._nic_restores, now):
-            cluster.restore_nic(nic_id)
-        for _, _, pod_id in self._take_due(self._pod_restores, now):
+        for restore_time, _, nic_id in self._take_due(
+            self._nic_restores, now
+        ):
+            if cluster.restore_nic(nic_id):
+                obs.event(
+                    restore_time, "fault.nic_restore", chan="sim", nic=nic_id
+                )
+        for restore_time, _, pod_id in self._take_due(
+            self._pod_restores, now
+        ):
             cluster.restore_pod(pod_id)
-        for _, _, outage in self._take_due(self._pod_starts, now):
+            obs.event(
+                restore_time, "fault.pod_restore", chan="sim", pod=pod_id
+            )
+        for start_time, _, outage in self._take_due(self._pod_starts, now):
             if cluster.fail_pod(outage.pod_id):
+                obs.event(
+                    start_time, "fault.pod_fail", chan="sim",
+                    pod=outage.pod_id,
+                )
                 self._pod_restores.append(
                     (outage.end, self._seq, outage.pod_id)
                 )
@@ -338,9 +362,16 @@ class EpochFaultDriver:
             self._nic_faults, now
         ):
             if fault.mode == "fail":
-                cluster.fail_nic(nic_id)
+                if cluster.fail_nic(nic_id):
+                    obs.event(
+                        fault_time, "fault.nic_fail", chan="sim", nic=nic_id
+                    )
             else:
                 if cluster.degrade_nic(nic_id, fault.capacity):
+                    obs.event(
+                        fault_time, "fault.nic_degrade", chan="sim",
+                        nic=nic_id, capacity=fault.capacity,
+                    )
                     self._nic_restores.append(
                         (fault_time + fault.repair, self._seq, nic_id)
                     )

@@ -198,6 +198,26 @@ class PlacementModel:
             return mem_bw / (entry.nic.spec.dram_bandwidth_bpus * capacity)
         return mem_bw / entry.nic.spec.dram_bandwidth_bpus
 
+    def predict_mix_throughputs(
+        self, placements: Sequence[tuple], target: Optional[str] = None
+    ) -> Optional[list[float]]:
+        """Model-predicted per-service throughputs for one colocation mix.
+
+        ``placements`` is a sequence of ``(nf_name, traffic)`` pairs —
+        exactly the scoring core's mix-key shape. Returns ``None`` when
+        the target carries no Yala predictor (the heuristic arms have
+        no model to be wrong): telemetry's prediction-vs-ground-truth
+        residuals simply stay empty there. Pure in the trained model
+        and the mix, so residual aggregates built on it are
+        byte-deterministic across engines, runtimes and resume.
+        """
+        entry = self._target(target)
+        if entry.yala is None:
+            return None
+        return entry.yala.predict_colocation(
+            [(name, traffic) for name, traffic in placements]
+        )
+
     def predicted_feasible_yala(
         self,
         residents: Sequence[Resident],

@@ -55,6 +55,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.nf.catalog import make_nf
+from repro.obs import NULL_RECORDER, Recorder
 from repro.rng import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -107,17 +108,21 @@ def solve_solos(
 
 def solve_pod(
     nics_by_target: dict, task: PodScoreTask, score_mode: str
-) -> list[list[list[float]]]:
-    """Solve one pod's mixes; returns per-resident achieved throughputs.
+) -> list[tuple[list[list[float]], list[int]]]:
+    """Solve one pod's mixes; returns throughputs plus iteration counts.
 
-    Output is aligned with ``task.mixes``: one list per ``(target,
-    mix_keys)`` group, one row per mix, one float per resident (in mix
-    order). Rebuilds each mix's demands exactly as the engines' scoring
-    core always has — ``make_nf(name).demand(traffic,
+    Output is aligned with ``task.mixes``: one ``(rows, iterations)``
+    pair per ``(target, mix_keys)`` group, where ``rows`` holds one row
+    per mix with one float per resident (in mix order) and
+    ``iterations`` the per-mix iterations-to-converge of the fixed
+    point (identical in batch and loop modes — the iterate path is
+    bit-identical, so convergence lands on the same step; telemetry
+    relies on this). Rebuilds each mix's demands exactly as the
+    engines' scoring core always has — ``make_nf(name).demand(traffic,
     instance=f"{name}#{j}")`` — so the solved scenarios are identical
     objects to the serial path's.
     """
-    out: list[list[list[float]]] = []
+    out: list[tuple[list[list[float]], list[int]]] = []
     for target, mix_keys in task.mixes:
         nic_sim = nics_by_target[target]
         scenarios = [
@@ -131,15 +136,16 @@ def solve_pod(
             solved = nic_sim.run_batch(scenarios)
         else:
             solved = [nic_sim.run(scenario) for scenario in scenarios]
-        out.append(
+        out.append((
             [
                 [
                     result.throughput_of(f"{name}#{j}")
                     for j, (name, _) in enumerate(key)
                 ]
                 for key, result in zip(mix_keys, solved)
-            ]
-        )
+            ],
+            [int(result.iterations) for result in solved],
+        ))
     return out
 
 
@@ -186,6 +192,19 @@ class Runtime:
     name = "base"
     #: Worker-process count (1 for in-process runtimes).
     jobs = 1
+    #: Attached telemetry recorder (never ``None``; see :meth:`observe`).
+    _obs: Recorder = NULL_RECORDER
+
+    def observe(self, recorder: Optional[Recorder]) -> None:
+        """Attach a telemetry recorder.
+
+        Runtimes report only into the *non-deterministic* channels —
+        wall-clock timings (per-pod solve spans, the Chrome trace's
+        pod tracks) and exec counters (dispatches, retries, pool
+        rebuilds) — because where work ran must never leak into
+        deterministic output. Engines call this once per run.
+        """
+        self._obs = recorder if recorder is not None else NULL_RECORDER
 
     def bind(self, nics_by_target: dict) -> None:
         """Attach the simulators scoring will run against (idempotent;
@@ -203,7 +222,7 @@ class Runtime:
 
     def score_pods(
         self, tasks: Sequence[PodScoreTask], score_mode: str
-    ) -> list[list[list[list[float]]]]:
+    ) -> list[list[tuple[list[list[float]], list[int]]]]:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -244,7 +263,19 @@ class SerialRuntime(Runtime):
                 collector.solo(make_nf(name), traffic)
 
     def score_pods(self, tasks, score_mode):
-        return [solve_pod(self._nics, task, score_mode) for task in tasks]
+        obs = self._obs
+        if not obs.enabled:
+            return [solve_pod(self._nics, task, score_mode) for task in tasks]
+        # One wall span per pod: these become the per-pod tracks of the
+        # Chrome trace export (timing channel only — never a record).
+        out = []
+        for task in tasks:
+            with obs.wall_span(
+                "runtime.solve_pod", track=task.pod_id,
+                pod=task.pod_id, scenarios=task.scenario_count,
+            ):
+                out.append(solve_pod(self._nics, task, score_mode))
+        return out
 
 
 class ProcessRuntime(Runtime):
@@ -322,6 +353,10 @@ class ProcessRuntime(Runtime):
         self.recoveries = 0
 
     # ------------------------------------------------------------------
+    def observe(self, recorder: Optional[Recorder]) -> None:
+        super().observe(recorder)
+        self._serial.observe(recorder)
+
     def bind(self, nics_by_target: dict) -> None:
         self._nics = dict(nics_by_target)
         self._serial.bind(self._nics)
@@ -393,11 +428,15 @@ class ProcessRuntime(Runtime):
         order, and therefore every downstream byte, is fixed by the
         item order alone.
         """
+        obs = self._obs
         results: list = [None] * len(items)
         pending = list(range(len(items)))
+        obs.exec_counter("runtime.tasks_dispatched", len(items))
         for attempt in range(self._max_retries + 1):
             if not pending:
                 return results
+            if attempt > 0:
+                obs.exec_counter("runtime.task_retries", len(pending))
             pool = self._ensure_pool()
             try:
                 futures = {
@@ -425,12 +464,15 @@ class ProcessRuntime(Runtime):
             pending = failed
         # Last resort: deterministic serial re-execution in the parent,
         # in task order — byte-identical to a worker having solved it.
+        if pending:
+            obs.exec_counter("runtime.serial_reexecutions", len(pending))
         for i in pending:
             results[i] = solve_serial(items[i])
         return results
 
     def _recover(self, attempt: int) -> None:
         self.recoveries += 1
+        self._obs.exec_counter("runtime.pool_rebuilds")
         self._abort_pool()
         if self._retry_backoff > 0:
             time.sleep(self._retry_backoff * (2.0**attempt))
@@ -469,11 +511,14 @@ class ProcessRuntime(Runtime):
         total = sum(task.scenario_count for task in tasks)
         if self.jobs == 1 or len(tasks) < 2 or total < self._min_items:
             return self._serial.score_pods(tasks, score_mode)
-        return self._run_resilient(
-            list(tasks),
-            lambda pool, task: pool.submit(_worker_pod, task, score_mode),
-            lambda task: solve_pod(self._nics, task, score_mode),
-        )
+        with self._obs.wall_span(
+            "runtime.score_pods", pods=len(tasks), scenarios=total,
+        ):
+            return self._run_resilient(
+                list(tasks),
+                lambda pool, task: pool.submit(_worker_pod, task, score_mode),
+                lambda task: solve_pod(self._nics, task, score_mode),
+            )
 
 
 class FaultInjectingRuntime(ProcessRuntime):

@@ -60,6 +60,7 @@ from repro.nic.memory import (
 )
 from repro.nic.spec import CACHE_LINE_BYTES
 from repro.nic.workload import ExecutionPattern, Resource, WorkloadDemand
+from repro.obs import active_recorder
 from repro.rng import derive_seed, make_rng
 
 #: The DMA memory actor's reuse locality: SmartNic._memory_actors builds
@@ -896,6 +897,7 @@ class _Group:
     # -- driver ----------------------------------------------------------
     def solve(self) -> list:
         """Run the damped fixed point; return per-scenario results."""
+        obs = active_recorder()
         S, W = self.S, self.W
         thr_final = np.empty((S, W))
         iterations = np.full(S, _nic._MAX_ITERATIONS, dtype=np.int64)
@@ -956,6 +958,7 @@ class _Group:
                 # Compact once at least half the slots have frozen, so
                 # stragglers iterate on small arrays.
                 if frozen.sum() * 2 >= len(rows):
+                    obs.exec_counter("batch.compactions")
                     keep = ~frozen
                     rows = rows[keep]
                     view = _View(self, rows)
@@ -1264,11 +1267,13 @@ def solve_batch(
         plans.append(plan)
         indices.append(i)
 
+    obs = active_recorder()
     small: list[tuple[tuple, list[_ScenarioPlan], list[int]]] = []
     for sig, (plans, indices) in groups.items():
         if len(plans) < _SCALAR_FALLBACK_GROUP_SIZE:
             small.append((sig, plans, indices))
             continue
+        obs.exec_histogram("batch.group_size", len(plans))
         group = _Group(nic, plans, indices)
         for local, outcome in enumerate(group.solve()):
             results[indices[local]] = outcome
@@ -1291,6 +1296,15 @@ def solve_batch(
             all_plans.extend(plans)
             all_indices.extend(indices)
             all_embeds.extend([cols] * len(plans))
+        if obs.enabled:
+            obs.exec_histogram("batch.group_size", len(all_plans))
+            obs.exec_counter(
+                "batch.padded_lanes",
+                sum(
+                    len(plans) * (len(super_sig) - len(sig))
+                    for sig, plans, _ in members
+                ),
+            )
         group = _Group(
             nic,
             all_plans,
@@ -1300,6 +1314,8 @@ def solve_batch(
         )
         for local, outcome in enumerate(group.solve()):
             results[all_indices[local]] = outcome
+    if leftovers:
+        obs.exec_counter("batch.scalar_scenarios", len(leftovers))
     for plan, index in leftovers:
         try:
             results[index] = nic.run([p.demand for p in plan.workloads])

@@ -1,0 +1,55 @@
+"""Deterministic fleet telemetry: recorders, exporters, report telemetry.
+
+The observability layer for the fleet simulator (see
+``docs/observability.md``).  Three pieces:
+
+- :mod:`repro.obs.recorder` — the :class:`Recorder` protocol
+  (:class:`NullRecorder` default, :class:`TraceRecorder` collector)
+  with sim-time deterministic records strictly separated from
+  wall-clock/execution channels;
+- :mod:`repro.obs.export` — JSONL, Chrome trace-event and metrics
+  snapshot exporters;
+- :mod:`repro.obs.telemetry` — the always-on accumulator behind the
+  report's ``telemetry`` section (schema v4).
+
+The hard contract: attaching any recorder never changes a single
+simulated byte, and everything keyed by simulated time is itself
+byte-deterministic at any ``--runtime``/``--jobs``.
+"""
+
+from repro.obs.export import (
+    TRACE_FORMATS,
+    chrome_trace_payload,
+    trace_text,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.recorder import (
+    DETERMINISTIC_CHANNELS,
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    TraceRecorder,
+    active_recorder,
+    set_active_recorder,
+    use_recorder,
+)
+from repro.obs.telemetry import TelemetryAccumulator, telemetry_payload
+
+__all__ = [
+    "DETERMINISTIC_CHANNELS",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "TRACE_FORMATS",
+    "TelemetryAccumulator",
+    "TraceRecorder",
+    "active_recorder",
+    "chrome_trace_payload",
+    "set_active_recorder",
+    "telemetry_payload",
+    "trace_text",
+    "use_recorder",
+    "write_metrics",
+    "write_trace",
+]

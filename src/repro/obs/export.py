@@ -1,0 +1,132 @@
+"""Exporters: JSONL event logs, Chrome trace-event JSON, metrics snapshots.
+
+Three output formats over one :class:`~repro.obs.recorder.TraceRecorder`:
+
+- **JSONL** (`--trace-format jsonl`) — the deterministic record
+  stream, one sorted-key JSON object per line.  This is the parity
+  surface: byte-identical at any ``--runtime``/``--jobs``, and (for
+  the ``sim`` channel) across engines under
+  ``EventConfig.epoch_equivalent()``.
+- **Chrome trace-event JSON** (`--trace-format chrome`) — the
+  *wall-clock* timing channel rendered as ``"X"`` complete events,
+  loadable in Perfetto or ``chrome://tracing``.  Pods appear as
+  tracks (one ``tid`` per pod, named via ``"M"`` metadata events);
+  simulated time rides along in each event's ``args.sim_time``.
+  Wall-clock output is inherently non-deterministic — never diff it.
+- **metrics snapshot** (`--metrics-out`) — the recorder's counter /
+  gauge / histogram registries as one JSON object, with the
+  deterministic and execution-dependent registries kept in clearly
+  separate sub-objects.
+
+File writes go through the fleet's atomic-write helpers (imported
+lazily — :mod:`repro.obs` stays importable without the fleet package).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.recorder import TraceRecorder
+
+#: formats ``write_trace`` / ``--trace-format`` accept.
+TRACE_FORMATS = ("jsonl", "chrome")
+
+#: synthetic pid all fleet trace events share (one simulated fleet).
+_TRACE_PID = 1
+
+
+def _track_table(recorder: TraceRecorder) -> dict:
+    """Map timing ``track`` values to Chrome tids.
+
+    ``None`` (engine-level work) is tid 0; integer pod ids map to
+    ``pod + 1`` so "pod 0" never collides with the engine track;
+    string tracks allocate tids above every pod, in first-appearance
+    order.
+    """
+    tids: dict = {None: 0}
+    named: list[str] = []
+    max_pod = -1
+    for entry in recorder.timings:
+        track = entry["track"]
+        if track is None or track in tids:
+            continue
+        if isinstance(track, int):
+            tids[track] = track + 1
+            if track > max_pod:
+                max_pod = track
+        elif track not in named:
+            named.append(track)
+    base = max_pod + 2
+    for offset, track in enumerate(named):
+        tids[track] = base + offset
+    return tids
+
+
+def chrome_trace_payload(recorder: TraceRecorder) -> dict:
+    """Chrome trace-event JSON object for the wall-clock timing channel."""
+    tids = _track_table(recorder)
+    events: list[dict] = [{
+        "ph": "M", "name": "process_name", "pid": _TRACE_PID, "tid": 0,
+        "args": {"name": "fleet-sim"},
+    }]
+    for track, tid in sorted(tids.items(), key=lambda item: item[1]):
+        if track is None:
+            label = "engine"
+        elif isinstance(track, int):
+            label = f"pod {track}"
+        else:
+            label = str(track)
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": _TRACE_PID, "tid": tid,
+            "args": {"name": label},
+        })
+        events.append({
+            "ph": "M", "name": "thread_sort_index", "pid": _TRACE_PID,
+            "tid": tid, "args": {"sort_index": tid},
+        })
+    for entry in recorder.timings:
+        events.append({
+            "ph": "X",
+            "name": entry["name"],
+            "pid": _TRACE_PID,
+            "tid": tids[entry["track"]],
+            "ts": round(entry["start"] * 1e6, 3),
+            "dur": round(entry["dur"] * 1e6, 3),
+            "args": dict(entry["args"]),
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def trace_text(recorder: TraceRecorder, fmt: str = "jsonl") -> str:
+    """Render the recorder in ``fmt`` (see :data:`TRACE_FORMATS`)."""
+    if fmt == "jsonl":
+        return recorder.to_jsonl()
+    if fmt == "chrome":
+        return json.dumps(chrome_trace_payload(recorder), sort_keys=True,
+                          indent=2) + "\n"
+    raise ValueError(f"unknown trace format {fmt!r}; known: {TRACE_FORMATS}")
+
+
+def write_trace(recorder: TraceRecorder, path: str,
+                fmt: str = "jsonl") -> None:
+    """Atomically write the recorder's trace to ``path`` in ``fmt``."""
+    from repro.fleet.checkpoint import atomic_write_text
+
+    atomic_write_text(path, trace_text(recorder, fmt))
+
+
+def write_metrics(recorder: TraceRecorder, path: str) -> None:
+    """Atomically write the metrics snapshot JSON to ``path``."""
+    from repro.fleet.checkpoint import atomic_write_text
+
+    payload = recorder.metrics_payload()
+    atomic_write_text(path, json.dumps(payload, sort_keys=True, indent=2) + "\n")
+
+
+__all__ = [
+    "TRACE_FORMATS",
+    "chrome_trace_payload",
+    "trace_text",
+    "write_metrics",
+    "write_trace",
+]

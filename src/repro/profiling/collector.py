@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.errors import ProfilingError
 from repro.nf.framework import NetworkFunction
+from repro.obs import NULL_RECORDER, Recorder
 from repro.nic.counters import PerfCounters
 from repro.nic.nic import SmartNic, WorkloadResult
 from repro.profiling.contention import ContentionLevel
@@ -34,11 +35,19 @@ class ProfilingCollector:
         # Guards the quota counter when predictors train concurrently
         # (cache writes are idempotent; the counter increment is not).
         self._count_lock = threading.Lock()
+        # Telemetry sink — execution channels only (cache hit rates and
+        # quota spend depend on evaluation order, never on results).
+        self._obs: Recorder = NULL_RECORDER
+
+    def observe(self, recorder: Recorder) -> None:
+        """Attach a telemetry recorder (``NULL_RECORDER`` detaches)."""
+        self._obs = recorder
 
     def __getstate__(self) -> dict:
-        """Pickle support: locks don't travel, caches do."""
+        """Pickle support: locks and recorders don't travel, caches do."""
         state = self.__dict__.copy()
         del state["_count_lock"]
+        state["_obs"] = NULL_RECORDER
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -59,7 +68,10 @@ class ProfilingCollector:
         """Measured solo behaviour of ``nf`` under ``traffic`` (cached)."""
         key = (nf.name, nf.pattern.value, traffic)
         if key not in self._solo_cache:
+            self._obs.exec_counter("collector.solo_misses")
             self._solo_cache[key] = self._nic.run_solo(nf.demand(traffic))
+        else:
+            self._obs.exec_counter("collector.solo_hits")
         return self._solo_cache[key]
 
     def solo_cached(self, nf: NetworkFunction, traffic: TrafficProfile) -> bool:
@@ -113,6 +125,11 @@ class ProfilingCollector:
             solved = self._nic.run_batch(scenarios)
             for slot, key, name in slots:
                 self._solo_cache[key] = solved[slot][name]
+        if self._obs.enabled:
+            self._obs.exec_counter("collector.solo_misses", len(scenarios))
+            self._obs.exec_counter(
+                "collector.solo_hits", len(requests) - len(scenarios)
+            )
         return [
             self._solo_cache[(nf.name, nf.pattern.value, traffic)]
             for nf, traffic in requests
@@ -139,6 +156,7 @@ class ProfilingCollector:
             available_cores = self._nic.spec.num_cores - 2
         key = (contention, available_cores)
         if key not in self._bench_counter_cache:
+            self._obs.exec_counter("collector.bench_misses")
             benches = contention.benches(available_cores)
             if not benches:
                 self._bench_counter_cache[key] = PerfCounters.zero()
@@ -147,6 +165,8 @@ class ProfilingCollector:
                 self._bench_counter_cache[key] = PerfCounters.aggregate(
                     [result[w.name].counters for w in benches]
                 )
+        else:
+            self._obs.exec_counter("collector.bench_hits")
         return self._bench_counter_cache[key]
 
     # ------------------------------------------------------------------
@@ -166,7 +186,9 @@ class ProfilingCollector:
         """
         key = (nf.name, nf.pattern.value, contention, traffic)
         if key in self._sample_cache:
+            self._obs.exec_counter("collector.sample_hits")
             return self._sample_cache[key]
+        self._obs.exec_counter("collector.sample_misses")
         solo = self.solo(nf, traffic)
         target = nf.demand(traffic)
         bench_budget = self._nic.spec.num_cores - target.cores
@@ -178,6 +200,7 @@ class ProfilingCollector:
             throughput = solo.throughput_mpps
         with self._count_lock:
             self._profile_count += 1
+        self._obs.exec_gauge("collector.profile_count", self._profile_count)
         sample = ProfileSample(
             nf_name=nf.name,
             traffic=traffic,
@@ -250,8 +273,10 @@ class ProfilingCollector:
         for nf, contention, traffic in requests:
             key = (nf.name, nf.pattern.value, contention, traffic)
             if key in self._sample_cache:
+                self._obs.exec_counter("collector.sample_hits")
                 samples.append(self._sample_cache[key])
                 continue
+            self._obs.exec_counter("collector.sample_misses")
             entry = plan[key]
             target = entry["target"]
             solo_key = (nf.name, nf.pattern.value, traffic)
@@ -281,6 +306,9 @@ class ProfilingCollector:
                         )
             with self._count_lock:
                 self._profile_count += 1
+            self._obs.exec_gauge(
+                "collector.profile_count", self._profile_count
+            )
             sample = ProfileSample(
                 nf_name=nf.name,
                 traffic=traffic,

@@ -55,6 +55,7 @@ class TestValidation:
         {"checkpoint_path": "snap.pkl"},  # needs checkpoint_every
         {"checkpoint_every": 2},  # needs checkpoint_path
         {"checkpoint_path": "snap.pkl", "checkpoint_every": 0},
+        {"trace_format": "xml"},
     ])
     def test_rejects(self, kwargs):
         with pytest.raises(ConfigurationError):
@@ -91,6 +92,8 @@ class TestRoundTrip:
         process = FleetConfig(
             policy="greedy", seed=7, runtime="process", jobs=4,
             checkpoint_path="snap.pkl", checkpoint_every=2,
+            trace_out="trace.json", trace_format="chrome",
+            metrics_out="metrics.json",
         )
         assert serial.fingerprint() == process.fingerprint()
         other = FleetConfig(policy="greedy", seed=8)
@@ -143,6 +146,9 @@ class TestFromCliArgs:
             checkpoint_every=None,
             checkpoint_path=None,
             resume=None,
+            trace_out=None,
+            trace_format="jsonl",
+            metrics_out=None,
         )
         for key, value in argv.items():
             setattr(ns, key, value)
@@ -256,6 +262,21 @@ FLEET_REPORT_PATHS = {
     "summary.mean_wastage_pct",
     "summary.total_migrations",
     "summary.violation_rate_pct",
+    "telemetry",
+    "telemetry.residuals",
+    "telemetry.scoring",
+    "telemetry.scoring.mixes_solved",
+    "telemetry.scoring.pod_tasks",
+    "telemetry.scoring.pod_tasks[].pod",
+    "telemetry.scoring.pod_tasks[].tasks",
+    "telemetry.solver",
+    "telemetry.solver.iterations_total",
+    "telemetry.solver.max_iterations",
+    "telemetry.solver.per_epoch",
+    "telemetry.solver.per_epoch[].epoch",
+    "telemetry.solver.per_epoch[].iterations",
+    "telemetry.solver.per_epoch[].scenarios",
+    "telemetry.solver.scenarios_solved",
     "topology",
     "topology.pod_size",
     "topology.pods",
@@ -315,10 +336,10 @@ class TestReportSchema:
         return json.loads(report.to_json())
 
     def test_schema_version_pinned(self, fleet_payload, event_payload):
-        assert FLEET_REPORT_SCHEMA_VERSION == 3
-        assert fleet_payload["schema_version"] == 3
-        assert event_payload["schema_version"] == 3
-        assert event_payload["fleet"]["schema_version"] == 3
+        assert FLEET_REPORT_SCHEMA_VERSION == 4
+        assert fleet_payload["schema_version"] == 4
+        assert event_payload["schema_version"] == 4
+        assert event_payload["fleet"]["schema_version"] == 4
 
     def test_fleet_report_golden_structure(self, fleet_payload):
         assert _paths(fleet_payload) == FLEET_REPORT_PATHS
