@@ -32,6 +32,17 @@ report's ``faults`` section accounts for every eviction and recovery.
 every N epochs (atomically); ``--resume PATH`` continues a killed run
 to a **byte-identical** final report.
 
+``--warm-start`` turns on cross-epoch incremental solving: each NIC's
+last converged throughput vector seeds the next epoch's fixed-point
+solve whenever the resident mix is structurally unchanged. The fixed
+point (and hence every placement decision) is the same — only the
+iterate path is shorter — and warm runs stay byte-identical across
+engines, runtimes and job counts; the report's ``telemetry`` section
+gains warm-cache hit/miss counts and the warm-vs-cold iteration split.
+Off by default: the cold run is the oracle arm tier-1 pins, and a warm
+checkpoint only resumes into a warm run (the flag is part of the
+fingerprint).
+
 ``--trace-out PATH`` attaches a telemetry recorder and writes its
 trace on completion — ``--trace-format jsonl`` for the deterministic
 sim-time event log, ``--trace-format chrome`` for a wall-clock
@@ -285,6 +296,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the JSON metrics snapshot (counters, gauges, "
         "histograms) to PATH on completion",
+    )
+    parser.add_argument(
+        "--warm-start",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="seed each mix's fixed-point solve from the hosting NIC's "
+        "last converged vector (same fixed point, fewer iterations; "
+        "byte-deterministic at any runtime/jobs, but a different "
+        "iterate path than the cold oracle arm)",
     )
     return parser
 

@@ -33,8 +33,10 @@ from repro.errors import ConfigurationError
 
 #: Version of the snapshot payload layout. Bumped on incompatible
 #: changes; :func:`load_checkpoint` rejects other versions. v2 added
-#: the telemetry accumulator to both engines' state dicts.
-CHECKPOINT_VERSION = 2
+#: the telemetry accumulator to both engines' state dicts; v3 the
+#: warm-start solution cache (present even when empty, so resumed
+#: warm runs stay byte-identical to uninterrupted ones).
+CHECKPOINT_VERSION = 3
 
 
 def atomic_write_bytes(path: str, data: bytes) -> None:

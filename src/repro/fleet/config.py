@@ -91,6 +91,12 @@ class FleetConfig:
     epochs: int = 20
     seed: int = 2025
     score_mode: str = "batch"
+    #: Seed each mix's fixed-point solve from the hosting NIC's last
+    #: converged vector (same fixed point, fewer iterations). Off by
+    #: default: the cold run is the oracle arm whose bytes tier-1 pins.
+    #: Part of the checkpoint fingerprint — a warm run resumes only
+    #: into a warm run (the iterate path differs from cold's).
+    warm_start: bool = False
     # Workload.
     nf_pool: tuple[str, ...] = DEFAULT_POOL
     arrival_rate: float = 1.5
@@ -314,6 +320,7 @@ class FleetConfig:
             epochs=args.epochs,
             seed=args.seed,
             score_mode=args.score_mode,
+            warm_start=bool(getattr(args, "warm_start", False)),
             nf_pool=nf_pool,
             arrival_rate=args.arrival_rate,
             mean_lifetime=args.mean_lifetime,
@@ -466,6 +473,7 @@ def simulate(
                 topology=config.topology(),
                 faults=config.fault_schedule(),
                 recorder=recorder,
+                warm_start=config.warm_start,
             )
         else:
             engine = FleetEngine(
@@ -478,6 +486,7 @@ def simulate(
                 topology=config.topology(),
                 faults=config.fault_schedule(),
                 recorder=recorder,
+                warm_start=config.warm_start,
             )
         report = engine.run(
             config.epochs, checkpoint=checkpoint, resume=resume

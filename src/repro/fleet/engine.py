@@ -133,8 +133,10 @@ from repro.obs import (
 #: renamed or removed; see ``docs/fleet_report_schema.md``. Version 2
 #: added ``schema_version`` itself and the ``topology`` descriptor;
 #: version 3 added the ``faults`` section; version 4 the ``telemetry``
-#: section (both always present — zeros/empty when inert).
-FLEET_REPORT_SCHEMA_VERSION = 4
+#: section (both always present — zeros/empty when inert); version 5
+#: the ``telemetry.warm_start`` subsection (always present — all-zero
+#: with ``enabled: false`` when warm-starting is off).
+FLEET_REPORT_SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -319,6 +321,15 @@ class FleetReport:
                 f"replaced {f['services_replaced']} | "
                 f"mean recover {f['mean_time_to_recover']:.2f}s"
             )
+        warm = (self.telemetry or {}).get("warm_start")
+        if warm and warm.get("enabled"):
+            lines.append(
+                f"warm-start: hits {warm['hits']} misses {warm['misses']} "
+                f"invalidations {warm['invalidations']} | "
+                f"warm iters {warm['warm_iterations']} over "
+                f"{warm['warm_scenarios']} mixes (cold "
+                f"{warm['cold_iterations']}/{warm['cold_scenarios']})"
+            )
         lines.extend([header, "-" * len(header)])
         for m in self.metrics:
             lines.append(
@@ -406,6 +417,8 @@ def _score_cluster(
     obs: Recorder = NULL_RECORDER,
     sim_time: float = 0.0,
     telemetry: Optional[TelemetryAccumulator] = None,
+    warm_start: bool = False,
+    warm_cache: Optional[dict] = None,
 ) -> tuple[dict[str, float], dict[str, float]]:
     """Measured drop and throughput of every resident service.
 
@@ -453,6 +466,22 @@ def _score_cluster(
     shapes, per-mix iterations-to-converge, prediction-vs-ground-truth
     residuals) keyed by simulated time, and both engines feed it from
     this one site so the ``sim`` channel can only agree across engines.
+
+    ``warm_start`` / ``warm_cache`` enable cross-pass incremental
+    solving (see ``docs/incremental_solving.md``): ``warm_cache`` maps
+    ``nic_id`` to the NIC's last converged per-resident throughput
+    vector together with its structural key ``(target, resident NF
+    names)``. A newly-dirty mix whose first hosting NIC's cached
+    structure matches seeds the fixed point from the cached vector
+    (only traffic moved — the converged point is nearby); a structure
+    change counts as an invalidation and solves cold. After the pass,
+    every solved multi-resident NIC's entry is refreshed from the mix
+    cache (undegraded values — pure simulation state) and entries of
+    departed NICs are pruned. The cache derives from sim history only
+    and warm payloads travel inside the tasks, so warm runs stay
+    byte-identical at any runtime/jobs count — but warm iterate paths
+    differ from cold ones, which is why the default stays off (the
+    oracle arm, like ``score_mode="loop"``).
     """
     topology = cluster.topology
     # pod -> target -> mix keys, NICs scanned in spin-up order; a mix
@@ -461,6 +490,11 @@ def _score_cluster(
     pod_mixes: dict[int, dict[str, list[tuple]]] = {}
     mix_order: list[tuple] = []
     pending: set[tuple] = set()
+    # Warm-start bookkeeping: per newly-dirty mix, the seed vector (or
+    # None). The first NIC hosting a mix (spin-up scan order) decides —
+    # deterministic, and pure in simulation history.
+    warm_of: dict[tuple, Optional[tuple[float, ...]]] = {}
+    warm_hits = warm_misses = warm_invalidations = 0
     for nic in cluster.nics:
         if now is not None and nic.ready_at > now:
             continue  # booting: residents score as full drops below
@@ -471,6 +505,18 @@ def _score_cluster(
             continue
         pending.add(key)
         mix_order.append(key)
+        if warm_start:
+            vector = None
+            entry = warm_cache.get(nic.nic_id) if warm_cache else None
+            structure = (nic.target, tuple(r.nf_name for r in nic.residents))
+            if entry is None:
+                warm_misses += 1
+            elif entry[0] == structure:
+                vector = entry[1]
+                warm_hits += 1
+            else:
+                warm_invalidations += 1
+            warm_of[key] = vector
         pod = topology.pod_of(nic.nic_id)
         pod_mixes.setdefault(pod, {}).setdefault(nic.target, []).append(
             key[1]
@@ -485,6 +531,14 @@ def _score_cluster(
                 seed=topology.pod_seed(seed, pod),
                 mixes=tuple(
                     (target, tuple(keys)) for target, keys in groups.items()
+                ),
+                warm=(
+                    tuple(
+                        tuple(warm_of[(target, k)] for k in keys)
+                        for target, keys in groups.items()
+                    )
+                    if warm_start
+                    else ()
                 ),
             )
             for pod, groups in sorted(pod_mixes.items())
@@ -510,12 +564,20 @@ def _score_cluster(
     # simulation state: iteration counts come back from the runtime but
     # are identical wherever (and however batched) the solve ran.
     iteration_counts = [iterations_of[key] for key in mix_order]
+    warm_flags = (
+        [warm_of[key] is not None for key in mix_order] if warm_start else None
+    )
     if telemetry is not None:
         telemetry.record_scoring(
             sim_time,
             [(task.pod_id, task.scenario_count) for task in tasks],
             iteration_counts,
+            warm_flags=warm_flags,
         )
+        if warm_start:
+            telemetry.record_warm_cache(
+                warm_hits, warm_misses, warm_invalidations
+            )
         for key in mix_order:
             target, mix_key = key
             predicted = model.predict_mix_throughputs(mix_key, target)
@@ -528,6 +590,22 @@ def _score_cluster(
     if obs.enabled:
         for count in iteration_counts:
             obs.histogram("solver.iterations", count)
+        if warm_start:
+            # Warm-only metric streams: emitted exclusively when the
+            # knob is on, so a warm_start=False run's deterministic
+            # channels stay byte-identical to pre-warm-start builds.
+            for flag, count in zip(warm_flags, iteration_counts):
+                obs.histogram(
+                    "solver.iterations.warm" if flag else
+                    "solver.iterations.cold",
+                    count,
+                )
+            if warm_hits:
+                obs.counter("warm_cache.hits", warm_hits)
+            if warm_misses:
+                obs.counter("warm_cache.misses", warm_misses)
+            if warm_invalidations:
+                obs.counter("warm_cache.invalidations", warm_invalidations)
         obs.event(
             sim_time, "score", chan="sim",
             mixes_solved=len(mix_order),
@@ -562,6 +640,13 @@ def _score_cluster(
                     throughputs[resident.instance_id] = solo
             continue
         entries = mix_cache[(nic.target, _mix_key(nic.residents))]
+        if warm_start and warm_cache is not None:
+            # Refresh from the (undegraded) mix cache: pure simulation
+            # state, so the cache replays identically from a checkpoint.
+            warm_cache[nic.nic_id] = (
+                (nic.target, tuple(r.nf_name for r in nic.residents)),
+                tuple(achieved for _, achieved in entries),
+            )
         for resident, (drop, throughput) in zip(nic.residents, entries):
             if now is None or cluster.is_home(nic, resident.instance_id):
                 if cap != 1.0:
@@ -582,6 +667,10 @@ def _score_cluster(
     for entry in cluster.evicted:
         drops[entry.instance.instance_id] = 1.0
         throughputs[entry.instance.instance_id] = 0.0
+    if warm_start and warm_cache is not None:
+        live = {nic.nic_id for nic in cluster.nics}
+        for nic_id in [k for k in warm_cache if k not in live]:
+            del warm_cache[nic_id]
     return drops, throughputs
 
 
@@ -740,6 +829,7 @@ class FleetEngine:
         topology: Optional[Topology] = None,
         faults: Optional[FaultSchedule] = None,
         recorder: Optional[Recorder] = None,
+        warm_start: bool = False,
     ) -> None:
         self._policy, self._provisioner = _validate_pool(
             policy, model, score_mode, provisioner
@@ -752,6 +842,10 @@ class FleetEngine:
         self._topology = topology if topology is not None else Topology()
         self._faults = faults
         self._obs = recorder if recorder is not None else NULL_RECORDER
+        #: Cross-epoch warm-started fixed points (default off — the
+        #: oracle arm); see :func:`_score_cluster` and
+        #: ``docs/incremental_solving.md``.
+        self._warm_start = bool(warm_start)
 
     @property
     def policy_name(self) -> str:
@@ -829,6 +923,12 @@ class FleetEngine:
             fail_viol_seconds = resume["fail_viol_seconds"]
             fail_drop_seconds = resume["fail_drop_seconds"]
             telemetry = resume["telemetry"]
+            warm_cache = resume["warm_cache"]
+            if self._warm_start:
+                # The snapshot may predate the knob (a cold build epoch
+                # resumed into a warm run): the engine's flag, not the
+                # snapshot's, decides whether warm telemetry reports.
+                telemetry.enable_warm()
         else:
             start_epoch = 0
             cluster = Cluster(self._provisioner, topology=self._topology)
@@ -850,6 +950,9 @@ class FleetEngine:
             fail_viol_seconds = 0.0
             fail_drop_seconds = 0.0
             telemetry = TelemetryAccumulator()
+            warm_cache: dict = {}
+            if self._warm_start:
+                telemetry.enable_warm()
 
         for epoch in range(start_epoch, epochs):
             now = float(epoch)
@@ -949,6 +1052,7 @@ class FleetEngine:
                     cluster, self._model, self._targets, mix_cache,
                     self._score_mode, self._runtime, seed=self._churn.seed,
                     obs=obs, sim_time=now, telemetry=telemetry,
+                    warm_start=self._warm_start, warm_cache=warm_cache,
                 )
             last_drops = drops
             live = _live_services(cluster)
@@ -1010,6 +1114,7 @@ class FleetEngine:
                         "fail_viol_seconds": fail_viol_seconds,
                         "fail_drop_seconds": fail_drop_seconds,
                         "telemetry": telemetry,
+                        "warm_cache": warm_cache,
                     },
                 )
         report.migrations = list(cluster.migration_log)
@@ -1133,6 +1238,7 @@ class EventEngine:
         topology: Optional[Topology] = None,
         faults: Optional[FaultSchedule] = None,
         recorder: Optional[Recorder] = None,
+        warm_start: bool = False,
     ) -> None:
         self._policy, self._provisioner = _validate_pool(
             policy, model, score_mode, provisioner
@@ -1146,6 +1252,9 @@ class EventEngine:
         self._topology = topology if topology is not None else Topology()
         self._faults = faults
         self._obs = recorder if recorder is not None else NULL_RECORDER
+        #: Cross-pass warm-started fixed points (default off — the
+        #: oracle arm); see :func:`_score_cluster`.
+        self._warm_start = bool(warm_start)
 
     @property
     def policy_name(self) -> str:
@@ -1236,6 +1345,12 @@ class EventEngine:
             probe_index = resume["probe_index"]
             rebalance_index = resume["rebalance_index"]
             telemetry = resume["telemetry"]
+            warm_cache = resume["warm_cache"]
+            if self._warm_start:
+                # Same rule as the epoch engine: the engine's flag, not
+                # the snapshot's, decides whether warm telemetry
+                # reports.
+                telemetry.enable_warm()
         else:
             cluster = Cluster(self._provisioner, topology=self._topology)
             cluster.migration_duration = cfg.migration_duration
@@ -1303,6 +1418,9 @@ class EventEngine:
             probe_index = 0
             rebalance_index = 0
             telemetry = TelemetryAccumulator()
+            warm_cache = {}
+            if self._warm_start:
+                telemetry.enable_warm()
 
         def arm_new_nics() -> None:
             # Arm the drawn fault of every NIC provisioned since the
@@ -1520,6 +1638,7 @@ class EventEngine:
                 self._score_mode, self._runtime, now=t,
                 seed=self._churn.seed,
                 obs=obs, sim_time=t, telemetry=telemetry,
+                warm_start=self._warm_start, warm_cache=warm_cache,
             )
             live = _live_services(cluster)
             violated = [
@@ -1639,6 +1758,7 @@ class EventEngine:
                         "probe_index": probe_index,
                         "rebalance_index": rebalance_index,
                         "telemetry": telemetry,
+                        "warm_cache": warm_cache,
                     },
                 )
 

@@ -79,6 +79,15 @@ class PodScoreTask:
     #: Per-pod derived seed (pure in ``(seed, pod_id)``; see module doc).
     seed: int
     mixes: tuple[tuple[str, tuple[tuple, ...]], ...]
+    #: Warm-start payload, aligned with ``mixes``: one tuple per
+    #: ``(target, mix_keys)`` group holding, per mix key, either
+    #: ``None`` (cold) or the last converged per-resident throughput
+    #: tuple this mix's fixed point should start from. Empty (the
+    #: default) when warm-starting is off, so cold tasks pickle and
+    #: compare exactly as before. The payload travels *in the task* —
+    #: never in worker state — so any worker (or the parent, or a
+    #: crash-recovery re-execution) solves from the identical iterate.
+    warm: tuple[tuple[Optional[tuple[float, ...]], ...], ...] = ()
 
     @property
     def scenario_count(self) -> int:
@@ -123,7 +132,7 @@ def solve_pod(
     objects to the serial path's.
     """
     out: list[tuple[list[list[float]], list[int]]] = []
-    for target, mix_keys in task.mixes:
+    for g, (target, mix_keys) in enumerate(task.mixes):
         nic_sim = nics_by_target[target]
         scenarios = [
             [
@@ -132,10 +141,28 @@ def solve_pod(
             ]
             for key in mix_keys
         ]
+        warms = None
+        if task.warm:
+            group_warm = task.warm[g]
+            if any(vec is not None for vec in group_warm):
+                warms = [
+                    None
+                    if vec is None
+                    else {
+                        f"{name}#{j}": value
+                        for j, ((name, _), value) in enumerate(zip(key, vec))
+                    }
+                    for key, vec in zip(mix_keys, group_warm)
+                ]
         if score_mode == "batch":
-            solved = nic_sim.run_batch(scenarios)
-        else:
+            solved = nic_sim.run_batch(scenarios, warm_starts=warms)
+        elif warms is None:
             solved = [nic_sim.run(scenario) for scenario in scenarios]
+        else:
+            solved = [
+                nic_sim.run(scenario, initial=warm)
+                for scenario, warm in zip(scenarios, warms)
+            ]
         out.append((
             [
                 [

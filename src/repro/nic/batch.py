@@ -89,6 +89,75 @@ def _pow_scalar(values: np.ndarray, exponent: float) -> np.ndarray:
 
 
 # ----------------------------------------------------------------------
+# Persistent compilation cache
+# ----------------------------------------------------------------------
+#: Per-table entry cap. On overflow the table is cleared wholesale
+#: rather than LRU-evicted: eviction bookkeeping would cost more than
+#: the occasional recompile, and a fleet epoch's working set of
+#: structures is orders of magnitude below this.
+_COMPILE_CACHE_MAX_ENTRIES = 4096
+
+
+class _CompileCache:
+    """Structural compilation state memoized across ``run_batch`` calls.
+
+    Everything cached here is *static* — a pure function of the demand
+    values and the NIC spec (plans, signature embeddings, column
+    layouts, family-merge structures) — so reuse is bit-exact by
+    construction: a cache hit returns the identical objects a cold
+    compile would have produced. Nothing about solver iterates or
+    seeded noise lives here.
+
+    The plan table is keyed by ``(id(spec), _demand_key(demand))`` and
+    each entry stores a strong reference to its spec, identity-checked
+    on lookup: the reference keeps the spec alive so ``id`` reuse after
+    garbage collection can never alias two different specs, and the
+    structural key tuple covers every demand field, so two demands with
+    equal keys are value-identical — the cached plan *and* the
+    repr-derived measurement-noise seed both match. (The key is a field
+    tuple rather than ``repr(demand)`` because hashing the tuple is
+    ~6x cheaper than building the repr string, and the lookup is the
+    whole cost of a cache hit.)
+    """
+
+    __slots__ = ("enabled", "hits", "misses", "plans", "embeddings",
+                 "columns", "families")
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self.plans: dict = {}
+        self.embeddings: dict = {}
+        self.columns: dict = {}
+        self.families: dict = {}
+
+    def clear(self) -> None:
+        self.plans.clear()
+        self.embeddings.clear()
+        self.columns.clear()
+        self.families.clear()
+
+
+_COMPILE_CACHE = _CompileCache()
+
+
+def compile_cache_enabled() -> bool:
+    """Whether the persistent compilation cache is active (default on)."""
+    return _COMPILE_CACHE.enabled
+
+
+def set_compile_cache_enabled(enabled: bool) -> None:
+    """Toggle the compilation cache (the cold arm of the perf gate)."""
+    _COMPILE_CACHE.enabled = bool(enabled)
+
+
+def clear_compile_cache() -> None:
+    """Drop all memoized compilation state (counters are kept)."""
+    _COMPILE_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
 # Compilation: scenario -> static plan
 # ----------------------------------------------------------------------
 class _WorkloadPlan:
@@ -192,13 +261,53 @@ class _WorkloadPlan:
         )
 
 
+def _demand_key(w: WorkloadDemand) -> tuple:
+    """Structural identity of a demand: every field, hashable form.
+
+    ``WorkloadDemand`` itself is unhashable (``queues_per_accelerator``
+    is a dict), so the dict is folded to sorted items; everything else
+    is already hashable (``stages`` is a tuple of frozen dataclasses).
+    Equal keys <=> field-equal demands.
+    """
+    return (
+        w.name,
+        w.cores,
+        w.pattern,
+        w.stages,
+        w.arrival_rate_mpps,
+        tuple(sorted(w.queues_per_accelerator.items())),
+        w.packet_size_bytes,
+        w.hot_access_fraction,
+        w.hot_wss_fraction,
+    )
+
+
+def _plan_for(nic: "_nic.SmartNic", w: WorkloadDemand) -> _WorkloadPlan:
+    """Compile ``w`` against ``nic``, memoized in the compile cache."""
+    cache = _COMPILE_CACHE
+    if not cache.enabled:
+        return _WorkloadPlan(nic, w)
+    spec = nic.spec
+    key = (id(spec), _demand_key(w))
+    entry = cache.plans.get(key)
+    if entry is not None and entry[0] is spec:
+        cache.hits += 1
+        return entry[1]
+    cache.misses += 1
+    if len(cache.plans) >= _COMPILE_CACHE_MAX_ENTRIES:
+        cache.plans.clear()
+    plan = _WorkloadPlan(nic, w)
+    cache.plans[key] = (spec, plan)
+    return plan
+
+
 class _ScenarioPlan:
     """One compiled scenario: per-workload plans plus a structure key."""
 
     __slots__ = ("workloads", "signature", "names")
 
     def __init__(self, nic: "_nic.SmartNic", demands: list[WorkloadDemand]) -> None:
-        self.workloads = [_WorkloadPlan(nic, w) for w in demands]
+        self.workloads = [_plan_for(nic, w) for w in demands]
         self.names = [w.name for w in demands]
         self.signature = tuple(p.signature for p in self.workloads)
 
@@ -276,17 +385,45 @@ def _embed_signature(short: tuple, long: tuple) -> Optional[list[int]]:
     when no embedding exists. Any valid embedding preserves the scalar
     reduction order (real columns keep their relative order; dummy
     columns contribute exact ``+0.0`` terms), so the deterministic
-    leftmost match is as good as any.
+    leftmost match is as good as any. Memoized in the compile cache
+    (the result is pure in the two signatures); callers treat the
+    returned list as read-only.
     """
-    cols: list[int] = []
+    cache = _COMPILE_CACHE
+    if cache.enabled:
+        key = (short, long)
+        try:
+            return cache.embeddings[key]
+        except KeyError:
+            pass
+    cols: Optional[list[int]] = []
     pos = 0
     for wsig in short:
         while pos < len(long) and long[pos] != wsig:
             pos += 1
         if pos == len(long):
-            return None
+            cols = None
+            break
         cols.append(pos)
         pos += 1
+    if cache.enabled:
+        if len(cache.embeddings) >= _COMPILE_CACHE_MAX_ENTRIES:
+            cache.embeddings.clear()
+        cache.embeddings[key] = cols
+    return cols
+
+
+def _columns_for(super_sig: tuple) -> list[_ColumnRef]:
+    """Column layout of a padded family, memoized in the compile cache."""
+    cache = _COMPILE_CACHE
+    if not cache.enabled:
+        return [_ColumnRef(wsig) for wsig in super_sig]
+    cols = cache.columns.get(super_sig)
+    if cols is None:
+        if len(cache.columns) >= _COMPILE_CACHE_MAX_ENTRIES:
+            cache.columns.clear()
+        cols = [_ColumnRef(wsig) for wsig in super_sig]
+        cache.columns[super_sig] = cols
     return cols
 
 
@@ -396,11 +533,16 @@ class _Group:
         indices: list[int],
         columns: Optional[list[_WorkloadPlan]] = None,
         embeddings: Optional[list[list[int]]] = None,
+        warm: Optional[list] = None,
     ) -> None:
         self._nic = nic
         self._spec = nic.spec
         self._plans = plans
         self.indices = indices
+        # warm[i]: None (cold row) or a per-workload list aligned with
+        # plans[i].workloads of initial-iterate guesses (None entries
+        # fall back to the contention-free estimate).
+        self._warm = warm
         self.S = len(plans)
         self._columns = columns if columns is not None else plans[0].workloads
         self.W = len(self._columns)
@@ -703,12 +845,21 @@ class _Group:
         teff: list[np.ndarray],
         nq: list[np.ndarray],
         offered: list[np.ndarray],
+        discard: Optional[np.ndarray] = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized RR water-filling for one closed-loop target.
 
         ``offered[target_pos]`` is ignored (the target saturates its
         queues and is never released); other clients are open-loop with
         per-row offered rates. Returns (target rate, failed-row mask).
+
+        ``discard`` marks rows whose result the caller throws away (the
+        target is one of their dummy lanes). They start ``done``: a
+        dummy target anchors the weight fold at zero, which lets the
+        move/release rounds oscillate to the iteration cap, and one
+        such row keeps the whole group's round loop spinning. Rows are
+        element-wise independent throughout, so skipping them leaves
+        every other row's trajectory bit-identical.
         """
         n = len(teff)
         size = len(teff[target_pos])
@@ -720,7 +871,10 @@ class _Group:
             return rate, np.zeros(size, dtype=bool)
         sat = [np.zeros(size, dtype=bool) for _ in range(n)]
         sat[target_pos][:] = True
-        done = np.zeros(size, dtype=bool)
+        done = (
+            discard.copy() if discard is not None
+            else np.zeros(size, dtype=bool)
+        )
         rate = np.ones(size)
         for _ in range(_WATERFILL_ITERATIONS):
             act = ~done
@@ -777,7 +931,11 @@ class _Group:
             ]
             for pos, w in enumerate(engine["clients"]):
                 cap_requests, fail = self._waterfill_capacity(
-                    pos, engine["teff"], engine["nq"], offered
+                    pos,
+                    engine["teff"],
+                    engine["nq"],
+                    offered,
+                    discard=~view.lane[:, w] if self._padded else None,
                 )
                 # A dummy lane's water-fill result is discarded, so a
                 # non-converged fill there must not fail the row.
@@ -907,6 +1065,25 @@ class _Group:
         rows = np.arange(S)  # global row of each live slot
         thr = self._estimate(view)
         damping = np.full(S, _nic._DAMPING)
+        window = np.full(S, _nic._STALL_WINDOW, dtype=np.int64)
+        if self._warm is not None:
+            # Seed warm rows exactly as the scalar solver does: per
+            # provided name, the guess (clamped like any iterate)
+            # replaces the contention-free estimate before iteration 1,
+            # and the row starts undamped with the short warm stall
+            # window (see _nic._WARM_DAMPING / _nic._WARM_STALL_WINDOW).
+            for i, values in enumerate(self._warm):
+                if values is None:
+                    continue
+                cols = self.embeddings[i]
+                seeded = False
+                for j, value in enumerate(values):
+                    if value is not None:
+                        thr[i, cols[j]] = max(float(value), 1e-9)
+                        seeded = True
+                if seeded:
+                    damping[i] = _nic._WARM_DAMPING
+                    window[i] = _nic._WARM_STALL_WINDOW
         best = np.full(S, np.inf)
         stall = np.zeros(S, dtype=np.int64)
         last_residual = np.full(S, np.inf)
@@ -931,7 +1108,7 @@ class _Group:
                 live = ~frozen
                 improved = residual < best - 1e-12
                 bumped = stall + 1
-                trigger = ~improved & (bumped >= _nic._STALL_WINDOW)
+                trigger = ~improved & (bumped >= window)
                 best = np.where(live & improved, residual, best)
                 damping = np.where(
                     live & trigger,
@@ -955,15 +1132,21 @@ class _Group:
                     frozen |= done
                 if frozen.all():
                     break
-                # Compact once at least half the slots have frozen, so
-                # stragglers iterate on small arrays.
-                if frozen.sum() * 2 >= len(rows):
+                # Compact as soon as an eighth of the slots have frozen
+                # (compaction is bit-invisible: rows never interact, so
+                # dropping frozen slots only shrinks the arrays the
+                # stragglers iterate on). The eager threshold matters
+                # most for warm-seeded groups, where the bulk of rows
+                # freeze within a few sweeps and only re-seeded
+                # stragglers keep iterating.
+                if frozen.sum() * 8 >= len(rows):
                     obs.exec_counter("batch.compactions")
                     keep = ~frozen
                     rows = rows[keep]
                     view = _View(self, rows)
                     thr = thr[keep]
                     damping = damping[keep]
+                    window = window[keep]
                     best = best[keep]
                     stall = stall[keep]
                     last_residual = last_residual[keep]
@@ -1207,37 +1390,69 @@ def _merge_small_groups(
     Returns ``(merged, leftovers)``: ``merged`` holds
     ``(columns_sig, members)`` where each member is ``(sig, plans,
     indices)``, ``leftovers`` holds ``(plan, index)`` pairs.
+
+    The family *structure* (which signatures form which families, and
+    each family's super-signature) depends only on the multiset of
+    (signature, group size) pairs — the greedy visit order is a total
+    order over the distinct signatures, independent of input order —
+    so it is memoized in the compile cache and replayed against the
+    call's own plans/indices on a hit.
     """
-    order = sorted(small, key=lambda entry: (-len(entry[0]), repr(entry[0])))
-    families: list[dict] = []
-    for sig, plans, indices in order:
-        placed = False
-        for family in families:
-            if _embed_signature(sig, family["sig"]) is not None:
-                family["members"].append((sig, plans, indices))
-                placed = True
-                break
-        if not placed:
+    by_sig = {sig: (plans, indices) for sig, plans, indices in small}
+    cache = _COMPILE_CACHE
+    key = tuple(
+        sorted(
+            ((sig, len(plans)) for sig, plans, _ in small),
+            key=lambda entry: repr(entry[0]),
+        )
+    )
+    cached = cache.families.get(key) if cache.enabled else None
+    if cached is None:
+        order = sorted(small, key=lambda entry: (-len(entry[0]), repr(entry[0])))
+        families: list[dict] = []
+        for sig, plans, indices in order:
+            placed = False
             for family in families:
-                grown = _shortest_supersequence(family["sig"], sig)
-                if len(grown) <= _PAD_MAX_WIDTH:
-                    family["sig"] = grown
-                    family["members"].append((sig, plans, indices))
+                if _embed_signature(sig, family["sig"]) is not None:
+                    family["members"].append(sig)
                     placed = True
                     break
-        if not placed:
-            families.append({"sig": sig, "members": [(sig, plans, indices)]})
+            if not placed:
+                for family in families:
+                    grown = _shortest_supersequence(family["sig"], sig)
+                    if len(grown) <= _PAD_MAX_WIDTH:
+                        family["sig"] = grown
+                        family["members"].append(sig)
+                        placed = True
+                        break
+            if not placed:
+                families.append({"sig": sig, "members": [sig]})
 
-    merged: list[tuple[tuple, list]] = []
-    leftovers: list[tuple[_ScenarioPlan, int]] = []
-    for family in families:
-        members = family["members"]
-        total = sum(len(plans) for _, plans, _ in members)
-        if len(members) > 1 and total >= _SCALAR_FALLBACK_GROUP_SIZE:
-            merged.append((family["sig"], members))
-        else:
-            for _, plans, indices in members:
-                leftovers.extend(zip(plans, indices))
+        merged_sigs: list[tuple[tuple, tuple]] = []
+        leftover_sigs: list[tuple] = []
+        for family in families:
+            member_sigs = family["members"]
+            total = sum(len(by_sig[sig][0]) for sig in member_sigs)
+            if len(member_sigs) > 1 and total >= _SCALAR_FALLBACK_GROUP_SIZE:
+                merged_sigs.append((family["sig"], tuple(member_sigs)))
+            else:
+                leftover_sigs.extend(member_sigs)
+        cached = (tuple(merged_sigs), tuple(leftover_sigs))
+        if cache.enabled:
+            if len(cache.families) >= _COMPILE_CACHE_MAX_ENTRIES:
+                cache.families.clear()
+            cache.families[key] = cached
+
+    merged_sigs, leftover_sigs = cached
+    merged = [
+        (family_sig, [(sig, *by_sig[sig]) for sig in member_sigs])
+        for family_sig, member_sigs in merged_sigs
+    ]
+    leftovers = [
+        (plan, index)
+        for sig in leftover_sigs
+        for plan, index in zip(*by_sig[sig])
+    ]
     return merged, leftovers
 
 
@@ -1246,15 +1461,24 @@ def solve_batch(
     scenarios: list[list[WorkloadDemand]],
     on_error: str = "raise",
     pad_small_groups: bool = True,
+    warm_starts: Optional[list] = None,
 ):
     """Solve many co-location scenarios; see :meth:`SmartNic.run_batch`.
 
-    ``pad_small_groups=False`` disables the padded super-group merge and
-    reverts every small signature group to the scalar fallback (the
-    heterogeneous-fleet benchmark uses this as its reference arm).
+    ``pad_small_groups=False`` disables the padded super-group merge
+    *and* straggler adoption and reverts every small signature group to
+    the scalar fallback (the heterogeneous-fleet benchmark uses this as
+    its reference arm).
+
+    ``warm_starts`` is aligned with ``scenarios``: per entry ``None``
+    (cold) or a name→Mpps mapping seeding that scenario's initial
+    iterate (see :meth:`SmartNic.run_batch`).
     """
     if on_error not in ("raise", "return"):
         raise SimulationError(f"unknown on_error mode {on_error!r}")
+    obs = active_recorder()
+    cache = _COMPILE_CACHE
+    hits0, misses0 = cache.hits, cache.misses
     results: list = [None] * len(scenarios)
     groups: dict[tuple, tuple[list[_ScenarioPlan], list[int]]] = {}
     for i, workloads in enumerate(scenarios):
@@ -1266,17 +1490,108 @@ def solve_batch(
         plans, indices = groups.setdefault(plan.signature, ([], []))
         plans.append(plan)
         indices.append(i)
+    if obs.enabled and cache.enabled:
+        if cache.hits > hits0:
+            obs.exec_counter("batch.compile_cache.hits", cache.hits - hits0)
+        if cache.misses > misses0:
+            obs.exec_counter(
+                "batch.compile_cache.misses", cache.misses - misses0
+            )
 
-    obs = active_recorder()
+    def warm_vector(plan: _ScenarioPlan, index: int):
+        if warm_starts is None:
+            return None
+        warm = warm_starts[index]
+        if not warm:
+            return None
+        values = [warm.get(p.name) for p in plan.workloads]
+        if all(v is None for v in values):
+            return None
+        return values
+
+    def warm_list(plans: list[_ScenarioPlan], indices: list[int]):
+        if warm_starts is None:
+            return None
+        values = [warm_vector(p, i) for p, i in zip(plans, indices)]
+        if all(v is None for v in values):
+            return None
+        return values
+
+    big: list[tuple[tuple, list[_ScenarioPlan], list[int]]] = []
     small: list[tuple[tuple, list[_ScenarioPlan], list[int]]] = []
     for sig, (plans, indices) in groups.items():
         if len(plans) < _SCALAR_FALLBACK_GROUP_SIZE:
             small.append((sig, plans, indices))
+        else:
+            big.append((sig, plans, indices))
+
+    # Straggler adoption: a small group whose signature embeds into a
+    # big group's columns rides along as masked lanes instead of paying
+    # the scalar fallback or growing a padded family. Both sides are
+    # visited in the deterministic longest-first/repr order, first fit
+    # wins, and the big group's columns never grow — its own rows stay
+    # full-lane, so the proven all-zero-dummy-lane argument keeps every
+    # real lane bit-identical to the scalar solver.
+    adopted: dict[int, list[tuple[tuple, list[_ScenarioPlan], list[int]]]] = {}
+    if pad_small_groups and small and big:
+        big_order = sorted(
+            range(len(big)), key=lambda k: (-len(big[k][0]), repr(big[k][0]))
+        )
+        remaining = []
+        for sig, plans, indices in sorted(
+            small, key=lambda entry: (-len(entry[0]), repr(entry[0]))
+        ):
+            for k in big_order:
+                if (
+                    len(sig) <= len(big[k][0])
+                    and _embed_signature(sig, big[k][0]) is not None
+                ):
+                    adopted.setdefault(k, []).append((sig, plans, indices))
+                    break
+            else:
+                remaining.append((sig, plans, indices))
+        small = remaining
+
+    for k, (sig, plans, indices) in enumerate(big):
+        members = adopted.get(k)
+        if not members:
+            obs.exec_histogram("batch.group_size", len(plans))
+            group = _Group(
+                nic, plans, indices, warm=warm_list(plans, indices)
+            )
+            for local, outcome in enumerate(group.solve()):
+                results[indices[local]] = outcome
             continue
-        obs.exec_histogram("batch.group_size", len(plans))
-        group = _Group(nic, plans, indices)
+        all_plans = list(plans)
+        all_indices = list(indices)
+        all_embeds: list[list[int]] = [list(range(len(sig)))] * len(plans)
+        for m_sig, m_plans, m_indices in members:
+            cols = _embed_signature(m_sig, sig)
+            all_plans.extend(m_plans)
+            all_indices.extend(m_indices)
+            all_embeds.extend([cols] * len(m_plans))
+        if obs.enabled:
+            obs.exec_histogram("batch.group_size", len(all_plans))
+            obs.exec_counter(
+                "batch.adoptions",
+                sum(len(m_plans) for _, m_plans, _ in members),
+            )
+            obs.exec_counter(
+                "batch.padded_lanes",
+                sum(
+                    len(m_plans) * (len(sig) - len(m_sig))
+                    for m_sig, m_plans, _ in members
+                ),
+            )
+        group = _Group(
+            nic,
+            all_plans,
+            all_indices,
+            embeddings=all_embeds,
+            warm=warm_list(all_plans, all_indices),
+        )
         for local, outcome in enumerate(group.solve()):
-            results[indices[local]] = outcome
+            results[all_indices[local]] = outcome
 
     if pad_small_groups and len(small) > 1:
         merged, leftovers = _merge_small_groups(small)
@@ -1288,9 +1603,9 @@ def solve_batch(
             for plan, index in zip(plans, indices)
         ]
     for super_sig, members in merged:
-        all_plans: list[_ScenarioPlan] = []
-        all_indices: list[int] = []
-        all_embeds: list[list[int]] = []
+        all_plans = []
+        all_indices = []
+        all_embeds = []
         for sig, plans, indices in members:
             cols = _embed_signature(sig, super_sig)
             all_plans.extend(plans)
@@ -1309,16 +1624,19 @@ def solve_batch(
             nic,
             all_plans,
             all_indices,
-            columns=[_ColumnRef(wsig) for wsig in super_sig],
+            columns=_columns_for(super_sig),
             embeddings=all_embeds,
+            warm=warm_list(all_plans, all_indices),
         )
         for local, outcome in enumerate(group.solve()):
             results[all_indices[local]] = outcome
     if leftovers:
         obs.exec_counter("batch.scalar_scenarios", len(leftovers))
     for plan, index in leftovers:
+        demands = [p.demand for p in plan.workloads]
+        warm = warm_starts[index] if warm_starts is not None else None
         try:
-            results[index] = nic.run([p.demand for p in plan.workloads])
+            results[index] = nic.run(demands, initial=warm or None)
         except ConvergenceError as error:
             results[index] = error
 

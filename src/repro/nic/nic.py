@@ -39,8 +39,23 @@ from repro.rng import SeedLike, derive_seed, make_rng
 
 _MAX_ITERATIONS = 3000
 _DAMPING = 0.55
+#: Starting damping for *seeded* solves. Near the fixed point the
+#: update map is locally contractive, so a warm iterate can take full
+#: (undamped) steps; the stall schedule below still halves damping if
+#: the seed turns out to be far off or the regime is oscillatory, so
+#: warm solves keep the cold path's convergence guarantee. Cold solves
+#: stay at ``_DAMPING`` — their iterate path is bit-pinned.
+_WARM_DAMPING = 1.0
 _MIN_DAMPING = 0.02
 _STALL_WINDOW = 15
+#: Stall window for *seeded* solves. A cold iterate approaches from a
+#: distance and may legitimately plateau for a dozen sweeps before a
+#: slow mode decays, so its window is generous. A warm iterate that is
+#: not improving within a few sweeps has a bad seed (or sits in an
+#: oscillatory regime that full steps cannot damp) and should shed its
+#: undamped start quickly — the tail rows of a warm batch otherwise
+#: dominate the whole group's solve time.
+_WARM_STALL_WINDOW = 5
 _REL_TOLERANCE = 1e-8
 _ACCEPT_RESIDUAL = 1e-4
 #: Resident buffer footprint of an accelerator DMA ring.
@@ -120,8 +135,23 @@ class SmartNic:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def run(self, workloads: list[WorkloadDemand]) -> RunResult:
-        """Co-locate ``workloads`` and return their converged behaviour."""
+    def run(
+        self,
+        workloads: list[WorkloadDemand],
+        initial: "dict[str, float] | None" = None,
+    ) -> RunResult:
+        """Co-locate ``workloads`` and return their converged behaviour.
+
+        ``initial`` optionally seeds the fixed point: a mapping from
+        workload name to a starting throughput guess (Mpps), used
+        instead of the contention-free estimate for the names it
+        covers. A guess near the converged point (e.g. last epoch's
+        solution for the same resident set) cuts the damped iteration
+        count; the converged values are the same fixed point either
+        way, but the *iterate path* differs, so seeded runs are not
+        bit-identical to cold runs — callers owning a bit-exactness
+        contract must pass ``initial=None``.
+        """
         if not workloads:
             raise SimulationError("run() needs at least one workload")
         names = [w.name for w in workloads]
@@ -136,12 +166,21 @@ class SmartNic:
             for stage in workload.accelerator_stages():
                 self._spec.accelerator(stage.accelerator)  # validates name
 
-        throughput = {w.name: self._contention_free_estimate(w) for w in workloads}
+        throughput = {}
+        seeded = False
+        for w in workloads:
+            if initial is not None and w.name in initial:
+                throughput[w.name] = max(float(initial[w.name]), 1e-9)
+                seeded = True
+            else:
+                throughput[w.name] = self._contention_free_estimate(w)
         iterations = 0
         # Damping shrinks whenever the residual stalls: steep DRAM
         # congestion feedback can induce period-2 cycles at fixed
-        # damping, which a decreasing schedule always breaks.
-        damping = _DAMPING
+        # damping, which a decreasing schedule always breaks. Seeded
+        # solves start undamped (see _WARM_DAMPING).
+        damping = _WARM_DAMPING if seeded else _DAMPING
+        window = _WARM_STALL_WINDOW if seeded else _STALL_WINDOW
         best_residual = np.inf
         stall = 0
         for iterations in range(1, _MAX_ITERATIONS + 1):
@@ -155,7 +194,7 @@ class SmartNic:
                 stall = 0
             else:
                 stall += 1
-                if stall >= _STALL_WINDOW:
+                if stall >= window:
                     damping = max(damping * 0.5, _MIN_DAMPING)
                     stall = 0
             for name in throughput:
@@ -180,6 +219,7 @@ class SmartNic:
         self,
         scenarios: list[list[WorkloadDemand]],
         on_error: str = "raise",
+        warm_starts: "list[dict[str, float] | None] | None" = None,
     ) -> list:
         """Solve many independent co-location scenarios at once.
 
@@ -195,10 +235,21 @@ class SmartNic:
         ``on_error="return"`` instead stores the exception instance in
         that scenario's result slot, so sweeps can skip infeasible
         scenarios the way their per-scenario ``try/except`` loops did.
+
+        ``warm_starts``, when given, is aligned with ``scenarios``:
+        each entry is ``None`` (cold start) or a name→Mpps mapping
+        seeding that scenario's initial iterate, with the same
+        semantics — and the same bit-exactness caveat — as
+        :meth:`run`'s ``initial``. The batch/loop parity holds under
+        warm starts too: ``run_batch(scenarios, warm_starts=ws)`` is
+        bit-identical to ``[self.run(s, initial=w) for s, w in
+        zip(scenarios, ws)]``.
         """
         from repro.nic.batch import solve_batch
 
-        return solve_batch(self, scenarios, on_error=on_error)
+        return solve_batch(
+            self, scenarios, on_error=on_error, warm_starts=warm_starts
+        )
 
     def run_fast(self, workloads: list[WorkloadDemand]) -> RunResult:
         """Single co-location run through the compiled batch path.

@@ -1,4 +1,4 @@
-"""The report-embedded telemetry summary (schema v4).
+"""The report-embedded telemetry summary (schema v4, extended in v5).
 
 :class:`TelemetryAccumulator` is the *always-on* half of the
 observability layer: both fleet engines feed it regardless of whether
@@ -17,7 +17,15 @@ state:
 - per-predictor prediction-vs-ground-truth residual aggregates — the
   free drift signal ROADMAP item 4 needs.  Residuals exist only for
   model-backed policies (``yala``/``rebalance``); the heuristic arms
-  have no predictor to be wrong.
+  have no predictor to be wrong;
+- (schema v5) the ``warm_start`` subsection: warm-cache
+  hit/miss/invalidation totals and the warm-vs-cold split of solver
+  iterations.  Always present with a constant shape; all-zero with
+  ``enabled: false`` when warm-starting is off, so a cold report's
+  bytes never depend on the feature existing.  The counts derive from
+  the engines' warm cache, which is pure simulation history — hits are
+  decided by resident-set structure, never by where or how fast
+  anything ran.
 
 Deliberately *absent*: runtime retry/rebuild/recovery counters.  Those
 are execution facts (a ``FaultInjectingRuntime`` run must report the
@@ -39,7 +47,10 @@ class TelemetryAccumulator:
     """Accumulates sim-deterministic scoring telemetry for the report."""
 
     __slots__ = ("_epochs", "_pod_tasks", "_mixes_solved", "_iterations",
-                 "_max_iterations", "_scenarios", "_residuals")
+                 "_max_iterations", "_scenarios", "_residuals",
+                 "_warm_enabled", "_warm_hits", "_warm_misses",
+                 "_warm_invalidations", "_warm_iterations",
+                 "_warm_scenarios", "_cold_iterations", "_cold_scenarios")
 
     def __init__(self) -> None:
         #: epoch bin -> [iterations, scenarios]
@@ -52,16 +63,33 @@ class TelemetryAccumulator:
         self._scenarios = 0
         #: "<target>:<nf>" -> [count, sum_err, sum_abs_err, max_abs_err]
         self._residuals: dict[str, list[float]] = {}
+        # Warm-start accounting (schema v5); inert unless enable_warm().
+        self._warm_enabled = False
+        self._warm_hits = 0
+        self._warm_misses = 0
+        self._warm_invalidations = 0
+        self._warm_iterations = 0
+        self._warm_scenarios = 0
+        self._cold_iterations = 0
+        self._cold_scenarios = 0
 
     # -- recording -----------------------------------------------------
+    def enable_warm(self) -> None:
+        """Mark this run as warm-started (sets ``warm_start.enabled``)."""
+        self._warm_enabled = True
+
     def record_scoring(self, sim_time: float,
                        pod_counts: list[tuple[int, int]],
-                       iterations: list[int]) -> None:
+                       iterations: list[int],
+                       warm_flags: list[bool] | None = None) -> None:
         """Account one scoring pass at ``sim_time``.
 
         ``pod_counts`` is ``[(pod_id, scenario_count), ...]`` for the
         dispatched tasks; ``iterations`` the per-scenario
         iterations-to-converge of every newly solved mix.
+        ``warm_flags``, aligned with ``iterations`` when warm-starting
+        is on, says which solves were seeded from the warm cache —
+        feeding the warm-vs-cold iteration split.
         """
         bin_ = int(math.floor(sim_time))
         entry = self._epochs.get(bin_)
@@ -79,6 +107,22 @@ class TelemetryAccumulator:
         self._mixes_solved += len(iterations)
         for pod_id, _scenarios in pod_counts:
             self._pod_tasks[pod_id] = self._pod_tasks.get(pod_id, 0) + 1
+        if warm_flags is not None:
+            for flag, count in zip(warm_flags, iterations):
+                if flag:
+                    self._warm_iterations += count
+                    self._warm_scenarios += 1
+                else:
+                    self._cold_iterations += count
+                    self._cold_scenarios += 1
+
+    def record_warm_cache(
+        self, hits: int, misses: int, invalidations: int
+    ) -> None:
+        """Account one scoring pass's warm-cache lookup outcomes."""
+        self._warm_hits += hits
+        self._warm_misses += misses
+        self._warm_invalidations += invalidations
 
     def add_residual(self, predictor: str, error: float) -> None:
         """Account one prediction-vs-ground-truth throughput residual."""
@@ -126,6 +170,16 @@ class TelemetryAccumulator:
                 "pod_tasks": pod_tasks,
             },
             "residuals": residuals,
+            "warm_start": {
+                "enabled": self._warm_enabled,
+                "hits": self._warm_hits,
+                "misses": self._warm_misses,
+                "invalidations": self._warm_invalidations,
+                "warm_iterations": self._warm_iterations,
+                "warm_scenarios": self._warm_scenarios,
+                "cold_iterations": self._cold_iterations,
+                "cold_scenarios": self._cold_scenarios,
+            },
         }
 
 

@@ -149,6 +149,7 @@ class TestFromCliArgs:
             trace_out=None,
             trace_format="jsonl",
             metrics_out=None,
+            warm_start=False,
         )
         for key, value in argv.items():
             setattr(ns, key, value)
@@ -277,6 +278,15 @@ FLEET_REPORT_PATHS = {
     "telemetry.solver.per_epoch[].iterations",
     "telemetry.solver.per_epoch[].scenarios",
     "telemetry.solver.scenarios_solved",
+    "telemetry.warm_start",
+    "telemetry.warm_start.cold_iterations",
+    "telemetry.warm_start.cold_scenarios",
+    "telemetry.warm_start.enabled",
+    "telemetry.warm_start.hits",
+    "telemetry.warm_start.invalidations",
+    "telemetry.warm_start.misses",
+    "telemetry.warm_start.warm_iterations",
+    "telemetry.warm_start.warm_scenarios",
     "topology",
     "topology.pod_size",
     "topology.pods",
@@ -336,10 +346,10 @@ class TestReportSchema:
         return json.loads(report.to_json())
 
     def test_schema_version_pinned(self, fleet_payload, event_payload):
-        assert FLEET_REPORT_SCHEMA_VERSION == 4
-        assert fleet_payload["schema_version"] == 4
-        assert event_payload["schema_version"] == 4
-        assert event_payload["fleet"]["schema_version"] == 4
+        assert FLEET_REPORT_SCHEMA_VERSION == 5
+        assert fleet_payload["schema_version"] == 5
+        assert event_payload["schema_version"] == 5
+        assert event_payload["fleet"]["schema_version"] == 5
 
     def test_fleet_report_golden_structure(self, fleet_payload):
         assert _paths(fleet_payload) == FLEET_REPORT_PATHS

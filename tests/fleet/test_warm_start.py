@@ -1,0 +1,161 @@
+"""Warm-start determinism: the cross-epoch solution cache's contract.
+
+``warm_start=True`` changes the solver's iterate path (seeded,
+undamped starts), so warm reports are *not* bit-equal to cold ones —
+instead they carry their own byte-determinism contract, pinned here:
+same seed + ``warm_start=True`` ⇒ byte-identical reports across
+
+- execution runtimes and job counts (the warm cache travels inside
+  ``PodScoreTask`` payloads, never in worker state),
+- the epoch and (quantized, zero-cost) event engines,
+- heterogeneous hardware mixes and injected faults,
+- checkpoint/resume (the cache is snapshotted and replayed).
+
+Plus the config surface: the CLI flag, the fingerprint (a warm
+checkpoint only resumes into a warm run), and the all-zero
+``telemetry.warm_start`` section when the knob is off.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import FleetConfig, build_model, simulate
+from repro.fleet import __main__ as fleet_cli
+
+BASE = dict(policy="yala", epochs=8, quota=60, initial_services=5)
+
+
+@pytest.fixture(scope="module")
+def model():
+    config = FleetConfig(**BASE)
+    return build_model(
+        config.policy, config.nf_pool, config.seed, config.quota, 1
+    )
+
+
+def _run(model=None, **over):
+    merged = {**BASE, "warm_start": True, **over}
+    return simulate(FleetConfig(**merged), model=model).to_json()
+
+
+class TestWarmByteDeterminism:
+    def test_runtime_and_jobs_invariance(self, model):
+        serial = _run(model)
+        for jobs in (1, 2, 4):
+            assert (
+                _run(model, runtime="process", jobs=jobs) == serial
+            ), f"jobs={jobs}"
+
+    def test_epoch_vs_quantized_event_engine(self, model):
+        epoch = json.loads(_run(model))
+        event = json.loads(
+            _run(model, engine="event", quantize_arrivals=True)
+        )
+        assert event["fleet"] == epoch
+
+    def test_with_hetero_mix_and_faults(self):
+        over = dict(
+            nic_mix="bluefield2=0.7,pensando=0.3",
+            pods=2,
+            nic_fail_rate=0.3,
+            nic_degrade_rate=0.3,
+            mean_time_to_fail=3.0,
+        )
+        serial = _run(None, **over)
+        assert _run(None, runtime="process", jobs=2, **over) == serial
+
+    def test_warm_telemetry_records_hits_and_invalidations(self, model):
+        # Churny enough that resident sets both persist (hits) and
+        # change under the same NIC (invalidations).
+        payload = json.loads(_run(model, epochs=12, arrival_rate=2.0))
+        warm = payload["telemetry"]["warm_start"]
+        assert warm["enabled"] is True
+        assert warm["hits"] > 0
+        assert warm["invalidations"] > 0
+        assert warm["warm_scenarios"] > 0
+        assert (
+            warm["warm_scenarios"] + warm["cold_scenarios"]
+            == payload["telemetry"]["solver"]["scenarios_solved"]
+        )
+
+    def test_warm_solves_take_fewer_iterations(self, model):
+        warm = json.loads(_run(model, epochs=12, arrival_rate=2.0))
+        section = warm["telemetry"]["warm_start"]
+        mean_warm = section["warm_iterations"] / section["warm_scenarios"]
+        mean_cold = section["cold_iterations"] / section["cold_scenarios"]
+        assert mean_warm < mean_cold
+
+    def test_cold_run_keeps_allzero_section(self, model):
+        payload = json.loads(_run(model, warm_start=False))
+        assert payload["telemetry"]["warm_start"] == {
+            "enabled": False,
+            "hits": 0,
+            "misses": 0,
+            "invalidations": 0,
+            "warm_iterations": 0,
+            "warm_scenarios": 0,
+            "cold_iterations": 0,
+            "cold_scenarios": 0,
+        }
+
+    def test_warm_report_renders_cache_line(self, model):
+        config = FleetConfig(**{**BASE, "warm_start": True})
+        text = simulate(config, model=model).render()
+        assert "warm" in text.lower()
+        cold = simulate(FleetConfig(**BASE), model=model).render()
+        assert "warm" not in cold.lower()
+
+
+class TestWarmCheckpointResume:
+    def test_resume_byte_parity(self, tmp_path, model):
+        snap = str(tmp_path / "warm.pkl")
+        uninterrupted = _run(model)
+        _run(model, checkpoint_path=snap, checkpoint_every=3)
+        resumed = _run(model, resume_path=snap)
+        assert resumed == uninterrupted
+
+    def test_resume_across_runtimes(self, tmp_path, model):
+        snap = str(tmp_path / "warm.pkl")
+        uninterrupted = _run(model)
+        _run(model, checkpoint_path=snap, checkpoint_every=3)
+        resumed = _run(model, resume_path=snap, runtime="process", jobs=2)
+        assert resumed == uninterrupted
+
+    def test_event_engine_resume(self, tmp_path, model):
+        snap = str(tmp_path / "warm-event.pkl")
+        over = dict(engine="event", quantize_arrivals=True)
+        uninterrupted = _run(model, **over)
+        _run(model, checkpoint_path=snap, checkpoint_every=3, **over)
+        resumed = _run(model, resume_path=snap, **over)
+        assert resumed == uninterrupted
+
+    def test_warm_checkpoint_refuses_cold_resume(self, tmp_path, model):
+        snap = str(tmp_path / "warm.pkl")
+        _run(model, checkpoint_path=snap, checkpoint_every=3)
+        with pytest.raises(ConfigurationError, match="configuration"):
+            _run(model, resume_path=snap, warm_start=False)
+
+
+class TestWarmConfigSurface:
+    def test_default_off(self):
+        assert FleetConfig().warm_start is False
+
+    def test_fingerprint_includes_warm_start(self):
+        cold = FleetConfig(**BASE)
+        warm = FleetConfig(**BASE, warm_start=True)
+        assert cold.fingerprint() != warm.fingerprint()
+        assert warm.fingerprint()["warm_start"] is True
+
+    def test_round_trip(self):
+        config = FleetConfig(**BASE, warm_start=True)
+        assert FleetConfig.from_dict(config.to_dict()) == config
+
+    @pytest.mark.parametrize(
+        "argv,expected",
+        [([], False), (["--warm-start"], True), (["--no-warm-start"], False)],
+    )
+    def test_cli_flag(self, argv, expected):
+        args = fleet_cli.build_parser().parse_args(argv)
+        assert FleetConfig.from_cli_args(args).warm_start is expected
